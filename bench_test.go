@@ -1,0 +1,337 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). Benchmarks run the same code paths as
+// cmd/experiment at reduced deployment scale so `go test -bench=.` finishes
+// in minutes; absolute timings are reported per pipeline stage.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mds"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// benchScale keeps bench deployments small enough for tight iteration.
+const benchScale = 0.15
+
+var (
+	benchOnce    sync.Once
+	benchNet     *netgen.Network     // fig1 network at bench scale
+	benchMeas    *netgen.Measurement // 20 % ranging error
+	benchDet     *core.Result
+	benchSurface *mesh.Surface
+	benchErr     error
+)
+
+func benchFixtures(b *testing.B) (*netgen.Network, *netgen.Measurement, *core.Result, *mesh.Surface) {
+	b.Helper()
+	benchOnce.Do(func() {
+		sc := eval.Fig1().Scaled(benchScale)
+		benchNet, benchErr = sc.Generate()
+		if benchErr != nil {
+			return
+		}
+		benchMeas = benchNet.Measure(ranging.UniformAdditive{Fraction: 0.2}, 1)
+		benchDet, benchErr = core.Detect(benchNet, benchMeas, core.Config{})
+		if benchErr != nil {
+			return
+		}
+		largest := benchDet.Groups[0]
+		for _, g := range benchDet.Groups {
+			if len(g) > len(largest) {
+				largest = g
+			}
+		}
+		benchSurface, benchErr = mesh.Build(benchNet.G, largest, mesh.Config{K: 3})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchNet, benchMeas, benchDet, benchSurface
+}
+
+// BenchmarkPipelineFig1 runs the end-to-end Fig. 1 pipeline: detection on
+// MDS coordinates plus surface construction (Figs. 1(b)–(f)).
+func BenchmarkPipelineFig1(b *testing.B) {
+	net, meas, _, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := core.Detect(net, meas, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mesh.BuildAll(net.G, det.Groups, mesh.Config{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1gErrorPoint measures one point of the Fig. 1(g) error sweep:
+// ranging, detection, classification.
+func BenchmarkFig1gErrorPoint(b *testing.B) {
+	net, _, _, _ := benchFixtures(b)
+	truth := net.TrueBoundary()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meas := net.Measure(ranging.UniformAdditive{Fraction: 0.3}, int64(i))
+		det, err := core.Detect(net, meas, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := metrics.Classify(truth, det.Boundary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1hMistakenDistribution measures the hop-distribution pass of
+// Fig. 1(h) (and, with the missing set, Fig. 1(i)).
+func BenchmarkFig1hMistakenDistribution(b *testing.B) {
+	net, _, det, _ := benchFixtures(b)
+	truth := net.TrueBoundary()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Evaluate(net.G, truth, det.Boundary, eval.MaxHops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1iMissingDistribution is the missing-node counterpart of the
+// previous benchmark (Fig. 1(i)); the evaluation computes both
+// distributions, so the cost is shared.
+func BenchmarkFig1iMissingDistribution(b *testing.B) {
+	BenchmarkFig1hMistakenDistribution(b)
+}
+
+// BenchmarkFig1jklMeshUnderError measures one point of the Fig. 1(j)–(l)
+// study: surface reconstruction from a noisy detection.
+func BenchmarkFig1jklMeshUnderError(b *testing.B) {
+	net, _, det, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.BuildAll(net.G, det.Groups, mesh.Config{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScenario runs one Figs. 6–10 scenario study at bench scale.
+func benchScenario(b *testing.B, sc eval.Scenario) {
+	b.Helper()
+	sc = sc.Scaled(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunScenario(sc, 0, core.Config{}, mesh.Config{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Underwater regenerates the Fig. 6 scenario study.
+func BenchmarkFig6Underwater(b *testing.B) { benchScenario(b, eval.Fig6()) }
+
+// BenchmarkFig7OneHole regenerates the Fig. 7 scenario study.
+func BenchmarkFig7OneHole(b *testing.B) { benchScenario(b, eval.Fig7()) }
+
+// BenchmarkFig8TwoHoles regenerates the Fig. 8 scenario study.
+func BenchmarkFig8TwoHoles(b *testing.B) { benchScenario(b, eval.Fig8()) }
+
+// BenchmarkFig9BentPipe regenerates the Fig. 9 scenario study.
+func BenchmarkFig9BentPipe(b *testing.B) { benchScenario(b, eval.Fig9()) }
+
+// BenchmarkFig10Sphere regenerates the Fig. 10 scenario study.
+func BenchmarkFig10Sphere(b *testing.B) { benchScenario(b, eval.Fig10()) }
+
+// BenchmarkFig11Sweep measures a mini aggregate sweep (two scenarios ×
+// three error levels), the Fig. 11(a)–(c) machinery.
+func BenchmarkFig11Sweep(b *testing.B) {
+	scenarios := []eval.Scenario{eval.Fig10().Scaled(benchScale), eval.Fig1().Scaled(benchScale)}
+	levels := []float64{0, 0.3, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunAggregateSweep(scenarios, levels, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUBFPerDegree measures the raw Unit Ball Fitting kernel across
+// nodal degrees — the Theorem 1 complexity table.
+func BenchmarkUBFPerDegree(b *testing.B) {
+	for _, degree := range []int{10, 18, 30, 45} {
+		degree := degree
+		b.Run(byDegree(degree), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(degree)))
+			coords := []geom.Vec3{geom.Zero}
+			for len(coords) < degree+1 {
+				coords = append(coords, geom.RandomInBall(rng, geom.Sphere{Radius: 1}))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.FitEmptyBall(coords, 0, 1.0, 1e-9)
+			}
+		})
+	}
+}
+
+func byDegree(d int) string {
+	switch {
+	case d < 10:
+		return "degree0" + string(rune('0'+d))
+	default:
+		return "degree" + string(rune('0'+d/10)) + string(rune('0'+d%10))
+	}
+}
+
+// BenchmarkMDSLocalFrame measures one node's local-coordinate construction
+// (Algorithm 1 step I substrate).
+func BenchmarkMDSLocalFrame(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := []geom.Vec3{geom.Zero}
+	for len(pts) < 19 {
+		pts = append(pts, geom.RandomInBall(rng, geom.Sphere{Radius: 1}))
+	}
+	dist := func(x, y int) (float64, bool) {
+		d := pts[x].Dist(pts[y])
+		return d, d <= 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mds.Localize(len(pts), dist, mds.Options{SmacofIterations: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIFFFlood measures the Isolated Fragment Filtering flood on the
+// bench network.
+func BenchmarkIFFFlood(b *testing.B) {
+	net, _, det, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.FloodCount(net.G, det.UBF, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrouping measures boundary grouping by label propagation.
+func BenchmarkGrouping(b *testing.B) {
+	net, _, det, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.LabelComponents(net.G, det.Boundary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurfaceConstruction measures steps I–V of Sec. III on the bench
+// network's largest boundary.
+func BenchmarkSurfaceConstruction(b *testing.B) {
+	net, _, det, _ := benchFixtures(b)
+	largest := det.Groups[0]
+	for _, g := range det.Groups {
+		if len(g) > len(largest) {
+			largest = g
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.Build(net.G, largest, mesh.Config{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyRouting measures the motivated application: greedy
+// forwarding over the reconstructed surface overlay.
+func BenchmarkGreedyRouting(b *testing.B) {
+	net, _, _, surface := benchFixtures(b)
+	overlay := routing.NewOverlay(surface, func(n int) geom.Vec3 { return net.Nodes[n].Pos })
+	lms := overlay.Landmarks()
+	if len(lms) < 2 {
+		b.Skip("overlay too small")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := lms[i%len(lms)]
+		to := lms[(i*7+1)%len(lms)]
+		if from == to {
+			continue
+		}
+		if _, err := overlay.Greedy(from, to, 4*len(lms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkGeneration measures deployment + connectivity
+// construction (the simulation substrate itself).
+func BenchmarkNetworkGeneration(b *testing.B) {
+	sc := eval.Fig10().Scaled(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectTrueCoords isolates the detection pipeline with the
+// localization substrate removed (the oracle ablation).
+func BenchmarkDetectTrueCoords(b *testing.B) {
+	net, _, _, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Detect(net, nil, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegreeBaseline measures the ablation baseline detector.
+func BenchmarkDegreeBaseline(b *testing.B) {
+	net, _, _, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DegreeBaseline(net, core.DegreeBaselineConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property check run alongside the benches: BFS Lipschitz on the bench
+// network guards the graph substrate the benchmarks depend on.
+func TestBenchFixtureSanity(t *testing.T) {
+	sc := eval.Fig1().Scaled(benchScale)
+	net, err := sc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := net.G.BFSHops([]int{0}, graph.All, -1)
+	for u := range net.G.Adj {
+		for _, v := range net.G.Adj[u] {
+			du, dv := dist[u], dist[v]
+			if du == graph.Unreachable || dv == graph.Unreachable {
+				continue
+			}
+			if du-dv > 1 || dv-du > 1 {
+				t.Fatalf("BFS Lipschitz violated on bench network at (%d,%d)", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command boundary3d runs the full pipeline end to end on one scenario:
+// deploy → range → detect boundary nodes → group → build triangular
+// boundary surfaces → export. It prints a summary and optionally writes the
+// network (JSON), the boundary set (JSON), and one OFF + OBJ mesh per
+// boundary surface — the reproduction's analogue of the paper's rendered
+// figures.
+//
+// Usage:
+//
+//	boundary3d -scenario fig10 -error 0.2 -k 3 -out out/sphere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+	"repro/internal/routing"
+)
+
+func main() {
+	scenario := flag.String("scenario", "fig10", "deployment: fig1|fig6|fig7|fig8|fig9|fig10")
+	errorFrac := flag.Float64("error", 0, "distance measurement error as a fraction of the radio range (0..1)")
+	k := flag.Int("k", 3, "landmark spacing (mesh fineness)")
+	scale := flag.Float64("scale", 1.0, "node-count scale factor")
+	outPrefix := flag.String("out", "", "output path prefix for JSON/OFF/OBJ artifacts (optional)")
+	trueCoords := flag.Bool("true-coords", false, "skip MDS and use ground-truth coordinates")
+	refine := flag.Bool("refine", false, "export cell-centroid-refined landmark positions")
+	flag.Parse()
+
+	if err := run(*scenario, *errorFrac, *k, *scale, *outPrefix, *trueCoords, *refine); err != nil {
+		fmt.Fprintln(os.Stderr, "boundary3d:", err)
+		os.Exit(1)
+	}
+}
+
+func pickScenario(name string) (eval.Scenario, error) {
+	for _, sc := range eval.AllScenarios() {
+		if sc.Name == name || strings.HasPrefix(sc.Name, name+"-") || strings.HasPrefix(sc.Name, name) {
+			return sc, nil
+		}
+	}
+	return eval.Scenario{}, fmt.Errorf("unknown scenario %q (try fig1, fig6..fig10)", name)
+}
+
+func run(scenario string, errorFrac float64, k int, scale float64, outPrefix string, trueCoords, refine bool) error {
+	sc, err := pickScenario(scenario)
+	if err != nil {
+		return err
+	}
+	sc = sc.Scaled(scale)
+	fmt.Printf("deploying %s (%s): %d surface + %d interior nodes...\n",
+		sc.Name, sc.Figure, sc.SurfaceNodes, sc.InteriorNodes)
+	net, err := sc.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %v\n", net.Stats())
+
+	cfg := core.Config{}
+	var det *core.Result
+	if trueCoords {
+		cfg.Coords = core.CoordsTrue
+		det, err = core.Detect(net, nil, cfg)
+	} else {
+		meas := net.Measure(ranging.ForFraction(errorFrac), sc.Seed*7)
+		fmt.Printf("ranging: %s\n", meas.Model.Name())
+		det, err = core.Detect(net, meas, cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	truth := net.TrueBoundary()
+	correct, mistaken, missing := 0, 0, 0
+	for i := range truth {
+		switch {
+		case det.Boundary[i] && truth[i]:
+			correct++
+		case det.Boundary[i]:
+			mistaken++
+		case truth[i]:
+			missing++
+		}
+	}
+	fmt.Printf("boundary: found=%d correct=%d mistaken=%d missing=%d groups=%d\n",
+		correct+mistaken, correct, mistaken, missing, len(det.Groups))
+
+	surfaces, err := mesh.BuildAll(net.G, det.Groups, mesh.Config{K: k})
+	if err != nil {
+		return err
+	}
+	for si, s := range surfaces {
+		fmt.Printf("surface %d: %d boundary nodes, %d landmarks, %v\n",
+			si, len(s.Group), len(s.Landmarks.IDs), s.Quality)
+		if len(s.Landmarks.IDs) >= 2 {
+			overlay := routing.NewOverlay(s, func(n int) geom.Vec3 { return net.Nodes[n].Pos })
+			stats, err := overlay.Experiment(200, sc.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  greedy routing: delivery %.1f%%, stretch %.2f\n",
+				100*stats.SuccessRate, stats.AvgStretch)
+		}
+	}
+
+	if outPrefix == "" {
+		return nil
+	}
+	if err := writeArtifacts(outPrefix, net, det, surfaces, refine); err != nil {
+		return err
+	}
+	fmt.Printf("artifacts written under %s*\n", outPrefix)
+	return nil
+}
+
+// writeArtifacts stores the network, detection result, and one OFF + OBJ
+// mesh per surface under the given path prefix.
+func writeArtifacts(prefix string, net *netgen.Network, det *core.Result, surfaces []*mesh.Surface, refine bool) error {
+	writeFile := func(path string, write func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile(prefix+"-network.json", func(f *os.File) error {
+		return export.WriteNetworkJSON(f, net)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(prefix+"-boundary.json", func(f *os.File) error {
+		return export.WriteDetectionJSON(f, det.Boundary, det.Groups)
+	}); err != nil {
+		return err
+	}
+	for si, s := range surfaces {
+		position := func(n int) geom.Vec3 { return net.Nodes[n].Pos }
+		if refine {
+			refined := mesh.RefinedPositions(s, position, 0.7)
+			position = func(n int) geom.Vec3 { return refined[n] }
+		}
+		verts, edges, faces := export.SurfaceGeometryWith(s, position)
+		if err := writeFile(fmt.Sprintf("%s-surface%d.off", prefix, si), func(f *os.File) error {
+			return export.WriteOFF(f, verts, faces)
+		}); err != nil {
+			return err
+		}
+		if err := writeFile(fmt.Sprintf("%s-surface%d.obj", prefix, si), func(f *os.File) error {
+			return export.WriteOBJ(f, verts, edges, faces)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPickScenario(t *testing.T) {
+	for _, name := range []string{"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig10-sphere"} {
+		if _, err := pickScenario(name); err != nil {
+			t.Errorf("pickScenario(%q): %v", name, err)
+		}
+	}
+	if _, err := pickScenario("bogus"); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+func TestRunEndToEndWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "out")
+	if err := run("fig10", 0.1, 4, 0.2, prefix, false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"-network.json", "-boundary.json", "-surface0.off", "-surface0.obj"} {
+		info, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Errorf("artifact %s missing: %v", suffix, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s empty", suffix)
+		}
+	}
+}
+
+func TestRunTrueCoordsNoArtifacts(t *testing.T) {
+	if err := run("fig10", 0, 4, 0.2, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if err := run("nope", 0, 3, 1, "", false, false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

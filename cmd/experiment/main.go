@@ -1,0 +1,275 @@
+// Command experiment regenerates the paper's tables and figures. Each -run
+// target corresponds to one figure of the evaluation (see DESIGN.md's
+// per-experiment index) and prints an aligned text table; -csv additionally
+// writes the table to a directory.
+//
+// Usage:
+//
+//	experiment -run fig1g            # Fig. 1(g): efficiency vs. error
+//	experiment -run fig11a -scale 1  # Fig. 11(a): multi-scenario aggregate
+//	experiment -run all -scale 0.25  # everything, at reduced size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/export"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+func main() {
+	runName := flag.String("run", "all",
+		"experiment to run: fig1g|fig1h|fig1i|fig1jkl|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|fig11c|thm1|ablation|apps|mds|all")
+	scale := flag.Float64("scale", 1.0, "node-count scale factor (1.0 = paper size)")
+	k := flag.Int("k", 3, "landmark spacing for mesh construction")
+	csvDir := flag.String("csv", "", "directory to also write tables as CSV (optional)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *runName, *scale, *k, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
+}
+
+// runner executes one experiment and returns its table(s).
+type table struct {
+	name   string
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func run(w io.Writer, runName string, scale float64, k int, csvDir string) error {
+	start := time.Now()
+	var tables []table
+	add := func(name, title string, header []string, rows [][]string) {
+		tables = append(tables, table{name: name, title: title, header: header, rows: rows})
+	}
+
+	wantAll := runName == "all"
+	want := func(names ...string) bool {
+		if wantAll {
+			return true
+		}
+		for _, n := range names {
+			if n == runName {
+				return true
+			}
+		}
+		return false
+	}
+	known := map[string]bool{
+		"fig1g": true, "fig1h": true, "fig1i": true, "fig1jkl": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
+		"fig11a": true, "fig11b": true, "fig11c": true,
+		"thm1": true, "ablation": true, "apps": true, "mds": true, "all": true,
+	}
+	if !known[runName] {
+		return fmt.Errorf("unknown experiment %q", runName)
+	}
+
+	levels := eval.PaperErrorLevels()
+	meshCfg := mesh.Config{K: k}
+
+	// Fig. 1(g)–(i): the error sweep on the Fig. 1 network.
+	if want("fig1g", "fig1h", "fig1i") {
+		sc := eval.Fig1().Scaled(scale)
+		fmt.Fprintf(w, "generating %s (%d nodes)...\n", sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
+		net, err := sc.Generate()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "network: %v\n", net.Stats())
+		sweep, err := eval.RunErrorSweep(net, sc.Name, levels, core.Config{}, sc.Seed)
+		if err != nil {
+			return err
+		}
+		if want("fig1g") {
+			h, rows := eval.EfficiencyRows(sweep)
+			add("fig1g", "Fig. 1(g): boundary nodes vs. distance measurement error ("+sc.Name+")", h, rows)
+		}
+		if want("fig1h") {
+			h, rows := eval.DistributionRows(sweep, false)
+			add("fig1h", "Fig. 1(h): mistaken-node hop distribution", h, rows)
+		}
+		if want("fig1i") {
+			h, rows := eval.DistributionRows(sweep, true)
+			add("fig1i", "Fig. 1(i): missing-node hop distribution", h, rows)
+		}
+	}
+
+	// Fig. 1(j)–(l): mesh quality under 0–40 % error.
+	if want("fig1jkl") {
+		sc := eval.Fig1().Scaled(scale)
+		shape, err := sc.MakeShape()
+		if err != nil {
+			return err
+		}
+		field, _ := shape.(shapes.DistanceField)
+		net, err := sc.Generate()
+		if err != nil {
+			return err
+		}
+		points, err := eval.RunMeshErrorStudy(net, []float64{0, 0.2, 0.3, 0.4},
+			core.Config{}, meshCfg, sc.Seed, field)
+		if err != nil {
+			return err
+		}
+		h, rows := eval.MeshErrorRows(points)
+		add("fig1jkl", "Fig. 1(j)-(l): mesh quality under distance measurement error", h, rows)
+	}
+
+	// Figs. 6–10: the five scenario studies.
+	scenarioRuns := []struct {
+		key string
+		sc  eval.Scenario
+	}{
+		{"fig6", eval.Fig6()}, {"fig7", eval.Fig7()}, {"fig8", eval.Fig8()},
+		{"fig9", eval.Fig9()}, {"fig10", eval.Fig10()},
+	}
+	var scenarioReports []*eval.ScenarioReport
+	for _, sr := range scenarioRuns {
+		if !want(sr.key) {
+			continue
+		}
+		sc := sr.sc.Scaled(scale)
+		fmt.Fprintf(w, "running %s (%s)...\n", sc.Name, sc.Figure)
+		rep, err := eval.RunScenario(sc, 0, core.Config{}, meshCfg)
+		if err != nil {
+			return err
+		}
+		scenarioReports = append(scenarioReports, rep)
+	}
+	if len(scenarioReports) > 0 {
+		h, rows := eval.ScenarioRows(scenarioReports)
+		add("fig6-10", "Figs. 6-10: scenario studies (boundary detection + surface construction + routing)", h, rows)
+	}
+
+	// Fig. 11: the aggregate sweep over every scenario.
+	if want("fig11a", "fig11b", "fig11c") {
+		scenarios := make([]eval.Scenario, 0)
+		for _, sc := range eval.AllScenarios() {
+			scenarios = append(scenarios, sc.Scaled(scale))
+		}
+		fmt.Fprintf(w, "running aggregate sweep over %d scenarios × %d error levels...\n",
+			len(scenarios), len(levels))
+		agg, err := eval.RunAggregateSweep(scenarios, levels, core.Config{})
+		if err != nil {
+			return err
+		}
+		if want("fig11a") {
+			h, rows := eval.EfficiencyRows(agg)
+			add("fig11a", "Fig. 11(a): aggregate efficiency vs. distance measurement error", h, rows)
+		}
+		if want("fig11b") {
+			h, rows := eval.DistributionRows(agg, false)
+			add("fig11b", "Fig. 11(b): aggregate mistaken-node hop distribution", h, rows)
+		}
+		if want("fig11c") {
+			h, rows := eval.DistributionRows(agg, true)
+			add("fig11c", "Fig. 11(c): aggregate missing-node hop distribution", h, rows)
+		}
+	}
+
+	// Theorem 1: per-node work vs. density.
+	if want("thm1") {
+		makeNet := eval.Fig10().Scaled(scale)
+		points, err := eval.RunComplexityStudy(func(deg float64) (*netgen.Network, error) {
+			sc := makeNet
+			sc.TargetDegree = deg
+			return sc.Generate()
+		}, []float64{8, 12, 18.5, 25, 35}, core.Config{})
+		if err != nil {
+			return err
+		}
+		h, rows := eval.ComplexityRows(points)
+		add("thm1", "Theorem 1: UBF per-node work vs. nodal degree (balls ~ ρ², checks ~ ρ³)", h, rows)
+	}
+
+	// Localization-quality study: the mechanism behind Fig. 1(g)'s
+	// degradation.
+	if want("mds") {
+		sc := eval.Fig10().Scaled(scale)
+		net, err := sc.Generate()
+		if err != nil {
+			return err
+		}
+		points, err := eval.RunLocalizationStudy(net, levels, core.Config{}, sc.Seed)
+		if err != nil {
+			return err
+		}
+		h, rows := eval.LocalizationRows(points)
+		add("mds", "Localization quality: one-hop MDS frame error vs. ranging error", h, rows)
+	}
+
+	// Surface-tool applications (Sec. I's embedding / partition / routing).
+	if want("apps") {
+		var reports []*eval.SurfaceToolsReport
+		for _, sc := range AppsScenarios() {
+			sc = sc.Scaled(scale)
+			fmt.Fprintf(w, "running surface tools on %s...\n", sc.Name)
+			rep, err := eval.RunSurfaceTools(sc, meshCfg, 6)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+		}
+		h, rows := eval.SurfaceToolsRows(reports)
+		add("apps", "Surface applications: embedding, k-way partition, greedy routing (+recovery)", h, rows)
+	}
+
+	// Ablations.
+	if want("ablation") {
+		sc := eval.Fig1().Scaled(scale)
+		net, err := sc.Generate()
+		if err != nil {
+			return err
+		}
+		rows20, err := eval.RunAblations(net, 0.2, sc.Seed)
+		if err != nil {
+			return err
+		}
+		h, rows := eval.AblationRows(rows20)
+		add("ablation", "Ablations at 20% distance error ("+sc.Name+")", h, rows)
+	}
+
+	for _, t := range tables {
+		fmt.Fprintf(w, "\n== %s ==\n%s", t.title, eval.FormatTable(t.header, t.rows))
+		if csvDir != "" {
+			if err := writeCSV(csvDir, t); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(w, "\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// AppsScenarios picks the deployments used for the surface-tools study:
+// the smooth scenarios where the overlay mesh is meaningful.
+func AppsScenarios() []eval.Scenario {
+	return []eval.Scenario{eval.Fig6(), eval.Fig9(), eval.Fig10()}
+}
+
+func writeCSV(dir string, t table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(t.name, "/", "_")+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return export.WriteCSV(f, t.header, t.rows)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 0.1, 3, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig1gTiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig1g", 0.03, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 1(g)") {
+		t.Errorf("missing table title:\n%s", out)
+	}
+	// All 11 error levels present.
+	for _, level := range []string{"0%", "50%", "100%"} {
+		if !strings.Contains(out, level) {
+			t.Errorf("missing level %s", level)
+		}
+	}
+}
+
+func TestRunScenarioAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "fig10", 0.05, 4, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig10-sphere") {
+		t.Errorf("scenario row missing:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6-10.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fig10-sphere") {
+		t.Errorf("CSV content wrong:\n%s", data)
+	}
+}
+
+func TestRunThm1Tiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "thm1", 0.05, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 1") {
+		t.Errorf("missing theorem table:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "ablation", 0.03, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, variant := range []string{"full-pipeline", "degree-baseline", "true-coords"} {
+		if !strings.Contains(out, variant) {
+			t.Errorf("missing variant %s", variant)
+		}
+	}
+}
+
+func TestRunFig1jklTiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig1jkl", 0.03, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mesh quality") {
+		t.Errorf("missing mesh table:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,77 @@
+// Command netgen generates and inspects simulated 3D wireless networks.
+//
+// Usage:
+//
+//	netgen -scenario fig6 -out net.json     # deploy and store a network
+//	netgen -in net.json -stats              # inspect a stored network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/export"
+)
+
+func main() {
+	scenario := flag.String("scenario", "fig10", "deployment: fig1|fig6|fig7|fig8|fig9|fig10")
+	scale := flag.Float64("scale", 1.0, "node-count scale factor")
+	out := flag.String("out", "", "write the generated network as JSON to this path")
+	in := flag.String("in", "", "read a network JSON instead of generating")
+	flag.Parse()
+
+	if err := run(*scenario, *scale, *out, *in); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, scale float64, out, in string) error {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		net, err := export.ReadNetworkJSON(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: radius=%.4f %v\n", in, net.Radius, net.Stats())
+		return nil
+	}
+
+	var picked *eval.Scenario
+	for _, sc := range eval.AllScenarios() {
+		if sc.Name == scenario || strings.HasPrefix(sc.Name, scenario) {
+			sc := sc
+			picked = &sc
+			break
+		}
+	}
+	if picked == nil {
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+	sc := picked.Scaled(scale)
+	net, err := sc.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s): radius=%.4f %v\n", sc.Name, sc.Figure, net.Radius, net.Stats())
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := export.WriteNetworkJSON(f, net); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "net.json")
+	if err := run("fig10", 0.1, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", out); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestGenerateWithoutOutput(t *testing.T) {
+	if err := run("fig10", 0.1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run("bogus", 1, "", ""); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run("", 0, "", "/nonexistent/net.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Localized Algorithm
+// for Precise Boundary Detection in 3D Wireless Networks" (Zhou, Xia, Jin,
+// Wu — ICDCS 2010): Unit Ball Fitting and Isolated Fragment Filtering for
+// boundary-node identification, plus the landmark/CDG/CDM/edge-flip
+// pipeline that reconstructs locally planarized triangular boundary
+// surfaces, together with every substrate the paper's evaluation needs
+// (deployment shapes, unit-ball connectivity, ranging error models,
+// MDS-based local coordinates, a message-passing simulator, and the full
+// experiment harness).
+//
+// The library lives under internal/; see README.md for the package map and
+// cmd/ for the executables. The benchmarks in this directory regenerate the
+// paper's tables and figures at reduced scale; use cmd/experiment for
+// full-scale runs.
+package repro

@@ -1,0 +1,572 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/mds"
+	"repro/internal/netgen"
+	"repro/internal/sim"
+)
+
+// CoordSource selects how each node obtains the local coordinates UBF
+// consumes.
+type CoordSource int
+
+const (
+	// CoordsMDS builds a local frame per node from measured one-hop
+	// distances via MDS — Algorithm 1 step (I), the paper's default.
+	CoordsMDS CoordSource = iota + 1
+	// CoordsTrue uses ground-truth positions, the "all nodes have known
+	// their coordinates" shortcut the paper allows; equivalent to
+	// error-free ranging and used as the oracle ablation.
+	CoordsTrue
+)
+
+// Scope selects how far a node's knowledge of other nodes reaches when it
+// judges candidate balls empty.
+type Scope int
+
+const (
+	// ScopeTwoHop judges emptiness against the two-hop neighborhood.
+	// A candidate unit ball touching a node reaches out to 2r from it,
+	// so this is the knowledge the paper's Lemma 1 / Theorem 1 analysis
+	// assumes ("neighbors within 2r", Θ(ρ) nodes per ball). Under
+	// CoordsMDS the two-hop positions are obtained by stitching each
+	// neighbor's one-hop MDS frame onto the node's own frame via rigid
+	// registration over their shared members (the MDS-MAP(P) patch
+	// technique). One extra beacon exchange keeps this localized. This
+	// is the pipeline default.
+	ScopeTwoHop Scope = iota + 1
+	// ScopeOneHop is Algorithm 1 verbatim: only the one-hop neighborhood
+	// is known, so the outer half of every candidate ball is invisible.
+	// This over-detects interior nodes in sparse pockets (the paper
+	// leans on IFF to remove them); it is kept as an ablation.
+	ScopeOneHop
+)
+
+// Config parameterizes the detection pipeline. The zero value selects the
+// paper's defaults.
+type Config struct {
+	// BallRadiusFactor scales the unit-ball radius relative to the radio
+	// range: r = BallRadiusFactor·(1+Epsilon)·R. The zero value means 1
+	// (Definition 4's unit ball). Larger values detect only larger holes
+	// (Sec. II-A3).
+	BallRadiusFactor float64
+	// Epsilon is Definition 4's arbitrarily small ε. Zero means 1e-9.
+	Epsilon float64
+	// InteriorTolerance is the strict-interior slack, relative to the
+	// ball radius, below which a node counts as touching rather than
+	// inside. Zero means 1e-9.
+	InteriorTolerance float64
+
+	// Coords selects the coordinate source. Zero means CoordsMDS when a
+	// measurement is supplied to Detect and CoordsTrue otherwise.
+	Coords CoordSource
+	// Scope selects the emptiness-knowledge scope. Zero means
+	// ScopeTwoHop.
+	Scope Scope
+	// MDS configures local-frame construction under CoordsMDS. A zero
+	// SmacofIterations is upgraded to 40 refinement sweeps.
+	MDS mds.Options
+	// MinSharedForStitch is the minimum number of shared members needed
+	// to register a neighbor's frame during two-hop stitching. Zero
+	// means 4 (three points fix a rigid motion; one more adds
+	// redundancy against noise).
+	MinSharedForStitch int
+	// MaxBorderline caps, under adaptive tolerances, how many
+	// "possible occupants" (points inside a candidate ball's nominal
+	// surface but within their own uncertainty band) an empty ball may
+	// carry. The zero value disables the cap — experiments showed it
+	// trades away far too much recall under heavy ranging noise — but
+	// it remains available for precision-critical deployments. Negative
+	// also disables; ignored under CoordsTrue.
+	MaxBorderline int
+	// AdaptiveTolFactor scales the node's locally observable coordinate
+	// uncertainty into an additional strict-interior tolerance: under
+	// noisy coordinates a node only counts as inside a candidate ball
+	// when it is deeper than the local uncertainty. The uncertainty
+	// estimate is the mean rigid-registration RMSD against the
+	// neighbors' frames under ScopeTwoHop (inter-frame inconsistency),
+	// falling back to the frame's own measured-distance residual
+	// (mds.ResidualRMS) under ScopeOneHop. Zero means 1; negative
+	// disables adaptation. Irrelevant under CoordsTrue, where the
+	// uncertainty is zero. The default 0.5 balances missed boundary
+	// nodes (tolerance too small: phantom stitched positions block
+	// genuinely empty balls) against mistaken interior nodes (tolerance
+	// too large:true occupants get discounted).
+	AdaptiveTolFactor float64
+
+	// IFFThreshold is θ: fragments with fewer boundary nodes within
+	// IFFTTL hops are filtered. Zero means 20 (the icosahedron bound of
+	// Sec. II-B). Negative disables IFF.
+	IFFThreshold int
+	// IFFTTL is T, the filtering flood's hop budget. Zero means 3.
+	IFFTTL int
+	// Async executes the flooding phases (IFF and grouping) on the
+	// asynchronous kernel — per-message random delays seeded by
+	// AsyncSeed — instead of synchronized rounds. Both protocols are
+	// delay-independent, so the detection outcome is identical; the
+	// option exists to demonstrate and test exactly that.
+	Async     bool
+	AsyncSeed int64
+
+	// Workers bounds pipeline parallelism. Zero means GOMAXPROCS. The
+	// result is independent of the worker count.
+	Workers int
+}
+
+func (c Config) withDefaults(haveMeasurement bool) Config {
+	if c.BallRadiusFactor == 0 {
+		c.BallRadiusFactor = 1
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-9
+	}
+	if c.InteriorTolerance == 0 {
+		c.InteriorTolerance = 1e-9
+	}
+	if c.Coords == 0 {
+		if haveMeasurement {
+			c.Coords = CoordsMDS
+		} else {
+			c.Coords = CoordsTrue
+		}
+	}
+	if c.Scope == 0 {
+		c.Scope = ScopeTwoHop
+	}
+	if c.MDS.SmacofIterations == 0 {
+		c.MDS.SmacofIterations = 40
+	}
+	if c.MinSharedForStitch == 0 {
+		c.MinSharedForStitch = 4
+	}
+	if c.AdaptiveTolFactor == 0 {
+		c.AdaptiveTolFactor = 1
+	}
+	if c.MaxBorderline == 0 {
+		c.MaxBorderline = -1
+	}
+	if c.IFFThreshold == 0 {
+		c.IFFThreshold = 20
+	}
+	if c.IFFTTL == 0 {
+		c.IFFTTL = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result is the full outcome of boundary detection on a network.
+type Result struct {
+	// UBF marks nodes identified by Phase 1 (Unit Ball Fitting).
+	UBF []bool
+	// Boundary marks nodes surviving Phase 2 (IFF) — the final answer.
+	Boundary []bool
+	// FragmentSize holds each boundary candidate's IFF flood count (the
+	// number of fellow candidates heard within IFFTTL hops, self
+	// included).
+	FragmentSize []int
+	// GroupLabel assigns each final boundary node its boundary's label
+	// (the smallest node ID on that boundary); sim.NoGroup elsewhere.
+	GroupLabel []int
+	// Groups lists the distinct boundaries, each as ascending node IDs.
+	Groups [][]int
+	// BallsTested and NodesChecked aggregate per-node UBF work for the
+	// Theorem 1 complexity study.
+	BallsTested  []int
+	NodesChecked []int
+	// CoordError records, under CoordsMDS, each node's one-hop frame
+	// RMSD against true positions after rigid alignment (a localization
+	// quality diagnostic); nil under CoordsTrue.
+	CoordError []float64
+	// IFFMessages and GroupingMessages count the packets exchanged by
+	// the two flooding phases — the protocol's communication cost
+	// (UBF itself sends nothing beyond the initial beacon exchanges).
+	IFFMessages      int
+	GroupingMessages int
+}
+
+// ErrNoNetwork is returned when Detect is called without a network.
+var ErrNoNetwork = errors.New("core: network is required")
+
+// ErrNeedMeasurement is returned when CoordsMDS is selected without a
+// measurement.
+var ErrNeedMeasurement = errors.New("core: CoordsMDS requires a measurement")
+
+// frame is one node's local coordinate chart: its closed one-hop
+// neighborhood (node first) embedded by MDS.
+type frame struct {
+	members  []int
+	coords   []geom.Vec3
+	index    map[int]int // node ID -> position in members/coords
+	residual float64     // RMS measured-vs-embedded distance residual
+}
+
+// Detect runs the full localized boundary-detection pipeline: local frames,
+// Unit Ball Fitting, Isolated Fragment Filtering, and boundary grouping.
+// meas may be nil when cfg.Coords is CoordsTrue.
+func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result, error) {
+	if net == nil {
+		return nil, ErrNoNetwork
+	}
+	cfg = cfg.withDefaults(meas != nil)
+	if cfg.Coords == CoordsMDS && meas == nil {
+		return nil, ErrNeedMeasurement
+	}
+	if cfg.Coords != CoordsMDS && cfg.Coords != CoordsTrue {
+		return nil, fmt.Errorf("core: unknown coordinate source %d", cfg.Coords)
+	}
+	if cfg.Scope != ScopeOneHop && cfg.Scope != ScopeTwoHop {
+		return nil, fmt.Errorf("core: unknown scope %d", cfg.Scope)
+	}
+
+	n := net.Len()
+	res := &Result{
+		UBF:          make([]bool, n),
+		BallsTested:  make([]int, n),
+		NodesChecked: make([]int, n),
+	}
+	radius := cfg.BallRadiusFactor * (1 + cfg.Epsilon) * net.Radius
+	tol := cfg.InteriorTolerance * radius
+
+	// Stage 1 (CoordsMDS only): every node builds its one-hop MDS frame.
+	var frames []frame
+	if cfg.Coords == CoordsMDS {
+		res.CoordError = make([]float64, n)
+		frames = make([]frame, n)
+		err := parallelFor(n, cfg.Workers, func(i int) error {
+			f, err := buildFrame(net, meas, cfg, i)
+			if err != nil {
+				return fmt.Errorf("node %d frame: %w", i, err)
+			}
+			frames[i] = f
+			truth := make([]geom.Vec3, len(f.members))
+			for k, m := range f.members {
+				truth[k] = net.Nodes[m].Pos
+			}
+			if _, rmsd, aerr := geom.AlignRigid(f.coords, truth); aerr == nil {
+				res.CoordError[i] = rmsd
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: Unit Ball Fitting per node.
+	err := parallelFor(n, cfg.Workers, func(i int) error {
+		coords, candidates, spreads := assembleKnowledge(net, cfg, frames, i)
+		// Per-point tolerance: every known position is discounted by its
+		// own locally observable uncertainty — the spread of the
+		// independent estimates the consensus stitching collected for
+		// it (zero under CoordsTrue).
+		tolAt := uniformTol(tol)
+		maxBorderline := -1
+		if cfg.AdaptiveTolFactor > 0 && spreads != nil {
+			factor := cfg.AdaptiveTolFactor
+			tolAt = func(idx int) float64 {
+				if a := factor * spreads[idx]; a > tol {
+					return a
+				}
+				return tol
+			}
+			maxBorderline = cfg.MaxBorderline
+		}
+		r := FitEmptyBallUncertain(coords, 0, candidates, radius, tolAt, maxBorderline)
+		res.UBF[i] = r.Boundary
+		res.BallsTested[i] = r.BallsTested
+		res.NodesChecked[i] = r.NodesChecked
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: Isolated Fragment Filtering by TTL-bounded flooding.
+	res.Boundary = make([]bool, n)
+	if cfg.IFFThreshold < 0 {
+		copy(res.Boundary, res.UBF)
+		res.FragmentSize = make([]int, n)
+	} else {
+		var counts []int
+		var messages int
+		if cfg.Async {
+			var stats sim.AsyncResult
+			counts, stats, err = sim.AsyncFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed)
+			messages = stats.Messages
+		} else {
+			var stats sim.Result
+			counts, stats, err = sim.FloodCountStats(net.G, res.UBF, cfg.IFFTTL)
+			messages = stats.Messages
+		}
+		if err != nil {
+			return nil, fmt.Errorf("IFF flooding: %w", err)
+		}
+		res.IFFMessages = messages
+		res.FragmentSize = counts
+		for i := range res.Boundary {
+			res.Boundary[i] = res.UBF[i] && counts[i] >= cfg.IFFThreshold
+		}
+	}
+
+	// Stage 4: grouping — boundary nodes of the same surface connect
+	// through boundary nodes only (Sec. II-B).
+	var label []int
+	var groupMessages int
+	if cfg.Async {
+		var stats sim.AsyncResult
+		label, stats, err = sim.AsyncLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1)
+		groupMessages = stats.Messages
+	} else {
+		var stats sim.Result
+		label, stats, err = sim.LabelComponentsStats(net.G, res.Boundary)
+		groupMessages = stats.Messages
+	}
+	if err != nil {
+		return nil, fmt.Errorf("grouping: %w", err)
+	}
+	res.GroupingMessages = groupMessages
+	res.GroupLabel = label
+	res.Groups = sim.Groups(label)
+	return res, nil
+}
+
+// parallelFor runs fn(0..n-1) on the given number of workers, returning the
+// first error.
+func parallelFor(n, workers int, fn func(int) error) error {
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// buildFrame embeds node i's closed one-hop neighborhood from measured
+// distances.
+func buildFrame(net *netgen.Network, meas *netgen.Measurement, cfg Config, i int) (frame, error) {
+	members := closedNeighborhood(net, i)
+	dist := func(a, b int) (float64, bool) {
+		return meas.Lookup(members[a], members[b])
+	}
+	coords, err := mds.Localize(len(members), dist, cfg.MDS)
+	if err != nil {
+		return frame{}, err
+	}
+	index := make(map[int]int, len(members))
+	for k, m := range members {
+		index[m] = k
+	}
+	return frame{
+		members:  members,
+		coords:   coords,
+		index:    index,
+		residual: mds.ResidualRMS(coords, dist),
+	}, nil
+}
+
+// assembleKnowledge produces node i's view for the UBF test: coordinates
+// with i first, the candidate indices (its one-hop neighbors), and each
+// coordinate's uncertainty estimate (nil under CoordsTrue, meaning exact).
+func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int) (coords []geom.Vec3, candidates []int, spreads []float64) {
+	oneHop := net.G.Adj[i]
+	candidates = make([]int, len(oneHop))
+	for k := range oneHop {
+		candidates[k] = k + 1 // coords layout: i, then its one-hop neighbors
+	}
+
+	if cfg.Coords == CoordsTrue {
+		members := closedNeighborhood(net, i)
+		if cfg.Scope == ScopeTwoHop {
+			members = extendTwoHop(net, i, members)
+		}
+		coords = make([]geom.Vec3, len(members))
+		for k, m := range members {
+			coords[k] = net.Nodes[m].Pos
+		}
+		return coords, candidates, nil
+	}
+
+	own := frames[i]
+	if cfg.Scope == ScopeOneHop {
+		spreads = make([]float64, len(own.coords))
+		for k := range spreads {
+			spreads[k] = own.residual
+		}
+		return own.coords, candidates, spreads
+	}
+	coords, spreads = stitchTwoHop(net, cfg, frames, i)
+	return coords, candidates, spreads
+}
+
+// extendTwoHop appends the two-hop neighbors of i to members (which already
+// holds i and its one-hop neighbors), preserving order and uniqueness.
+func extendTwoHop(net *netgen.Network, i int, members []int) []int {
+	seen := make(map[int]bool, 4*len(members))
+	for _, m := range members {
+		seen[m] = true
+	}
+	for _, j := range net.G.Adj[i] {
+		for _, u := range net.G.Adj[j] {
+			if !seen[u] {
+				seen[u] = true
+				members = append(members, u)
+			}
+		}
+	}
+	return members
+}
+
+// stitchTwoHop extends node i's one-hop MDS frame with two-hop positions by
+// rigidly registering each neighbor's frame onto i's own frame over their
+// shared one-hop members, then fusing all available estimates per node:
+//
+//   - a one-hop member's position is its own-frame coordinate, but every
+//     registered neighbor frame that also contains it contributes a
+//     cross-check estimate;
+//   - a two-hop node's position is the centroid of the estimates from the
+//     neighbor frames that contain it.
+//
+// The per-point estimate spread (RMS deviation from the fused position) is
+// returned alongside: it is the locally observable uncertainty of that
+// coordinate. This catches the failure mode pure stress minimization
+// cannot — a loosely-anchored member sitting in a zero-stress reflection —
+// because independently-built frames disagree exactly there.
+//
+// Neighbors whose overlap is too small to register are skipped, as in a
+// real deployment where a patch fails to align.
+func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int) ([]geom.Vec3, []float64) {
+	own := frames[i]
+	ownIdx := own.index
+
+	// estimates[id] collects candidate positions in i's frame.
+	order := append([]int(nil), own.members...)
+	estimates := make(map[int][]geom.Vec3, 4*len(own.members))
+	for k, m := range own.members {
+		estimates[m] = append(estimates[m], own.coords[k])
+	}
+	for _, j := range net.G.Adj[i] {
+		fj := frames[j]
+		var src, dst []geom.Vec3
+		for k, m := range fj.members {
+			if idx, ok := ownIdx[m]; ok {
+				src = append(src, fj.coords[k])
+				dst = append(dst, own.coords[idx])
+			}
+		}
+		if len(src) < cfg.MinSharedForStitch {
+			continue
+		}
+		tr, _, err := geom.AlignRigid(src, dst)
+		if err != nil {
+			continue
+		}
+		for k, m := range fj.members {
+			if _, seen := estimates[m]; !seen {
+				order = append(order, m)
+			}
+			estimates[m] = append(estimates[m], tr.Apply(fj.coords[k]))
+		}
+	}
+
+	coords := make([]geom.Vec3, len(order))
+	spreads := make([]float64, len(order))
+	for idx, m := range order {
+		ests := estimates[m]
+		// Fuse by medoid, not centroid: when a member sits in a
+		// zero-stress reflection in one frame, its estimates form a
+		// correct-majority cluster plus flipped outliers; the medoid
+		// snaps to the majority (repairing the position), whereas a
+		// centroid would land uselessly in between.
+		center := medoid(ests)
+		coords[idx] = center
+		spreads[idx] = clusterSpread(ests, center, own.residual)
+	}
+	return coords, spreads
+}
+
+// medoid returns the estimate minimizing the total distance to the others.
+// Ties break toward the earliest estimate (the own-frame one for one-hop
+// members), keeping fusion deterministic.
+func medoid(ests []geom.Vec3) geom.Vec3 {
+	if len(ests) == 1 {
+		return ests[0]
+	}
+	best, bestSum := 0, math.Inf(1)
+	for i := range ests {
+		var sum float64
+		for j := range ests {
+			sum += ests[i].Dist(ests[j])
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return ests[best]
+}
+
+// clusterSpread estimates a fused position's uncertainty as the RMS
+// deviation of the nearer half of the estimates (the majority cluster),
+// so that a single flipped outlier does not drown the signal; with no
+// cross-check available it falls back to the frame residual.
+func clusterSpread(ests []geom.Vec3, center geom.Vec3, fallback float64) float64 {
+	if len(ests) <= 1 {
+		return fallback
+	}
+	d2 := make([]float64, 0, len(ests))
+	for _, e := range ests {
+		d2 = append(d2, e.Dist2(center))
+	}
+	sort.Float64s(d2)
+	// Majority cluster: the nearest ceil(m/2) co-estimates (excluding
+	// the zero self-distance at d2[0]).
+	keep := (len(d2) + 1) / 2
+	if keep < 2 {
+		keep = 2
+	}
+	if keep > len(d2) {
+		keep = len(d2)
+	}
+	var sum float64
+	for _, v := range d2[1:keep] {
+		sum += v
+	}
+	if keep <= 1 {
+		return fallback
+	}
+	return math.Sqrt(sum / float64(keep-1))
+}
+
+// closedNeighborhood returns node i followed by its one-hop neighbors —
+// the set Γ_i of Algorithm 1.
+func closedNeighborhood(net *netgen.Network, i int) []int {
+	members := make([]int, 0, len(net.G.Adj[i])+1)
+	members = append(members, i)
+	members = append(members, net.G.Adj[i]...)
+	return members
+}

@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// FitEmptyBall is the Unit Ball Fitting kernel: a node with free space on
+// one side finds an empty ball touching it and declares itself a boundary
+// node.
+func ExampleFitEmptyBall() {
+	// The deciding node at the origin with all neighbors below z=0:
+	// the upper half space is empty.
+	coords := []geom.Vec3{
+		geom.V(0, 0, 0), // the deciding node
+		geom.V(0.4, 0, -0.3), geom.V(-0.4, 0.1, -0.4),
+		geom.V(0, -0.5, -0.2), geom.V(0.2, 0.4, -0.5),
+	}
+	res := core.FitEmptyBall(coords, 0, 1.0, 1e-9)
+	fmt.Printf("boundary=%v testedSomeBalls=%v\n", res.Boundary, res.BallsTested > 0)
+	// Output:
+	// boundary=true testedSomeBalls=true
+}

@@ -1,0 +1,131 @@
+// Package core implements the paper's primary contribution: localized
+// boundary-node identification for 3D wireless networks via Unit Ball
+// Fitting (UBF, Sec. II-A) refined by Isolated Fragment Filtering (IFF,
+// Sec. II-B), plus boundary grouping and a degree-threshold baseline.
+//
+// Everything here is localized in the paper's sense: each node decides from
+// one-hop neighborhood information only (neighbor coordinates in a local
+// frame, built either from true positions or from noisy measured distances
+// via MDS), and the refinement phases use TTL-bounded local flooding.
+package core
+
+import (
+	"repro/internal/geom"
+)
+
+// UBFNodeResult reports one node's Unit Ball Fitting outcome.
+type UBFNodeResult struct {
+	// Boundary is true when the node found an empty unit ball touching
+	// itself (Algorithm 1 output).
+	Boundary bool
+	// BallsTested counts candidate balls examined before deciding; the
+	// Theorem 1 complexity study aggregates this.
+	BallsTested int
+	// NodesChecked counts point-in-ball tests performed.
+	NodesChecked int
+}
+
+// FitEmptyBall runs the Unit Ball Fitting test (Algorithm 1 steps II–III)
+// for one node in its local coordinate frame. coords holds the
+// neighborhood's positions with the deciding node at index center; radius
+// is the unit-ball radius r = 1+ε (in the same units as coords); tol is the
+// strict-interior tolerance: a neighbor only invalidates a ball when it
+// lies deeper than tol inside (per Definition 6, touching the surface does
+// not count). Every coordinate doubles as a ball-defining candidate; use
+// FitEmptyBallCandidates to restrict the contact pairs.
+//
+// It returns as soon as one empty ball is found (the node is a boundary
+// node); otherwise it exhausts all Θ(ρ²) candidate balls.
+func FitEmptyBall(coords []geom.Vec3, center int, radius, tol float64) UBFNodeResult {
+	return FitEmptyBallCandidates(coords, center, nil, radius, tol)
+}
+
+// FitEmptyBallCandidates is FitEmptyBall with the ball-defining contact
+// pairs restricted to the given indices into coords (the deciding node's
+// one-hop neighbors in the pipeline: Algorithm 1 forms balls through the
+// node and two one-hop neighbors, while emptiness is judged against every
+// known coordinate — the full Θ(ρ) ball content of Theorem 1). candidates
+// must not include center; nil means every index except center.
+func FitEmptyBallCandidates(coords []geom.Vec3, center int, candidates []int, radius, tol float64) UBFNodeResult {
+	return FitEmptyBallTolerances(coords, center, candidates, radius, uniformTol(tol))
+}
+
+// TolFunc returns the strict-interior tolerance for the coordinate at the
+// given index. Per-point tolerances let the pipeline discount each known
+// position by its own uncertainty: a node's one-hop frame members carry
+// the frame's embedding residual, while stitched two-hop positions carry
+// the (larger) patch-registration error.
+type TolFunc func(index int) float64
+
+func uniformTol(tol float64) TolFunc { return func(int) float64 { return tol } }
+
+// FitEmptyBallTolerances is FitEmptyBallCandidates with a per-point
+// tolerance and no borderline cap.
+func FitEmptyBallTolerances(coords []geom.Vec3, center int, candidates []int, radius float64, tol TolFunc) UBFNodeResult {
+	return FitEmptyBallUncertain(coords, center, candidates, radius, tol, -1)
+}
+
+// FitEmptyBallUncertain is the pipeline's full uncertainty-aware test. A
+// candidate ball counts as empty when (a) no point lies deeper inside than
+// its own tolerance — a certain occupant — and (b) at most maxBorderline
+// points lie inside the nominal surface but within their tolerance band —
+// possible occupants. The cap separates the two regimes the plain
+// tolerance test confuses: a genuine boundary ball carries at most a
+// couple of uncertain phantoms, while a deep interior ball under inflated
+// tolerances carries many borderline points at once. Negative
+// maxBorderline disables the cap.
+func FitEmptyBallUncertain(coords []geom.Vec3, center int, candidates []int, radius float64, tol TolFunc, maxBorderline int) UBFNodeResult {
+	if candidates == nil {
+		candidates = make([]int, 0, len(coords)-1)
+		for j := range coords {
+			if j != center {
+				candidates = append(candidates, j)
+			}
+		}
+	}
+	var res UBFNodeResult
+	a := coords[center]
+	var balls []geom.Sphere
+	for cj := 0; cj < len(candidates); cj++ {
+		j := candidates[cj]
+		for ck := cj + 1; ck < len(candidates); ck++ {
+			k := candidates[ck]
+			// Candidate unit balls through the node and a neighbor
+			// pair: the solutions of Eq. (1).
+			balls = geom.SpheresThrough3Into(balls[:0], a, coords[j], coords[k], radius)
+			for _, ball := range balls {
+				res.BallsTested++
+				empty, checked := ballEmpty(ball, coords, tol, maxBorderline)
+				res.NodesChecked += checked
+				if empty {
+					res.Boundary = true
+					return res
+				}
+			}
+		}
+	}
+	return res
+}
+
+// ballEmpty reports whether the ball passes the uncertainty-aware
+// emptiness test, and how many membership tests were performed. The three
+// defining points sit on the surface, so tolerances naturally exclude them
+// without special-casing indices.
+func ballEmpty(ball geom.Sphere, coords []geom.Vec3, tol TolFunc, maxBorderline int) (bool, int) {
+	borderline := 0
+	for n, p := range coords {
+		t := tol(n)
+		if ball.ContainsStrict(p, t) {
+			return false, n + 1
+		}
+		if maxBorderline >= 0 && ball.ContainsStrict(p, 0) {
+			// Inside the nominal surface but within its tolerance
+			// band: a possible occupant.
+			borderline++
+			if borderline > maxBorderline {
+				return false, n + 1
+			}
+		}
+	}
+	return true, len(coords)
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// halfSpaceNeighborhood builds a frame with the center at the origin and
+// neighbors only in the lower half space — the canonical boundary-node
+// situation (free space above).
+func halfSpaceNeighborhood(rng *rand.Rand, n int) []geom.Vec3 {
+	coords := []geom.Vec3{geom.Zero}
+	for len(coords) < n+1 {
+		p := geom.RandomInBall(rng, geom.Sphere{Radius: 1})
+		if p.Z < -0.05 {
+			coords = append(coords, p)
+		}
+	}
+	return coords
+}
+
+// denseNeighborhood surrounds the center uniformly — the canonical interior
+// situation.
+func denseNeighborhood(rng *rand.Rand, n int) []geom.Vec3 {
+	coords := []geom.Vec3{geom.Zero}
+	for len(coords) < n+1 {
+		coords = append(coords, geom.RandomInBall(rng, geom.Sphere{Radius: 1}))
+	}
+	return coords
+}
+
+func TestFitEmptyBallBoundaryNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 25; trial++ {
+		coords := halfSpaceNeighborhood(rng, 10+rng.Intn(15))
+		res := FitEmptyBall(coords, 0, 1.0, 1e-9)
+		if !res.Boundary {
+			t.Fatalf("trial %d: half-space node not detected as boundary", trial)
+		}
+		if res.BallsTested == 0 || res.NodesChecked == 0 {
+			t.Fatalf("trial %d: no work recorded: %+v", trial, res)
+		}
+	}
+}
+
+func TestFitEmptyBallInteriorNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		coords := denseNeighborhood(rng, 120)
+		res := FitEmptyBall(coords, 0, 1.0, 1e-9)
+		if res.Boundary {
+			t.Fatalf("trial %d: densely surrounded node detected as boundary", trial)
+		}
+		// An interior verdict requires exhausting all candidate balls.
+		if res.BallsTested == 0 {
+			t.Fatalf("trial %d: no balls tested", trial)
+		}
+	}
+}
+
+func TestFitEmptyBallWorkBound(t *testing.T) {
+	// Theorem 1: at most 2·C(d,2) balls for degree d.
+	rng := rand.New(rand.NewSource(52))
+	for _, degree := range []int{5, 10, 20, 40} {
+		coords := denseNeighborhood(rng, degree)
+		res := FitEmptyBall(coords, 0, 1.0, 1e-9)
+		bound := degree * (degree - 1) // 2·C(d,2)
+		if res.BallsTested > bound {
+			t.Errorf("degree %d: %d balls tested, bound %d", degree, res.BallsTested, bound)
+		}
+	}
+}
+
+func TestFitEmptyBallTooFewNeighbors(t *testing.T) {
+	// Fewer than two neighbors: no candidate balls, not boundary by this
+	// test (the well-connectedness assumption excludes such nodes).
+	res := FitEmptyBall([]geom.Vec3{geom.Zero}, 0, 1, 1e-9)
+	if res.Boundary || res.BallsTested != 0 {
+		t.Errorf("isolated node: %+v", res)
+	}
+	res = FitEmptyBall([]geom.Vec3{geom.Zero, geom.V(0.5, 0, 0)}, 0, 1, 1e-9)
+	if res.Boundary || res.BallsTested != 0 {
+		t.Errorf("single neighbor: %+v", res)
+	}
+}
+
+func TestFitEmptyBallCenterIndexArbitrary(t *testing.T) {
+	// The deciding node need not be at index 0.
+	rng := rand.New(rand.NewSource(53))
+	coords := halfSpaceNeighborhood(rng, 12)
+	// Move the center to the end.
+	rotated := append(append([]geom.Vec3(nil), coords[1:]...), coords[0])
+	a := FitEmptyBall(coords, 0, 1, 1e-9)
+	b := FitEmptyBall(rotated, len(rotated)-1, 1, 1e-9)
+	if a.Boundary != b.Boundary {
+		t.Errorf("verdict depends on center index: %v vs %v", a.Boundary, b.Boundary)
+	}
+}
+
+func TestFitEmptyBallRadiusSelectsHoleSize(t *testing.T) {
+	// Sec. II-A3: growing r makes small voids undetectable. Build a node
+	// on the boundary of a small spherical void of radius 0.6 carved
+	// from a dense neighborhood.
+	rng := rand.New(rand.NewSource(54))
+	const voidR = 0.6
+	voidCenter := geom.V(0, 0, voidR) // void touches the origin
+	coords := []geom.Vec3{geom.Zero}
+	for len(coords) < 400 {
+		p := geom.RandomInBall(rng, geom.Sphere{Radius: 1.6})
+		if p.Dist(voidCenter) > voidR {
+			coords = append(coords, p)
+		}
+	}
+	small := FitEmptyBall(coords, 0, voidR*0.95, 1e-9)
+	if !small.Boundary {
+		t.Error("r below void radius should detect the void")
+	}
+	large := FitEmptyBall(coords, 0, voidR*2.5, 1e-9)
+	if large.Boundary {
+		t.Error("r far above void radius should not detect the void")
+	}
+}
+
+func TestFitEmptyBallToleranceExcludesDefiningNodes(t *testing.T) {
+	// A regular tetrahedron-ish configuration where the only nodes are
+	// the three defining a ball: the ball must count as empty (the
+	// defining nodes touch, not occupy).
+	coords := []geom.Vec3{
+		geom.V(0.3, 0, 0),
+		geom.V(-0.15, 0.26, 0),
+		geom.V(-0.15, -0.26, 0),
+	}
+	res := FitEmptyBall(coords, 0, 1, 1e-9)
+	if !res.Boundary {
+		t.Error("three-point frame should always find an empty ball")
+	}
+}
+
+func TestFitEmptyBallRotationInvariant(t *testing.T) {
+	// UBF consumes local frames, so verdicts must be invariant under
+	// rigid motion — the property that makes MDS frames (arbitrary
+	// orientation) interchangeable with true coordinates.
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		var coords []geom.Vec3
+		if trial%2 == 0 {
+			coords = halfSpaceNeighborhood(rng, 14)
+		} else {
+			coords = denseNeighborhood(rng, 80)
+		}
+		angle := rng.Float64() * 2 * math.Pi
+		shift := geom.V(rng.Float64()*5, rng.Float64()*5, rng.Float64()*5)
+		moved := make([]geom.Vec3, len(coords))
+		c, s := math.Cos(angle), math.Sin(angle)
+		for i, p := range coords {
+			moved[i] = geom.V(c*p.X-s*p.Y, s*p.X+c*p.Y, p.Z).Add(shift)
+		}
+		a := FitEmptyBall(coords, 0, 1, 1e-9)
+		b := FitEmptyBall(moved, 0, 1, 1e-9)
+		if a.Boundary != b.Boundary {
+			t.Fatalf("trial %d: verdict changed under rigid motion", trial)
+		}
+	}
+}

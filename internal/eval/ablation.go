@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+)
+
+// AblationRow is one pipeline variant's detection quality on a fixed
+// network and error level.
+type AblationRow struct {
+	Variant string
+	Report  metrics.Report
+}
+
+// RunAblations compares the paper's design choices on one network at one
+// ranging-error level:
+//
+//   - the full pipeline (two-hop scope, MDS frames, IFF);
+//   - UBF without IFF (Sec. II-B's motivation);
+//   - the literal one-hop Algorithm 1 scope (with and without IFF);
+//   - the true-coordinate oracle (localization removed);
+//   - unit-ball radius factors (hole-size selectivity, Sec. II-A3);
+//   - IFF threshold/TTL variants around the icosahedron defaults;
+//   - the degree-threshold baseline.
+func RunAblations(net *netgen.Network, errorFrac float64, seed int64) ([]AblationRow, error) {
+	truth := net.TrueBoundary()
+	meas := net.Measure(ranging.ForFraction(errorFrac), seed)
+
+	type variant struct {
+		name string
+		run  func() ([]bool, error)
+	}
+	detect := func(cfg core.Config, withMeas bool) func() ([]bool, error) {
+		return func() ([]bool, error) {
+			m := meas
+			if !withMeas {
+				m = nil
+			}
+			res, err := core.Detect(net, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Boundary, nil
+		}
+	}
+	variants := []variant{
+		{"full-pipeline", detect(core.Config{}, true)},
+		{"no-iff", detect(core.Config{IFFThreshold: -1}, true)},
+		{"one-hop-scope", detect(core.Config{Scope: core.ScopeOneHop}, true)},
+		{"one-hop-no-iff", detect(core.Config{Scope: core.ScopeOneHop, IFFThreshold: -1}, true)},
+		{"true-coords", detect(core.Config{Coords: core.CoordsTrue}, false)},
+		{"r=1.5", detect(core.Config{BallRadiusFactor: 1.5}, true)},
+		{"r=2.0", detect(core.Config{BallRadiusFactor: 2.0}, true)},
+		{"iff-theta=10", detect(core.Config{IFFThreshold: 10}, true)},
+		{"iff-theta=40", detect(core.Config{IFFThreshold: 40}, true)},
+		{"iff-ttl=2", detect(core.Config{IFFTTL: 2}, true)},
+		{"degree-baseline", func() ([]bool, error) {
+			return core.DegreeBaseline(net, core.DegreeBaselineConfig{})
+		}},
+	}
+
+	var rows []AblationRow
+	for _, v := range variants {
+		found, err := v.run()
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		report, err := metrics.Evaluate(net.G, truth, found, MaxHops)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Variant: v.name, Report: report})
+	}
+	return rows, nil
+}
+
+// AblationRows renders the ablation study as a table.
+func AblationRows(rows []AblationRow) (header []string, out [][]string) {
+	header = []string{"variant", "found", "correct", "mistaken", "missing",
+		"precision%", "recall%", "f1%"}
+	for _, r := range rows {
+		c := r.Report.Classification
+		out = append(out, []string{
+			r.Variant,
+			fmt.Sprint(c.Found), fmt.Sprint(c.Correct),
+			fmt.Sprint(c.Mistaken), fmt.Sprint(c.Missing),
+			fmt.Sprintf("%.1f", 100*c.Precision()),
+			fmt.Sprintf("%.1f", 100*c.Recall()),
+			fmt.Sprintf("%.1f", 100*c.F1()),
+		})
+	}
+	return header, out
+}

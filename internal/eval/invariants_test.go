@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestDetectionInvariantsAcrossScenarios runs the detection pipeline over
+// every paper scenario (at reduced scale) and checks the structural
+// invariants any Detect result must satisfy:
+//
+//  1. the final boundary is a subset of the raw UBF set;
+//  2. Groups exactly partition the boundary set;
+//  3. each group's label is its minimum member ID;
+//  4. every kept node's fragment count meets the IFF threshold.
+func TestDetectionInvariantsAcrossScenarios(t *testing.T) {
+	for _, sc := range AllScenarios() {
+		sc := sc.Scaled(0.12)
+		t.Run(sc.Name, func(t *testing.T) {
+			net, err := sc.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Detect(net, nil, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[int]bool)
+			for gi, group := range res.Groups {
+				if len(group) == 0 {
+					t.Fatalf("group %d empty", gi)
+				}
+				min := group[0]
+				for _, v := range group {
+					if seen[v] {
+						t.Fatalf("node %d in two groups", v)
+					}
+					seen[v] = true
+					if !res.Boundary[v] {
+						t.Fatalf("group member %d not boundary", v)
+					}
+					if v < min {
+						min = v
+					}
+				}
+				for _, v := range group {
+					if res.GroupLabel[v] != min {
+						t.Fatalf("group %d label %d, want %d", gi, res.GroupLabel[v], min)
+					}
+				}
+			}
+			for i := range res.Boundary {
+				if res.Boundary[i] && !res.UBF[i] {
+					t.Fatalf("node %d kept without UBF detection", i)
+				}
+				if res.Boundary[i] && !seen[i] {
+					t.Fatalf("boundary node %d in no group", i)
+				}
+				if !res.Boundary[i] && res.GroupLabel[i] != sim.NoGroup {
+					t.Fatalf("non-boundary node %d labeled", i)
+				}
+				if res.Boundary[i] && res.FragmentSize[i] < 20 {
+					t.Fatalf("node %d kept with fragment %d", i, res.FragmentSize[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+// Package eval regenerates the paper's evaluation: one driver per table or
+// figure (the per-experiment index lives in DESIGN.md), deterministic
+// seeds, and plain-text tables whose rows match the paper's plotted series.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+// Scenario describes one of the paper's simulated deployments.
+type Scenario struct {
+	Name string
+	// Figure names the paper figure this deployment reproduces.
+	Figure string
+	// MakeShape builds the deployment solid; kept as a constructor so a
+	// Scenario value stays copyable and scalable.
+	MakeShape func() (shapes.Shape, error)
+	// SurfaceNodes and InteriorNodes size the deployment.
+	SurfaceNodes  int
+	InteriorNodes int
+	// TargetDegree tunes the radio range; the paper's average is 18.5
+	// (18.8 on the Fig. 1 network).
+	TargetDegree float64
+	Seed         int64
+}
+
+// Generate deploys the scenario's network.
+func (s Scenario) Generate() (*netgen.Network, error) {
+	shape, err := s.MakeShape()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	net, err := netgen.Generate(netgen.Config{
+		Shape:           shape,
+		SurfaceNodes:    s.SurfaceNodes,
+		InteriorNodes:   s.InteriorNodes,
+		TargetAvgDegree: s.TargetDegree,
+		Seed:            s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return net, nil
+}
+
+// Scaled returns a copy with node counts scaled by f (minimum 50 surface /
+// 100 interior nodes), used to run the full experiment pipeline at reduced
+// size in tests.
+func (s Scenario) Scaled(f float64) Scenario {
+	out := s
+	out.SurfaceNodes = int(math.Max(50, f*float64(s.SurfaceNodes)))
+	out.InteriorNodes = int(math.Max(100, f*float64(s.InteriorNodes)))
+	return out
+}
+
+// Fig1 is the running-example network of Fig. 1: a cube with one internal
+// spherical hole, 4210 nodes, average degree ≈ 18.8.
+func Fig1() Scenario {
+	return Scenario{
+		Name:   "fig1-box-hole",
+		Figure: "Fig. 1",
+		MakeShape: func() (shapes.Shape, error) {
+			// ~3 radio ranges of hole-to-wall clearance keep the two
+			// boundary shells separated (see Fig7's note).
+			return shapes.NewBoxWithHoles(geom.V(0, 0, 0), geom.V(13, 13, 13),
+				[]geom.Sphere{{Center: geom.V(6.5, 6.5, 6.5), Radius: 2.3}})
+		},
+		SurfaceNodes:  1800,
+		InteriorNodes: 2410,
+		TargetDegree:  18.8,
+		Seed:          101,
+	}
+}
+
+// Fig6 is the underwater network: smooth surface, bumpy seabed.
+func Fig6() Scenario {
+	return Scenario{
+		Name:          "fig6-underwater",
+		Figure:        "Fig. 6",
+		MakeShape:     func() (shapes.Shape, error) { return shapes.DefaultUnderwater(), nil },
+		SurfaceNodes:  1500,
+		InteriorNodes: 1700,
+		TargetDegree:  18.5,
+		Seed:          106,
+	}
+}
+
+// Fig7 is the 3D space network with one internal hole.
+func Fig7() Scenario {
+	return Scenario{
+		Name:   "fig7-one-hole",
+		Figure: "Fig. 7",
+		MakeShape: func() (shapes.Shape, error) {
+			// The hole-to-wall clearance must stay near 3 radio
+			// ranges: each boundary's detected shell is up to
+			// ~1.25R thick, and thinner gaps let the shells touch
+			// and merge into one group.
+			return shapes.NewBoxWithHoles(geom.V(0, 0, 0), geom.V(12, 12, 12),
+				[]geom.Sphere{{Center: geom.V(6, 6, 6), Radius: 2.4}})
+		},
+		SurfaceNodes:  1700,
+		InteriorNodes: 2800,
+		TargetDegree:  18.5,
+		Seed:          107,
+	}
+}
+
+// Fig8 is the 3D space network with two internal holes.
+func Fig8() Scenario {
+	return Scenario{
+		Name:   "fig8-two-holes",
+		Figure: "Fig. 8",
+		MakeShape: func() (shapes.Shape, error) {
+			// Clearances as in Fig7: ~3 radio ranges between every
+			// pair of boundary surfaces.
+			return shapes.NewBoxWithHoles(geom.V(0, 0, 0), geom.V(18, 12, 12),
+				[]geom.Sphere{
+					{Center: geom.V(5, 6, 6), Radius: 1.8},
+					{Center: geom.V(13, 6, 6), Radius: 1.8},
+				})
+		},
+		SurfaceNodes:  1900,
+		InteriorNodes: 3300,
+		TargetDegree:  18.5,
+		Seed:          108,
+	}
+}
+
+// Fig9 is the bent-pipe network.
+func Fig9() Scenario {
+	return Scenario{
+		Name:   "fig9-bent-pipe",
+		Figure: "Fig. 9",
+		MakeShape: func() (shapes.Shape, error) {
+			return shapes.NewBentPipe(6, 1.5, 3*math.Pi/4)
+		},
+		SurfaceNodes:  1300,
+		InteriorNodes: 1200,
+		TargetDegree:  18.5,
+		Seed:          109,
+	}
+}
+
+// Fig10 is the solid-sphere network.
+func Fig10() Scenario {
+	return Scenario{
+		Name:          "fig10-sphere",
+		Figure:        "Fig. 10",
+		MakeShape:     func() (shapes.Shape, error) { return shapes.NewBall(geom.Zero, 4), nil },
+		SurfaceNodes:  700,
+		InteriorNodes: 1500,
+		TargetDegree:  18.5,
+		Seed:          110,
+	}
+}
+
+// AllScenarios lists every deployment of the paper's evaluation; the
+// Fig. 11 aggregates run over all of them (>10 000 sample boundary nodes
+// in total at full scale).
+func AllScenarios() []Scenario {
+	return []Scenario{Fig1(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10()}
+}
+
+// PaperErrorLevels is the sweep 0 %, 10 %, …, 100 % of the radio range
+// used throughout the paper's figures.
+func PaperErrorLevels() []float64 {
+	levels := make([]float64, 11)
+	for i := range levels {
+		levels[i] = float64(i) / 10
+	}
+	return levels
+}

@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+	"repro/internal/shapes"
+)
+
+// MeshErrorPoint reports mesh quality at one error level — the Fig. 1(j–l)
+// study ("the triangular mesh is not seriously deformed under distance
+// measurement errors").
+type MeshErrorPoint struct {
+	ErrorFrac float64
+	Groups    int
+	Qualities []mesh.Quality
+	// Landmarks and Faces total across surfaces, for the deformation
+	// comparison across error levels.
+	Landmarks int
+	Faces     int
+	// MeanDeviation and MaxDeviation measure how far the mesh vertices
+	// (landmark positions) drift from the deployment shape's true
+	// boundary, in radio ranges — the quantitative "mesh not seriously
+	// deformed" metric. Zero when no distance field is supplied.
+	MeanDeviation float64
+	MaxDeviation  float64
+}
+
+// RunMeshErrorStudy rebuilds the boundary surfaces of one network at each
+// error level. When field is non-nil, each point also reports the mesh
+// vertices' deviation from the true boundary surface.
+func RunMeshErrorStudy(net *netgen.Network, levels []float64, detectCfg core.Config, meshCfg mesh.Config, seed int64, field shapes.DistanceField) ([]MeshErrorPoint, error) {
+	var out []MeshErrorPoint
+	for li, level := range levels {
+		meas := net.Measure(ranging.ForFraction(level), seed+int64(li))
+		det, err := core.Detect(net, meas, detectCfg)
+		if err != nil {
+			return nil, fmt.Errorf("error level %.0f%%: %w", level*100, err)
+		}
+		surfaces, err := mesh.BuildAll(net.G, det.Groups, meshCfg)
+		if err != nil {
+			return nil, fmt.Errorf("error level %.0f%%: mesh: %w", level*100, err)
+		}
+		p := MeshErrorPoint{ErrorFrac: level, Groups: len(det.Groups)}
+		var devSum float64
+		devCount := 0
+		for _, s := range surfaces {
+			p.Qualities = append(p.Qualities, s.Quality)
+			p.Landmarks += s.Quality.V
+			p.Faces += s.Quality.F
+			if field == nil {
+				continue
+			}
+			for _, lm := range s.Landmarks.IDs {
+				d := field.SurfaceDistance(net.Nodes[lm].Pos) / net.Radius
+				devSum += d
+				devCount++
+				p.MaxDeviation = math.Max(p.MaxDeviation, d)
+			}
+		}
+		if devCount > 0 {
+			p.MeanDeviation = devSum / float64(devCount)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MeshErrorRows renders the mesh error study as a table.
+func MeshErrorRows(points []MeshErrorPoint) (header []string, rows [][]string) {
+	header = []string{"error", "groups", "landmarks", "faces", "nonManifold", "border", "closed",
+		"meanDev(R)", "maxDev(R)"}
+	for _, p := range points {
+		nonManifold, border, closed := 0, 0, 0
+		for _, q := range p.Qualities {
+			nonManifold += q.NonManifoldEdges
+			border += q.BorderEdges
+			if q.Closed2Manifold {
+				closed++
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.ErrorFrac*100),
+			fmt.Sprint(p.Groups), fmt.Sprint(p.Landmarks), fmt.Sprint(p.Faces),
+			fmt.Sprint(nonManifold), fmt.Sprint(border),
+			fmt.Sprintf("%d/%d", closed, len(p.Qualities)),
+			fmt.Sprintf("%.2f", p.MeanDeviation),
+			fmt.Sprintf("%.2f", p.MaxDeviation),
+		})
+	}
+	return header, rows
+}
+
+// ComplexityPoint is one degree level of the Theorem 1 study.
+type ComplexityPoint struct {
+	TargetDegree float64
+	AvgDegree    float64
+	// AvgBalls and AvgChecks are the mean per-node candidate-ball count
+	// and point-in-ball test count; Theorem 1 predicts Θ(ρ²) balls and
+	// Θ(ρ³) total work.
+	AvgBalls  float64
+	AvgChecks float64
+}
+
+// RunComplexityStudy measures UBF's per-node work across nodal densities on
+// a fixed deployment shape, validating the Theorem 1 scaling.
+func RunComplexityStudy(make func(targetDegree float64) (*netgen.Network, error), degrees []float64, cfg core.Config) ([]ComplexityPoint, error) {
+	var out []ComplexityPoint
+	for _, d := range degrees {
+		net, err := make(d)
+		if err != nil {
+			return nil, err
+		}
+		det, err := core.Detect(net, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := ComplexityPoint{TargetDegree: d, AvgDegree: net.G.AvgDegree()}
+		for i := range det.BallsTested {
+			p.AvgBalls += float64(det.BallsTested[i])
+			p.AvgChecks += float64(det.NodesChecked[i])
+		}
+		n := float64(net.Len())
+		p.AvgBalls /= n
+		p.AvgChecks /= n
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ComplexityRows renders the Theorem 1 study, including the normalized
+// ratios that should stay roughly flat if the Θ(ρ²)/Θ(ρ³) scaling holds.
+func ComplexityRows(points []ComplexityPoint) (header []string, rows [][]string) {
+	header = []string{"degree", "avgBalls", "avgChecks", "balls/ρ²", "checks/ρ³"}
+	for _, p := range points {
+		d := p.AvgDegree
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", d),
+			fmt.Sprintf("%.0f", p.AvgBalls),
+			fmt.Sprintf("%.0f", p.AvgChecks),
+			fmt.Sprintf("%.3f", p.AvgBalls/(d*d)),
+			fmt.Sprintf("%.4f", p.AvgChecks/(d*d*d)),
+		})
+	}
+	return header, rows
+}
+
+// LocalizationPoint reports the local-coordinate quality at one ranging
+// error level — the mechanism behind the detection degradation in
+// Fig. 1(g): UBF is exact given exact frames (the true-coords ablation),
+// so every detection error traces back to this curve.
+type LocalizationPoint struct {
+	ErrorFrac float64
+	// MeanFrameRMSD and P95FrameRMSD summarize per-node one-hop frame
+	// error against true positions (rigid-aligned), in radio ranges.
+	MeanFrameRMSD float64
+	P95FrameRMSD  float64
+}
+
+// RunLocalizationStudy measures MDS frame quality across error levels.
+func RunLocalizationStudy(net *netgen.Network, levels []float64, cfg core.Config, seed int64) ([]LocalizationPoint, error) {
+	var out []LocalizationPoint
+	for li, level := range levels {
+		meas := net.Measure(ranging.ForFraction(level), seed+int64(li))
+		det, err := core.Detect(net, meas, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("error level %.0f%%: %w", level*100, err)
+		}
+		errs := append([]float64(nil), det.CoordError...)
+		sort.Float64s(errs)
+		var sum float64
+		for _, e := range errs {
+			sum += e
+		}
+		p := LocalizationPoint{ErrorFrac: level}
+		if len(errs) > 0 {
+			p.MeanFrameRMSD = sum / float64(len(errs)) / net.Radius
+			p.P95FrameRMSD = errs[len(errs)*95/100] / net.Radius
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LocalizationRows renders the localization study as a table.
+func LocalizationRows(points []LocalizationPoint) (header []string, rows [][]string) {
+	header = []string{"error", "meanFrameRMSD(R)", "p95FrameRMSD(R)"}
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.ErrorFrac*100),
+			fmt.Sprintf("%.3f", p.MeanFrameRMSD),
+			fmt.Sprintf("%.3f", p.P95FrameRMSD),
+		})
+	}
+	return header, rows
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+)
+
+// MaxHops is the histogram range of the paper's mistaken/missing
+// distributions (Figs. 1(h), 1(i), 11(b), 11(c)).
+const MaxHops = 3
+
+// SweepPoint is one error level of an error sweep.
+type SweepPoint struct {
+	ErrorFrac float64
+	Report    metrics.Report
+}
+
+// SweepResult is a full error sweep over one network — the data behind
+// Figs. 1(g)–(i).
+type SweepResult struct {
+	Scenario string
+	Points   []SweepPoint
+}
+
+// RunErrorSweep measures one network across distance-measurement error
+// levels: at each level the network is re-ranged with the paper's uniform
+// model, the full detection pipeline runs on MDS coordinates, and the
+// outcome is classified against ground truth. Level 0 uses exact ranging.
+func RunErrorSweep(net *netgen.Network, name string, levels []float64, cfg core.Config, seed int64) (SweepResult, error) {
+	res := SweepResult{Scenario: name}
+	truth := net.TrueBoundary()
+	for li, level := range levels {
+		meas := net.Measure(ranging.ForFraction(level), seed+int64(li))
+		det, err := core.Detect(net, meas, cfg)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("error level %.0f%%: %w", level*100, err)
+		}
+		report, err := metrics.Evaluate(net.G, truth, det.Boundary, MaxHops)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		res.Points = append(res.Points, SweepPoint{ErrorFrac: level, Report: report})
+	}
+	return res, nil
+}
+
+// RunAggregateSweep runs the error sweep over several scenarios and sums
+// the reports per error level — the >10 000-boundary-node aggregate of
+// Fig. 11. Scenario networks are generated on demand.
+func RunAggregateSweep(scenarios []Scenario, levels []float64, cfg core.Config) (SweepResult, error) {
+	agg := SweepResult{Scenario: "aggregate"}
+	agg.Points = make([]SweepPoint, len(levels))
+	for i, level := range levels {
+		agg.Points[i].ErrorFrac = level
+	}
+	for _, sc := range scenarios {
+		net, err := sc.Generate()
+		if err != nil {
+			return SweepResult{}, err
+		}
+		sweep, err := RunErrorSweep(net, sc.Name, levels, cfg, sc.Seed*1000)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		for i := range agg.Points {
+			if err := agg.Points[i].Report.Add(sweep.Points[i].Report); err != nil {
+				return SweepResult{}, err
+			}
+		}
+	}
+	return agg, nil
+}
+
+// EfficiencyRows renders a sweep as the Fig. 1(g) / 11(a) table: one row
+// per error level with found/correct/mistaken/missing, both absolute and
+// as percentages of the true boundary count.
+func EfficiencyRows(s SweepResult) (header []string, rows [][]string) {
+	header = []string{"error", "true", "found", "correct", "mistaken", "missing",
+		"found%", "correct%", "mistaken%", "missing%"}
+	for _, p := range s.Points {
+		r := p.Report
+		pct := func(v int) string {
+			if r.TrueBoundary == 0 {
+				return "0.0"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(v)/float64(r.TrueBoundary))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.ErrorFrac*100),
+			fmt.Sprint(r.TrueBoundary), fmt.Sprint(r.Found), fmt.Sprint(r.Correct),
+			fmt.Sprint(r.Mistaken), fmt.Sprint(r.Missing),
+			pct(r.Found), pct(r.Correct), pct(r.Mistaken), pct(r.Missing),
+		})
+	}
+	return header, rows
+}
+
+// DistributionRows renders a sweep's mistaken or missing hop distribution
+// as the Fig. 1(h)/(i) / 11(b)/(c) table: one row per error level with the
+// 1/2/3-hop fractions.
+func DistributionRows(s SweepResult, missing bool) (header []string, rows [][]string) {
+	header = []string{"error", "count", "1hop%", "2hop%", "3hop%", "beyond%"}
+	for _, p := range s.Points {
+		st := p.Report.MistakenHops
+		if missing {
+			st = p.Report.MissingHops
+		}
+		frac, beyond := st.Fractions()
+		row := []string{fmt.Sprintf("%.0f%%", p.ErrorFrac*100), fmt.Sprint(st.Total())}
+		for _, f := range frac {
+			row = append(row, fmt.Sprintf("%.1f", 100*f))
+		}
+		row = append(row, fmt.Sprintf("%.1f", 100*beyond))
+		rows = append(rows, row)
+	}
+	return header, rows
+}

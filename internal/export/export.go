@@ -1,0 +1,168 @@
+// Package export serializes networks, detection results, and boundary
+// meshes: OFF and OBJ for 3D viewers (the reproduction's analogue of the
+// paper's rendered figures), JSON for round-tripping networks between
+// tools, and CSV for experiment tables.
+package export
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+)
+
+// WriteOFF writes vertices and triangular faces in the OFF mesh format.
+func WriteOFF(w io.Writer, verts []geom.Vec3, faces [][3]int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OFF\n%d %d 0\n", len(verts), len(faces))
+	for _, v := range verts {
+		fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z)
+	}
+	for _, f := range faces {
+		if err := checkFace(f, len(verts)); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "3 %d %d %d\n", f[0], f[1], f[2])
+	}
+	return bw.Flush()
+}
+
+// WriteOBJ writes vertices, line segments, and triangular faces in the
+// Wavefront OBJ format (1-based indices).
+func WriteOBJ(w io.Writer, verts []geom.Vec3, edges [][2]int, faces [][3]int) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range verts {
+		fmt.Fprintf(bw, "v %g %g %g\n", v.X, v.Y, v.Z)
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= len(verts) || e[1] < 0 || e[1] >= len(verts) {
+			return fmt.Errorf("export: edge %v out of range", e)
+		}
+		fmt.Fprintf(bw, "l %d %d\n", e[0]+1, e[1]+1)
+	}
+	for _, f := range faces {
+		if err := checkFace(f, len(verts)); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "f %d %d %d\n", f[0]+1, f[1]+1, f[2]+1)
+	}
+	return bw.Flush()
+}
+
+func checkFace(f [3]int, n int) error {
+	for _, v := range f {
+		if v < 0 || v >= n {
+			return fmt.Errorf("export: face %v out of range", f)
+		}
+	}
+	return nil
+}
+
+// SurfaceGeometry converts a boundary surface's landmark overlay into
+// renderable geometry: landmark positions as vertices (re-indexed densely)
+// with the mesh edges and faces.
+func SurfaceGeometry(net *netgen.Network, s *mesh.Surface) (verts []geom.Vec3, edges [][2]int, faces [][3]int) {
+	return SurfaceGeometryWith(s, func(n int) geom.Vec3 { return net.Nodes[n].Pos })
+}
+
+// SurfaceGeometryWith is SurfaceGeometry with caller-supplied vertex
+// positions (e.g. mesh.RefinedPositions output or virtual coordinates from
+// an embedding).
+func SurfaceGeometryWith(s *mesh.Surface, position func(node int) geom.Vec3) (verts []geom.Vec3, edges [][2]int, faces [][3]int) {
+	index := make(map[int]int, len(s.Landmarks.IDs))
+	for _, lm := range s.Landmarks.IDs {
+		index[lm] = len(verts)
+		verts = append(verts, position(lm))
+	}
+	for _, e := range s.Edges {
+		edges = append(edges, [2]int{index[e[0]], index[e[1]]})
+	}
+	for _, f := range s.Faces {
+		faces = append(faces, [3]int{index[f[0]], index[f[1]], index[f[2]]})
+	}
+	return verts, edges, faces
+}
+
+// nodeJSON is the serialized form of one node.
+type nodeJSON struct {
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Z       float64 `json:"z"`
+	Surface bool    `json:"surface,omitempty"`
+}
+
+// networkJSON is the serialized form of a network. Connectivity is not
+// stored: it is a pure function of positions and radius, rebuilt on load.
+type networkJSON struct {
+	Radius float64    `json:"radius"`
+	Nodes  []nodeJSON `json:"nodes"`
+}
+
+// WriteNetworkJSON serializes a network (positions, ground truth, radius).
+func WriteNetworkJSON(w io.Writer, net *netgen.Network) error {
+	if net == nil {
+		return errors.New("export: nil network")
+	}
+	out := networkJSON{Radius: net.Radius, Nodes: make([]nodeJSON, len(net.Nodes))}
+	for i, n := range net.Nodes {
+		out.Nodes[i] = nodeJSON{X: n.Pos.X, Y: n.Pos.Y, Z: n.Pos.Z, Surface: n.OnSurface}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadNetworkJSON reconstitutes a network written by WriteNetworkJSON,
+// rebuilding connectivity from positions and radius.
+func ReadNetworkJSON(r io.Reader) (*netgen.Network, error) {
+	var in networkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("export: decode network: %w", err)
+	}
+	nodes := make([]netgen.Node, len(in.Nodes))
+	for i, n := range in.Nodes {
+		nodes[i] = netgen.Node{Pos: geom.V(n.X, n.Y, n.Z), OnSurface: n.Surface}
+	}
+	return netgen.Assemble(nodes, in.Radius)
+}
+
+// detectionJSON is the serialized form of a detection result.
+type detectionJSON struct {
+	Boundary []int   `json:"boundary"`
+	Groups   [][]int `json:"groups,omitempty"`
+}
+
+// WriteDetectionJSON serializes a boundary mask and its grouping as node ID
+// lists.
+func WriteDetectionJSON(w io.Writer, boundary []bool, groups [][]int) error {
+	out := detectionJSON{Groups: groups}
+	for i, b := range boundary {
+		if b {
+			out.Boundary = append(out.Boundary, i)
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteCSV writes one experiment table.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("export: row has %d fields, header has %d", len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

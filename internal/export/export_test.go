@@ -1,0 +1,181 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+	"repro/internal/shapes"
+)
+
+func TestWriteOFF(t *testing.T) {
+	var buf bytes.Buffer
+	verts := []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0)}
+	faces := [][3]int{{0, 1, 2}}
+	if err := WriteOFF(&buf, verts, faces); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "OFF\n3 1 0\n") {
+		t.Errorf("OFF header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "3 0 1 2") {
+		t.Errorf("face line missing:\n%s", out)
+	}
+}
+
+func TestWriteOFFBadFace(t *testing.T) {
+	var buf bytes.Buffer
+	verts := []geom.Vec3{geom.V(0, 0, 0)}
+	if err := WriteOFF(&buf, verts, [][3]int{{0, 1, 2}}); err == nil {
+		t.Error("out-of-range face accepted")
+	}
+}
+
+func TestWriteOBJ(t *testing.T) {
+	var buf bytes.Buffer
+	verts := []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0)}
+	edges := [][2]int{{0, 1}}
+	faces := [][3]int{{0, 1, 2}}
+	if err := WriteOBJ(&buf, verts, edges, faces); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "v 0 0 0\n") {
+		t.Errorf("vertex line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "l 1 2\n") {
+		t.Errorf("line element missing (1-based):\n%s", out)
+	}
+	if !strings.Contains(out, "f 1 2 3\n") {
+		t.Errorf("face element missing (1-based):\n%s", out)
+	}
+	if err := WriteOBJ(&buf, verts, [][2]int{{0, 9}}, nil); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := WriteOBJ(&buf, verts, nil, [][3]int{{-1, 0, 1}}); err == nil {
+		t.Error("out-of-range face accepted")
+	}
+}
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	net, err := netgen.Generate(netgen.Config{
+		Shape:         shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:  50,
+		InteriorNodes: 100,
+		Radius:        1.2,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNetworkJSON(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetworkJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Radius != net.Radius || got.Len() != net.Len() {
+		t.Fatalf("round trip basics: radius %v->%v len %d->%d",
+			net.Radius, got.Radius, net.Len(), got.Len())
+	}
+	for i := range net.Nodes {
+		if got.Nodes[i].Pos != net.Nodes[i].Pos || got.Nodes[i].OnSurface != net.Nodes[i].OnSurface {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	// Connectivity is rebuilt identically (same positions, same radius).
+	for i := range net.G.Adj {
+		if len(got.G.Adj[i]) != len(net.G.Adj[i]) {
+			t.Fatalf("adjacency of %d differs", i)
+		}
+		for k := range net.G.Adj[i] {
+			if got.G.Adj[i][k] != net.G.Adj[i][k] {
+				t.Fatalf("adjacency of %d differs at %d", i, k)
+			}
+		}
+	}
+	// A measurement on the round-tripped network works.
+	if m := got.Measure(ranging.Exact{}, 0); m == nil {
+		t.Fatal("measurement on round-tripped network failed")
+	}
+}
+
+func TestWriteNetworkJSONNil(t *testing.T) {
+	if err := WriteNetworkJSON(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestReadNetworkJSONBad(t *testing.T) {
+	if _, err := ReadNetworkJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ReadNetworkJSON(strings.NewReader(`{"radius":0,"nodes":[{"x":1}]}`)); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestWriteDetectionJSON(t *testing.T) {
+	var buf bytes.Buffer
+	boundary := []bool{true, false, true}
+	groups := [][]int{{0}, {2}}
+	if err := WriteDetectionJSON(&buf, boundary, groups); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"boundary":[0,2]`) {
+		t.Errorf("boundary ids missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"groups":[[0],[2]]`) {
+		t.Errorf("groups missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+	if err := WriteCSV(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestSurfaceGeometry(t *testing.T) {
+	net, err := netgen.Generate(netgen.Config{
+		Shape:         shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:  4,
+		InteriorNodes: 0,
+		Radius:        10, // fully connected
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &mesh.Surface{
+		Landmarks: &mesh.Landmarks{IDs: []int{1, 3}},
+		Edges:     []mesh.Edge{{1, 3}},
+	}
+	verts, edges, faces := SurfaceGeometry(net, s)
+	if len(verts) != 2 || len(edges) != 1 || len(faces) != 0 {
+		t.Fatalf("geometry sizes: %d %d %d", len(verts), len(edges), len(faces))
+	}
+	if verts[0] != net.Nodes[1].Pos || verts[1] != net.Nodes[3].Pos {
+		t.Error("vertex positions wrong")
+	}
+	if edges[0] != [2]int{0, 1} {
+		t.Errorf("edge remap wrong: %v", edges[0])
+	}
+}

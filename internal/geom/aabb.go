@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box, inclusive of both corners.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB returns the smallest box containing both corner arguments,
+// normalizing the component order.
+func NewAABB(a, b Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// EmptyAABB returns the identity element for Union: a box containing nothing.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b AABB) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Contains reports whether p lies inside or on the box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Size returns the box's extent along each axis. Empty boxes report zero.
+func (b AABB) Size() Vec3 {
+	if b.IsEmpty() {
+		return Zero
+	}
+	return b.Max.Sub(b.Min)
+}
+
+// Center returns the box's center point.
+func (b AABB) Center() Vec3 { return b.Min.Mid(b.Max) }
+
+// Volume returns the box's volume. Empty boxes report zero.
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Expand grows the box by d on every side. Negative d shrinks it.
+func (b AABB) Expand(d float64) AABB {
+	e := Vec3{d, d, d}
+	return AABB{Min: b.Min.Sub(e), Max: b.Max.Add(e)}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y), math.Min(b.Min.Z, o.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y), math.Max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// AddPoint returns the smallest box containing b and p.
+func (b AABB) AddPoint(p Vec3) AABB {
+	return b.Union(AABB{Min: p, Max: p})
+}
+
+// String implements fmt.Stringer.
+func (b AABB) String() string {
+	return fmt.Sprintf("aabb{%v .. %v}", b.Min, b.Max)
+}
+
+// BoundingBox returns the smallest box containing all points.
+func BoundingBox(points []Vec3) AABB {
+	box := EmptyAABB()
+	for _, p := range points {
+		box = box.AddPoint(p)
+	}
+	return box
+}

@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAABBNormalizes(t *testing.T) {
+	b := NewAABB(V(1, -2, 3), V(-1, 2, -3))
+	if b.Min != V(-1, -2, -3) || b.Max != V(1, 2, 3) {
+		t.Errorf("NewAABB = %v", b)
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	for _, p := range []Vec3{V(0, 0, 0), V(1, 1, 1), V(0.5, 0.5, 0.5)} {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	for _, p := range []Vec3{V(-0.01, 0.5, 0.5), V(0.5, 1.01, 0.5), V(0.5, 0.5, 2)} {
+		if b.Contains(p) {
+			t.Errorf("box should not contain %v", p)
+		}
+	}
+}
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Error("EmptyAABB not empty")
+	}
+	if e.Contains(Zero) {
+		t.Error("empty box contains a point")
+	}
+	if e.Volume() != 0 {
+		t.Error("empty box has volume")
+	}
+	if e.Size() != Zero {
+		t.Error("empty box has size")
+	}
+	b := NewAABB(V(0, 0, 0), V(1, 2, 3))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union = %v, want %v", got, b)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("union empty = %v, want %v", got, b)
+	}
+}
+
+func TestAABBSizeCenterVolume(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 3, 4))
+	if b.Size() != V(2, 3, 4) {
+		t.Errorf("Size = %v", b.Size())
+	}
+	if b.Center() != V(1, 1.5, 2) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Volume() != 24 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+}
+
+func TestAABBExpand(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1)).Expand(0.5)
+	if b.Min != V(-0.5, -0.5, -0.5) || b.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %v", b)
+	}
+}
+
+func TestAABBUnionAndAddPoint(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	b := NewAABB(V(2, -1, 0.5), V(3, 0.5, 2))
+	u := a.Union(b)
+	if u.Min != V(0, -1, 0) || u.Max != V(3, 1, 2) {
+		t.Errorf("Union = %v", u)
+	}
+	p := a.AddPoint(V(5, 5, 5))
+	if p.Max != V(5, 5, 5) || p.Min != V(0, 0, 0) {
+		t.Errorf("AddPoint = %v", p)
+	}
+}
+
+func TestBoundingBoxProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(50)
+		pts := make([]Vec3, n)
+		for i := range pts {
+			pts[i] = boundedVec(rng)
+		}
+		box := BoundingBox(pts)
+		for _, p := range pts {
+			if !box.Contains(p) {
+				t.Fatalf("bounding box %v misses point %v", box, p)
+			}
+		}
+		// Minimality: each face must touch at least one point.
+		touch := func(sel func(Vec3) float64, want float64) bool {
+			for _, p := range pts {
+				if almostEqual(sel(p), want, 1e-12) {
+					return true
+				}
+			}
+			return false
+		}
+		if !touch(func(p Vec3) float64 { return p.X }, box.Min.X) ||
+			!touch(func(p Vec3) float64 { return p.X }, box.Max.X) ||
+			!touch(func(p Vec3) float64 { return p.Y }, box.Min.Y) ||
+			!touch(func(p Vec3) float64 { return p.Y }, box.Max.Y) ||
+			!touch(func(p Vec3) float64 { return p.Z }, box.Min.Z) ||
+			!touch(func(p Vec3) float64 { return p.Z }, box.Max.Z) {
+			t.Fatal("bounding box not tight")
+		}
+	}
+	if !BoundingBox(nil).IsEmpty() {
+		t.Error("BoundingBox(nil) not empty")
+	}
+}
+
+func TestAABBString(t *testing.T) {
+	if NewAABB(Zero, V(1, 1, 1)).String() == "" {
+		t.Error("empty String()")
+	}
+}

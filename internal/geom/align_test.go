@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rotateZ returns p rotated by angle about the z axis.
+func rotateZ(p Vec3, angle float64) Vec3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Vec3{X: c*p.X - s*p.Y, Y: s*p.X + c*p.Y, Z: p.Z}
+}
+
+func randomCloud(rng *rand.Rand, n int) []Vec3 {
+	pts := make([]Vec3, n)
+	for i := range pts {
+		pts[i] = boundedVec(rng)
+	}
+	return pts
+}
+
+func TestAlignRigidIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCloud(rng, 10)
+	tr, rmsd, err := AlignRigid(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsd > 1e-9 {
+		t.Errorf("identity alignment rmsd = %v", rmsd)
+	}
+	for _, p := range a {
+		if !tr.Apply(p).ApproxEqual(p, 1e-9) {
+			t.Errorf("identity transform moved %v to %v", p, tr.Apply(p))
+		}
+	}
+}
+
+func TestAlignRigidRotationTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		a := randomCloud(rng, 4+rng.Intn(20))
+		angle := rng.Float64() * 2 * math.Pi
+		shift := boundedVec(rng)
+		b := make([]Vec3, len(a))
+		for i, p := range a {
+			b[i] = rotateZ(p, angle).Add(shift)
+		}
+		_, rmsd, err := AlignRigid(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmsd > 1e-8 {
+			t.Fatalf("trial %d: rigid copy rmsd = %v", trial, rmsd)
+		}
+	}
+}
+
+func TestAlignRigidReflection(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		a := randomCloud(rng, 4+rng.Intn(20))
+		b := make([]Vec3, len(a))
+		for i, p := range a {
+			// Mirror through the xy plane, then rotate and shift.
+			m := Vec3{p.X, p.Y, -p.Z}
+			b[i] = rotateZ(m, 1.1).Add(V(3, -2, 7))
+		}
+		tr, rmsd, err := AlignRigid(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmsd > 1e-8 {
+			t.Fatalf("trial %d: reflected copy rmsd = %v", trial, rmsd)
+		}
+		if !tr.Reflected {
+			t.Fatalf("trial %d: reflection not detected", trial)
+		}
+	}
+}
+
+func TestAlignRigidRejectsBadInput(t *testing.T) {
+	a := []Vec3{V(0, 0, 0), V(1, 0, 0)}
+	if _, _, err := AlignRigid(a, a); err != ErrAlignMismatch {
+		t.Errorf("short input: err = %v", err)
+	}
+	b := []Vec3{V(0, 0, 0), V(1, 0, 0), V(0, 1, 0)}
+	if _, _, err := AlignRigid(b, b[:2]); err != ErrAlignMismatch {
+		t.Errorf("length mismatch: err = %v", err)
+	}
+}
+
+func TestAlignRigidNoisyRMSDBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomCloud(rng, 30)
+	const noise = 0.01
+	b := make([]Vec3, len(a))
+	for i, p := range a {
+		jitter := RandomUnitVector(rng).Scale(noise * rng.Float64())
+		b[i] = rotateZ(p, 0.7).Add(V(1, 2, 3)).Add(jitter)
+	}
+	_, rmsd, err := AlignRigid(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsd > noise {
+		t.Errorf("rmsd = %v exceeds injected noise %v", rmsd, noise)
+	}
+	if rmsd == 0 {
+		t.Error("rmsd exactly zero with noise injected")
+	}
+}
+
+func TestRigidTransformApplyAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomCloud(rng, 8)
+	b := make([]Vec3, len(a))
+	for i, p := range a {
+		b[i] = rotateZ(p, 0.5).Add(V(1, 1, 1))
+	}
+	tr, _, err := AlignRigid(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := tr.ApplyAll(a)
+	if len(mapped) != len(a) {
+		t.Fatalf("ApplyAll length %d", len(mapped))
+	}
+	for i := range mapped {
+		if !mapped[i].ApproxEqual(b[i], 1e-8) {
+			t.Errorf("point %d mapped to %v, want %v", i, mapped[i], b[i])
+		}
+	}
+}
+
+// The rotation returned must be orthonormal (RᵀR = I).
+func TestAlignRigidRotationOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomCloud(rng, 12)
+	b := randomCloud(rng, 12) // unrelated clouds: still must give a valid rotation
+	tr, _, err := AlignRigid(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var dot float64
+			for k := 0; k < 3; k++ {
+				dot += tr.R[k][i] * tr.R[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if !almostEqual(dot, want, 1e-8) {
+				t.Fatalf("RᵀR[%d][%d] = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}

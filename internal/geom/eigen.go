@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNotSymmetric is returned by SymmetricEigen when the input matrix is not
+// square and symmetric.
+var ErrNotSymmetric = errors.New("geom: matrix is not square symmetric")
+
+// ErrNoConvergence is returned by SymmetricEigen when the Jacobi sweeps do
+// not reduce the off-diagonal mass to the tolerance within the iteration
+// budget. For the small, well-conditioned matrices this library produces
+// (local MDS Gram matrices, Horn quaternion matrices) this indicates a bug
+// or pathological input rather than an expected condition.
+var ErrNoConvergence = errors.New("geom: Jacobi eigendecomposition did not converge")
+
+// SymmetricEigen computes the full eigendecomposition of a dense symmetric
+// matrix a (given as rows) using the cyclic Jacobi method. It returns the
+// eigenvalues in descending order and the matching eigenvectors as rows of
+// vecs (vecs[k] is the unit eigenvector for values[k]).
+//
+// The input is not modified. Intended for the small matrices that arise in
+// local-neighborhood MDS (tens of rows), not for large-scale linear algebra.
+func SymmetricEigen(a [][]float64) (values []float64, vecs [][]float64, err error) {
+	n := len(a)
+	for _, row := range a {
+		if len(row) != n {
+			return nil, nil, ErrNotSymmetric
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i][j]-a[j][i]) > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, ErrNotSymmetric
+			}
+		}
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+
+	// Working copy m and accumulated rotations v (v starts as identity).
+	m := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = append([]float64(nil), a[i]...)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += m[i][j] * m[i][j]
+			}
+		}
+		return s
+	}
+	var frob float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			frob += m[i][j] * m[i][j]
+		}
+	}
+	tol := 1e-22 * (frob + 1)
+
+	const maxSweeps = 100
+	converged := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiag() <= tol {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p][q]
+				if apq == 0 {
+					continue
+				}
+				// Classic Jacobi rotation zeroing m[p][q].
+				theta := (m[q][q] - m[p][p]) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if !converged && offDiag() > tol {
+		return nil, nil, ErrNoConvergence
+	}
+
+	// Extract eigenpairs and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: m[i][i], col: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	values = make([]float64, n)
+	vecs = make([][]float64, n)
+	for k, p := range pairs {
+		values[k] = p.val
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = v[i][p.col]
+		}
+		vecs[k] = vec
+	}
+	return values, vecs, nil
+}

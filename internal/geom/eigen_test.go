@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	a := [][]float64{
+		{3, 0, 0},
+		{0, 1, 0},
+		{0, 0, 2},
+	}
+	vals, vecs, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEqual(vals[i], w, 1e-10) {
+			t.Errorf("eigenvalue %d = %v, want %v", i, vals[i], w)
+		}
+	}
+	// Eigenvector for eigenvalue 3 must be ±e0.
+	if !almostEqual(math.Abs(vecs[0][0]), 1, 1e-10) {
+		t.Errorf("vec for λ=3 is %v", vecs[0])
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := SymmetricEigen([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 3, 1e-12) || !almostEqual(vals[1], 1, 1e-12) {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+	// λ=3 eigenvector is ±(1,1)/√2.
+	if !almostEqual(math.Abs(vecs[0][0]), 1/math.Sqrt2, 1e-9) {
+		t.Errorf("eigenvector = %v", vecs[0])
+	}
+}
+
+func TestSymmetricEigenRejectsBadInput(t *testing.T) {
+	if _, _, err := SymmetricEigen([][]float64{{1, 2}}); err != ErrNotSymmetric {
+		t.Errorf("ragged input: err = %v", err)
+	}
+	if _, _, err := SymmetricEigen([][]float64{{1, 2}, {3, 4}}); err != ErrNotSymmetric {
+		t.Errorf("asymmetric input: err = %v", err)
+	}
+}
+
+func TestSymmetricEigenEmpty(t *testing.T) {
+	vals, vecs, err := SymmetricEigen(nil)
+	if err != nil || vals != nil || vecs != nil {
+		t.Errorf("empty input: %v %v %v", vals, vecs, err)
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix with a known spectrum by
+// conjugating a diagonal matrix with random rotations.
+func randomSymmetric(rng *rand.Rand, n int) ([][]float64, []float64) {
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = rng.NormFloat64() * 10
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = diag[i]
+	}
+	// Apply random Givens rotations G^T M G to scramble while preserving
+	// the spectrum and symmetry.
+	for k := 0; k < 3*n; k++ {
+		p := rng.Intn(n)
+		q := rng.Intn(n)
+		if p == q {
+			continue
+		}
+		theta := rng.Float64() * math.Pi
+		c, s := math.Cos(theta), math.Sin(theta)
+		for i := 0; i < n; i++ {
+			mp, mq := m[i][p], m[i][q]
+			m[i][p] = c*mp - s*mq
+			m[i][q] = s*mp + c*mq
+		}
+		for i := 0; i < n; i++ {
+			mp, mq := m[p][i], m[q][i]
+			m[p][i] = c*mp - s*mq
+			m[q][i] = s*mp + c*mq
+		}
+	}
+	return m, diag
+}
+
+func TestSymmetricEigenRandomSpectrumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(14)
+		m, diag := randomSymmetric(rng, n)
+		vals, vecs, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Spectrum must match the planted diagonal (sorted descending).
+		want := append([]float64(nil), diag...)
+		for i := 0; i < len(want); i++ {
+			for j := i + 1; j < len(want); j++ {
+				if want[j] > want[i] {
+					want[i], want[j] = want[j], want[i]
+				}
+			}
+		}
+		for i := range want {
+			if !almostEqual(vals[i], want[i], 1e-6*(1+math.Abs(want[i]))) {
+				t.Fatalf("trial %d: eigenvalue %d = %v, want %v", trial, i, vals[i], want[i])
+			}
+		}
+		// Each (λ, v) pair must satisfy A·v = λ·v.
+		for k := range vals {
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += m[i][j] * vecs[k][j]
+				}
+				if !almostEqual(av, vals[k]*vecs[k][i], 1e-6*(1+math.Abs(vals[k]))) {
+					t.Fatalf("trial %d: A·v != λ·v at k=%d i=%d (%v vs %v)",
+						trial, k, i, av, vals[k]*vecs[k][i])
+				}
+			}
+		}
+		// Eigenvectors must be orthonormal.
+		for a := range vecs {
+			for b := a; b < len(vecs); b++ {
+				var dot float64
+				for j := 0; j < n; j++ {
+					dot += vecs[a][j] * vecs[b][j]
+				}
+				want := 0.0
+				if a == b {
+					want = 1.0
+				}
+				if !almostEqual(dot, want, 1e-8) {
+					t.Fatalf("trial %d: vectors %d,%d dot = %v, want %v", trial, a, b, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetricEigenInputNotModified(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 2}}
+	if _, _, err := SymmetricEigen(a); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[0][1] != 1 || a[1][0] != 1 || a[1][1] != 2 {
+		t.Errorf("input modified: %v", a)
+	}
+}

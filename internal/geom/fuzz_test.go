@@ -1,0 +1,66 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSpheresThrough3 asserts the solver's core contract on arbitrary
+// inputs: every returned sphere has the requested radius and passes
+// through all three points; no solution is ever NaN/Inf. Run with
+// `go test -fuzz=FuzzSpheresThrough3 ./internal/geom` to explore beyond
+// the seed corpus; the seeds alone run as a regular test.
+func FuzzSpheresThrough3(f *testing.F) {
+	f.Add(0.1, 0.0, 0.0, -0.05, 0.0866, 0.0, -0.05, -0.0866, 0.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 1.0) // collinear
+	f.Add(1e-9, 0.0, 0.0, 0.0, 1e-9, 0.0, 0.0, 0.0, 1e-9, 1.0)
+	f.Add(2.0, 0.0, 0.0, -1.0, 1.8, 0.0, -1.0, -1.8, 0.0, 1.0) // too spread
+	f.Fuzz(func(t *testing.T, ax, ay, az, bx, by, bz, cx, cy, cz, r float64) {
+		for _, v := range []float64{ax, ay, az, bx, by, bz, cx, cy, cz, r} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		for _, s := range SpheresThrough3(a, b, c, r) {
+			if !s.Center.IsFinite() {
+				t.Fatalf("non-finite center %v", s.Center)
+			}
+			if s.Radius != r {
+				t.Fatalf("radius %v, want %v", s.Radius, r)
+			}
+			for _, p := range []Vec3{a, b, c} {
+				if d := s.Center.Dist(p); math.Abs(d-r) > 1e-5*(1+r) {
+					t.Fatalf("point %v at distance %v from center, want %v", p, d, r)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCircumcenter3 asserts that any returned circumcenter is finite,
+// equidistant from the three points, and in their plane.
+func FuzzCircumcenter3(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0)
+	f.Fuzz(func(t *testing.T, ax, ay, az, bx, by, bz, cx, cy, cz float64) {
+		for _, v := range []float64{ax, ay, az, bx, by, bz, cx, cy, cz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		center, radius, ok := Circumcenter3(a, b, c)
+		if !ok {
+			return
+		}
+		if !center.IsFinite() || math.IsNaN(radius) {
+			t.Fatalf("non-finite circumcenter %v r=%v", center, radius)
+		}
+		for _, p := range []Vec3{a, b, c} {
+			if d := center.Dist(p); math.Abs(d-radius) > 1e-5*(1+radius) {
+				t.Fatalf("not equidistant: %v vs %v", d, radius)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// qVec is a bounded Vec3 for testing/quick: components in [-8, 8], which
+// keeps products and cross terms well inside float64's exact range.
+type qVec struct{ V Vec3 }
+
+// Generate implements quick.Generator.
+func (qVec) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qVec{V: Vec3{
+		X: r.Float64()*16 - 8,
+		Y: r.Float64()*16 - 8,
+		Z: r.Float64()*16 - 8,
+	}})
+}
+
+var quickCfg = &quick.Config{MaxCount: 500}
+
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(a, b qVec) bool {
+		return math.Abs(a.V.Dot(b.V)-b.V.Dot(a.V)) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCrossAnticommutes(t *testing.T) {
+	f := func(a, b qVec) bool {
+		return a.V.Cross(b.V).ApproxEqual(b.V.Cross(a.V).Neg(), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(a, b, c qVec) bool {
+		return a.V.Dist(c.V) <= a.V.Dist(b.V)+b.V.Dist(c.V)+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLagrangeIdentity(t *testing.T) {
+	// |a×b|² = |a|²|b|² − (a·b)².
+	f := func(a, b qVec) bool {
+		lhs := a.V.Cross(b.V).Norm2()
+		rhs := a.V.Norm2()*b.V.Norm2() - a.V.Dot(b.V)*a.V.Dot(b.V)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLerpEndpoints(t *testing.T) {
+	f := func(a, b qVec) bool {
+		return a.V.Lerp(b.V, 0).ApproxEqual(a.V, 1e-12) &&
+			a.V.Lerp(b.V, 1).ApproxEqual(b.V, 1e-12) &&
+			a.V.Mid(b.V).ApproxEqual(b.V.Mid(a.V), 1e-12)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAABBUnionMonotone(t *testing.T) {
+	f := func(a, b, p qVec) bool {
+		box := NewAABB(a.V, b.V)
+		grown := box.AddPoint(p.V)
+		// Union result contains both inputs.
+		return grown.Contains(p.V) && grown.Contains(box.Min) && grown.Contains(box.Max)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSpheresThroughRigidInvariance checks that the number of
+// fixed-radius spheres through three points is invariant under rigid
+// motion — the property that makes UBF verdicts frame-independent.
+func TestQuickSpheresThroughRigidInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	f := func(a, b, c qVec, angleRaw float64) bool {
+		angle := math.Mod(angleRaw, math.Pi)
+		shift := RandomUnitVector(rng).Scale(3)
+		rot := func(p Vec3) Vec3 {
+			cos, sin := math.Cos(angle), math.Sin(angle)
+			return Vec3{cos*p.X - sin*p.Y, sin*p.X + cos*p.Y, p.Z}.Add(shift)
+		}
+		orig := SpheresThrough3(a.V, b.V, c.V, 4)
+		moved := SpheresThrough3(rot(a.V), rot(b.V), rot(c.V), 4)
+		if len(orig) != len(moved) {
+			// Borderline configurations (circumradius ≈ radius) may
+			// legitimately flip between 1 and 2 solutions under
+			// floating-point motion; reject only a 0↔2 flip.
+			return len(orig)+len(moved) == 3
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCircumcenterScaleInvariance: scaling the triangle scales the
+// circumradius linearly.
+func TestQuickCircumcenterScaleInvariance(t *testing.T) {
+	f := func(a, b, c qVec) bool {
+		_, r1, ok1 := Circumcenter3(a.V, b.V, c.V)
+		_, r2, ok2 := Circumcenter3(a.V.Scale(2), b.V.Scale(2), c.V.Scale(2))
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return math.Abs(r2-2*r1) <= 1e-6*(1+r2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

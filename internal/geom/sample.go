@@ -1,0 +1,63 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomUnitVector returns a direction uniformly distributed on the unit
+// sphere.
+func RandomUnitVector(rng *rand.Rand) Vec3 {
+	// Marsaglia (1972): z uniform in [-1,1], azimuth uniform.
+	z := 2*rng.Float64() - 1
+	theta := 2 * math.Pi * rng.Float64()
+	s := math.Sqrt(1 - z*z)
+	return Vec3{X: s * math.Cos(theta), Y: s * math.Sin(theta), Z: z}
+}
+
+// RandomInBox returns a point uniformly distributed in the box. The box must
+// be non-empty.
+func RandomInBox(rng *rand.Rand, box AABB) Vec3 {
+	s := box.Size()
+	return Vec3{
+		X: box.Min.X + rng.Float64()*s.X,
+		Y: box.Min.Y + rng.Float64()*s.Y,
+		Z: box.Min.Z + rng.Float64()*s.Z,
+	}
+}
+
+// RandomOnSphere returns a point uniformly distributed on the surface of s.
+func RandomOnSphere(rng *rand.Rand, s Sphere) Vec3 {
+	return s.Center.Add(RandomUnitVector(rng).Scale(s.Radius))
+}
+
+// RandomInBall returns a point uniformly distributed in the ball s.
+func RandomInBall(rng *rand.Rand, s Sphere) Vec3 {
+	// Radius follows r ∝ u^(1/3) for uniform volume density.
+	r := s.Radius * math.Cbrt(rng.Float64())
+	return s.Center.Add(RandomUnitVector(rng).Scale(r))
+}
+
+// RandomInAnnulus returns a point uniformly distributed in the spherical
+// shell between rMin and rMax around center. Requires 0 <= rMin <= rMax.
+func RandomInAnnulus(rng *rand.Rand, center Vec3, rMin, rMax float64) Vec3 {
+	// Volume-uniform radius in the shell: r = (u·(R³-r³) + r³)^(1/3).
+	r3 := rMin * rMin * rMin
+	R3 := rMax * rMax * rMax
+	r := math.Cbrt(rng.Float64()*(R3-r3) + r3)
+	return center.Add(RandomUnitVector(rng).Scale(r))
+}
+
+// RandomInDisk returns a point uniformly distributed on the disk of the
+// given radius centered at center, lying in the plane with the given unit
+// normal.
+func RandomInDisk(rng *rand.Rand, center Vec3, normal Vec3, radius float64) Vec3 {
+	u, ok := AnyPerpendicular(normal)
+	if !ok {
+		return center
+	}
+	v := normal.Unit().Cross(u)
+	r := radius * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	return center.Add(u.Scale(r * math.Cos(theta))).Add(v.Scale(r * math.Sin(theta)))
+}

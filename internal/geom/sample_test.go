@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomUnitVectorIsUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var mean Vec3
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := RandomUnitVector(rng)
+		if !almostEqual(v.Norm(), 1, 1e-12) {
+			t.Fatalf("non-unit sample %v", v)
+		}
+		mean = mean.Add(v)
+	}
+	// Directions should average out near zero for a uniform distribution.
+	if mean.Scale(1.0/n).Norm() > 0.05 {
+		t.Errorf("directional bias: mean = %v", mean.Scale(1.0/n))
+	}
+}
+
+func TestRandomInBoxStaysInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	box := NewAABB(V(-1, 2, -3), V(4, 5, 6))
+	var mean Vec3
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p := RandomInBox(rng, box)
+		if !box.Contains(p) {
+			t.Fatalf("sample %v outside box %v", p, box)
+		}
+		mean = mean.Add(p)
+	}
+	if !mean.Scale(1.0/n).ApproxEqual(box.Center(), 0.15) {
+		t.Errorf("mean %v far from center %v", mean.Scale(1.0/n), box.Center())
+	}
+}
+
+func TestRandomOnSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	s := Sphere{Center: V(1, 2, 3), Radius: 2.5}
+	for i := 0; i < 2000; i++ {
+		p := RandomOnSphere(rng, s)
+		if !almostEqual(p.Dist(s.Center), s.Radius, 1e-9) {
+			t.Fatalf("sample %v not on sphere", p)
+		}
+	}
+}
+
+func TestRandomInBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := Sphere{Center: V(-1, 0, 2), Radius: 3}
+	insideHalf := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := RandomInBall(rng, s)
+		if p.Dist(s.Center) > s.Radius+1e-12 {
+			t.Fatalf("sample %v outside ball", p)
+		}
+		if p.Dist(s.Center) < s.Radius/2 {
+			insideHalf++
+		}
+	}
+	// Volume-uniform sampling puts 1/8 of points in the half-radius ball.
+	frac := float64(insideHalf) / n
+	if math.Abs(frac-0.125) > 0.02 {
+		t.Errorf("half-radius fraction = %v, want ≈ 0.125 (volume uniform)", frac)
+	}
+}
+
+func TestRandomInAnnulus(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	center := V(2, 2, 2)
+	for i := 0; i < 5000; i++ {
+		p := RandomInAnnulus(rng, center, 1, 2)
+		d := p.Dist(center)
+		if d < 1-1e-12 || d > 2+1e-12 {
+			t.Fatalf("annulus sample at distance %v", d)
+		}
+	}
+}
+
+func TestRandomInDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	center := V(0, 0, 5)
+	normal := V(0, 0, 1)
+	for i := 0; i < 3000; i++ {
+		p := RandomInDisk(rng, center, normal, 2)
+		if !almostEqual(p.Z, 5, 1e-9) {
+			t.Fatalf("disk sample off-plane: %v", p)
+		}
+		if p.Dist(center) > 2+1e-9 {
+			t.Fatalf("disk sample outside radius: %v", p)
+		}
+	}
+	// Degenerate normal falls back to the center.
+	if got := RandomInDisk(rng, center, Zero, 2); got != center {
+		t.Errorf("degenerate normal: got %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sphere is a ball in 3D space described by its center and radius.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+// Contains reports whether p lies inside or on the sphere.
+func (s Sphere) Contains(p Vec3) bool {
+	return s.Center.Dist2(p) <= s.Radius*s.Radius
+}
+
+// ContainsStrict reports whether p lies strictly inside the sphere shrunk by
+// tol: dist(center, p) < radius - tol. Per Definition 6 of the paper, a node
+// that merely touches the ball surface does not make the ball non-empty;
+// the tolerance absorbs floating-point jitter for the three nodes the ball
+// was constructed through.
+func (s Sphere) ContainsStrict(p Vec3, tol float64) bool {
+	r := s.Radius - tol
+	if r <= 0 {
+		return false
+	}
+	return s.Center.Dist2(p) < r*r
+}
+
+// SurfaceDistance returns the signed distance from p to the sphere surface
+// (negative inside).
+func (s Sphere) SurfaceDistance(p Vec3) float64 {
+	return s.Center.Dist(p) - s.Radius
+}
+
+// String implements fmt.Stringer.
+func (s Sphere) String() string {
+	return fmt.Sprintf("sphere{c=%v r=%.6g}", s.Center, s.Radius)
+}
+
+// Circumcenter3 returns the circumcenter of the (possibly degenerate)
+// triangle a, b, c — the unique point in the triangle's plane equidistant
+// from all three vertices — together with the circumradius. ok is false when
+// the three points are (near-)collinear, in which case no finite
+// circumcenter exists.
+func Circumcenter3(a, b, c Vec3) (center Vec3, radius float64, ok bool) {
+	// Standard formulation: with u = b-a, v = c-a and n = u×v,
+	//   center = a + ( |u|²(v×n) + |v|²(n×u) ) / (2|n|²).
+	u := b.Sub(a)
+	v := c.Sub(a)
+	n := u.Cross(v)
+	n2 := n.Norm2()
+	// Collinearity guard: |n|² scales with the square of the triangle
+	// area; compare against the lengths involved to stay scale-aware.
+	// The 1e-20 threshold rejects triangles so close to collinear that
+	// the circumcenter formula loses several digits (fuzzing found
+	// ~1e-5 relative errors just past it); geometrically meaningful
+	// triangles sit many orders of magnitude above.
+	scale := u.Norm2() * v.Norm2()
+	if n2 <= 1e-20*scale || scale == 0 {
+		return Zero, 0, false
+	}
+	off := v.Cross(n).Scale(u.Norm2()).Add(n.Cross(u).Scale(v.Norm2())).Scale(1 / (2 * n2))
+	center = a.Add(off)
+	radius = center.Dist(a)
+	return center, radius, true
+}
+
+// SpheresThrough3 returns the spheres of the given fixed radius whose
+// surfaces pass through the three points a, b, c. This solves Eq. (1) of the
+// paper. There are zero, one, or two solutions:
+//
+//   - zero when the points are (near-)collinear or their circumradius
+//     exceeds radius (the three points are too spread out for a ball of
+//     that size);
+//   - one when the circumradius equals radius exactly (the ball's center
+//     lies in the plane of the triangle) — numerically this appears as two
+//     coincident solutions, which we collapse;
+//   - two otherwise, mirrored across the triangle's plane.
+func SpheresThrough3(a, b, c Vec3, radius float64) []Sphere {
+	cc, cr, ok := Circumcenter3(a, b, c)
+	if !ok || radius <= 0 {
+		return nil
+	}
+	h2 := radius*radius - cr*cr
+	if h2 < 0 {
+		return nil
+	}
+	normal, ok := b.Sub(a).Cross(c.Sub(a)).Normalize()
+	if !ok {
+		return nil
+	}
+	h := math.Sqrt(h2)
+	// Collapse the two mirrored centers when they are numerically
+	// indistinguishable (circumradius ≈ radius).
+	if h <= 1e-12*radius {
+		return []Sphere{{Center: cc, Radius: radius}}
+	}
+	off := normal.Scale(h)
+	return []Sphere{
+		{Center: cc.Add(off), Radius: radius},
+		{Center: cc.Sub(off), Radius: radius},
+	}
+}
+
+// SpheresThrough3Into is an allocation-free variant of SpheresThrough3 that
+// appends into dst and returns the extended slice. The hot loop of UBF calls
+// this once per neighbor pair.
+func SpheresThrough3Into(dst []Sphere, a, b, c Vec3, radius float64) []Sphere {
+	cc, cr, ok := Circumcenter3(a, b, c)
+	if !ok || radius <= 0 {
+		return dst
+	}
+	h2 := radius*radius - cr*cr
+	if h2 < 0 {
+		return dst
+	}
+	normal, ok := b.Sub(a).Cross(c.Sub(a)).Normalize()
+	if !ok {
+		return dst
+	}
+	h := math.Sqrt(h2)
+	if h <= 1e-12*radius {
+		return append(dst, Sphere{Center: cc, Radius: radius})
+	}
+	off := normal.Scale(h)
+	return append(dst,
+		Sphere{Center: cc.Add(off), Radius: radius},
+		Sphere{Center: cc.Sub(off), Radius: radius},
+	)
+}

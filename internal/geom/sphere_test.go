@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSphereContains(t *testing.T) {
+	s := Sphere{Center: V(1, 1, 1), Radius: 2}
+	if !s.Contains(V(1, 1, 1)) {
+		t.Error("center not contained")
+	}
+	if !s.Contains(V(3, 1, 1)) {
+		t.Error("surface point not contained")
+	}
+	if s.Contains(V(3.001, 1, 1)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestSphereContainsStrict(t *testing.T) {
+	s := Sphere{Center: Zero, Radius: 1}
+	if !s.ContainsStrict(V(0.5, 0, 0), 1e-9) {
+		t.Error("interior point not strictly contained")
+	}
+	// A point exactly on the surface must not count as inside
+	// (Definition 6: touching nodes do not invalidate an empty ball).
+	if s.ContainsStrict(V(1, 0, 0), 1e-9) {
+		t.Error("surface point strictly contained")
+	}
+	// A point just inside the tolerance band is treated as touching.
+	if s.ContainsStrict(V(1-1e-10, 0, 0), 1e-9) {
+		t.Error("tolerance-band point strictly contained")
+	}
+	// Degenerate tolerance larger than radius: nothing is inside.
+	if s.ContainsStrict(Zero, 2) {
+		t.Error("tolerance exceeding radius should exclude everything")
+	}
+}
+
+func TestSurfaceDistance(t *testing.T) {
+	s := Sphere{Center: Zero, Radius: 2}
+	if got := s.SurfaceDistance(V(3, 0, 0)); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("outside distance = %v, want 1", got)
+	}
+	if got := s.SurfaceDistance(V(1, 0, 0)); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("inside distance = %v, want -1", got)
+	}
+}
+
+func TestCircumcenter3Equilateral(t *testing.T) {
+	// Equilateral triangle in the z=5 plane, centered at origin offset.
+	a := V(1, 0, 5)
+	b := V(-0.5, math.Sqrt(3)/2, 5)
+	c := V(-0.5, -math.Sqrt(3)/2, 5)
+	center, radius, ok := Circumcenter3(a, b, c)
+	if !ok {
+		t.Fatal("Circumcenter3 failed on equilateral triangle")
+	}
+	if !center.ApproxEqual(V(0, 0, 5), 1e-9) {
+		t.Errorf("center = %v, want (0,0,5)", center)
+	}
+	if !almostEqual(radius, 1, 1e-9) {
+		t.Errorf("radius = %v, want 1", radius)
+	}
+}
+
+func TestCircumcenter3Collinear(t *testing.T) {
+	if _, _, ok := Circumcenter3(V(0, 0, 0), V(1, 1, 1), V(2, 2, 2)); ok {
+		t.Error("collinear points should have no circumcenter")
+	}
+	if _, _, ok := Circumcenter3(V(0, 0, 0), V(0, 0, 0), V(1, 0, 0)); ok {
+		t.Error("coincident points should have no circumcenter")
+	}
+}
+
+func TestCircumcenter3EquidistantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a, b, c := boundedVec(rng), boundedVec(rng), boundedVec(rng)
+		center, radius, ok := Circumcenter3(a, b, c)
+		if !ok {
+			continue
+		}
+		for _, p := range []Vec3{a, b, c} {
+			if !almostEqual(center.Dist(p), radius, 1e-6*(1+radius)) {
+				t.Fatalf("circumcenter not equidistant: a=%v b=%v c=%v center=%v r=%v dist=%v",
+					a, b, c, center, radius, center.Dist(p))
+			}
+		}
+		// The circumcenter must lie in the plane of the triangle.
+		n := b.Sub(a).Cross(c.Sub(a)).Unit()
+		if d := math.Abs(center.Sub(a).Dot(n)); d > 1e-6 {
+			t.Fatalf("circumcenter off-plane by %v", d)
+		}
+	}
+}
+
+func TestSpheresThrough3TwoSolutions(t *testing.T) {
+	// Small triangle, large radius: two mirrored solutions.
+	a := V(0.1, 0, 0)
+	b := V(-0.05, 0.0866, 0)
+	c := V(-0.05, -0.0866, 0)
+	spheres := SpheresThrough3(a, b, c, 1)
+	if len(spheres) != 2 {
+		t.Fatalf("got %d spheres, want 2", len(spheres))
+	}
+	// Mirrored across the z=0 plane.
+	if !almostEqual(spheres[0].Center.Z, -spheres[1].Center.Z, 1e-9) {
+		t.Errorf("centers not mirrored: %v vs %v", spheres[0].Center, spheres[1].Center)
+	}
+	for _, s := range spheres {
+		for _, p := range []Vec3{a, b, c} {
+			if !almostEqual(s.Center.Dist(p), 1, 1e-9) {
+				t.Errorf("point %v not on sphere %v", p, s)
+			}
+		}
+	}
+}
+
+func TestSpheresThrough3NoSolution(t *testing.T) {
+	// Triangle with circumradius > 1 admits no unit sphere.
+	a := V(2, 0, 0)
+	b := V(-1, 1.8, 0)
+	c := V(-1, -1.8, 0)
+	if got := SpheresThrough3(a, b, c, 1); len(got) != 0 {
+		t.Errorf("got %d spheres, want 0", len(got))
+	}
+	// Collinear points admit none either.
+	if got := SpheresThrough3(V(0, 0, 0), V(0.1, 0, 0), V(0.2, 0, 0), 1); len(got) != 0 {
+		t.Errorf("collinear: got %d spheres, want 0", len(got))
+	}
+	// Non-positive radius is rejected.
+	if got := SpheresThrough3(a, b, c, 0); got != nil {
+		t.Errorf("zero radius: got %v, want nil", got)
+	}
+}
+
+func TestSpheresThrough3OneSolution(t *testing.T) {
+	// Circumradius exactly equals the ball radius: single solution whose
+	// center is the triangle circumcenter.
+	a := V(1, 0, 0)
+	b := V(-0.5, math.Sqrt(3)/2, 0)
+	c := V(-0.5, -math.Sqrt(3)/2, 0)
+	spheres := SpheresThrough3(a, b, c, 1)
+	if len(spheres) != 1 {
+		t.Fatalf("got %d spheres, want 1", len(spheres))
+	}
+	if !spheres[0].Center.ApproxEqual(Zero, 1e-9) {
+		t.Errorf("center = %v, want origin", spheres[0].Center)
+	}
+}
+
+func TestSpheresThrough3SurfaceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const radius = 1.0
+	found := 0
+	for i := 0; i < 2000; i++ {
+		// Points drawn within a unit ball so solutions are common.
+		a := RandomInBall(rng, Sphere{Radius: 0.9})
+		b := RandomInBall(rng, Sphere{Radius: 0.9})
+		c := RandomInBall(rng, Sphere{Radius: 0.9})
+		for _, s := range SpheresThrough3(a, b, c, radius) {
+			found++
+			for _, p := range []Vec3{a, b, c} {
+				if !almostEqual(s.Center.Dist(p), radius, 1e-7) {
+					t.Fatalf("point %v not on sphere surface %v (dist %v)", p, s, s.Center.Dist(p))
+				}
+			}
+			if !s.Center.IsFinite() {
+				t.Fatalf("non-finite center %v", s.Center)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("property test exercised no solutions")
+	}
+}
+
+func TestSpheresThrough3IntoMatchesAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]Sphere, 0, 2)
+	for i := 0; i < 500; i++ {
+		a := RandomInBall(rng, Sphere{Radius: 0.9})
+		b := RandomInBall(rng, Sphere{Radius: 0.9})
+		c := RandomInBall(rng, Sphere{Radius: 0.9})
+		want := SpheresThrough3(a, b, c, 1)
+		got := SpheresThrough3Into(buf[:0], a, b, c, 1)
+		if len(got) != len(want) {
+			t.Fatalf("count mismatch: %d vs %d", len(got), len(want))
+		}
+		for k := range got {
+			if !got[k].Center.ApproxEqual(want[k].Center, 1e-12) {
+				t.Fatalf("solution %d differs: %v vs %v", k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestSphereString(t *testing.T) {
+	s := Sphere{Center: V(1, 2, 3), Radius: 4}
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,142 @@
+// Package geom provides the 3D geometric primitives used throughout the
+// boundary-detection library: vectors, spheres, axis-aligned boxes, and the
+// fixed-radius trisection-sphere solver at the heart of Unit Ball Fitting
+// (Eq. 1 of the paper).
+//
+// All computations use float64. The package favors clarity and numeric
+// defensiveness over exact arithmetic; callers that need tie-breaking around
+// sphere surfaces pass an explicit tolerance (see Sphere.ContainsStrict).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3D Euclidean space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Zero is the origin.
+var Zero = Vec3{}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Normalize returns v scaled to unit length. It returns (Zero, false) when v
+// is too short to normalize reliably.
+func (v Vec3) Normalize() (Vec3, bool) {
+	n := v.Norm()
+	if n < 1e-300 {
+		return Zero, false
+	}
+	return v.Scale(1 / n), true
+}
+
+// Unit returns v normalized, or Zero when v has (near-)zero length. Use
+// Normalize when the caller must distinguish the degenerate case.
+func (v Vec3) Unit() Vec3 {
+	u, _ := v.Normalize()
+	return u
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		X: v.X + (w.X-v.X)*t,
+		Y: v.Y + (w.Y-v.Y)*t,
+		Z: v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// Mid returns the midpoint of v and w.
+func (v Vec3) Mid(w Vec3) Vec3 { return v.Lerp(w, 0.5) }
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// ApproxEqual reports whether v and w agree component-wise within tol.
+func (v Vec3) ApproxEqual(w Vec3, tol float64) bool {
+	return math.Abs(v.X-w.X) <= tol &&
+		math.Abs(v.Y-w.Y) <= tol &&
+		math.Abs(v.Z-w.Z) <= tol
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.6g, %.6g, %.6g)", v.X, v.Y, v.Z)
+}
+
+// Centroid returns the arithmetic mean of the given points. It returns Zero
+// for an empty input.
+func Centroid(points []Vec3) Vec3 {
+	if len(points) == 0 {
+		return Zero
+	}
+	var sum Vec3
+	for _, p := range points {
+		sum = sum.Add(p)
+	}
+	return sum.Scale(1 / float64(len(points)))
+}
+
+// AnyPerpendicular returns a unit vector perpendicular to v. The result is
+// arbitrary but deterministic. It returns (Zero, false) when v is degenerate.
+func AnyPerpendicular(v Vec3) (Vec3, bool) {
+	u, ok := v.Normalize()
+	if !ok {
+		return Zero, false
+	}
+	// Cross with the coordinate axis least aligned with v to avoid a
+	// near-parallel cross product.
+	axis := V(1, 0, 0)
+	ax, ay, az := math.Abs(u.X), math.Abs(u.Y), math.Abs(u.Z)
+	switch {
+	case ay <= ax && ay <= az:
+		axis = V(0, 1, 0)
+	case az <= ax && az <= ay:
+		axis = V(0, 0, 1)
+	}
+	return u.Cross(axis).Unit(), true
+}

@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// boundedVec produces a random vector with components in [-10, 10], keeping
+// quick-generated inputs in a numerically sane range.
+func boundedVec(rng *rand.Rand) Vec3 {
+	return Vec3{
+		X: rng.Float64()*20 - 10,
+		Y: rng.Float64()*20 - 10,
+		Z: rng.Float64()*20 - 10,
+	}
+}
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Dot(w); got != 1*4+2*(-5)+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecCross(t *testing.T) {
+	x := V(1, 0, 0)
+	y := V(0, 1, 0)
+	z := V(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y cross z = %v, want x", got)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z cross x = %v, want y", got)
+	}
+}
+
+func TestCrossPerpendicularProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := boundedVec(rng)
+		w := boundedVec(rng)
+		c := v.Cross(w)
+		if !almostEqual(c.Dot(v), 0, 1e-9) || !almostEqual(c.Dot(w), 0, 1e-9) {
+			t.Fatalf("cross product not perpendicular: v=%v w=%v c=%v", v, w, c)
+		}
+	}
+}
+
+func TestNormAndDist(t *testing.T) {
+	if got := V(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := V(1, 1, 1).Dist(V(2, 2, 2)); !almostEqual(got, math.Sqrt(3), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := V(1, 2, 3).Norm2(); got != 14 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	u, ok := V(0, 0, 9).Normalize()
+	if !ok || u != V(0, 0, 1) {
+		t.Errorf("Normalize = %v, %v", u, ok)
+	}
+	if _, ok := Zero.Normalize(); ok {
+		t.Error("Normalize of zero vector should fail")
+	}
+	if Zero.Unit() != Zero {
+		t.Error("Unit of zero vector should be zero")
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := Vec3{math.Mod(x, 100), math.Mod(y, 100), math.Mod(z, 100)}
+		u, ok := v.Normalize()
+		if !ok {
+			return v.Norm() < 1e-150 // only degenerate inputs may fail
+		}
+		return almostEqual(u.Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpAndMid(t *testing.T) {
+	a := V(0, 0, 0)
+	b := V(2, 4, 6)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Mid(b); got != V(1, 2, 3) {
+		t.Errorf("Mid = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec3{math.NaN(), 0, 0}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec3{0, math.Inf(1), 0}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Vec3{V(0, 0, 0), V(2, 0, 0), V(0, 2, 0), V(0, 0, 2)}
+	want := V(0.5, 0.5, 0.5)
+	if got := Centroid(pts); !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("Centroid = %v, want %v", got, want)
+	}
+	if got := Centroid(nil); got != Zero {
+		t.Errorf("Centroid(nil) = %v, want zero", got)
+	}
+}
+
+func TestAnyPerpendicular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []Vec3{V(1, 0, 0), V(0, 1, 0), V(0, 0, 1), V(1, 1, 1), V(-3, 2, 0.001)}
+	for i := 0; i < 100; i++ {
+		cases = append(cases, boundedVec(rng))
+	}
+	for _, v := range cases {
+		if v.Norm() < 1e-9 {
+			continue
+		}
+		p, ok := AnyPerpendicular(v)
+		if !ok {
+			t.Fatalf("AnyPerpendicular(%v) failed", v)
+		}
+		if !almostEqual(p.Norm(), 1, 1e-9) {
+			t.Fatalf("AnyPerpendicular(%v) = %v not unit", v, p)
+		}
+		if !almostEqual(p.Dot(v), 0, 1e-9*v.Norm()) {
+			t.Fatalf("AnyPerpendicular(%v) = %v not perpendicular", v, p)
+		}
+	}
+	if _, ok := AnyPerpendicular(Zero); ok {
+		t.Error("AnyPerpendicular(zero) should fail")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(1, 2, 3).String(); got != "(1, 2, 3)" {
+		t.Errorf("String = %q", got)
+	}
+}

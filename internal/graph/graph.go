@@ -1,0 +1,186 @@
+// Package graph provides the unweighted-graph utilities shared by the
+// boundary-detection pipeline: breadth-first hop distances, connected
+// components, and shortest paths, all restricted to arbitrary node subsets
+// (the algorithms of the paper constantly operate on the subgraph induced by
+// boundary nodes).
+package graph
+
+// Graph is an undirected graph as adjacency lists. Adj[i] lists the
+// neighbors of node i. The graph does not own the slices; callers must not
+// mutate them while algorithms run.
+type Graph struct {
+	Adj [][]int
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{Adj: make([][]int, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Adj) }
+
+// AddEdge inserts the undirected edge (u, v). It does not deduplicate.
+func (g *Graph) AddEdge(u, v int) {
+	g.Adj[u] = append(g.Adj[u], v)
+	g.Adj[v] = append(g.Adj[v], u)
+}
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.Adj[u]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.Adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// AvgDegree returns the average nodal degree, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(len(g.Adj))
+}
+
+// All is a node filter admitting every node.
+func All(int) bool { return true }
+
+// InSet returns a filter admitting exactly the nodes marked true in member.
+// Nodes outside the slice bounds are rejected.
+func InSet(member []bool) func(int) bool {
+	return func(i int) bool { return i >= 0 && i < len(member) && member[i] }
+}
+
+// Unreachable marks nodes not reached by a BFS.
+const Unreachable = -1
+
+// BFSHops runs a multi-source breadth-first search from sources over the
+// subgraph induced by allowed, out to at most maxHops (negative means
+// unlimited). It returns the hop distance for every node, Unreachable where
+// the search did not reach. Sources rejected by allowed are ignored.
+func (g *Graph) BFSHops(sources []int, allowed func(int) bool, maxHops int) []int {
+	dist := make([]int, len(g.Adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= len(g.Adj) || !allowed(s) || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if maxHops >= 0 && dist[u] >= maxHops {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if dist[v] != Unreachable || !allowed(v) {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents returns the connected components of the subgraph
+// induced by allowed. Components are listed in ascending order of their
+// smallest member; members appear in discovery order.
+func (g *Graph) ConnectedComponents(allowed func(int) bool) [][]int {
+	seen := make([]bool, len(g.Adj))
+	var comps [][]int
+	for start := range g.Adj {
+		if seen[start] || !allowed(start) {
+			continue
+		}
+		comp := []int{start}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, v := range g.Adj[comp[i]] {
+				if !seen[v] && allowed(v) {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ShortestPath returns one shortest path (by hop count) from u to v through
+// the subgraph induced by allowed, inclusive of both endpoints. Ties are
+// broken toward lower node IDs, making the result deterministic — the
+// CDM construction relies on all nodes agreeing on "the" shortest path.
+// It returns nil when no path exists.
+func (g *Graph) ShortestPath(u, v int, allowed func(int) bool) []int {
+	if u < 0 || u >= len(g.Adj) || v < 0 || v >= len(g.Adj) || !allowed(u) || !allowed(v) {
+		return nil
+	}
+	if u == v {
+		return []int{u}
+	}
+	parent := make([]int, len(g.Adj))
+	dist := make([]int, len(g.Adj))
+	for i := range parent {
+		parent[i] = Unreachable
+		dist[i] = Unreachable
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 && dist[v] == Unreachable {
+		cur := queue[0]
+		queue = queue[1:]
+		// Deterministic expansion: visit neighbors in ascending ID so
+		// the parent of each node is the lowest-ID predecessor at its
+		// BFS depth. Adjacency lists are sorted by the builders in
+		// this repo; sort defensively only if needed would cost more
+		// than it buys here.
+		for _, nxt := range g.Adj[cur] {
+			if dist[nxt] != Unreachable || !allowed(nxt) {
+				continue
+			}
+			dist[nxt] = dist[cur] + 1
+			parent[nxt] = cur
+			queue = append(queue, nxt)
+		}
+	}
+	if dist[v] == Unreachable {
+		return nil
+	}
+	path := []int{v}
+	for cur := v; cur != u; {
+		cur = parent[cur]
+		path = append(path, cur)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// HopDistance returns the hop distance between u and v through the subgraph
+// induced by allowed, or Unreachable when disconnected.
+func (g *Graph) HopDistance(u, v int, allowed func(int) bool) int {
+	if u == v {
+		if u >= 0 && u < len(g.Adj) && allowed(u) {
+			return 0
+		}
+		return Unreachable
+	}
+	dist := g.BFSHops([]int{u}, allowed, -1)
+	if v < 0 || v >= len(dist) {
+		return Unreachable
+	}
+	return dist[v]
+}

@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// path builds a path graph 0-1-2-...-n-1.
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// grid builds a w×h grid graph; node (x,y) has index y*w+x.
+func gridGraph(w, h int) *Graph {
+	g := New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x+1 < w {
+				g.AddEdge(i, i+1)
+			}
+			if y+1 < h {
+				g.AddEdge(i, i+w)
+			}
+		}
+	}
+	return g
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("Degree(0) = %d", g.Degree(0))
+	}
+	if g.AvgDegree() != 2 {
+		t.Errorf("AvgDegree = %v", g.AvgDegree())
+	}
+	if New(0).AvgDegree() != 0 {
+		t.Error("empty graph AvgDegree != 0")
+	}
+}
+
+func TestBFSHopsPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := g.BFSHops([]int{0}, All, -1)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+}
+
+func TestBFSHopsMaxHops(t *testing.T) {
+	g := pathGraph(6)
+	dist := g.BFSHops([]int{0}, All, 2)
+	want := []int{0, 1, 2, Unreachable, Unreachable, Unreachable}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestBFSHopsMultiSource(t *testing.T) {
+	g := pathGraph(7)
+	dist := g.BFSHops([]int{0, 6}, All, -1)
+	want := []int{0, 1, 2, 3, 2, 1, 0}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestBFSHopsFiltered(t *testing.T) {
+	g := pathGraph(5)
+	blocked := func(i int) bool { return i != 2 }
+	dist := g.BFSHops([]int{0}, blocked, -1)
+	if dist[2] != Unreachable || dist[3] != Unreachable || dist[4] != Unreachable {
+		t.Errorf("filter violated: %v", dist)
+	}
+	// A source rejected by the filter contributes nothing.
+	dist = g.BFSHops([]int{2}, blocked, -1)
+	for i, d := range dist {
+		if d != Unreachable {
+			t.Errorf("rejected source reached node %d (dist %d)", i, d)
+		}
+	}
+	// Out-of-range sources are ignored, and duplicates are harmless.
+	dist = g.BFSHops([]int{-1, 99, 0, 0}, All, -1)
+	if dist[0] != 0 || dist[4] != 4 {
+		t.Errorf("robust sources: %v", dist)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5, 6 isolated.
+	comps := g.ConnectedComponents(All)
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1]), len(comps[2]), len(comps[3])}
+	want := []int{3, 2, 1, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("component %d size = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestConnectedComponentsFiltered(t *testing.T) {
+	g := pathGraph(5)
+	// Excluding node 2 splits the path in two.
+	comps := g.ConnectedComponents(func(i int) bool { return i != 2 })
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+		for _, v := range c {
+			if v == 2 {
+				t.Error("filtered node appears in a component")
+			}
+		}
+	}
+	if total != 4 {
+		t.Errorf("total member count = %d, want 4", total)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := gridGraph(4, 4)
+	path := g.ShortestPath(0, 15, All)
+	if len(path) != 7 { // 6 hops on a 4x4 grid corner to corner
+		t.Fatalf("path length = %d, want 7: %v", len(path), path)
+	}
+	if path[0] != 0 || path[len(path)-1] != 15 {
+		t.Errorf("endpoints wrong: %v", path)
+	}
+	// Consecutive nodes must be adjacent.
+	for i := 0; i+1 < len(path); i++ {
+		adjacent := false
+		for _, v := range g.Adj[path[i]] {
+			if v == path[i+1] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Errorf("non-adjacent step %d -> %d", path[i], path[i+1])
+		}
+	}
+}
+
+func TestShortestPathEdgeCases(t *testing.T) {
+	g := pathGraph(4)
+	if p := g.ShortestPath(1, 1, All); len(p) != 1 || p[0] != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	if p := g.ShortestPath(0, 3, func(i int) bool { return i != 2 }); p != nil {
+		t.Errorf("blocked path = %v, want nil", p)
+	}
+	if p := g.ShortestPath(-1, 2, All); p != nil {
+		t.Errorf("bad source path = %v", p)
+	}
+	if p := g.ShortestPath(0, 99, All); p != nil {
+		t.Errorf("bad target path = %v", p)
+	}
+	if p := g.ShortestPath(2, 2, func(i int) bool { return false }); p != nil {
+		t.Errorf("filtered self path = %v", p)
+	}
+}
+
+func TestShortestPathDeterministic(t *testing.T) {
+	g := gridGraph(5, 5)
+	first := g.ShortestPath(0, 24, All)
+	for i := 0; i < 10; i++ {
+		again := g.ShortestPath(0, 24, All)
+		if len(again) != len(first) {
+			t.Fatalf("nondeterministic length: %v vs %v", again, first)
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("nondeterministic path: %v vs %v", again, first)
+			}
+		}
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := pathGraph(6)
+	if d := g.HopDistance(0, 5, All); d != 5 {
+		t.Errorf("HopDistance = %d, want 5", d)
+	}
+	if d := g.HopDistance(3, 3, All); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	if d := g.HopDistance(0, 5, func(i int) bool { return i != 3 }); d != Unreachable {
+		t.Errorf("blocked distance = %d", d)
+	}
+	if d := g.HopDistance(3, 3, func(i int) bool { return false }); d != Unreachable {
+		t.Errorf("filtered self distance = %d", d)
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges —
+// |dist(u) - dist(v)| <= 1 for every edge (u,v) with both ends reached.
+func TestBFSDistanceLipschitzProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(70)
+		g := New(n)
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		src := rng.Intn(n)
+		dist := g.BFSHops([]int{src}, All, -1)
+		for u := range g.Adj {
+			for _, v := range g.Adj[u] {
+				du, dv := dist[u], dist[v]
+				if du == Unreachable || dv == Unreachable {
+					if du != dv {
+						t.Fatalf("edge (%d,%d) crosses reachability boundary", u, v)
+					}
+					continue
+				}
+				if du-dv > 1 || dv-du > 1 {
+					t.Fatalf("edge (%d,%d) violates Lipschitz: %d vs %d", u, v, du, dv)
+				}
+			}
+		}
+	}
+}
+
+// Property: shortest-path length equals BFS hop distance.
+func TestShortestPathLengthMatchesBFSProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(40)
+		g := New(n)
+		for e := 0; e < 2*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		want := g.HopDistance(u, v, All)
+		path := g.ShortestPath(u, v, All)
+		if want == Unreachable {
+			if path != nil {
+				t.Fatalf("path found for unreachable pair: %v", path)
+			}
+			continue
+		}
+		if len(path)-1 != want {
+			t.Fatalf("path length %d, BFS distance %d", len(path)-1, want)
+		}
+	}
+}

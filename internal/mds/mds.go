@@ -1,0 +1,409 @@
+// Package mds implements multidimensional-scaling localization for one-hop
+// neighborhoods, the local-coordinate substrate of Algorithm 1 step (I). The
+// paper adopts the improved MDS-based localization of Shang & Ruml [31]; this
+// package follows the same recipe: complete the partial (measured) distance
+// matrix with local shortest paths, run classical MDS on the double-centered
+// squared-distance matrix, and optionally refine with SMACOF stress
+// majorization using only the actually measured pairs.
+//
+// Coordinates produced here are local: they are determined only up to a
+// rigid motion and reflection, which is all Unit Ball Fitting needs (an
+// empty ball is empty in any rigid frame).
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Options configures Localize.
+type Options struct {
+	// Dims is the embedding dimension. The zero value means 3.
+	Dims int
+	// SmacofIterations refines the classical-MDS solution with this many
+	// stress-majorization sweeps over the measured pairs. Zero disables
+	// refinement. Negative is invalid.
+	SmacofIterations int
+	// MinRho guards the SMACOF update against coincident points. The
+	// zero value means 1e-9.
+	MinRho float64
+	// Restarts adds this many extra SMACOF runs from randomly perturbed
+	// initial configurations (deterministic, seeded by RestartSeed),
+	// keeping the lowest-stress result. Classical MDS on the
+	// shortest-path-completed matrix is a biased initializer, and
+	// SMACOF's majorization is prone to local minima on sparse
+	// neighborhoods; a few restarts recover most of them. Zero disables
+	// restarts.
+	Restarts int
+	// RestartSeed seeds the restart perturbations.
+	RestartSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dims == 0 {
+		o.Dims = 3
+	}
+	if o.MinRho == 0 {
+		o.MinRho = 1e-9
+	}
+	return o
+}
+
+// ErrBadOptions is returned for invalid option values.
+var ErrBadOptions = errors.New("mds: invalid options")
+
+// ErrDisconnected is returned when shortest-path completion cannot fill the
+// distance matrix — the points do not form a connected measurement graph.
+// For the closed one-hop neighborhoods this library localizes, the center
+// node measures every member, so this indicates a caller bug.
+var ErrDisconnected = errors.New("mds: measurement graph is disconnected")
+
+// DistFunc reports the measured distance between members a and b of the
+// point set being localized (indices in [0, n)), with ok=false when the
+// pair was not measured. It must be symmetric; Localize queries each
+// unordered pair once with a < b.
+type DistFunc func(a, b int) (float64, bool)
+
+// Localize embeds n points into Options.Dims-dimensional coordinates from
+// partial pairwise distance measurements. The result coordinates are in an
+// arbitrary rigid frame.
+func Localize(n int, dist DistFunc, opts Options) ([]geom.Vec3, error) {
+	opts = opts.withDefaults()
+	if opts.Dims < 1 || opts.Dims > 3 || opts.SmacofIterations < 0 || opts.Restarts < 0 {
+		return nil, ErrBadOptions
+	}
+	switch n {
+	case 0:
+		return nil, nil
+	case 1:
+		return []geom.Vec3{geom.Zero}, nil
+	}
+
+	d, observed := buildMatrix(n, dist)
+	if err := completeShortestPaths(d); err != nil {
+		return nil, err
+	}
+	coords, err := classical(d, opts.Dims)
+	if err != nil {
+		return nil, fmt.Errorf("classical MDS: %w", err)
+	}
+	if opts.SmacofIterations == 0 {
+		return coords, nil
+	}
+	smacof(coords, d, observed, opts)
+	if opts.Restarts == 0 {
+		return coords, nil
+	}
+
+	// Restarted refinement: perturb the best-known configuration and
+	// re-majorize, keeping whichever run fits the measured distances
+	// best. The perturbation magnitude is a fraction of the
+	// configuration's spread, enough to hop out of a reflection-trapped
+	// local minimum.
+	best := coords
+	bestStress := stressAgainst(best, d, observed)
+	rng := rand.New(rand.NewSource(opts.RestartSeed + int64(n)*1_000_003))
+	spread := 0.0
+	for _, c := range coords {
+		spread = math.Max(spread, c.Norm())
+	}
+	if spread == 0 {
+		spread = 1
+	}
+	for r := 0; r < opts.Restarts; r++ {
+		trial := make([]geom.Vec3, n)
+		for i := range trial {
+			trial[i] = best[i].Add(geom.RandomUnitVector(rng).Scale(0.4 * spread * rng.Float64()))
+		}
+		smacof(trial, d, observed, opts)
+		if s := stressAgainst(trial, d, observed); s < bestStress {
+			best, bestStress = trial, s
+		}
+	}
+	return best, nil
+}
+
+// stressAgainst is raw (unnormalized) stress over the observed pairs.
+func stressAgainst(coords []geom.Vec3, d [][]float64, observed [][]bool) float64 {
+	var sum float64
+	for a := range coords {
+		for b := a + 1; b < len(coords); b++ {
+			if !observed[a][b] {
+				continue
+			}
+			rho := coords[a].Dist(coords[b])
+			sum += (rho - d[a][b]) * (rho - d[a][b])
+		}
+	}
+	return sum
+}
+
+// buildMatrix assembles the symmetric distance matrix with +Inf for
+// unmeasured pairs, alongside an observation mask.
+func buildMatrix(n int, dist DistFunc) ([][]float64, [][]bool) {
+	d := make([][]float64, n)
+	observed := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		d[i] = make([]float64, n)
+		observed[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if v, ok := dist(a, b); ok {
+				d[a][b], d[b][a] = v, v
+				observed[a][b], observed[b][a] = true, true
+			}
+		}
+	}
+	return d, observed
+}
+
+// completeShortestPaths runs Floyd–Warshall in place, replacing +Inf
+// entries with shortest measured-path sums. Neighborhood matrices are tiny
+// (≈ degree+1 rows), so the cubic cost is negligible.
+func completeShortestPaths(d [][]float64) error {
+	n := len(d)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if via := dik + d[k][j]; via < d[i][j] {
+					d[i][j], d[j][i] = via, via
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.IsInf(d[i][j], 1) {
+				return ErrDisconnected
+			}
+		}
+	}
+	return nil
+}
+
+// classical performs classical (Torgerson) MDS: eigendecompose the
+// double-centered squared-distance matrix and scale the top eigenvectors.
+func classical(d [][]float64, dims int) ([]geom.Vec3, error) {
+	n := len(d)
+	// B = -1/2 · J·D²·J with J = I - 11ᵀ/n, computed via row/column/grand
+	// means of the squared distances.
+	sq := make([][]float64, n)
+	rowMean := make([]float64, n)
+	var grand float64
+	for i := 0; i < n; i++ {
+		sq[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			sq[i][j] = d[i][j] * d[i][j]
+			rowMean[i] += sq[i][j]
+		}
+		rowMean[i] /= float64(n)
+		grand += rowMean[i]
+	}
+	grand /= float64(n)
+	b := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		b[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			b[i][j] = -0.5 * (sq[i][j] - rowMean[i] - rowMean[j] + grand)
+		}
+	}
+	vals, vecs, err := geom.SymmetricEigen(b)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([]geom.Vec3, n)
+	for axis := 0; axis < dims && axis < n; axis++ {
+		if vals[axis] <= 0 {
+			break // remaining axes carry no positive variance
+		}
+		scale := math.Sqrt(vals[axis])
+		for i := 0; i < n; i++ {
+			v := scale * vecs[axis][i]
+			switch axis {
+			case 0:
+				coords[i].X = v
+			case 1:
+				coords[i].Y = v
+			default:
+				coords[i].Z = v
+			}
+		}
+	}
+	return coords, nil
+}
+
+// smacof refines coordinates in place with the Guttman transform
+// X⁺ = V⁺·B(X)·X, the exact stress-majorization step, restricted to the
+// observed pairs (the actually measured one-hop distances), which are more
+// trustworthy than the shortest-path-completed entries. V is the weight
+// Laplacian; its pseudo-inverse is computed once per call. Stress decreases
+// monotonically under this update.
+func smacof(coords []geom.Vec3, d [][]float64, observed [][]bool, opts Options) {
+	n := len(coords)
+	// V = Laplacian of the observation weights (w_ab ∈ {0,1}).
+	v := make([][]float64, n)
+	anyObserved := false
+	for a := 0; a < n; a++ {
+		v[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			if a != b && observed[a][b] {
+				v[a][b] = -1
+				v[a][a]++
+				anyObserved = true
+			}
+		}
+	}
+	if !anyObserved {
+		return
+	}
+	vPinv, err := pseudoInverse(v)
+	if err != nil {
+		return // leave the classical-MDS solution in place
+	}
+
+	b := make([][]float64, n)
+	for a := range b {
+		b[a] = make([]float64, n)
+	}
+	y := make([]geom.Vec3, n)
+	for iter := 0; iter < opts.SmacofIterations; iter++ {
+		// B(X): b_ab = -w_ab·d_ab/ρ_ab off-diagonal, rows sum to zero.
+		for a := 0; a < n; a++ {
+			b[a][a] = 0
+			for c := 0; c < n; c++ {
+				if c == a || !observed[a][c] {
+					if c != a {
+						b[a][c] = 0
+					}
+					continue
+				}
+				rho := coords[a].Dist(coords[c])
+				if rho < opts.MinRho {
+					rho = opts.MinRho
+				}
+				b[a][c] = -d[a][c] / rho
+			}
+		}
+		for a := 0; a < n; a++ {
+			var diag float64
+			for c := 0; c < n; c++ {
+				if c != a {
+					diag -= b[a][c]
+				}
+			}
+			b[a][a] = diag
+		}
+		// Y = B·X, then X⁺ = V⁺·Y.
+		for a := 0; a < n; a++ {
+			var acc geom.Vec3
+			for c := 0; c < n; c++ {
+				acc = acc.Add(coords[c].Scale(b[a][c]))
+			}
+			y[a] = acc
+		}
+		for a := 0; a < n; a++ {
+			var acc geom.Vec3
+			for c := 0; c < n; c++ {
+				acc = acc.Add(y[c].Scale(vPinv[a][c]))
+			}
+			coords[a] = acc
+		}
+	}
+}
+
+// pseudoInverse computes the Moore–Penrose pseudo-inverse of a symmetric
+// matrix via its eigendecomposition, zeroing near-null directions (the
+// weight Laplacian is singular along translations).
+func pseudoInverse(m [][]float64) ([][]float64, error) {
+	n := len(m)
+	vals, vecs, err := geom.SymmetricEigen(m)
+	if err != nil {
+		return nil, err
+	}
+	var maxAbs float64
+	for _, v := range vals {
+		if math.Abs(v) > maxAbs {
+			maxAbs = math.Abs(v)
+		}
+	}
+	cutoff := 1e-10 * (maxAbs + 1)
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = make([]float64, n)
+	}
+	for k, v := range vals {
+		if math.Abs(v) <= cutoff {
+			continue
+		}
+		w := 1 / v
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				inv[i][j] += w * vecs[k][i] * vecs[k][j]
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Stress returns the normalized residual stress of an embedding against the
+// measured distances: sqrt( Σ(ρ_ab - d_ab)² / Σ d_ab² ) over measured pairs.
+// Zero means a perfect fit; it is the standard goodness-of-fit metric for
+// MDS localization.
+func Stress(coords []geom.Vec3, dist DistFunc) float64 {
+	var num, den float64
+	n := len(coords)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d, ok := dist(a, b)
+			if !ok {
+				continue
+			}
+			rho := coords[a].Dist(coords[b])
+			num += (rho - d) * (rho - d)
+			den += d * d
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// ResidualRMS returns the root-mean-square absolute residual |ρ_ab - d_ab|
+// over the measured pairs — the locally observable estimate of a frame's
+// coordinate uncertainty (in distance units). Nodes use it to size the
+// strict-interior tolerance of Unit Ball Fitting adaptively.
+func ResidualRMS(coords []geom.Vec3, dist DistFunc) float64 {
+	var num float64
+	count := 0
+	n := len(coords)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d, ok := dist(a, b)
+			if !ok {
+				continue
+			}
+			rho := coords[a].Dist(coords[b])
+			num += (rho - d) * (rho - d)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Sqrt(num / float64(count))
+}

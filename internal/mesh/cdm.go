@@ -1,0 +1,263 @@
+package mesh
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Edge is an undirected landmark pair, stored with Edge[0] < Edge[1].
+type Edge [2]int
+
+// mkEdge normalizes an edge.
+func mkEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// buildCDG computes the Combinatorial Delaunay Graph: landmarks are
+// adjacent when some boundary node of one Voronoi cell has a one-hop
+// neighbor in the other's cell (step II). Edges are returned sorted.
+func buildCDG(g *graph.Graph, lms *Landmarks, member func(int) bool) []Edge {
+	seen := make(map[Edge]bool)
+	var edges []Edge
+	for u := range g.Adj {
+		if !member(u) || lms.Assoc[u] == NoLandmark {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if !member(v) || lms.Assoc[v] == NoLandmark {
+				continue
+			}
+			if lms.Assoc[u] == lms.Assoc[v] {
+				continue
+			}
+			e := mkEdge(lms.Assoc[u], lms.Assoc[v])
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	sortEdges(edges)
+	return edges
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+}
+
+// cdmResult carries the planarized subgraph and its path bookkeeping.
+type cdmResult struct {
+	edges []Edge
+	// pathEdges records, per boundary node, the virtual edges whose
+	// accepted shortest path runs through it; step IV's connection
+	// packets are dropped at nodes carrying a virtual edge disjoint from
+	// the packet's own landmark pair (two edges sharing an endpoint
+	// cannot cross, so those do not block).
+	pathEdges map[int][]Edge
+	// paths records the accepted realization of each virtual edge.
+	paths map[Edge][]int
+}
+
+// claim records that edge e's path runs through every node of path.
+func (r *cdmResult) claim(e Edge, path []int) {
+	r.paths[e] = path
+	for _, u := range path {
+		r.pathEdges[u] = append(r.pathEdges[u], e)
+	}
+}
+
+// blocks reports whether node u carries a virtual edge disjoint from the
+// landmark pair (i, j) — the crossing-avoidance drop condition.
+func (r *cdmResult) blocks(u, i, j int) bool {
+	for _, e := range r.pathEdges[u] {
+		if e[0] != i && e[0] != j && e[1] != i && e[1] != j {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCDM filters CDG edges with the Funke–Milosavljević test (step III):
+// the landmark pair keeps its edge iff the shortest boundary path between
+// them visits only nodes associated with the two landmarks, first all of
+// one's, then all of the other's, with no interleaving. The resulting
+// Combinatorial Delaunay Map is planar on the boundary surface.
+func buildCDM(g *graph.Graph, lms *Landmarks, member func(int) bool, cdg []Edge) cdmResult {
+	res := cdmResult{
+		pathEdges: make(map[int][]Edge),
+		paths:     make(map[Edge][]int),
+	}
+	for _, e := range cdg {
+		path := g.ShortestPath(e[0], e[1], member)
+		if path == nil || !pathNonInterleaved(path, lms.Assoc, e[0], e[1]) {
+			continue
+		}
+		res.edges = append(res.edges, e)
+		res.claim(e, path)
+	}
+	return res
+}
+
+// pathNonInterleaved checks the CDM acceptance condition: every node on the
+// path belongs to landmark i or j, as a run of i-associated nodes followed
+// by a run of j-associated nodes.
+func pathNonInterleaved(path []int, assoc []int, i, j int) bool {
+	// The path starts at landmark i, so the first run must be i's.
+	first, second := i, j
+	if len(path) > 0 && assoc[path[0]] == j {
+		first, second = j, i
+	}
+	switched := false
+	for _, u := range path {
+		a := assoc[u]
+		switch {
+		case a == first && !switched:
+			// still in the first run
+		case a == second:
+			switched = true
+		case a == first && switched:
+			return false // interleaving: back to the first landmark's run
+		default:
+			return false // foreign cell on the path
+		}
+	}
+	return true
+}
+
+// triangulate performs step IV: route a connection packet along the
+// shortest boundary path for every not-yet-connected nearby landmark pair;
+// the packet is dropped at any intermediate node already carrying a virtual
+// edge disjoint from the pair (crossing avoidance); otherwise the edge is
+// added and its path nodes claimed.
+//
+// Candidates are the unconnected CDG pairs plus the pairs at distance two
+// in the CDG (landmarks sharing a CDG neighbor): when four or more Voronoi
+// cells meet around a corner, the CDM leaves a polygon whose diagonals
+// connect cells that are not edge-adjacent, so restricting to CDG pairs
+// could never split those polygons into triangles. Candidates are processed
+// shortest-realization first, ties broken lexicographically, making the
+// greedy fill deterministic.
+func triangulate(g *graph.Graph, member func(int) bool, cdg []Edge, cdm *cdmResult, edgeSet, forbidden map[Edge]bool) []Edge {
+	adj := make(map[int]map[int]bool)
+	link := func(e Edge) {
+		edgeSet[e] = true
+		if adj[e[0]] == nil {
+			adj[e[0]] = make(map[int]bool)
+		}
+		if adj[e[1]] == nil {
+			adj[e[1]] = make(map[int]bool)
+		}
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	for e := range edgeSet {
+		link(e)
+	}
+	// faceCount tracks how many triangles each connected edge borders;
+	// the fill below never pushes any edge past two.
+	faceCount := make(map[Edge]int)
+	for _, f := range enumerateFaces(edgesFromSet(edgeSet)) {
+		faceCount[mkEdge(f[0], f[1])]++
+		faceCount[mkEdge(f[0], f[2])]++
+		faceCount[mkEdge(f[1], f[2])]++
+	}
+
+	commonNbrs := func(a, b int) []int {
+		var out []int
+		for c := range adj[a] {
+			if adj[b][c] {
+				out = append(out, c)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	// tryAdd accepts a candidate edge when it was never retired by a
+	// flip, its realization is not blocked by a crossing path, and every
+	// triangle it completes keeps all involved edges within the two-face
+	// budget.
+	tryAdd := func(e Edge) bool {
+		if edgeSet[e] || forbidden[e] {
+			return false
+		}
+		corners := commonNbrs(e[0], e[1])
+		if len(corners) == 0 || len(corners) > 2 {
+			return false
+		}
+		for _, c := range corners {
+			if faceCount[mkEdge(e[0], c)]+1 > 2 || faceCount[mkEdge(e[1], c)]+1 > 2 {
+				return false
+			}
+		}
+		path := g.ShortestPath(e[0], e[1], member)
+		if path == nil {
+			return false
+		}
+		for _, u := range path[1 : len(path)-1] {
+			if cdm.blocks(u, e[0], e[1]) {
+				return false
+			}
+		}
+		link(e)
+		for _, c := range corners {
+			faceCount[e]++
+			faceCount[mkEdge(e[0], c)]++
+			faceCount[mkEdge(e[1], c)]++
+		}
+		cdm.claim(e, path)
+		return true
+	}
+
+	var added []Edge
+	// Pass 1: unconnected CDG pairs (cell-adjacent landmarks), the
+	// paper's candidates, in sorted order.
+	for _, e := range cdg {
+		if tryAdd(e) {
+			added = append(added, e)
+		}
+	}
+	// Pass 2 (iterated to a fixpoint): pairs at distance two in the
+	// current overlay — the polygon diagonals. When four or more Voronoi
+	// cells meet around a corner the CDM leaves a polygon whose
+	// diagonals connect cells that are not edge-adjacent, so CDG pairs
+	// alone can never finish the triangulation.
+	for {
+		progress := false
+		var verts []int
+		for v := range adj {
+			verts = append(verts, v)
+		}
+		sort.Ints(verts)
+		for _, mid := range verts {
+			var nbrs []int
+			for u := range adj[mid] {
+				nbrs = append(nbrs, u)
+			}
+			sort.Ints(nbrs)
+			for x := 0; x < len(nbrs); x++ {
+				for y := x + 1; y < len(nbrs); y++ {
+					e := mkEdge(nbrs[x], nbrs[y])
+					if tryAdd(e) {
+						added = append(added, e)
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	sortEdges(added)
+	return added
+}

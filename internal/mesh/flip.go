@@ -1,0 +1,188 @@
+package mesh
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Face is a triangle of landmark IDs, stored ascending.
+type Face [3]int
+
+func mkFace(a, b, c int) Face {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Face{a, b, c}
+}
+
+// enumerateFaces lists the 3-cliques of the virtual-edge graph — the
+// triangular faces of the mesh.
+func enumerateFaces(edges []Edge) []Face {
+	adj := make(map[int]map[int]bool)
+	addDir := func(a, b int) {
+		if adj[a] == nil {
+			adj[a] = make(map[int]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, e := range edges {
+		addDir(e[0], e[1])
+		addDir(e[1], e[0])
+	}
+	seen := make(map[Face]bool)
+	var faces []Face
+	for _, e := range edges {
+		for c := range adj[e[0]] {
+			if c == e[1] || !adj[e[1]][c] {
+				continue
+			}
+			f := mkFace(e[0], e[1], c)
+			if !seen[f] {
+				seen[f] = true
+				faces = append(faces, f)
+			}
+		}
+	}
+	sort.Slice(faces, func(i, j int) bool {
+		if faces[i][0] != faces[j][0] {
+			return faces[i][0] < faces[j][0]
+		}
+		if faces[i][1] != faces[j][1] {
+			return faces[i][1] < faces[j][1]
+		}
+		return faces[i][2] < faces[j][2]
+	})
+	return faces
+}
+
+// faceCorners maps each edge to the third vertices of its incident faces.
+func faceCorners(faces []Face) map[Edge][]int {
+	corners := make(map[Edge][]int)
+	for _, f := range faces {
+		corners[mkEdge(f[0], f[1])] = append(corners[mkEdge(f[0], f[1])], f[2])
+		corners[mkEdge(f[0], f[2])] = append(corners[mkEdge(f[0], f[2])], f[1])
+		corners[mkEdge(f[1], f[2])] = append(corners[mkEdge(f[1], f[2])], f[0])
+	}
+	return corners
+}
+
+// flipEdges performs step V: while some edge borders three or more
+// triangles, remove it and reconnect the triangles' far corners with their
+// shortest mutual edges (hop distance through the boundary subgraph). For
+// the paper's three-face case this adds the two shortest of the three
+// corner pairs — removing the over-shared edge AB and replacing it with,
+// e.g., CD and DE (Fig. 5); the general rule is the corners' minimum
+// spanning tree, which coincides with the paper's rule at three corners.
+// maxIter bounds the loop.
+//
+// Returns the final edge set and the number of flips applied.
+func flipEdges(g *graph.Graph, member func(int) bool, edges []Edge, maxIter int) ([]Edge, int) {
+	edgeSet := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		edgeSet[e] = true
+	}
+	flips := flipPass(g, member, edgeSet, make(map[Edge]bool), maxIter)
+	return edgesFromSet(edgeSet), flips
+}
+
+// flipPass mutates edgeSet in place, marking every retired edge in removed.
+// Monotonicity — an edge in removed is never re-added, here or by later
+// triangulation passes — guarantees termination and prevents the
+// oscillation a naive flip loop exhibits.
+func flipPass(g *graph.Graph, member func(int) bool, edgeSet, removed map[Edge]bool, maxIter int) int {
+	flips := 0
+	for iter := 0; iter < maxIter; iter++ {
+		cur := edgesFromSet(edgeSet)
+		corners := faceCorners(enumerateFaces(cur))
+		// Deterministic pick: the smallest over-shared edge.
+		var bad *Edge
+		for _, e := range cur {
+			if len(corners[e]) >= 3 {
+				e := e
+				bad = &e
+				break
+			}
+		}
+		if bad == nil {
+			return flips
+		}
+		delete(edgeSet, *bad)
+		removed[*bad] = true
+		flips++
+		// Connect the far corners by their hop-distance MST.
+		cs := append([]int(nil), corners[*bad]...)
+		sort.Ints(cs)
+		for _, e := range cornerMST(g, member, cs) {
+			if !removed[e] {
+				edgeSet[e] = true
+			}
+		}
+	}
+	return flips
+}
+
+func edgesFromSet(set map[Edge]bool) []Edge {
+	out := make([]Edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}
+
+// cornerMST returns the minimum-spanning-tree edges over the given corner
+// landmarks, weighted by hop distance through the boundary subgraph
+// (unreachable pairs get a large finite weight so the tree still spans).
+func cornerMST(g *graph.Graph, member func(int) bool, corners []int) []Edge {
+	n := len(corners)
+	if n < 2 {
+		return nil
+	}
+	const unreachableWeight = 1 << 30
+	weight := func(a, b int) int {
+		d := g.HopDistance(corners[a], corners[b], member)
+		if d == graph.Unreachable {
+			return unreachableWeight
+		}
+		return d
+	}
+	inTree := make([]bool, n)
+	bestW := make([]int, n)
+	bestTo := make([]int, n)
+	for i := range bestW {
+		bestW[i] = unreachableWeight + 1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		bestW[j] = weight(0, j)
+		bestTo[j] = 0
+	}
+	var out []Edge
+	for added := 1; added < n; added++ {
+		pick := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (pick == -1 || bestW[j] < bestW[pick]) {
+				pick = j
+			}
+		}
+		inTree[pick] = true
+		out = append(out, mkEdge(corners[bestTo[pick]], corners[pick]))
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if w := weight(pick, j); w < bestW[j] {
+					bestW[j] = w
+					bestTo[j] = pick
+				}
+			}
+		}
+	}
+	sortEdges(out)
+	return out
+}

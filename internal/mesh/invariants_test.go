@@ -1,0 +1,108 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+// TestBuildInvariantsAcrossSeeds sweeps deployments and mesh granularities
+// and checks the structural invariants every Build result must satisfy,
+// regardless of how well the mesh closes:
+//
+//  1. landmarks are pairwise more than k hops apart (through the group);
+//  2. every group node is within k hops of its landmark;
+//  3. CDM ⊆ CDG;
+//  4. no edge borders three or more faces (the step-V postcondition);
+//  5. every virtual-edge path stays inside the group;
+//  6. quality counters are mutually consistent.
+func TestBuildInvariantsAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		net, err := netgen.Generate(netgen.Config{
+			Shape:           shapes.NewBall(geom.Zero, 3.2),
+			SurfaceNodes:    300,
+			InteriorNodes:   800,
+			TargetAvgDegree: 18,
+			Seed:            seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := core.Detect(net, nil, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 4} {
+			for _, group := range det.Groups {
+				s, err := Build(net.G, group, Config{K: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkInvariants(t, net.G, s, k, seed)
+			}
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, g *graph.Graph, s *Surface, k int, seed int64) {
+	t.Helper()
+	inGroup := make([]bool, g.Len())
+	for _, v := range s.Group {
+		inGroup[v] = true
+	}
+	member := graph.InSet(inGroup)
+
+	// 1. landmark separation.
+	for a := 0; a < len(s.Landmarks.IDs); a++ {
+		for b := a + 1; b < len(s.Landmarks.IDs); b++ {
+			if d := g.HopDistance(s.Landmarks.IDs[a], s.Landmarks.IDs[b], member); d != graph.Unreachable && d <= k {
+				t.Fatalf("seed %d k %d: landmarks %d hops apart", seed, k, d)
+			}
+		}
+	}
+	// 2. association radius.
+	for _, v := range s.Group {
+		if s.Landmarks.Hops[v] == graph.Unreachable || s.Landmarks.Hops[v] > k {
+			t.Fatalf("seed %d k %d: node %d is %d hops from its landmark", seed, k, v, s.Landmarks.Hops[v])
+		}
+	}
+	// 3. CDM subset of CDG.
+	cdg := make(map[Edge]bool, len(s.CDG))
+	for _, e := range s.CDG {
+		cdg[e] = true
+	}
+	for _, e := range s.CDM {
+		if !cdg[e] {
+			t.Fatalf("seed %d k %d: CDM edge %v outside CDG", seed, k, e)
+		}
+	}
+	// 4. two-face budget.
+	for e, corners := range faceCorners(s.Faces) {
+		if len(corners) > 2 {
+			t.Fatalf("seed %d k %d: edge %v borders %d faces", seed, k, e, len(corners))
+		}
+	}
+	// 5. paths stay in the group.
+	for e, path := range s.Paths {
+		for _, u := range path {
+			if !inGroup[u] {
+				t.Fatalf("seed %d k %d: path of %v leaves the group at %d", seed, k, e, u)
+			}
+		}
+	}
+	// 6. quality consistency.
+	q := s.Quality
+	if q.V != len(s.Landmarks.IDs) || q.E != len(s.Edges) || q.F != len(s.Faces) {
+		t.Fatalf("seed %d k %d: quality counts inconsistent: %v", seed, k, q)
+	}
+	if q.Euler != q.V-q.E+q.F {
+		t.Fatalf("seed %d k %d: euler inconsistent: %v", seed, k, q)
+	}
+	if q.NonManifoldEdges != 0 {
+		t.Fatalf("seed %d k %d: non-manifold edges survived flips: %v", seed, k, q)
+	}
+}

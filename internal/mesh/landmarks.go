@@ -1,0 +1,105 @@
+// Package mesh constructs locally planarized triangular boundary surfaces
+// from identified boundary nodes — Sec. III of the paper. The five steps:
+//
+//  1. landmark election, k hops apart, with every boundary node associated
+//     to its closest landmark (approximate Voronoi cells);
+//  2. the Combinatorial Delaunay Graph (CDG): neighboring landmarks, the
+//     dual of the Voronoi cells — generally non-planar;
+//  3. the Combinatorial Delaunay Map (CDM): the CDG filtered by the
+//     non-interleaving shortest-path test of Funke & Milosavljević, which
+//     provably yields a planar subgraph;
+//  4. triangulation: additional non-crossing virtual edges split remaining
+//     polygons into triangles;
+//  5. edge flip: edges bordering three triangles are replaced so every
+//     edge borders at most two — a locally planarized 2-manifold.
+//
+// All steps operate on the boundary subgraph with hop counts only
+// (connectivity-based, no coordinates), exactly as in the paper.
+package mesh
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrBadK is returned when the landmark spacing is not positive.
+var ErrBadK = errors.New("mesh: landmark spacing k must be >= 1")
+
+// NoLandmark marks boundary nodes with no reachable landmark and
+// non-boundary nodes in association tables.
+const NoLandmark = -1
+
+// Landmarks holds the election outcome for one boundary group.
+type Landmarks struct {
+	// IDs lists the elected landmark node IDs, ascending.
+	IDs []int
+	// Assoc maps every node to its landmark's node ID (NoLandmark for
+	// nodes outside the boundary group). Ties in hop distance break
+	// toward the smaller landmark ID, as the paper prescribes.
+	Assoc []int
+	// Hops is each node's hop distance to its landmark (through
+	// boundary nodes only); Unreachable outside the group.
+	Hops []int
+}
+
+// ElectLandmarks picks a k-hop-separated landmark subset of one boundary
+// group and associates every group member with its closest landmark.
+//
+// The election is the deterministic lowest-ID greedy rule on the k-hop
+// power graph: a node becomes a landmark unless a smaller-ID landmark
+// already exists within k hops. This is the outcome of the standard
+// distributed lowest-ID maximal-independent-set election the paper cites
+// (GLIDER's landmark selection), computed here directly.
+func ElectLandmarks(g *graph.Graph, group []int, k int) (*Landmarks, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	inGroup := make([]bool, g.Len())
+	for _, v := range group {
+		inGroup[v] = true
+	}
+	member := graph.InSet(inGroup)
+
+	sorted := append([]int(nil), group...)
+	sort.Ints(sorted)
+
+	covered := make([]bool, g.Len())
+	var ids []int
+	for _, v := range sorted {
+		if covered[v] {
+			continue
+		}
+		ids = append(ids, v)
+		dist := g.BFSHops([]int{v}, member, k)
+		for u, d := range dist {
+			if d != graph.Unreachable {
+				covered[u] = true
+			}
+		}
+	}
+
+	assoc := make([]int, g.Len())
+	hops := make([]int, g.Len())
+	for i := range assoc {
+		assoc[i] = NoLandmark
+		hops[i] = graph.Unreachable
+	}
+	// Closest-landmark association with smallest-ID tiebreak: BFS from
+	// each landmark in ascending ID order, claiming strictly closer
+	// nodes only.
+	for _, lm := range ids {
+		dist := g.BFSHops([]int{lm}, member, -1)
+		for u, d := range dist {
+			if d == graph.Unreachable {
+				continue
+			}
+			if hops[u] == graph.Unreachable || d < hops[u] {
+				hops[u] = d
+				assoc[u] = lm
+			}
+		}
+	}
+	return &Landmarks{IDs: ids, Assoc: assoc, Hops: hops}, nil
+}

@@ -1,0 +1,317 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func ringGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	for i := range g.Adj {
+		sortInts(g.Adj[i])
+	}
+	return g
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestElectLandmarksRing(t *testing.T) {
+	g := ringGraph(12)
+	lms, err := ElectLandmarks(g, seq(12), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 4, 8}
+	if len(lms.IDs) != len(want) {
+		t.Fatalf("landmarks = %v, want %v", lms.IDs, want)
+	}
+	for i := range want {
+		if lms.IDs[i] != want[i] {
+			t.Fatalf("landmarks = %v, want %v", lms.IDs, want)
+		}
+	}
+	// Tie at node 2 (2 hops to both 0 and 4) breaks to the smaller ID.
+	if lms.Assoc[2] != 0 {
+		t.Errorf("assoc[2] = %d, want 0", lms.Assoc[2])
+	}
+	if lms.Assoc[6] != 4 {
+		t.Errorf("assoc[6] = %d, want 4", lms.Assoc[6])
+	}
+	if lms.Hops[5] != 1 {
+		t.Errorf("hops[5] = %d, want 1", lms.Hops[5])
+	}
+	// Landmarks associate with themselves at distance zero.
+	for _, lm := range lms.IDs {
+		if lms.Assoc[lm] != lm || lms.Hops[lm] != 0 {
+			t.Errorf("landmark %d self-association broken", lm)
+		}
+	}
+}
+
+func TestElectLandmarksSeparation(t *testing.T) {
+	// Property: no two landmarks within k hops of each other, and every
+	// group node within k hops of some landmark.
+	g := ringGraph(30)
+	for _, k := range []int{1, 2, 3, 5} {
+		lms, err := ElectLandmarks(g, seq(30), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		member := graph.All
+		for a := 0; a < len(lms.IDs); a++ {
+			for b := a + 1; b < len(lms.IDs); b++ {
+				if d := g.HopDistance(lms.IDs[a], lms.IDs[b], member); d <= k {
+					t.Errorf("k=%d: landmarks %d,%d only %d hops apart", k, lms.IDs[a], lms.IDs[b], d)
+				}
+			}
+		}
+		for v := 0; v < 30; v++ {
+			if lms.Assoc[v] == NoLandmark {
+				t.Errorf("k=%d: node %d unassociated", k, v)
+			}
+			if lms.Hops[v] > k {
+				t.Errorf("k=%d: node %d is %d hops from its landmark", k, v, lms.Hops[v])
+			}
+		}
+	}
+}
+
+func TestElectLandmarksValidation(t *testing.T) {
+	g := ringGraph(5)
+	if _, err := ElectLandmarks(g, seq(5), 0); err != ErrBadK {
+		t.Errorf("err = %v, want ErrBadK", err)
+	}
+}
+
+func TestElectLandmarksRestrictedGroup(t *testing.T) {
+	g := pathGraph(10)
+	group := []int{0, 1, 2, 3} // only a prefix participates
+	lms, err := ElectLandmarks(g, group, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 4; v < 10; v++ {
+		if lms.Assoc[v] != NoLandmark {
+			t.Errorf("non-member %d associated to %d", v, lms.Assoc[v])
+		}
+	}
+	if lms.Assoc[0] == NoLandmark || lms.Assoc[3] == NoLandmark {
+		t.Error("members unassociated")
+	}
+}
+
+func TestPathNonInterleaved(t *testing.T) {
+	//            0  1  2  3  4
+	assoc := []int{7, 7, 7, 9, 9}
+	if !pathNonInterleaved([]int{0, 1, 2, 3, 4}, assoc, 7, 9) {
+		t.Error("clean two-run path rejected")
+	}
+	assocInterleaved := []int{7, 9, 7, 9, 9}
+	if pathNonInterleaved([]int{0, 1, 2, 3, 4}, assocInterleaved, 7, 9) {
+		t.Error("interleaved path accepted")
+	}
+	assocForeign := []int{7, 7, 5, 9, 9}
+	if pathNonInterleaved([]int{0, 1, 2, 3, 4}, assocForeign, 7, 9) {
+		t.Error("path through a foreign cell accepted")
+	}
+}
+
+func TestEnumerateFacesTetrahedron(t *testing.T) {
+	edges := []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	faces := enumerateFaces(edges)
+	if len(faces) != 4 {
+		t.Fatalf("tetrahedron has %d faces, want 4", len(faces))
+	}
+	q := evaluateQuality([]int{0, 1, 2, 3}, edges, faces)
+	if q.Euler != 2 {
+		t.Errorf("tetrahedron euler = %d, want 2", q.Euler)
+	}
+	if !q.Closed2Manifold {
+		t.Errorf("tetrahedron not closed: %v", q)
+	}
+}
+
+// octahedron returns the edge list of the octahedron with poles 0, 5 and
+// equator 1-2-3-4.
+func octahedron() []Edge {
+	return []Edge{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4},
+		{1, 5}, {2, 5}, {3, 5}, {4, 5},
+		{1, 2}, {2, 3}, {3, 4}, {1, 4},
+	}
+}
+
+func TestEnumerateFacesOctahedron(t *testing.T) {
+	faces := enumerateFaces(octahedron())
+	if len(faces) != 8 {
+		t.Fatalf("octahedron has %d faces, want 8", len(faces))
+	}
+	q := evaluateQuality([]int{0, 1, 2, 3, 4, 5}, octahedron(), faces)
+	if q.Euler != 2 || !q.Closed2Manifold {
+		t.Errorf("octahedron quality: %v", q)
+	}
+}
+
+func TestQualityDetectsDefects(t *testing.T) {
+	// A single triangle: three border edges, not closed.
+	edges := []Edge{{0, 1}, {0, 2}, {1, 2}}
+	faces := enumerateFaces(edges)
+	q := evaluateQuality([]int{0, 1, 2}, edges, faces)
+	if q.BorderEdges != 3 || q.Closed2Manifold {
+		t.Errorf("triangle quality: %v", q)
+	}
+	// An isolated vertex.
+	q = evaluateQuality([]int{0, 1, 2, 9}, edges, faces)
+	if q.IsolatedVertices != 1 || q.Closed2Manifold {
+		t.Errorf("isolated-vertex quality: %v", q)
+	}
+}
+
+func TestFlipEdgesFig5(t *testing.T) {
+	// Fig. 5: edge AB borders three triangles ABC, ABD, ABE. The
+	// underlying boundary graph places C-D-E on a path, so CD and DE are
+	// the two shortest corner pairs: the flip must remove AB and add
+	// exactly those.
+	const (
+		A, B, C, D, E = 0, 1, 2, 3, 4
+	)
+	g := graph.New(5)
+	g.AddEdge(C, D)
+	g.AddEdge(D, E)
+	// A and B adjacent to everything so overlay hop distances exist.
+	for _, v := range []int{C, D, E} {
+		g.AddEdge(A, v)
+		g.AddEdge(B, v)
+	}
+	g.AddEdge(A, B)
+	for i := range g.Adj {
+		sortInts(g.Adj[i])
+	}
+	overlay := []Edge{
+		{A, B},
+		{A, C}, {B, C},
+		{A, D}, {B, D},
+		{A, E}, {B, E},
+	}
+	final, flips := flipEdges(g, graph.All, overlay, 10)
+	if flips == 0 {
+		t.Fatal("no flip applied")
+	}
+	set := make(map[Edge]bool)
+	for _, e := range final {
+		set[e] = true
+	}
+	if set[mkEdge(A, B)] {
+		t.Error("over-shared edge AB not removed")
+	}
+	if !set[mkEdge(C, D)] || !set[mkEdge(D, E)] {
+		t.Errorf("expected CD and DE added, got %v", final)
+	}
+	if set[mkEdge(C, E)] {
+		t.Error("long corner pair CE added")
+	}
+	// After the flip no edge may border three or more faces.
+	corners := faceCorners(enumerateFaces(final))
+	for e, cs := range corners {
+		if len(cs) >= 3 {
+			t.Errorf("edge %v still borders %d faces", e, len(cs))
+		}
+	}
+}
+
+func TestCornerMST(t *testing.T) {
+	g := pathGraph(6) // hop distance = index distance
+	mst := cornerMST(g, graph.All, []int{0, 2, 5})
+	// Pairwise hops: (0,2)=2, (2,5)=3, (0,5)=5 → MST = {0-2, 2-5}.
+	if len(mst) != 2 {
+		t.Fatalf("mst = %v", mst)
+	}
+	want := map[Edge]bool{mkEdge(0, 2): true, mkEdge(2, 5): true}
+	for _, e := range mst {
+		if !want[e] {
+			t.Errorf("unexpected MST edge %v", e)
+		}
+	}
+	if got := cornerMST(g, graph.All, []int{3}); got != nil {
+		t.Errorf("single corner MST = %v", got)
+	}
+}
+
+func TestIsSingleCycle(t *testing.T) {
+	cycle := []Edge{{0, 1}, {1, 2}, {2, 0}}
+	if !isSingleCycle(cycle) {
+		t.Error("triangle cycle rejected")
+	}
+	path := []Edge{{0, 1}, {1, 2}}
+	if isSingleCycle(path) {
+		t.Error("open path accepted")
+	}
+	twoCycles := []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}
+	if isSingleCycle(twoCycles) {
+		t.Error("two disjoint cycles accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := ringGraph(6)
+	if _, err := Build(g, nil, Config{}); err != ErrEmptyGroup {
+		t.Errorf("err = %v, want ErrEmptyGroup", err)
+	}
+	if _, err := Build(g, seq(6), Config{K: -1}); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestBuildOnRing(t *testing.T) {
+	// A plain ring is a degenerate 1D "surface": Build must not fail,
+	// and the CDM keeps it planar.
+	g := ringGraph(20)
+	s, err := Build(g, seq(20), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Landmarks.IDs) < 2 {
+		t.Fatalf("too few landmarks: %v", s.Landmarks.IDs)
+	}
+	if len(s.CDG) == 0 {
+		t.Error("empty CDG")
+	}
+	// On a cycle the overlay is a cycle: every landmark has exactly two
+	// CDG neighbors.
+	degree := map[int]int{}
+	for _, e := range s.CDG {
+		degree[e[0]]++
+		degree[e[1]]++
+	}
+	for lm, d := range degree {
+		if d != 2 {
+			t.Errorf("landmark %d has CDG degree %d, want 2", lm, d)
+		}
+	}
+}

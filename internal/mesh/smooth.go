@@ -1,0 +1,38 @@
+package mesh
+
+import (
+	"repro/internal/geom"
+)
+
+// RefinedPositions returns robustified positions for the surface's
+// landmarks: each landmark moves a fraction λ toward the centroid of its
+// Voronoi cell (the boundary nodes associated with it in step I). A cell
+// holds many independent samples of the local boundary patch, so its
+// centroid suppresses the placement jitter of any single node — including
+// the landmark itself when it is a mistakenly-identified near-boundary
+// node. The mesh combinatorics are untouched; this only produces nicer
+// geometry for export and visualization, a refinement beyond the paper
+// (which renders raw node positions).
+//
+// λ in (0, 1]; out-of-range values fall back to 0.7. Landmarks with no
+// associated cell members keep their position.
+func RefinedPositions(s *Surface, position func(node int) geom.Vec3, lambda float64) map[int]geom.Vec3 {
+	if lambda <= 0 || lambda > 1 {
+		lambda = 0.7
+	}
+	cells := make(map[int][]geom.Vec3, len(s.Landmarks.IDs))
+	for _, v := range s.Group {
+		if lm := s.Landmarks.Assoc[v]; lm != NoLandmark {
+			cells[lm] = append(cells[lm], position(v))
+		}
+	}
+	pos := make(map[int]geom.Vec3, len(s.Landmarks.IDs))
+	for _, lm := range s.Landmarks.IDs {
+		p := position(lm)
+		if members := cells[lm]; len(members) > 0 {
+			p = p.Lerp(geom.Centroid(members), lambda)
+		}
+		pos[lm] = p
+	}
+	return pos
+}

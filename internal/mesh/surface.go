@@ -1,0 +1,244 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Config parameterizes surface construction. The zero value selects the
+// paper's defaults.
+type Config struct {
+	// K is the landmark spacing in hops (mesh fineness). The paper uses
+	// 3–5; zero means 3 (the Fig. 1(f) setting).
+	K int
+	// MaxFlipIterations bounds the step-V loop. Zero means 100.
+	MaxFlipIterations int
+	// MaxRepairRounds bounds the fill↔flip alternation: each flip can
+	// open a polygon hole that another fill pass closes. Zero means 8.
+	MaxRepairRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.MaxFlipIterations == 0 {
+		c.MaxFlipIterations = 100
+	}
+	if c.MaxRepairRounds == 0 {
+		c.MaxRepairRounds = 8
+	}
+	return c
+}
+
+// ErrEmptyGroup is returned when a boundary group has no nodes.
+var ErrEmptyGroup = errors.New("mesh: boundary group is empty")
+
+// Quality summarizes how close a constructed mesh is to a closed
+// 2-manifold, the property the paper's step V targets.
+type Quality struct {
+	V, E, F int
+	// Euler is V − E + F; 2 for a sphere-like closed surface, 0 for a
+	// torus-like one.
+	Euler int
+	// NonManifoldEdges counts edges bordering three or more faces
+	// (zero after a successful edge-flip phase).
+	NonManifoldEdges int
+	// BorderEdges counts edges bordering fewer than two faces (holes in
+	// the reconstructed surface).
+	BorderEdges int
+	// IsolatedVertices counts landmarks with no incident mesh edge.
+	IsolatedVertices int
+	// Closed2Manifold reports a watertight result: every edge borders
+	// exactly two faces and every vertex's faces form a single fan.
+	Closed2Manifold bool
+}
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	return fmt.Sprintf("V=%d E=%d F=%d euler=%d nonManifold=%d border=%d isolated=%d closed=%v",
+		q.V, q.E, q.F, q.Euler, q.NonManifoldEdges, q.BorderEdges, q.IsolatedVertices, q.Closed2Manifold)
+}
+
+// Surface is the reconstructed triangular mesh of one boundary group, with
+// the intermediate structures the paper illustrates (Figs. 1(c)–(f)).
+type Surface struct {
+	// Group lists the boundary nodes this surface was built from.
+	Group []int
+	// Landmarks is the step-I election.
+	Landmarks *Landmarks
+	// CDG is the step-II Combinatorial Delaunay Graph (non-planar).
+	CDG []Edge
+	// CDM is the step-III planar subgraph.
+	CDM []Edge
+	// Edges is the final virtual-edge set after triangulation (step IV)
+	// and edge flipping (step V).
+	Edges []Edge
+	// Faces lists the triangles of the final mesh.
+	Faces []Face
+	// Flips is the number of step-V transformations applied.
+	Flips int
+	// Quality evaluates the final mesh.
+	Quality Quality
+	// Paths realizes each virtual edge as its boundary-node shortest
+	// path (the multi-hop "wires" of the overlay mesh). Edges inserted
+	// by a flip have no recorded path.
+	Paths map[Edge][]int
+}
+
+// Build constructs the triangular boundary surface of one boundary group
+// (Sec. III, steps I–V).
+func Build(g *graph.Graph, group []int, cfg Config) (*Surface, error) {
+	cfg = cfg.withDefaults()
+	if len(group) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	inGroup := make([]bool, g.Len())
+	for _, v := range group {
+		inGroup[v] = true
+	}
+	member := graph.InSet(inGroup)
+
+	lms, err := ElectLandmarks(g, group, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	cdg := buildCDG(g, lms, member)
+	cdm := buildCDM(g, lms, member, cdg)
+
+	// Steps IV and V alternate until stable: triangulation fills
+	// polygons under the two-face budget, edge flips retire over-shared
+	// edges (opening holes the next fill pass can close). The shared
+	// forbidden set keeps the process monotone, so it terminates.
+	edgeSet := make(map[Edge]bool, len(cdm.edges))
+	for _, e := range cdm.edges {
+		edgeSet[e] = true
+	}
+	forbidden := make(map[Edge]bool)
+	flips := 0
+	for round := 0; round < cfg.MaxRepairRounds; round++ {
+		added := triangulate(g, member, cdg, &cdm, edgeSet, forbidden)
+		f := flipPass(g, member, edgeSet, forbidden, cfg.MaxFlipIterations)
+		flips += f
+		if len(added) == 0 && f == 0 {
+			break
+		}
+	}
+	final := edgesFromSet(edgeSet)
+	faces := enumerateFaces(final)
+
+	s := &Surface{
+		Group:     append([]int(nil), group...),
+		Landmarks: lms,
+		CDG:       cdg,
+		CDM:       cdm.edges,
+		Edges:     final,
+		Faces:     faces,
+		Flips:     flips,
+		Paths:     cdm.paths,
+	}
+	s.Quality = evaluateQuality(lms.IDs, final, faces)
+	return s, nil
+}
+
+// BuildAll constructs one surface per boundary group.
+func BuildAll(g *graph.Graph, groups [][]int, cfg Config) ([]*Surface, error) {
+	surfaces := make([]*Surface, 0, len(groups))
+	for gi, group := range groups {
+		s, err := Build(g, group, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		surfaces = append(surfaces, s)
+	}
+	return surfaces, nil
+}
+
+// evaluateQuality computes the manifold diagnostics for a mesh.
+func evaluateQuality(vertices []int, edges []Edge, faces []Face) Quality {
+	q := Quality{V: len(vertices), E: len(edges), F: len(faces)}
+	q.Euler = q.V - q.E + q.F
+
+	corners := faceCorners(faces)
+	touched := make(map[int]bool)
+	for _, e := range edges {
+		touched[e[0]] = true
+		touched[e[1]] = true
+		switch n := len(corners[e]); {
+		case n >= 3:
+			q.NonManifoldEdges++
+		case n < 2:
+			q.BorderEdges++
+		}
+	}
+	for _, v := range vertices {
+		if !touched[v] {
+			q.IsolatedVertices++
+		}
+	}
+	q.Closed2Manifold = q.NonManifoldEdges == 0 && q.BorderEdges == 0 &&
+		q.IsolatedVertices == 0 && allVertexFansClosed(vertices, faces)
+	return q
+}
+
+// allVertexFansClosed verifies that each vertex's incident faces form a
+// single closed fan: the "link" edges opposite the vertex make one cycle.
+func allVertexFansClosed(vertices []int, faces []Face) bool {
+	link := make(map[int][]Edge)
+	for _, f := range faces {
+		link[f[0]] = append(link[f[0]], mkEdge(f[1], f[2]))
+		link[f[1]] = append(link[f[1]], mkEdge(f[0], f[2]))
+		link[f[2]] = append(link[f[2]], mkEdge(f[0], f[1]))
+	}
+	for _, v := range vertices {
+		if !isSingleCycle(link[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isSingleCycle reports whether the edges form exactly one simple cycle.
+func isSingleCycle(edges []Edge) bool {
+	if len(edges) < 3 {
+		return false
+	}
+	deg := make(map[int]int)
+	adj := make(map[int][]int)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, d := range deg {
+		if d != 2 {
+			return false
+		}
+	}
+	// Connected + all degree 2 + |E| == |V| ⇒ one cycle.
+	if len(deg) != len(edges) {
+		return false
+	}
+	var keys []int
+	for k := range adj {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	visited := map[int]bool{keys[0]: true}
+	stack := []int{keys[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[u] {
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(visited) == len(deg)
+}

@@ -1,0 +1,18 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Classify compares a detector's output against ground truth.
+func ExampleClassify() {
+	truth := []bool{true, true, false, false}
+	found := []bool{true, false, true, false}
+	c, _ := metrics.Classify(truth, found)
+	fmt.Printf("correct=%d mistaken=%d missing=%d P=%.2f R=%.2f\n",
+		c.Correct, c.Mistaken, c.Missing, c.Precision(), c.Recall())
+	// Output:
+	// correct=1 mistaken=1 missing=1 P=0.50 R=0.50
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestClassify(t *testing.T) {
+	truth := []bool{true, true, false, false, true}
+	found := []bool{true, false, true, false, true}
+	c, err := Classify(truth, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 5 || c.TrueBoundary != 3 || c.Found != 3 ||
+		c.Correct != 2 || c.Mistaken != 1 || c.Missing != 1 {
+		t.Errorf("classification: %+v", c)
+	}
+	if p := c.Precision(); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := c.F1(); math.Abs(f-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", f)
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestClassifyMismatch(t *testing.T) {
+	if _, err := Classify([]bool{true}, []bool{true, false}); err != ErrLengthMismatch {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClassifyDegenerate(t *testing.T) {
+	c, err := Classify([]bool{false, false}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Errorf("empty-case precision/recall: %v %v", c.Precision(), c.Recall())
+	}
+	all, _ := Classify([]bool{true}, []bool{false})
+	if all.F1() != 0 {
+		t.Errorf("all-missed F1 = %v", all.F1())
+	}
+}
+
+func TestHopHistogram(t *testing.T) {
+	g := pathGraph(7)
+	anchors := []bool{true, false, false, false, false, false, false}
+	query := []int{0, 1, 2, 3, 6}
+	hist, atZero, beyond := HopHistogram(g, query, anchors, 3)
+	if atZero != 1 { // node 0 is an anchor itself
+		t.Errorf("atZero = %d", atZero)
+	}
+	want := []int{1, 1, 1} // nodes 1, 2, 3
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, hist[i], want[i])
+		}
+	}
+	if beyond != 1 { // node 6 at distance 6
+		t.Errorf("beyond = %d", beyond)
+	}
+}
+
+func TestHopHistogramUnreachable(t *testing.T) {
+	g := graph.New(4) // no edges
+	anchors := []bool{true, false, false, false}
+	hist, atZero, beyond := HopHistogram(g, []int{1, 2, 3}, anchors, 3)
+	if atZero != 0 || beyond != 3 {
+		t.Errorf("unreachable: atZero=%d beyond=%d hist=%v", atZero, beyond, hist)
+	}
+}
+
+func TestHopStatsFractions(t *testing.T) {
+	g := pathGraph(5)
+	anchors := []bool{true, false, false, false, false}
+	st := HopStatsFor(g, []int{1, 2, 4}, anchors, 3)
+	frac, beyond := st.Fractions()
+	if math.Abs(frac[0]-1.0/3) > 1e-12 || math.Abs(frac[1]-1.0/3) > 1e-12 || frac[2] != 0 {
+		t.Errorf("frac = %v", frac)
+	}
+	if math.Abs(beyond-1.0/3) > 1e-12 {
+		t.Errorf("beyond = %v", beyond)
+	}
+	if st.Total() != 3 {
+		t.Errorf("total = %d", st.Total())
+	}
+	// Empty query: all zeros, no NaN.
+	empty := HopStatsFor(g, nil, anchors, 3)
+	frac, beyond = empty.Fractions()
+	for _, f := range frac {
+		if f != 0 {
+			t.Errorf("empty query frac = %v", frac)
+		}
+	}
+	if beyond != 0 {
+		t.Errorf("empty query beyond = %v", beyond)
+	}
+}
+
+func TestHopStatsAdd(t *testing.T) {
+	a := HopStats{Hist: []int{1, 2, 3}, AtZero: 1, Beyond: 2}
+	b := HopStats{Hist: []int{4, 5, 6}, AtZero: 0, Beyond: 1}
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hist[0] != 5 || a.Hist[2] != 9 || a.Beyond != 3 || a.AtZero != 1 {
+		t.Errorf("sum = %+v", a)
+	}
+	var zero HopStats
+	if err := zero.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if zero.Hist[1] != 5 {
+		t.Errorf("zero-init add: %+v", zero)
+	}
+	bad := HopStats{Hist: []int{1}}
+	if err := bad.Add(b); err == nil {
+		t.Error("range mismatch accepted")
+	}
+}
+
+func TestReportAdd(t *testing.T) {
+	g := pathGraph(6)
+	truth := []bool{true, true, true, false, false, false}
+	found := []bool{true, true, false, true, false, false}
+	r1, err := Evaluate(g, truth, found, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := r1
+	if err := r2.Add(r1); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Correct != 2*r1.Correct || r2.Mistaken != 2*r1.Mistaken {
+		t.Errorf("counts not doubled: %+v", r2.Classification)
+	}
+	// Doubling does not change the fractions.
+	f1, _ := r1.MistakenHops.Fractions()
+	f2, _ := r2.MistakenHops.Fractions()
+	for i := range f1 {
+		if math.Abs(f1[i]-f2[i]) > 1e-12 {
+			t.Errorf("fractions changed: %v vs %v", f1, f2)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	// Path: 0 1 2 3 4 5. Truth: {0,1,2}. Found: {0,1,3}.
+	g := pathGraph(6)
+	truth := []bool{true, true, true, false, false, false}
+	found := []bool{true, true, false, true, false, false}
+	r, err := Evaluate(g, truth, found, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Correct != 2 || r.Mistaken != 1 || r.Missing != 1 {
+		t.Fatalf("classification: %+v", r.Classification)
+	}
+	// Mistaken node 3 is 2 hops from the nearest correct node (1).
+	mf, _ := r.MistakenHops.Fractions()
+	if mf[1] != 1 {
+		t.Errorf("mistaken hops = %v", mf)
+	}
+	// Missing node 2 is 1 hop from correct node 1.
+	gf, _ := r.MissingHops.Fractions()
+	if gf[0] != 1 {
+		t.Errorf("missing hops = %v", gf)
+	}
+	if _, err := Evaluate(g, truth[:3], found, 3); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}

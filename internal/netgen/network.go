@@ -1,0 +1,172 @@
+// Package netgen deploys simulated 3D wireless networks: nodes sampled on a
+// shape's boundary surfaces (the ground truth for boundary detection) and in
+// its interior, connected under the unit-ball radio model, with true and
+// noisy pairwise distance measurements. This reproduces the simulation setup
+// of Sec. IV-A of the paper.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/ranging"
+)
+
+// Node is one deployed wireless node.
+type Node struct {
+	ID int
+	// Pos is the true physical position (used for ground truth and for
+	// the zero-error coordinate oracle; the detection algorithms see
+	// only measured distances unless configured otherwise).
+	Pos geom.Vec3
+	// OnSurface marks ground-truth boundary nodes: nodes sampled on the
+	// deployment shape's boundary surfaces.
+	OnSurface bool
+}
+
+// Network is a deployed network: nodes, radio range, connectivity, and true
+// inter-neighbor distances.
+type Network struct {
+	Nodes  []Node
+	Radius float64 // radio transmission range
+	G      *graph.Graph
+	// Dist parallels G.Adj: Dist[i][k] is the true distance from node i
+	// to its k-th neighbor G.Adj[i][k]. Adjacency lists are sorted by
+	// neighbor ID.
+	Dist [][]float64
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.Nodes) }
+
+// TrueBoundary returns the ground-truth boundary membership mask.
+func (n *Network) TrueBoundary() []bool {
+	mask := make([]bool, len(n.Nodes))
+	for i, node := range n.Nodes {
+		mask[i] = node.OnSurface
+	}
+	return mask
+}
+
+// Positions returns every node's true position.
+func (n *Network) Positions() []geom.Vec3 {
+	pos := make([]geom.Vec3, len(n.Nodes))
+	for i, node := range n.Nodes {
+		pos[i] = node.Pos
+	}
+	return pos
+}
+
+// neighborIndex returns the index k with G.Adj[i][k] == j, relying on the
+// sorted adjacency lists.
+func (n *Network) neighborIndex(i, j int) (int, bool) {
+	adj := n.G.Adj[i]
+	k := sort.SearchInts(adj, j)
+	if k < len(adj) && adj[k] == j {
+		return k, true
+	}
+	return 0, false
+}
+
+// Measurement holds one noisy measurement of every link's distance.
+// Measurements are symmetric: both endpoints of a link observe the same
+// value, as produced by a single ranging exchange.
+type Measurement struct {
+	net *Network
+	// Dist parallels the network's adjacency lists.
+	Dist [][]float64
+	// Model records the noise model used.
+	Model ranging.Model
+}
+
+// Measure performs one ranging pass over every link with the given noise
+// model. The seed makes the pass reproducible independently of other random
+// draws.
+func (n *Network) Measure(model ranging.Model, seed int64) *Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Measurement{net: n, Model: model, Dist: make([][]float64, len(n.Nodes))}
+	for i := range n.G.Adj {
+		m.Dist[i] = make([]float64, len(n.G.Adj[i]))
+	}
+	for i := range n.G.Adj {
+		for k, j := range n.G.Adj[i] {
+			if j <= i {
+				continue // measured once per link, below the diagonal
+			}
+			d := model.Measure(rng, n.Dist[i][k], n.Radius)
+			m.Dist[i][k] = d
+			if rk, ok := n.neighborIndex(j, i); ok {
+				m.Dist[j][rk] = d
+			}
+		}
+	}
+	return m
+}
+
+// Lookup returns the measured distance between nodes i and j, which must be
+// radio neighbors; ok is false otherwise.
+func (m *Measurement) Lookup(i, j int) (float64, bool) {
+	if i == j {
+		return 0, true
+	}
+	if k, ok := m.net.neighborIndex(i, j); ok {
+		return m.Dist[i][k], true
+	}
+	return 0, false
+}
+
+// Stats summarizes a network's connectivity.
+type Stats struct {
+	Nodes         int
+	SurfaceNodes  int
+	Edges         int
+	MinDegree     int
+	MaxDegree     int
+	AvgDegree     float64
+	Components    int
+	LargestComp   int
+	IsolatedNodes int
+}
+
+// Stats computes connectivity statistics.
+func (n *Network) Stats() Stats {
+	s := Stats{Nodes: len(n.Nodes), Edges: n.G.NumEdges(), AvgDegree: n.G.AvgDegree()}
+	if len(n.Nodes) == 0 {
+		return s
+	}
+	s.MinDegree = n.G.Degree(0)
+	for i := range n.Nodes {
+		d := n.G.Degree(i)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.IsolatedNodes++
+		}
+		if n.Nodes[i].OnSurface {
+			s.SurfaceNodes++
+		}
+	}
+	comps := n.G.ConnectedComponents(graph.All)
+	s.Components = len(comps)
+	for _, c := range comps {
+		if len(c) > s.LargestComp {
+			s.LargestComp = len(c)
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"nodes=%d (surface=%d) edges=%d degree[min=%d avg=%.1f max=%d] components=%d largest=%d isolated=%d",
+		s.Nodes, s.SurfaceNodes, s.Edges, s.MinDegree, s.AvgDegree, s.MaxDegree,
+		s.Components, s.LargestComp, s.IsolatedNodes)
+}

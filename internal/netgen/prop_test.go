@@ -1,0 +1,172 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ranging"
+	"repro/internal/shapes"
+)
+
+// Property: connectivity is monotone in the radio range — every edge at a
+// smaller radius exists at a larger one.
+func TestConnectivityMonotoneInRadius(t *testing.T) {
+	base, err := Generate(Config{
+		Shape:         shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:  80,
+		InteriorNodes: 220,
+		Radius:        0.8,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := Generate(Config{
+		Shape:         shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:  80,
+		InteriorNodes: 220,
+		Radius:        1.1,
+		Seed:          13, // same deployment
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.G.Adj {
+		present := make(map[int]bool, len(bigger.G.Adj[i]))
+		for _, j := range bigger.G.Adj[i] {
+			present[j] = true
+		}
+		for _, j := range base.G.Adj[i] {
+			if !present[j] {
+				t.Fatalf("edge (%d,%d) lost when radius grew", i, j)
+			}
+		}
+	}
+	if bigger.G.AvgDegree() <= base.G.AvgDegree() {
+		t.Errorf("degree did not grow: %.2f -> %.2f", base.G.AvgDegree(), bigger.G.AvgDegree())
+	}
+}
+
+// Property: Assemble on a generated network's nodes reproduces it exactly.
+func TestAssembleRoundTrip(t *testing.T) {
+	net, err := Generate(Config{
+		Shape:         shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:  60,
+		InteriorNodes: 140,
+		Radius:        1.0,
+		Seed:          14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := Assemble(net.Nodes, net.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Len() != net.Len() || rebuilt.Radius != net.Radius {
+		t.Fatal("basic fields differ")
+	}
+	for i := range net.G.Adj {
+		if len(rebuilt.G.Adj[i]) != len(net.G.Adj[i]) {
+			t.Fatalf("adjacency of %d differs", i)
+		}
+		for k := range net.G.Adj[i] {
+			if rebuilt.G.Adj[i][k] != net.G.Adj[i][k] {
+				t.Fatalf("neighbor %d of %d differs", k, i)
+			}
+			if rebuilt.Dist[i][k] != net.Dist[i][k] {
+				t.Fatalf("distance %d of %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	if _, err := Assemble(nil, 1); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := Assemble([]Node{{}}, 0); err == nil {
+		t.Error("zero radius accepted")
+	}
+	// IDs are rewritten to the slice index.
+	net, err := Assemble([]Node{{ID: 99}, {ID: 7, Pos: geom.V(0.5, 0, 0)}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range net.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+// Property: radius auto-tuning lands near the target over random targets.
+func TestTuneRadiusAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 5; trial++ {
+		target := 8 + rng.Float64()*20
+		net, err := Generate(Config{
+			Shape:           shapes.NewBall(geom.Zero, 4),
+			SurfaceNodes:    150,
+			InteriorNodes:   450,
+			TargetAvgDegree: target,
+			Seed:            int64(100 + trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := net.G.AvgDegree()
+		// Degree is a step function of the radius (one link at a time),
+		// so allow a small absolute band.
+		if got < target-1.2 || got > target+1.2 {
+			t.Errorf("trial %d: target %.1f, got %.2f", trial, target, got)
+		}
+	}
+}
+
+// Property: measured distances never stray beyond the model's bound, for
+// every model.
+func TestMeasurementBoundsAcrossModels(t *testing.T) {
+	net, err := Generate(Config{
+		Shape:         shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:  60,
+		InteriorNodes: 140,
+		Radius:        1.0,
+		Seed:          16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []ranging.Model{
+		ranging.Exact{},
+		ranging.UniformAdditive{Fraction: 0.25},
+		ranging.UniformMultiplicative{Fraction: 0.25},
+	}
+	for mi, model := range models {
+		m := net.Measure(model, int64(mi))
+		for i := range net.G.Adj {
+			for k := range net.G.Adj[i] {
+				trueD := net.Dist[i][k]
+				got := m.Dist[i][k]
+				if got < 0 {
+					t.Fatalf("model %d: negative measurement", mi)
+				}
+				switch model.(type) {
+				case ranging.Exact:
+					if got != trueD {
+						t.Fatalf("exact model changed a distance")
+					}
+				case ranging.UniformAdditive:
+					if diff := got - trueD; diff > 0.25*net.Radius+1e-12 || diff < -0.25*net.Radius-1e-12 {
+						t.Fatalf("additive bound violated: %v", diff)
+					}
+				case ranging.UniformMultiplicative:
+					if got > 1.25*trueD+1e-12 || got < 0.75*trueD-1e-12 {
+						t.Fatalf("multiplicative bound violated: %v vs %v", got, trueD)
+					}
+				}
+			}
+		}
+	}
+}

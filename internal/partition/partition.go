@@ -1,0 +1,183 @@
+// Package partition demonstrates the "partition" application the paper
+// motivates (Sec. I): dividing a reconstructed boundary surface into
+// connected, balanced patches using connectivity only. The landmark
+// Voronoi cells of the surface construction already tile the boundary;
+// this package exposes that tiling with quality metrics and coarsens it
+// into k-way partitions by farthest-first seeding and multi-source growth.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+// Patches is a partition of one boundary group's nodes.
+type Patches struct {
+	// Parts maps each patch label to its member node IDs (ascending).
+	Parts map[int][]int
+	// Label holds each node's patch label; mesh.NoLandmark outside the
+	// partitioned group.
+	Label []int
+}
+
+// Sizes returns the patch sizes keyed by label.
+func (p *Patches) Sizes() map[int]int {
+	out := make(map[int]int, len(p.Parts))
+	for l, members := range p.Parts {
+		out[l] = len(members)
+	}
+	return out
+}
+
+// Balance is the ratio of the largest patch to the mean patch size
+// (1.0 = perfectly balanced).
+func (p *Patches) Balance() float64 {
+	if len(p.Parts) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, members := range p.Parts {
+		total += len(members)
+		if len(members) > max {
+			max = len(members)
+		}
+	}
+	mean := float64(total) / float64(len(p.Parts))
+	return float64(max) / mean
+}
+
+// EdgeCut counts the boundary-subgraph edges whose endpoints lie in
+// different patches — the partition's communication cost.
+func (p *Patches) EdgeCut(g *graph.Graph) int {
+	cut := 0
+	for u := range g.Adj {
+		lu := p.Label[u]
+		if lu == mesh.NoLandmark {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if u < v && p.Label[v] != mesh.NoLandmark && p.Label[v] != lu {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Cells returns the surface's native patch structure: one patch per
+// landmark, exactly the approximate Voronoi cells of Sec. III step (I).
+func Cells(s *mesh.Surface) *Patches {
+	p := &Patches{
+		Parts: make(map[int][]int),
+		Label: append([]int(nil), s.Landmarks.Assoc...),
+	}
+	for _, v := range s.Group {
+		lm := s.Landmarks.Assoc[v]
+		if lm == mesh.NoLandmark {
+			continue
+		}
+		p.Parts[lm] = append(p.Parts[lm], v)
+	}
+	for _, members := range p.Parts {
+		sort.Ints(members)
+	}
+	return p
+}
+
+// ErrBadK is returned when k is out of range for the surface.
+var ErrBadK = errors.New("partition: k must be between 1 and the landmark count")
+
+// KWay coarsens the surface into k connected patches: seeds are picked by
+// farthest-first traversal over the boundary subgraph (maximizing mutual
+// hop distance), then all seeds grow simultaneously by multi-source BFS,
+// each node joining its closest seed (smallest seed ID on ties). The
+// result is deterministic.
+func KWay(g *graph.Graph, s *mesh.Surface, k int) (*Patches, error) {
+	if k < 1 || k > len(s.Landmarks.IDs) {
+		return nil, fmt.Errorf("%w: k=%d with %d landmarks", ErrBadK, k, len(s.Landmarks.IDs))
+	}
+	inGroup := make([]bool, g.Len())
+	for _, v := range s.Group {
+		inGroup[v] = true
+	}
+	member := graph.InSet(inGroup)
+
+	// Farthest-first seeding over the landmark set, starting from the
+	// smallest landmark ID.
+	seeds := []int{s.Landmarks.IDs[0]}
+	minDist := g.BFSHops(seeds, member, -1)
+	for len(seeds) < k {
+		best, bestDist := -1, -1
+		for _, lm := range s.Landmarks.IDs {
+			if d := minDist[lm]; d > bestDist {
+				best, bestDist = lm, d
+			}
+		}
+		if best == -1 || bestDist <= 0 {
+			break // no further separated seed exists
+		}
+		seeds = append(seeds, best)
+		next := g.BFSHops([]int{best}, member, -1)
+		for i, d := range next {
+			if d != graph.Unreachable && (minDist[i] == graph.Unreachable || d < minDist[i]) {
+				minDist[i] = d
+			}
+		}
+	}
+
+	// Multi-source growth: closest seed wins, ties to the smaller seed ID.
+	label := make([]int, g.Len())
+	hops := make([]int, g.Len())
+	for i := range label {
+		label[i] = mesh.NoLandmark
+		hops[i] = graph.Unreachable
+	}
+	sortedSeeds := append([]int(nil), seeds...)
+	sort.Ints(sortedSeeds)
+	for _, seed := range sortedSeeds {
+		dist := g.BFSHops([]int{seed}, member, -1)
+		for v, d := range dist {
+			if d == graph.Unreachable {
+				continue
+			}
+			if hops[v] == graph.Unreachable || d < hops[v] {
+				hops[v] = d
+				label[v] = seed
+			}
+		}
+	}
+
+	p := &Patches{Parts: make(map[int][]int, len(sortedSeeds)), Label: label}
+	for _, v := range s.Group {
+		if l := label[v]; l != mesh.NoLandmark {
+			p.Parts[l] = append(p.Parts[l], v)
+		}
+	}
+	for _, members := range p.Parts {
+		sort.Ints(members)
+	}
+	return p, nil
+}
+
+// Connected verifies that every patch induces a connected subgraph of the
+// boundary — the property that makes patches usable as routing or
+// aggregation zones.
+func (p *Patches) Connected(g *graph.Graph) bool {
+	for l, members := range p.Parts {
+		if len(members) == 0 {
+			continue
+		}
+		inPatch := func(i int) bool { return i >= 0 && i < len(p.Label) && p.Label[i] == l }
+		dist := g.BFSHops(members[:1], inPatch, -1)
+		for _, v := range members {
+			if dist[v] == graph.Unreachable {
+				return false
+			}
+		}
+	}
+	return true
+}

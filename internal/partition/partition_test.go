@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+var (
+	fixOnce sync.Once
+	fixNet  *netgen.Network
+	fixSurf *mesh.Surface
+	fixErr  error
+)
+
+func sphereSurface(t *testing.T) (*netgen.Network, *mesh.Surface) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixNet, fixErr = netgen.Generate(netgen.Config{
+			Shape:           shapes.NewBall(geom.Zero, 4),
+			SurfaceNodes:    500,
+			InteriorNodes:   1500,
+			TargetAvgDegree: 18,
+			Seed:            60,
+		})
+		if fixErr != nil {
+			return
+		}
+		var det *core.Result
+		det, fixErr = core.Detect(fixNet, nil, core.Config{})
+		if fixErr != nil {
+			return
+		}
+		fixSurf, fixErr = mesh.Build(fixNet.G, det.Groups[0], mesh.Config{K: 3})
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixNet, fixSurf
+}
+
+func TestCells(t *testing.T) {
+	net, s := sphereSurface(t)
+	p := Cells(s)
+	if len(p.Parts) != len(s.Landmarks.IDs) {
+		t.Fatalf("%d patches, %d landmarks", len(p.Parts), len(s.Landmarks.IDs))
+	}
+	// Every group node is in exactly one patch and labels agree.
+	total := 0
+	for lm, members := range p.Parts {
+		total += len(members)
+		for _, v := range members {
+			if p.Label[v] != lm {
+				t.Fatalf("node %d labeled %d, listed under %d", v, p.Label[v], lm)
+			}
+		}
+	}
+	if total != len(s.Group) {
+		t.Errorf("patches cover %d nodes, group has %d", total, len(s.Group))
+	}
+	if !p.Connected(net.G) {
+		t.Error("a Voronoi cell is disconnected")
+	}
+	if b := p.Balance(); b < 1 {
+		t.Errorf("balance = %v < 1", b)
+	}
+	if cut := p.EdgeCut(net.G); cut <= 0 {
+		t.Errorf("edge cut = %d", cut)
+	}
+}
+
+func TestKWay(t *testing.T) {
+	net, s := sphereSurface(t)
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := KWay(net.G, s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Parts) != k {
+			t.Fatalf("k=%d produced %d parts", k, len(p.Parts))
+		}
+		total := 0
+		for _, members := range p.Parts {
+			total += len(members)
+		}
+		if total != len(s.Group) {
+			t.Errorf("k=%d covers %d of %d nodes", k, total, len(s.Group))
+		}
+		if !p.Connected(net.G) {
+			t.Errorf("k=%d produced a disconnected part", k)
+		}
+		// Farthest-first seeding keeps parts reasonably balanced on a
+		// sphere.
+		if k > 1 {
+			if b := p.Balance(); b > 2.5 {
+				t.Errorf("k=%d balance = %.2f", k, b)
+			}
+		}
+	}
+}
+
+func TestKWayEdgeCutShrinksWithFewerParts(t *testing.T) {
+	net, s := sphereSurface(t)
+	p2, err := KWay(net.G, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := KWay(net.G, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.EdgeCut(net.G) >= p8.EdgeCut(net.G) {
+		t.Errorf("edge cut did not grow with k: k=2 %d vs k=8 %d",
+			p2.EdgeCut(net.G), p8.EdgeCut(net.G))
+	}
+	// k=1: a single part with zero cut.
+	p1, err := KWay(net.G, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.EdgeCut(net.G) != 0 {
+		t.Errorf("k=1 cut = %d", p1.EdgeCut(net.G))
+	}
+}
+
+func TestKWayValidation(t *testing.T) {
+	net, s := sphereSurface(t)
+	if _, err := KWay(net.G, s, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KWay(net.G, s, len(s.Landmarks.IDs)+1); err == nil {
+		t.Error("k beyond landmark count accepted")
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	p := &Patches{Parts: map[int][]int{}}
+	if p.Balance() != 0 {
+		t.Errorf("empty balance = %v", p.Balance())
+	}
+}
+
+func TestConnectedDetectsSplit(t *testing.T) {
+	// Hand-made: patch 0 = {0, 2} on a path 0-1-2 with node 1 in another
+	// patch — disconnected.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	p := &Patches{
+		Parts: map[int][]int{0: {0, 2}, 1: {1}},
+		Label: []int{0, 1, 0},
+	}
+	if p.Connected(g) {
+		t.Error("disconnected patch reported connected")
+	}
+}

@@ -1,0 +1,107 @@
+// Package ranging models the distance-measurement process between
+// neighboring nodes. The paper assumes distances estimated by RSSI or TDOA
+// and injects "random errors, from 0 to 100% of the radio transmission
+// radius" (Sec. IV-A); the models here reproduce that noise process without
+// simulating the physical layer itself.
+package ranging
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Model perturbs a true distance into a measured one. The radio range is
+// supplied so error magnitudes can be expressed as a fraction of it, the
+// convention used throughout the paper's evaluation.
+type Model interface {
+	// Measure returns the measured distance for a true distance.
+	// Implementations must return a non-negative value.
+	Measure(rng *rand.Rand, trueDist, radioRange float64) float64
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// Exact returns true distances unchanged (the paper's 0 % error baseline).
+type Exact struct{}
+
+// Measure implements Model.
+func (Exact) Measure(_ *rand.Rand, trueDist, _ float64) float64 { return trueDist }
+
+// Name implements Model.
+func (Exact) Name() string { return "exact" }
+
+// UniformAdditive perturbs distances by an error drawn uniformly from
+// [-Fraction·R, +Fraction·R], where R is the radio range — the paper's
+// primary error model ("x% distance measurement error" means
+// Fraction = x/100). Results are clamped at zero.
+type UniformAdditive struct {
+	// Fraction is the maximum error magnitude as a fraction of the
+	// radio range, in [0, 1] for the paper's sweeps.
+	Fraction float64
+}
+
+// Measure implements Model.
+func (m UniformAdditive) Measure(rng *rand.Rand, trueDist, radioRange float64) float64 {
+	err := (2*rng.Float64() - 1) * m.Fraction * radioRange
+	d := trueDist + err
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Name implements Model.
+func (m UniformAdditive) Name() string {
+	return fmt.Sprintf("uniform-additive(%.0f%%)", m.Fraction*100)
+}
+
+// UniformMultiplicative perturbs distances by a relative error drawn
+// uniformly from [-Fraction, +Fraction] of the true distance — a common
+// RSSI-style alternative where error grows with distance.
+type UniformMultiplicative struct {
+	Fraction float64
+}
+
+// Measure implements Model.
+func (m UniformMultiplicative) Measure(rng *rand.Rand, trueDist, _ float64) float64 {
+	d := trueDist * (1 + (2*rng.Float64()-1)*m.Fraction)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Name implements Model.
+func (m UniformMultiplicative) Name() string {
+	return fmt.Sprintf("uniform-multiplicative(%.0f%%)", m.Fraction*100)
+}
+
+// GaussianAdditive perturbs distances by zero-mean Gaussian noise with
+// standard deviation Sigma·R. Offered for sensitivity studies beyond the
+// paper's uniform model. Results are clamped at zero.
+type GaussianAdditive struct {
+	Sigma float64
+}
+
+// Measure implements Model.
+func (m GaussianAdditive) Measure(rng *rand.Rand, trueDist, radioRange float64) float64 {
+	d := trueDist + rng.NormFloat64()*m.Sigma*radioRange
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Name implements Model.
+func (m GaussianAdditive) Name() string {
+	return fmt.Sprintf("gaussian-additive(σ=%.2f)", m.Sigma)
+}
+
+// ForFraction returns the paper's error model at the given error fraction:
+// Exact at zero, UniformAdditive otherwise.
+func ForFraction(fraction float64) Model {
+	if fraction == 0 {
+		return Exact{}
+	}
+	return UniformAdditive{Fraction: fraction}
+}

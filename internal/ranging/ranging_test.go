@@ -1,0 +1,140 @@
+package ranging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Exact{}
+	for i := 0; i < 100; i++ {
+		d := rng.Float64() * 10
+		if got := m.Measure(rng, d, 1); got != d {
+			t.Fatalf("Exact changed %v to %v", d, got)
+		}
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestUniformAdditiveBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const radio = 2.0
+	m := UniformAdditive{Fraction: 0.3}
+	sawLow, sawHigh := false, false
+	for i := 0; i < 20000; i++ {
+		d := rng.Float64() * radio
+		got := m.Measure(rng, d, radio)
+		if got < 0 {
+			t.Fatalf("negative measurement %v", got)
+		}
+		diff := got - d
+		if diff > 0.3*radio+1e-12 {
+			t.Fatalf("error %v exceeds bound", diff)
+		}
+		// The lower side can be clamped at zero, so only check when
+		// no clamping applied.
+		if got > 0 && diff < -0.3*radio-1e-12 {
+			t.Fatalf("error %v below bound", diff)
+		}
+		if diff > 0.25*radio {
+			sawHigh = true
+		}
+		if diff < -0.25*radio && got > 0 {
+			sawLow = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Error("error distribution does not span its range")
+	}
+}
+
+func TestUniformAdditiveClampsAtZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := UniformAdditive{Fraction: 1.0}
+	for i := 0; i < 1000; i++ {
+		if got := m.Measure(rng, 0.01, 1); got < 0 {
+			t.Fatalf("negative measurement %v", got)
+		}
+	}
+}
+
+func TestUniformAdditiveMeanUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := UniformAdditive{Fraction: 0.2}
+	const trueDist, radio = 0.7, 1.0
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += m.Measure(rng, trueDist, radio)
+	}
+	mean := sum / n
+	if math.Abs(mean-trueDist) > 0.002 {
+		t.Errorf("mean measurement %v, want ≈ %v", mean, trueDist)
+	}
+}
+
+func TestUniformMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := UniformMultiplicative{Fraction: 0.5}
+	for i := 0; i < 10000; i++ {
+		d := 0.1 + rng.Float64()
+		got := m.Measure(rng, d, 1)
+		if got < 0.5*d-1e-12 || got > 1.5*d+1e-12 {
+			t.Fatalf("measurement %v outside [%v, %v]", got, 0.5*d, 1.5*d)
+		}
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestGaussianAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := GaussianAdditive{Sigma: 0.1}
+	var sum, sum2 float64
+	const trueDist, n = 5.0, 50000
+	for i := 0; i < n; i++ {
+		got := m.Measure(rng, trueDist, 1)
+		if got < 0 {
+			t.Fatalf("negative measurement %v", got)
+		}
+		sum += got
+		sum2 += got * got
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-trueDist) > 0.01 {
+		t.Errorf("mean = %v, want ≈ %v", mean, trueDist)
+	}
+	if math.Abs(std-0.1) > 0.01 {
+		t.Errorf("std = %v, want ≈ 0.1", std)
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestForFraction(t *testing.T) {
+	if _, ok := ForFraction(0).(Exact); !ok {
+		t.Error("ForFraction(0) should be Exact")
+	}
+	m, ok := ForFraction(0.4).(UniformAdditive)
+	if !ok || m.Fraction != 0.4 {
+		t.Errorf("ForFraction(0.4) = %#v", m)
+	}
+}
+
+func TestUniformAdditiveZeroFractionIsNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := UniformAdditive{Fraction: 0}
+	for i := 0; i < 100; i++ {
+		d := rng.Float64()
+		if got := m.Measure(rng, d, 1); got != d {
+			t.Fatalf("zero-fraction model changed %v to %v", d, got)
+		}
+	}
+}

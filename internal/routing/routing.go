@@ -1,0 +1,256 @@
+// Package routing demonstrates the application the paper motivates its
+// surface construction with: greedy geographic routing over the
+// reconstructed boundary mesh. Because the mesh is a locally planarized
+// 2-manifold, greedy forwarding over its landmark overlay succeeds at high
+// rates — the property that makes "available graph theory tools" (Sec. I)
+// applicable to 3D boundaries.
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+// ErrNotOnMesh is returned when a routing endpoint is not a mesh vertex.
+var ErrNotOnMesh = errors.New("routing: endpoint is not a landmark of the mesh")
+
+// Result is the outcome of one greedy route.
+type Result struct {
+	// Path lists the traversed landmark IDs, source first. On failure it
+	// ends at the stuck node.
+	Path []int
+	// Success is true when the target was reached.
+	Success bool
+	// Hops is len(Path)-1 on success.
+	Hops int
+	// Recoveries counts the local-minimum escapes GreedyWithRecovery
+	// performed; always zero for plain Greedy.
+	Recoveries int
+}
+
+// Overlay is a routable view of a boundary mesh: the landmark graph plus
+// landmark positions.
+type Overlay struct {
+	adj map[int][]int
+	pos map[int]geom.Vec3
+	ids []int
+}
+
+// NewOverlay indexes a surface for routing. Positions come from the
+// caller (typically true node positions; local virtual coordinates work
+// equally — greedy routing only compares distances).
+func NewOverlay(s *mesh.Surface, position func(node int) geom.Vec3) *Overlay {
+	o := &Overlay{
+		adj: make(map[int][]int, len(s.Landmarks.IDs)),
+		pos: make(map[int]geom.Vec3, len(s.Landmarks.IDs)),
+		ids: append([]int(nil), s.Landmarks.IDs...),
+	}
+	for _, lm := range s.Landmarks.IDs {
+		o.pos[lm] = position(lm)
+	}
+	for _, e := range s.Edges {
+		o.adj[e[0]] = append(o.adj[e[0]], e[1])
+		o.adj[e[1]] = append(o.adj[e[1]], e[0])
+	}
+	for _, lm := range o.ids {
+		sort.Ints(o.adj[lm])
+	}
+	return o
+}
+
+// Landmarks returns the routable vertex IDs.
+func (o *Overlay) Landmarks() []int { return o.ids }
+
+// Greedy routes from one landmark to another by always forwarding to the
+// neighbor strictly closest to the target; it fails at a local minimum (no
+// neighbor improves) or when maxSteps is exhausted.
+func (o *Overlay) Greedy(from, to, maxSteps int) (Result, error) {
+	if _, ok := o.pos[from]; !ok {
+		return Result{}, ErrNotOnMesh
+	}
+	if _, ok := o.pos[to]; !ok {
+		return Result{}, ErrNotOnMesh
+	}
+	res := Result{Path: []int{from}}
+	cur := from
+	target := o.pos[to]
+	for step := 0; step < maxSteps; step++ {
+		if cur == to {
+			res.Success = true
+			res.Hops = len(res.Path) - 1
+			return res, nil
+		}
+		best := -1
+		bestDist := o.pos[cur].Dist(target)
+		for _, nb := range o.adj[cur] {
+			if d := o.pos[nb].Dist(target); d < bestDist {
+				best, bestDist = nb, d
+			}
+		}
+		if best == -1 {
+			return res, nil // stuck in a local minimum
+		}
+		cur = best
+		res.Path = append(res.Path, cur)
+	}
+	if cur == to {
+		res.Success = true
+		res.Hops = len(res.Path) - 1
+	}
+	return res, nil
+}
+
+// Stats aggregates a routing experiment.
+type Stats struct {
+	Trials    int
+	Delivered int
+	// SuccessRate is Delivered/Trials.
+	SuccessRate float64
+	// AvgStretch is the mean ratio of greedy hops to overlay shortest-path
+	// hops over delivered routes (1.0 = always optimal).
+	AvgStretch float64
+}
+
+// Experiment routes between random landmark pairs and reports delivery
+// rate and stretch against the overlay's true shortest paths.
+func (o *Overlay) Experiment(trials int, seed int64) (Stats, error) {
+	if len(o.ids) < 2 {
+		return Stats{}, errors.New("routing: overlay needs at least two landmarks")
+	}
+	// Build a dense-index graph for shortest-path ground truth.
+	index := make(map[int]int, len(o.ids))
+	for i, lm := range o.ids {
+		index[lm] = i
+	}
+	g := graph.New(len(o.ids))
+	for lm, nbrs := range o.adj {
+		for _, nb := range nbrs {
+			if lm < nb {
+				g.AddEdge(index[lm], index[nb])
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	st := Stats{Trials: trials}
+	var stretchSum float64
+	maxSteps := 4 * len(o.ids)
+	for t := 0; t < trials; t++ {
+		a := o.ids[rng.Intn(len(o.ids))]
+		b := o.ids[rng.Intn(len(o.ids))]
+		for b == a {
+			b = o.ids[rng.Intn(len(o.ids))]
+		}
+		res, err := o.Greedy(a, b, maxSteps)
+		if err != nil {
+			return Stats{}, err
+		}
+		if !res.Success {
+			continue
+		}
+		opt := g.HopDistance(index[a], index[b], graph.All)
+		if opt <= 0 {
+			continue // disconnected overlay pair; greedy cannot have succeeded
+		}
+		st.Delivered++
+		stretchSum += float64(res.Hops) / float64(opt)
+	}
+	if st.Trials > 0 {
+		st.SuccessRate = float64(st.Delivered) / float64(st.Trials)
+	}
+	if st.Delivered > 0 {
+		st.AvgStretch = stretchSum / float64(st.Delivered)
+	}
+	return st, nil
+}
+
+// GreedyWithRecovery routes like Greedy but escapes local minima with the
+// standard restricted-flooding recovery: a stuck node searches outward
+// (breadth-first over the overlay) for the nearest landmark strictly
+// closer to the target than itself, splices the discovered path in, and
+// resumes greedy forwarding. On a connected overlay delivery is
+// guaranteed; Result.Recoveries counts the escapes, the overhead price of
+// the guarantee.
+func (o *Overlay) GreedyWithRecovery(from, to, maxSteps int) (Result, error) {
+	if _, ok := o.pos[from]; !ok {
+		return Result{}, ErrNotOnMesh
+	}
+	if _, ok := o.pos[to]; !ok {
+		return Result{}, ErrNotOnMesh
+	}
+	res := Result{Path: []int{from}}
+	cur := from
+	target := o.pos[to]
+	for len(res.Path) <= maxSteps {
+		if cur == to {
+			res.Success = true
+			res.Hops = len(res.Path) - 1
+			return res, nil
+		}
+		best := -1
+		bestDist := o.pos[cur].Dist(target)
+		for _, nb := range o.adj[cur] {
+			if d := o.pos[nb].Dist(target); d < bestDist {
+				best, bestDist = nb, d
+			}
+		}
+		if best != -1 {
+			cur = best
+			res.Path = append(res.Path, cur)
+			continue
+		}
+		// Local minimum: breadth-first escape to the nearest strictly
+		// closer landmark.
+		escape := o.escapePath(cur, target)
+		if escape == nil {
+			return res, nil // overlay component exhausted: undeliverable
+		}
+		res.Recoveries++
+		res.Path = append(res.Path, escape...)
+		cur = res.Path[len(res.Path)-1]
+	}
+	if cur == to {
+		res.Success = true
+		res.Hops = len(res.Path) - 1
+	}
+	return res, nil
+}
+
+// escapePath finds the shortest overlay path from a stuck landmark to any
+// landmark strictly closer to the target position, returning the path
+// without its first element (the stuck landmark itself); nil when no such
+// landmark is reachable.
+func (o *Overlay) escapePath(stuck int, target geom.Vec3) []int {
+	stuckDist := o.pos[stuck].Dist(target)
+	parent := map[int]int{stuck: stuck}
+	queue := []int{stuck}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range o.adj[u] {
+			if _, seen := parent[v]; seen {
+				continue
+			}
+			parent[v] = u
+			if o.pos[v].Dist(target) < stuckDist {
+				// Reconstruct stuck→v, drop the stuck node itself.
+				var rev []int
+				for cur := v; cur != stuck; cur = parent[cur] {
+					rev = append(rev, cur)
+				}
+				path := make([]int, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return path
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+// octahedronSurface builds a hand-made mesh surface shaped like an
+// octahedron, with positions on the unit sphere.
+func octahedronSurface() (*mesh.Surface, func(int) geom.Vec3) {
+	s := &mesh.Surface{
+		Landmarks: &mesh.Landmarks{IDs: []int{0, 1, 2, 3, 4, 5}},
+		Edges: []mesh.Edge{
+			{0, 1}, {0, 2}, {0, 3}, {0, 4},
+			{1, 5}, {2, 5}, {3, 5}, {4, 5},
+			{1, 2}, {2, 3}, {3, 4}, {1, 4},
+		},
+	}
+	pos := map[int]geom.Vec3{
+		0: geom.V(0, 0, 1),
+		5: geom.V(0, 0, -1),
+		1: geom.V(1, 0, 0),
+		2: geom.V(0, 1, 0),
+		3: geom.V(-1, 0, 0),
+		4: geom.V(0, -1, 0),
+	}
+	return s, func(n int) geom.Vec3 { return pos[n] }
+}
+
+func TestGreedyOnOctahedron(t *testing.T) {
+	s, pos := octahedronSurface()
+	o := NewOverlay(s, pos)
+	// Pole to pole: two hops via any equator vertex.
+	res, err := o.Greedy(0, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Hops != 2 {
+		t.Errorf("pole-to-pole: %+v", res)
+	}
+	// Self route.
+	res, err = o.Greedy(3, 3, 10)
+	if err != nil || !res.Success || res.Hops != 0 {
+		t.Errorf("self route: %+v, %v", res, err)
+	}
+	// Every pair on a convex closed mesh delivers.
+	for _, a := range o.Landmarks() {
+		for _, b := range o.Landmarks() {
+			res, err := o.Greedy(a, b, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Success {
+				t.Errorf("route %d->%d failed at %v", a, b, res.Path)
+			}
+		}
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	s, pos := octahedronSurface()
+	o := NewOverlay(s, pos)
+	if _, err := o.Greedy(99, 0, 10); err != ErrNotOnMesh {
+		t.Errorf("bad source: err = %v", err)
+	}
+	if _, err := o.Greedy(0, 99, 10); err != ErrNotOnMesh {
+		t.Errorf("bad target: err = %v", err)
+	}
+}
+
+func TestGreedyStuck(t *testing.T) {
+	// A path overlay bent back on itself: 0 at x=0, 1 at x=2, 2 at x=1.
+	// Routing 0 -> 2 must move to 1 first... but 1 is farther from 2
+	// than 0? dist(0,2)=1, dist(1,2)=1. No strict improvement: stuck.
+	s := &mesh.Surface{
+		Landmarks: &mesh.Landmarks{IDs: []int{0, 1, 2}},
+		Edges:     []mesh.Edge{{0, 1}, {1, 2}},
+	}
+	pos := map[int]geom.Vec3{0: geom.V(0, 0, 0), 1: geom.V(2, 0, 0), 2: geom.V(1, 0, 0)}
+	o := NewOverlay(s, func(n int) geom.Vec3 { return pos[n] })
+	res, err := o.Greedy(0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Errorf("expected local-minimum failure, got %+v", res)
+	}
+	if len(res.Path) != 1 || res.Path[0] != 0 {
+		t.Errorf("stuck path = %v", res.Path)
+	}
+}
+
+func TestExperimentOnOctahedron(t *testing.T) {
+	s, pos := octahedronSurface()
+	o := NewOverlay(s, pos)
+	st, err := o.Experiment(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SuccessRate != 1 {
+		t.Errorf("success rate = %v, want 1 on a convex mesh", st.SuccessRate)
+	}
+	if st.AvgStretch < 1 || st.AvgStretch > 1.2 {
+		t.Errorf("stretch = %v", st.AvgStretch)
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	s := &mesh.Surface{Landmarks: &mesh.Landmarks{IDs: []int{0}}}
+	o := NewOverlay(s, func(int) geom.Vec3 { return geom.Zero })
+	if _, err := o.Experiment(5, 1); err == nil {
+		t.Error("single-landmark overlay accepted")
+	}
+}
+
+// End to end: detect a sphere boundary, build its mesh, and verify greedy
+// routing delivers at a high rate — the paper's motivating application.
+func TestGreedyOnDetectedSphere(t *testing.T) {
+	net, err := netgen.Generate(netgen.Config{
+		Shape:           shapes.NewBall(geom.Zero, 4),
+		SurfaceNodes:    500,
+		InteriorNodes:   1500,
+		TargetAvgDegree: 18,
+		Seed:            60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Detect(net, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mesh.Build(net.G, res.Groups[0], mesh.Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOverlay(s, func(n int) geom.Vec3 { return net.Nodes[n].Pos })
+	st, err := o.Experiment(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SuccessRate < 0.9 {
+		t.Errorf("success rate on detected sphere mesh = %v, want >= 0.9", st.SuccessRate)
+	}
+	if st.Delivered > 0 && (math.IsNaN(st.AvgStretch) || st.AvgStretch < 1) {
+		t.Errorf("stretch = %v", st.AvgStretch)
+	}
+}
+
+func TestGreedyWithRecoveryEscapesMinimum(t *testing.T) {
+	// The bent-back path from TestGreedyStuck: plain greedy fails,
+	// recovery delivers.
+	s := &mesh.Surface{
+		Landmarks: &mesh.Landmarks{IDs: []int{0, 1, 2}},
+		Edges:     []mesh.Edge{{0, 1}, {1, 2}},
+	}
+	pos := map[int]geom.Vec3{0: geom.V(0, 0, 0), 1: geom.V(2, 0, 0), 2: geom.V(1, 0, 0)}
+	o := NewOverlay(s, func(n int) geom.Vec3 { return pos[n] })
+	res, err := o.GreedyWithRecovery(0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("recovery failed: %+v", res)
+	}
+	if res.Recoveries == 0 {
+		t.Error("no recovery counted despite the local minimum")
+	}
+	if res.Path[len(res.Path)-1] != 2 {
+		t.Errorf("path = %v", res.Path)
+	}
+}
+
+func TestGreedyWithRecoveryValidation(t *testing.T) {
+	s, pos := octahedronSurface()
+	o := NewOverlay(s, pos)
+	if _, err := o.GreedyWithRecovery(99, 0, 10); err != ErrNotOnMesh {
+		t.Errorf("bad source: err = %v", err)
+	}
+	if _, err := o.GreedyWithRecovery(0, 99, 10); err != ErrNotOnMesh {
+		t.Errorf("bad target: err = %v", err)
+	}
+	// On a convex mesh recovery is never needed and results match greedy.
+	for _, a := range o.Landmarks() {
+		for _, b := range o.Landmarks() {
+			res, err := o.GreedyWithRecovery(a, b, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Success || res.Recoveries != 0 {
+				t.Errorf("route %d->%d: %+v", a, b, res)
+			}
+		}
+	}
+}
+
+func TestGreedyWithRecoveryUndeliverable(t *testing.T) {
+	// Disconnected overlay: target unreachable, recovery must give up.
+	s := &mesh.Surface{
+		Landmarks: &mesh.Landmarks{IDs: []int{0, 1, 2, 3}},
+		Edges:     []mesh.Edge{{0, 1}, {2, 3}},
+	}
+	pos := map[int]geom.Vec3{
+		0: geom.V(0, 0, 0), 1: geom.V(1, 0, 0),
+		2: geom.V(5, 0, 0), 3: geom.V(6, 0, 0),
+	}
+	o := NewOverlay(s, func(n int) geom.Vec3 { return pos[n] })
+	res, err := o.GreedyWithRecovery(0, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Errorf("delivered across a disconnected overlay: %+v", res)
+	}
+}
+
+// On the detected underwater-style mesh (sharp corners defeat plain
+// greedy), recovery should push delivery to 100 % within each connected
+// overlay component.
+func TestGreedyWithRecoveryOnDetectedSphere(t *testing.T) {
+	net, err := netgen.Generate(netgen.Config{
+		Shape:           shapes.NewBall(geom.Zero, 4),
+		SurfaceNodes:    500,
+		InteriorNodes:   1500,
+		TargetAvgDegree: 18,
+		Seed:            60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.Detect(net, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mesh.Build(net.G, det.Groups[0], mesh.Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOverlay(s, func(n int) geom.Vec3 { return net.Nodes[n].Pos })
+	lms := o.Landmarks()
+	delivered, attempts := 0, 0
+	for i := 0; i < len(lms); i++ {
+		for j := i + 1; j < len(lms); j++ {
+			res, err := o.GreedyWithRecovery(lms[i], lms[j], 10*len(lms))
+			if err != nil {
+				t.Fatal(err)
+			}
+			attempts++
+			if res.Success {
+				delivered++
+			}
+		}
+	}
+	// The largest overlay component dominates; allow a sliver of
+	// cross-component pairs.
+	if rate := float64(delivered) / float64(attempts); rate < 0.98 {
+		t.Errorf("recovery delivery rate = %.3f, want >= 0.98", rate)
+	}
+}

@@ -1,0 +1,122 @@
+package shapes
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// DistanceField is implemented by shapes that can report the distance from
+// a point to their nearest boundary surface. The evaluation uses it to
+// measure how far a reconstructed mesh drifts from the true boundary
+// (the quantitative form of the paper's "mesh not seriously deformed"
+// claim in Figs. 1(j)–(l)).
+type DistanceField interface {
+	// SurfaceDistance returns the unsigned distance from p to the
+	// shape's nearest boundary surface (outer or cavity).
+	SurfaceDistance(p geom.Vec3) float64
+}
+
+// SurfaceDistance implements DistanceField.
+func (b *Ball) SurfaceDistance(p geom.Vec3) float64 {
+	return math.Abs(p.Dist(b.Center) - b.Radius)
+}
+
+// boxSurfaceDistance returns the unsigned distance from p to the boundary
+// of an axis-aligned box.
+func boxSurfaceDistance(box geom.AABB, p geom.Vec3) float64 {
+	if box.Contains(p) {
+		// Inside: nearest face.
+		return min6(
+			p.X-box.Min.X, box.Max.X-p.X,
+			p.Y-box.Min.Y, box.Max.Y-p.Y,
+			p.Z-box.Min.Z, box.Max.Z-p.Z,
+		)
+	}
+	// Outside: distance to the box (clamp).
+	dx := math.Max(math.Max(box.Min.X-p.X, 0), p.X-box.Max.X)
+	dy := math.Max(math.Max(box.Min.Y-p.Y, 0), p.Y-box.Max.Y)
+	dz := math.Max(math.Max(box.Min.Z-p.Z, 0), p.Z-box.Max.Z)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func min6(a, b, c, d, e, f float64) float64 {
+	m := a
+	for _, v := range [...]float64{b, c, d, e, f} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SurfaceDistance implements DistanceField.
+func (b *Box) SurfaceDistance(p geom.Vec3) float64 {
+	return boxSurfaceDistance(b.B, p)
+}
+
+// SurfaceDistance implements DistanceField: the nearest of the outer box
+// faces and every cavity sphere.
+func (s *BoxWithHoles) SurfaceDistance(p geom.Vec3) float64 {
+	d := boxSurfaceDistance(s.Outer, p)
+	for _, h := range s.Holes {
+		if hd := math.Abs(p.Dist(h.Center) - h.Radius); hd < d {
+			d = hd
+		}
+	}
+	return d
+}
+
+// SurfaceDistance implements DistanceField.
+func (t *Torus) SurfaceDistance(p geom.Vec3) float64 {
+	ringDist := math.Hypot(p.X, p.Y) - t.RingRadius
+	return math.Abs(math.Hypot(ringDist, p.Z) - t.TubeRadius)
+}
+
+// SurfaceDistance implements DistanceField: distance to the capsule
+// surface around the clamped centerline arc.
+func (p *BentPipe) SurfaceDistance(q geom.Vec3) float64 {
+	phi := math.Atan2(q.Y, q.X)
+	if phi < 0 {
+		phi += 2 * math.Pi
+	}
+	var axisDist float64
+	if phi <= p.Span {
+		axisDist = q.Dist(p.centerline(phi))
+	} else {
+		axisDist = math.Min(q.Dist(p.centerline(0)), q.Dist(p.centerline(p.Span)))
+	}
+	return math.Abs(axisDist - p.TubeRadius)
+}
+
+// SurfaceDistance implements DistanceField. The seabed term uses the
+// vertical offset divided by the local slope factor — a first-order
+// approximation of true distance that is exact on flat bed regions and
+// slightly conservative on slopes.
+func (u *Underwater) SurfaceDistance(p geom.Vec3) float64 {
+	d := math.Abs(u.SurfaceZ - p.Z)
+	for _, wall := range [...]float64{
+		math.Abs(p.X), math.Abs(u.Width - p.X),
+		math.Abs(p.Y), math.Abs(u.Length - p.Y),
+	} {
+		if wall < d {
+			d = wall
+		}
+	}
+	gx, gy := u.seabedGradient(p.X, p.Y)
+	bed := math.Abs(p.Z-u.Seabed(p.X, p.Y)) / math.Sqrt(1+gx*gx+gy*gy)
+	if bed < d {
+		d = bed
+	}
+	return d
+}
+
+// Compile-time checks: every deployment shape provides a distance field.
+var (
+	_ DistanceField = (*Ball)(nil)
+	_ DistanceField = (*Box)(nil)
+	_ DistanceField = (*BoxWithHoles)(nil)
+	_ DistanceField = (*Torus)(nil)
+	_ DistanceField = (*BentPipe)(nil)
+	_ DistanceField = (*Underwater)(nil)
+)

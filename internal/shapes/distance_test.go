@@ -1,0 +1,107 @@
+package shapes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestSurfaceDistanceConformance: surface samples must report ~0 distance;
+// the distance must never exceed the true distance to any sampled surface
+// point (it is a distance to the *nearest* surface).
+func TestSurfaceDistanceConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, s := range allShapes(t) {
+		df, ok := s.(DistanceField)
+		if !ok {
+			t.Errorf("%s does not implement DistanceField", s.Name())
+			continue
+		}
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			surface := SampleSurfaceN(rng, s, 200)
+			for _, p := range surface {
+				if d := df.SurfaceDistance(p); d > 1e-6 {
+					t.Fatalf("surface sample %v at distance %v", p, d)
+				}
+			}
+			// Upper-bound property: for random interior points, the
+			// reported distance is at most the distance to any
+			// surface sample.
+			for i := 0; i < 50; i++ {
+				p, err := SampleInterior(rng, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := df.SurfaceDistance(p)
+				if d < 0 {
+					t.Fatalf("negative distance %v", d)
+				}
+				for _, q := range surface[:40] {
+					if d > p.Dist(q)+1e-6 {
+						t.Fatalf("distance %v exceeds sample distance %v at %v",
+							d, p.Dist(q), p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSurfaceDistanceKnownValues(t *testing.T) {
+	b := NewBall(geom.Zero, 2)
+	if d := b.SurfaceDistance(geom.Zero); math.Abs(d-2) > 1e-12 {
+		t.Errorf("ball center distance = %v", d)
+	}
+	if d := b.SurfaceDistance(geom.V(3, 0, 0)); math.Abs(d-1) > 1e-12 {
+		t.Errorf("ball outside distance = %v", d)
+	}
+
+	box := NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4))
+	if d := box.SurfaceDistance(geom.V(2, 2, 1)); math.Abs(d-1) > 1e-12 {
+		t.Errorf("box inside distance = %v", d)
+	}
+	if d := box.SurfaceDistance(geom.V(5, 2, 2)); math.Abs(d-1) > 1e-12 {
+		t.Errorf("box outside distance = %v", d)
+	}
+	if d := box.SurfaceDistance(geom.V(5, 5, 4)); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Errorf("box corner distance = %v", d)
+	}
+
+	holes, err := NewBoxWithHoles(geom.V(0, 0, 0), geom.V(10, 10, 10),
+		[]geom.Sphere{{Center: geom.V(5, 5, 5), Radius: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Next to the cavity, the cavity surface is nearest.
+	if d := holes.SurfaceDistance(geom.V(5, 5, 7.5)); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("cavity proximity distance = %v", d)
+	}
+
+	tor, err := NewTorus(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tor.SurfaceDistance(geom.V(5, 0, 0)); math.Abs(d-1.5) > 1e-12 {
+		t.Errorf("torus centerline distance = %v", d)
+	}
+
+	pipe, err := NewBentPipe(6, 1.5, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pipe.SurfaceDistance(geom.V(6, 0, 0)); math.Abs(d-1.5) > 1e-12 {
+		t.Errorf("pipe centerline distance = %v", d)
+	}
+	// Beyond the start cap: distance measured from the end sphere.
+	if d := pipe.SurfaceDistance(geom.V(6, -3, 0)); math.Abs(d-1.5) > 1e-12 {
+		t.Errorf("pipe beyond-cap distance = %v", d)
+	}
+
+	u := DefaultUnderwater()
+	if d := u.SurfaceDistance(geom.V(5, 5, u.SurfaceZ-0.25)); math.Abs(d-0.25) > 1e-9 {
+		t.Errorf("underwater top distance = %v", d)
+	}
+}

@@ -1,0 +1,107 @@
+package shapes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// ErrHoleOutsideBox is returned when a cavity is not strictly inside the
+// enclosing box (a hole touching the outer boundary would merge the two
+// surfaces, which the grouping experiments rely on being distinct).
+var ErrHoleOutsideBox = errors.New("shapes: cavity must lie strictly inside the box")
+
+// BoxWithHoles is a solid box with spherical internal cavities — the
+// "3D space network with internal holes" of Figs. 7 and 8, and the Fig. 1
+// network. Each cavity contributes an inner boundary surface.
+type BoxWithHoles struct {
+	Outer geom.AABB
+	Holes []geom.Sphere
+
+	faceArea float64 // cached outer surface area
+	holeArea []float64
+	total    float64
+}
+
+// NewBoxWithHoles builds the shape, validating that every cavity lies
+// strictly inside the box and that cavities do not intersect each other.
+func NewBoxWithHoles(min, max geom.Vec3, holes []geom.Sphere) (*BoxWithHoles, error) {
+	box := geom.NewAABB(min, max)
+	for i, h := range holes {
+		inner := box.Expand(-h.Radius)
+		if inner.IsEmpty() || !inner.Contains(h.Center) {
+			return nil, fmt.Errorf("hole %d at %v (r=%g): %w", i, h.Center, h.Radius, ErrHoleOutsideBox)
+		}
+		for j := i + 1; j < len(holes); j++ {
+			if h.Center.Dist(holes[j].Center) <= h.Radius+holes[j].Radius {
+				return nil, fmt.Errorf("holes %d and %d intersect", i, j)
+			}
+		}
+	}
+	s := &BoxWithHoles{Outer: box, Holes: append([]geom.Sphere(nil), holes...)}
+	size := box.Size()
+	s.faceArea = 2 * (size.X*size.Y + size.Y*size.Z + size.X*size.Z)
+	s.total = s.faceArea
+	for _, h := range holes {
+		a := 4 * math.Pi * h.Radius * h.Radius
+		s.holeArea = append(s.holeArea, a)
+		s.total += a
+	}
+	return s, nil
+}
+
+// Name implements Shape.
+func (s *BoxWithHoles) Name() string {
+	return fmt.Sprintf("box-with-%d-holes", len(s.Holes))
+}
+
+// Bounds implements Shape.
+func (s *BoxWithHoles) Bounds() geom.AABB { return s.Outer }
+
+// Contains implements Shape: inside the box and not strictly inside any
+// cavity. Points exactly on a cavity surface belong to the solid, so
+// surface-sampled ground-truth nodes satisfy Contains.
+func (s *BoxWithHoles) Contains(p geom.Vec3) bool {
+	if !s.Outer.Contains(p) {
+		return false
+	}
+	for _, h := range s.Holes {
+		if h.Center.Dist2(p) < h.Radius*h.Radius {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleSurface implements Shape, weighting the outer box faces and each
+// cavity sphere by area.
+func (s *BoxWithHoles) SampleSurface(rng *rand.Rand) geom.Vec3 {
+	u := rng.Float64() * s.total
+	if u < s.faceArea {
+		return (&Box{B: s.Outer}).SampleSurface(rng)
+	}
+	u -= s.faceArea
+	for i, a := range s.holeArea {
+		if u < a {
+			return s.holeSurfacePoint(rng, s.Holes[i])
+		}
+		u -= a
+	}
+	// Floating-point slack: fall back to the last cavity.
+	return s.holeSurfacePoint(rng, s.Holes[len(s.Holes)-1])
+}
+
+// holeSurfacePoint samples the cavity sphere nudged outward by a negligible
+// epsilon so the point is not strictly inside the cavity (Contains holds
+// exactly despite floating-point rounding).
+func (s *BoxWithHoles) holeSurfacePoint(rng *rand.Rand, h geom.Sphere) geom.Vec3 {
+	return geom.RandomOnSphere(rng, geom.Sphere{Center: h.Center, Radius: h.Radius * (1 + 1e-12)})
+}
+
+// SurfaceComponents implements Shape.
+func (s *BoxWithHoles) SurfaceComponents() int { return 1 + len(s.Holes) }
+
+var _ Shape = (*BoxWithHoles)(nil)

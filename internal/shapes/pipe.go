@@ -1,0 +1,122 @@
+package shapes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// ErrBadPipe is returned for geometrically invalid pipe parameters.
+var ErrBadPipe = errors.New("shapes: pipe requires 0 < TubeRadius < BendRadius and 0 < Span < 2π")
+
+// BentPipe is a solid elbow — the Fig. 9 scenario. Its centerline is the
+// circular arc of radius BendRadius in the z=0 plane around the origin,
+// sweeping angles [0, Span]. The solid is every point within TubeRadius of
+// the arc, which gives a torus segment with hemispherical end caps.
+type BentPipe struct {
+	BendRadius float64
+	TubeRadius float64
+	Span       float64 // radians, in (0, 2π)
+
+	tubeArea float64 // lateral torus-segment area
+	capArea  float64 // one hemispherical cap
+}
+
+// NewBentPipe validates the parameters and returns the pipe.
+func NewBentPipe(bendRadius, tubeRadius, span float64) (*BentPipe, error) {
+	if !(tubeRadius > 0 && tubeRadius < bendRadius && span > 0 && span < 2*math.Pi) {
+		return nil, ErrBadPipe
+	}
+	return &BentPipe{
+		BendRadius: bendRadius,
+		TubeRadius: tubeRadius,
+		Span:       span,
+		tubeArea:   span * 2 * math.Pi * tubeRadius * bendRadius,
+		capArea:    2 * math.Pi * tubeRadius * tubeRadius,
+	}, nil
+}
+
+// Name implements Shape.
+func (p *BentPipe) Name() string {
+	return fmt.Sprintf("bent-pipe(R=%.3g,r=%.3g,span=%.3g)", p.BendRadius, p.TubeRadius, p.Span)
+}
+
+// Bounds implements Shape. A loose but correct box: the full torus bound.
+func (p *BentPipe) Bounds() geom.AABB {
+	r := p.BendRadius + p.TubeRadius
+	return geom.NewAABB(geom.V(-r, -r, -p.TubeRadius), geom.V(r, r, p.TubeRadius))
+}
+
+// centerline returns the arc point at angle phi.
+func (p *BentPipe) centerline(phi float64) geom.Vec3 {
+	return geom.V(p.BendRadius*math.Cos(phi), p.BendRadius*math.Sin(phi), 0)
+}
+
+// Contains implements Shape: within TubeRadius of the closest centerline
+// point (the angular clamp yields the rounded end caps).
+func (p *BentPipe) Contains(q geom.Vec3) bool {
+	phi := math.Atan2(q.Y, q.X)
+	if phi < 0 {
+		phi += 2 * math.Pi
+	}
+	rt2 := p.TubeRadius * p.TubeRadius
+	if phi <= p.Span {
+		return q.Dist2(p.centerline(phi)) <= rt2
+	}
+	return q.Dist2(p.centerline(0)) <= rt2 || q.Dist2(p.centerline(p.Span)) <= rt2
+}
+
+// SampleSurface implements Shape. The torus segment and the two caps are
+// chosen by area; the tube angle θ uses rejection to account for the
+// (R + r·cosθ) area element, making the sampler uniform over the surface.
+func (p *BentPipe) SampleSurface(rng *rand.Rand) geom.Vec3 {
+	total := p.tubeArea + 2*p.capArea
+	u := rng.Float64() * total
+	switch {
+	case u < p.tubeArea:
+		phi := rng.Float64() * p.Span
+		theta := p.sampleTubeAngle(rng)
+		radial := geom.V(math.Cos(phi), math.Sin(phi), 0)
+		// Nudge the tube radius inward by a negligible epsilon so that
+		// Contains holds exactly despite floating-point rounding.
+		rt := p.TubeRadius * (1 - 1e-12)
+		ring := p.BendRadius + rt*math.Cos(theta)
+		return radial.Scale(ring).Add(geom.V(0, 0, rt*math.Sin(theta)))
+	case u < p.tubeArea+p.capArea:
+		// Start cap: hemisphere facing the outward tangent at φ=0.
+		return p.capPoint(rng, p.centerline(0), geom.V(0, -1, 0))
+	default:
+		// End cap at φ=Span; outward tangent is the arc tangent there.
+		out := geom.V(-math.Sin(p.Span), math.Cos(p.Span), 0)
+		return p.capPoint(rng, p.centerline(p.Span), out)
+	}
+}
+
+// sampleTubeAngle draws θ with density ∝ (R + r·cosθ) on [0, 2π).
+func (p *BentPipe) sampleTubeAngle(rng *rand.Rand) float64 {
+	max := p.BendRadius + p.TubeRadius
+	for {
+		theta := rng.Float64() * 2 * math.Pi
+		if rng.Float64()*max <= p.BendRadius+p.TubeRadius*math.Cos(theta) {
+			return theta
+		}
+	}
+}
+
+// capPoint draws a uniform point on the hemisphere of radius TubeRadius
+// around center facing the outward direction.
+func (p *BentPipe) capPoint(rng *rand.Rand, center, outward geom.Vec3) geom.Vec3 {
+	d := geom.RandomUnitVector(rng)
+	if d.Dot(outward) < 0 {
+		d = d.Neg()
+	}
+	return center.Add(d.Scale(p.TubeRadius * (1 - 1e-12)))
+}
+
+// SurfaceComponents implements Shape.
+func (p *BentPipe) SurfaceComponents() int { return 1 }
+
+var _ Shape = (*BentPipe)(nil)

@@ -1,0 +1,99 @@
+package shapes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Ball is a solid sphere (the Fig. 10 scenario).
+type Ball struct {
+	Center geom.Vec3
+	Radius float64
+}
+
+// NewBall returns a solid sphere with the given center and radius.
+func NewBall(center geom.Vec3, radius float64) *Ball {
+	return &Ball{Center: center, Radius: radius}
+}
+
+// Name implements Shape.
+func (b *Ball) Name() string { return fmt.Sprintf("ball(r=%.3g)", b.Radius) }
+
+// Bounds implements Shape.
+func (b *Ball) Bounds() geom.AABB {
+	r := geom.V(b.Radius, b.Radius, b.Radius)
+	return geom.AABB{Min: b.Center.Sub(r), Max: b.Center.Add(r)}
+}
+
+// Contains implements Shape.
+func (b *Ball) Contains(p geom.Vec3) bool {
+	return b.Center.Dist2(p) <= b.Radius*b.Radius
+}
+
+// SampleSurface implements Shape. The sample is nudged inward by a
+// negligible relative epsilon so that Contains holds exactly despite
+// floating-point rounding.
+func (b *Ball) SampleSurface(rng *rand.Rand) geom.Vec3 {
+	return geom.RandomOnSphere(rng, geom.Sphere{Center: b.Center, Radius: b.Radius * (1 - 1e-12)})
+}
+
+// SurfaceComponents implements Shape.
+func (b *Ball) SurfaceComponents() int { return 1 }
+
+// Box is a solid axis-aligned box.
+type Box struct {
+	B geom.AABB
+}
+
+// NewBox returns a solid box spanning the given corners.
+func NewBox(min, max geom.Vec3) *Box {
+	return &Box{B: geom.NewAABB(min, max)}
+}
+
+// Name implements Shape.
+func (b *Box) Name() string { return "box" }
+
+// Bounds implements Shape.
+func (b *Box) Bounds() geom.AABB { return b.B }
+
+// Contains implements Shape.
+func (b *Box) Contains(p geom.Vec3) bool { return b.B.Contains(p) }
+
+// SampleSurface implements Shape. Faces are chosen with probability
+// proportional to their area, so sampling is exactly uniform over the
+// surface.
+func (b *Box) SampleSurface(rng *rand.Rand) geom.Vec3 {
+	s := b.B.Size()
+	axy := s.X * s.Y
+	ayz := s.Y * s.Z
+	axz := s.X * s.Z
+	total := 2 * (axy + ayz + axz)
+	u := rng.Float64() * total
+	p := geom.RandomInBox(rng, b.B)
+	switch {
+	case u < axy:
+		p.Z = b.B.Min.Z
+	case u < 2*axy:
+		p.Z = b.B.Max.Z
+	case u < 2*axy+ayz:
+		p.X = b.B.Min.X
+	case u < 2*axy+2*ayz:
+		p.X = b.B.Max.X
+	case u < 2*axy+2*ayz+axz:
+		p.Y = b.B.Min.Y
+	default:
+		p.Y = b.B.Max.Y
+	}
+	return p
+}
+
+// SurfaceComponents implements Shape.
+func (b *Box) SurfaceComponents() int { return 1 }
+
+// compile-time interface checks
+var (
+	_ Shape = (*Ball)(nil)
+	_ Shape = (*Box)(nil)
+)

@@ -1,0 +1,92 @@
+// Package shapes provides the analytic 3D solid models used to deploy
+// simulated wireless networks. The paper builds its networks from
+// triangulated 3D models processed with TetGen; this package substitutes
+// analytic solids with exact inside/outside tests and closed-form (or
+// rejection-based, provably uniform) surface samplers. Each shape reproduces
+// one of the paper's evaluation scenarios (Figs. 6–10) or the Fig. 1
+// network.
+package shapes
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Shape is a closed 3D solid, possibly with internal cavities ("holes" in
+// the paper's terminology). The space outside the solid and each cavity
+// contribute one boundary surface each.
+type Shape interface {
+	// Name identifies the shape in logs and experiment tables.
+	Name() string
+	// Bounds returns a box enclosing the solid.
+	Bounds() geom.AABB
+	// Contains reports whether p belongs to the solid (boundary points
+	// included, cavity interiors excluded).
+	Contains(p geom.Vec3) bool
+	// SampleSurface draws one point approximately uniformly from the
+	// union of all boundary surfaces (outer boundary plus cavities).
+	SampleSurface(rng *rand.Rand) geom.Vec3
+	// SurfaceComponents returns the number of disjoint boundary
+	// surfaces: 1 for a solid without cavities, 1+k with k cavities.
+	SurfaceComponents() int
+}
+
+// ErrRejectionBudget is returned when interior rejection sampling cannot
+// place a point, which indicates a degenerate shape (near-zero volume
+// relative to its bounding box).
+var ErrRejectionBudget = errors.New("shapes: interior rejection sampling exhausted its budget")
+
+// SampleInterior draws one point uniformly from the solid's interior by
+// rejection sampling inside its bounding box.
+func SampleInterior(rng *rand.Rand, s Shape) (geom.Vec3, error) {
+	box := s.Bounds()
+	const maxAttempts = 100000
+	for i := 0; i < maxAttempts; i++ {
+		p := geom.RandomInBox(rng, box)
+		if s.Contains(p) {
+			return p, nil
+		}
+	}
+	return geom.Zero, ErrRejectionBudget
+}
+
+// SampleInteriorN draws n interior points.
+func SampleInteriorN(rng *rand.Rand, s Shape, n int) ([]geom.Vec3, error) {
+	pts := make([]geom.Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := SampleInterior(rng, s)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// SampleSurfaceN draws n surface points.
+func SampleSurfaceN(rng *rand.Rand, s Shape, n int) []geom.Vec3 {
+	pts := make([]geom.Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, s.SampleSurface(rng))
+	}
+	return pts
+}
+
+// VolumeMC estimates the solid's volume by Monte Carlo over its bounding
+// box with the given sample count. Used to pick deployment densities and in
+// tests; not on any hot path.
+func VolumeMC(rng *rand.Rand, s Shape, samples int) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	box := s.Bounds()
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if s.Contains(geom.RandomInBox(rng, box)) {
+			hits++
+		}
+	}
+	return box.Volume() * float64(hits) / float64(samples)
+}

@@ -1,0 +1,368 @@
+package shapes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// allShapes returns one instance of every shape for generic conformance
+// tests.
+func allShapes(t *testing.T) []Shape {
+	t.Helper()
+	holes1, err := NewBoxWithHoles(geom.V(0, 0, 0), geom.V(10, 10, 10),
+		[]geom.Sphere{{Center: geom.V(5, 5, 5), Radius: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes2, err := NewBoxWithHoles(geom.V(0, 0, 0), geom.V(12, 8, 8),
+		[]geom.Sphere{
+			{Center: geom.V(3.5, 4, 4), Radius: 1.5},
+			{Center: geom.V(8.5, 4, 4), Radius: 1.5},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewBentPipe(6, 1.5, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := NewTorus(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Shape{
+		torus,
+		NewBall(geom.V(1, 2, 3), 4),
+		NewBox(geom.V(-1, -2, -3), geom.V(4, 5, 6)),
+		holes1,
+		holes2,
+		pipe,
+		DefaultUnderwater(),
+	}
+}
+
+// Generic conformance: surface samples belong to the solid, lie in bounds,
+// and sit on the boundary (small random offsets escape the solid); interior
+// samples are contained.
+func TestShapeConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, s := range allShapes(t) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			box := s.Bounds()
+			if box.IsEmpty() {
+				t.Fatal("empty bounds")
+			}
+			if s.SurfaceComponents() < 1 {
+				t.Fatalf("SurfaceComponents = %d", s.SurfaceComponents())
+			}
+			for i := 0; i < 300; i++ {
+				p := s.SampleSurface(rng)
+				if !box.Expand(1e-9).Contains(p) {
+					t.Fatalf("surface sample %v outside bounds %v", p, box)
+				}
+				if !s.Contains(p) {
+					t.Fatalf("surface sample %v not contained", p)
+				}
+				// Boundary check: some tiny offset must escape.
+				escaped := false
+				for k := 0; k < 40; k++ {
+					q := p.Add(geom.RandomUnitVector(rng).Scale(1e-6))
+					if !s.Contains(q) {
+						escaped = true
+						break
+					}
+				}
+				if !escaped {
+					t.Fatalf("surface sample %v appears interior", p)
+				}
+			}
+			for i := 0; i < 300; i++ {
+				p, err := SampleInterior(rng, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !s.Contains(p) {
+					t.Fatalf("interior sample %v not contained", p)
+				}
+			}
+		})
+	}
+}
+
+func TestBallGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	b := NewBall(geom.V(1, 1, 1), 2)
+	for i := 0; i < 500; i++ {
+		p := b.SampleSurface(rng)
+		if d := p.Dist(b.Center); math.Abs(d-2) > 1e-9 {
+			t.Fatalf("surface sample at distance %v", d)
+		}
+	}
+	if !b.Contains(geom.V(1, 1, 1)) || b.Contains(geom.V(4, 1, 1)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestBoxSurfaceOnFaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	b := NewBox(geom.V(0, 0, 0), geom.V(2, 3, 4))
+	faceHits := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		p := b.SampleSurface(rng)
+		onFace := false
+		for _, f := range []struct {
+			name  string
+			value float64
+			coord float64
+		}{
+			{"x0", 0, p.X}, {"x1", 2, p.X},
+			{"y0", 0, p.Y}, {"y1", 3, p.Y},
+			{"z0", 0, p.Z}, {"z1", 4, p.Z},
+		} {
+			if f.coord == f.value {
+				faceHits[f.name]++
+				onFace = true
+				break
+			}
+		}
+		if !onFace {
+			t.Fatalf("sample %v not on any face", p)
+		}
+	}
+	// Every face must receive samples; larger faces more often.
+	for _, face := range []string{"x0", "x1", "y0", "y1", "z0", "z1"} {
+		if faceHits[face] == 0 {
+			t.Errorf("face %s never sampled", face)
+		}
+	}
+	if faceHits["x0"] < faceHits["z0"] {
+		t.Errorf("area weighting suspect: yz face (area 12) hit %d, xy face (area 6) hit %d",
+			faceHits["x0"], faceHits["z0"])
+	}
+}
+
+func TestBoxWithHolesValidation(t *testing.T) {
+	// Hole poking through the outer boundary.
+	_, err := NewBoxWithHoles(geom.V(0, 0, 0), geom.V(4, 4, 4),
+		[]geom.Sphere{{Center: geom.V(0.5, 2, 2), Radius: 1}})
+	if err == nil {
+		t.Error("expected error for hole touching boundary")
+	}
+	// Intersecting holes.
+	_, err = NewBoxWithHoles(geom.V(0, 0, 0), geom.V(10, 10, 10),
+		[]geom.Sphere{
+			{Center: geom.V(4, 5, 5), Radius: 1.5},
+			{Center: geom.V(6, 5, 5), Radius: 1.5},
+		})
+	if err == nil {
+		t.Error("expected error for intersecting holes")
+	}
+	// Hole larger than the box.
+	_, err = NewBoxWithHoles(geom.V(0, 0, 0), geom.V(2, 2, 2),
+		[]geom.Sphere{{Center: geom.V(1, 1, 1), Radius: 5}})
+	if err == nil {
+		t.Error("expected error for oversized hole")
+	}
+}
+
+func TestBoxWithHolesExcludesCavity(t *testing.T) {
+	s, err := NewBoxWithHoles(geom.V(0, 0, 0), geom.V(10, 10, 10),
+		[]geom.Sphere{{Center: geom.V(5, 5, 5), Radius: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(geom.V(5, 5, 5)) {
+		t.Error("cavity center contained")
+	}
+	if !s.Contains(geom.V(5, 5, 7)) { // exactly on the cavity surface
+		t.Error("cavity surface point not contained")
+	}
+	if !s.Contains(geom.V(1, 1, 1)) {
+		t.Error("solid point not contained")
+	}
+	if s.SurfaceComponents() != 2 {
+		t.Errorf("SurfaceComponents = %d, want 2", s.SurfaceComponents())
+	}
+	// A meaningful share of surface samples must land on the cavity:
+	// cavity area fraction = 4π·4 / (600 + 4π·4) ≈ 7.7 %.
+	rng := rand.New(rand.NewSource(25))
+	onHole := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p := s.SampleSurface(rng)
+		if math.Abs(p.Dist(geom.V(5, 5, 5))-2) < 1e-9 {
+			onHole++
+		}
+	}
+	frac := float64(onHole) / n
+	want := 4 * math.Pi * 4 / (600 + 4*math.Pi*4)
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("cavity sampling fraction = %v, want ≈ %v", frac, want)
+	}
+}
+
+func TestBentPipeValidation(t *testing.T) {
+	cases := []struct{ bend, tube, span float64 }{
+		{1, 2, 1},           // tube >= bend
+		{5, 0, 1},           // zero tube
+		{5, 1, 0},           // zero span
+		{5, 1, 2 * math.Pi}, // full circle not supported
+		{5, 1, -1},          // negative span
+		{-5, 1, 1},          // negative bend
+	}
+	for _, c := range cases {
+		if _, err := NewBentPipe(c.bend, c.tube, c.span); err == nil {
+			t.Errorf("NewBentPipe(%v, %v, %v) should fail", c.bend, c.tube, c.span)
+		}
+	}
+}
+
+func TestBentPipeContains(t *testing.T) {
+	p, err := NewBentPipe(6, 1.5, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the centerline at mid-span.
+	mid := geom.V(6*math.Cos(math.Pi/4), 6*math.Sin(math.Pi/4), 0)
+	if !p.Contains(mid) {
+		t.Error("centerline point not contained")
+	}
+	// Origin is far from the arc.
+	if p.Contains(geom.Zero) {
+		t.Error("origin contained")
+	}
+	// Beyond the end cap.
+	if p.Contains(geom.V(6, -3, 0)) {
+		t.Error("point beyond start cap contained")
+	}
+	// Inside the start cap's rounded end.
+	if !p.Contains(geom.V(6, -1, 0)) {
+		t.Error("start-cap point not contained")
+	}
+	// Opposite side of the torus (φ ≈ π, outside span).
+	if p.Contains(geom.V(-6, 0, 0)) {
+		t.Error("opposite-arc point contained")
+	}
+}
+
+func TestUnderwaterGeometry(t *testing.T) {
+	u := DefaultUnderwater()
+	if u.Contains(geom.V(5, 5, 10)) {
+		t.Error("point above surface contained")
+	}
+	if u.Contains(geom.V(5, 5, u.Seabed(5, 5)-0.01)) {
+		t.Error("point below seabed contained")
+	}
+	if !u.Contains(geom.V(5, 5, u.Seabed(5, 5)+0.5)) {
+		t.Error("water point not contained")
+	}
+	if u.Contains(geom.V(-1, 5, 2)) {
+		t.Error("point outside x-range contained")
+	}
+	// Seabed must undulate: range should reflect wave amplitudes.
+	if u.bedMax-u.bedMin < 0.5 {
+		t.Errorf("seabed too flat: [%v, %v]", u.bedMin, u.bedMax)
+	}
+	if u.bedMax >= u.SurfaceZ {
+		t.Error("seabed reaches surface")
+	}
+}
+
+func TestUnderwaterValidation(t *testing.T) {
+	_, err := NewUnderwater(10, 10, 1, 2, nil) // seabed above surface
+	if err == nil {
+		t.Error("expected error for seabed above surface")
+	}
+	_, err = NewUnderwater(0, 10, 4, 1, nil)
+	if err == nil {
+		t.Error("expected error for zero width")
+	}
+}
+
+func TestVolumeMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	b := NewBall(geom.Zero, 2)
+	got := VolumeMC(rng, b, 200000)
+	want := 4.0 / 3.0 * math.Pi * 8
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("ball volume = %v, want ≈ %v", got, want)
+	}
+	if VolumeMC(rng, b, 0) != 0 {
+		t.Error("zero samples should give zero volume")
+	}
+}
+
+// emptyShape is a degenerate shape used to exercise the rejection budget.
+type emptyShape struct{}
+
+func (emptyShape) Name() string                       { return "empty" }
+func (emptyShape) Bounds() geom.AABB                  { return geom.NewAABB(geom.Zero, geom.V(1, 1, 1)) }
+func (emptyShape) Contains(geom.Vec3) bool            { return false }
+func (emptyShape) SampleSurface(*rand.Rand) geom.Vec3 { return geom.Zero }
+func (emptyShape) SurfaceComponents() int             { return 1 }
+
+func TestSampleInteriorBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	if _, err := SampleInterior(rng, emptyShape{}); err != ErrRejectionBudget {
+		t.Errorf("err = %v, want ErrRejectionBudget", err)
+	}
+	if _, err := SampleInteriorN(rng, emptyShape{}, 3); err == nil {
+		t.Error("SampleInteriorN should propagate the budget error")
+	}
+}
+
+func TestSampleHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	b := NewBall(geom.Zero, 1)
+	surf := SampleSurfaceN(rng, b, 10)
+	if len(surf) != 10 {
+		t.Fatalf("SampleSurfaceN returned %d points", len(surf))
+	}
+	interior, err := SampleInteriorN(rng, b, 10)
+	if err != nil || len(interior) != 10 {
+		t.Fatalf("SampleInteriorN: %v, %d points", err, len(interior))
+	}
+}
+
+func TestTorusValidation(t *testing.T) {
+	if _, err := NewTorus(1, 2); err != ErrBadTorus {
+		t.Errorf("tube > ring: err = %v", err)
+	}
+	if _, err := NewTorus(2, 0); err != ErrBadTorus {
+		t.Errorf("zero tube: err = %v", err)
+	}
+}
+
+func TestTorusGeometry(t *testing.T) {
+	tor, err := NewTorus(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring circle is inside; axis and far field are not.
+	if !tor.Contains(geom.V(5, 0, 0)) {
+		t.Error("ring point not contained")
+	}
+	if tor.Contains(geom.Zero) {
+		t.Error("axis point contained")
+	}
+	if tor.Contains(geom.V(5, 0, 2)) {
+		t.Error("point above tube contained")
+	}
+	// The central hole is genuine: the z axis neighborhood is empty.
+	if tor.Contains(geom.V(0, 0, 0.5)) || tor.Contains(geom.V(1, 1, 0)) {
+		t.Error("hole region contained")
+	}
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 2000; i++ {
+		p := tor.SampleSurface(rng)
+		ringDist := math.Hypot(p.X, p.Y) - 5
+		d := math.Sqrt(ringDist*ringDist + p.Z*p.Z)
+		if math.Abs(d-1.5) > 1e-6 {
+			t.Fatalf("surface sample at tube distance %v", d)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package shapes
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// ErrBadUnderwater is returned when the seabed can touch or exceed the
+// water surface, which would pinch the solid.
+var ErrBadUnderwater = errors.New("shapes: seabed must stay strictly below the surface")
+
+// SeabedWave is one sinusoidal component of the seabed heightfield.
+type SeabedWave struct {
+	Amplitude float64
+	FreqX     float64 // radians per unit length along x
+	FreqY     float64
+	PhaseX    float64
+	PhaseY    float64
+}
+
+// Underwater is a column of water — the Fig. 6 scenario: a smooth top
+// surface at SurfaceZ and a bumpy seabed given by a sum of sinusoids over
+// the rectangle [0,Width]×[0,Length].
+type Underwater struct {
+	Width    float64
+	Length   float64
+	SurfaceZ float64
+	SeabedZ  float64 // mean seabed depth
+	Waves    []SeabedWave
+
+	bedMin, bedMax float64 // seabed height range (numeric bound)
+	gradMax        float64 // bound on √(1+|∇bed|²) for rejection sampling
+	areaTop        float64
+	areaBed        float64 // numeric estimate
+	areaWalls      [4]float64
+	areaTotal      float64
+}
+
+// DefaultUnderwater returns the parameters used by the Fig. 6 experiment:
+// a 10×10×4 column with a two-component sinusoidal seabed.
+func DefaultUnderwater() *Underwater {
+	u, err := NewUnderwater(10, 10, 4, 0.8, []SeabedWave{
+		{Amplitude: 0.45, FreqX: 1.3, FreqY: 0.9, PhaseX: 0.4, PhaseY: 1.1},
+		{Amplitude: 0.3, FreqX: 2.4, FreqY: 2.9, PhaseX: 2.0, PhaseY: 0.3},
+	})
+	if err != nil {
+		// Fixed literal parameters are always valid; reaching this is a
+		// programming error.
+		panic(err)
+	}
+	return u
+}
+
+// NewUnderwater validates the parameters, pre-computes the surface-area
+// weights numerically, and returns the shape.
+func NewUnderwater(width, length, surfaceZ, seabedZ float64, waves []SeabedWave) (*Underwater, error) {
+	if width <= 0 || length <= 0 {
+		return nil, errors.New("shapes: underwater requires positive width and length")
+	}
+	u := &Underwater{
+		Width:    width,
+		Length:   length,
+		SurfaceZ: surfaceZ,
+		SeabedZ:  seabedZ,
+		Waves:    append([]SeabedWave(nil), waves...),
+	}
+	const grid = 160
+	u.bedMin, u.bedMax = math.Inf(1), math.Inf(-1)
+	u.gradMax = 1
+	var bedArea float64
+	cellW, cellL := width/grid, length/grid
+	for i := 0; i <= grid; i++ {
+		for j := 0; j <= grid; j++ {
+			x, y := float64(i)*cellW, float64(j)*cellL
+			z := u.Seabed(x, y)
+			u.bedMin = math.Min(u.bedMin, z)
+			u.bedMax = math.Max(u.bedMax, z)
+			gx, gy := u.seabedGradient(x, y)
+			factor := math.Sqrt(1 + gx*gx + gy*gy)
+			u.gradMax = math.Max(u.gradMax, factor)
+			if i < grid && j < grid {
+				bedArea += factor * cellW * cellL
+			}
+		}
+	}
+	// Margin for grid under-sampling of the gradient bound.
+	u.gradMax *= 1.05
+	if u.bedMax >= surfaceZ {
+		return nil, ErrBadUnderwater
+	}
+
+	u.areaTop = width * length
+	u.areaBed = bedArea
+	// Wall areas by 1D numeric integration of (surface - seabed) along
+	// each edge: 0 = x-min, 1 = x-max, 2 = y-min, 3 = y-max.
+	const steps = 400
+	integrate := func(along float64, edge int) float64 {
+		step := along / steps
+		var sum float64
+		for k := 0; k < steps; k++ {
+			t := (float64(k) + 0.5) * step
+			var z float64
+			switch edge {
+			case 0:
+				z = u.Seabed(0, t)
+			case 1:
+				z = u.Seabed(width, t)
+			case 2:
+				z = u.Seabed(t, 0)
+			default:
+				z = u.Seabed(t, length)
+			}
+			sum += (surfaceZ - z) * step
+		}
+		return sum
+	}
+	u.areaWalls[0] = integrate(length, 0)
+	u.areaWalls[1] = integrate(length, 1)
+	u.areaWalls[2] = integrate(width, 2)
+	u.areaWalls[3] = integrate(width, 3)
+	u.areaTotal = u.areaTop + u.areaBed
+	for _, a := range u.areaWalls {
+		u.areaTotal += a
+	}
+	return u, nil
+}
+
+// Seabed returns the seabed height at (x, y).
+func (u *Underwater) Seabed(x, y float64) float64 {
+	z := u.SeabedZ
+	for _, w := range u.Waves {
+		z += w.Amplitude * math.Sin(w.FreqX*x+w.PhaseX) * math.Sin(w.FreqY*y+w.PhaseY)
+	}
+	return z
+}
+
+// seabedGradient returns (∂z/∂x, ∂z/∂y) analytically.
+func (u *Underwater) seabedGradient(x, y float64) (gx, gy float64) {
+	for _, w := range u.Waves {
+		sx, cx := math.Sincos(w.FreqX*x + w.PhaseX)
+		sy, cy := math.Sincos(w.FreqY*y + w.PhaseY)
+		gx += w.Amplitude * w.FreqX * cx * sy
+		gy += w.Amplitude * w.FreqY * sx * cy
+	}
+	return gx, gy
+}
+
+// Name implements Shape.
+func (u *Underwater) Name() string { return "underwater" }
+
+// Bounds implements Shape.
+func (u *Underwater) Bounds() geom.AABB {
+	return geom.NewAABB(geom.V(0, 0, u.bedMin), geom.V(u.Width, u.Length, u.SurfaceZ))
+}
+
+// Contains implements Shape.
+func (u *Underwater) Contains(p geom.Vec3) bool {
+	if p.X < 0 || p.X > u.Width || p.Y < 0 || p.Y > u.Length || p.Z > u.SurfaceZ {
+		return false
+	}
+	return p.Z >= u.Seabed(p.X, p.Y)
+}
+
+// SampleSurface implements Shape. Components (top, seabed, four walls) are
+// chosen by area; the seabed uses gradient-weighted rejection so sampling
+// is uniform over the true (sloped) bed surface, and walls use rejection
+// against the local seabed height.
+func (u *Underwater) SampleSurface(rng *rand.Rand) geom.Vec3 {
+	sel := rng.Float64() * u.areaTotal
+	switch {
+	case sel < u.areaTop:
+		return geom.V(rng.Float64()*u.Width, rng.Float64()*u.Length, u.SurfaceZ)
+	case sel < u.areaTop+u.areaBed:
+		for {
+			x, y := rng.Float64()*u.Width, rng.Float64()*u.Length
+			gx, gy := u.seabedGradient(x, y)
+			if rng.Float64()*u.gradMax <= math.Sqrt(1+gx*gx+gy*gy) {
+				// Nudge above the bed by a negligible epsilon so
+				// Contains holds despite floating-point rounding.
+				return geom.V(x, y, u.Seabed(x, y)+1e-12)
+			}
+		}
+	default:
+		sel -= u.areaTop + u.areaBed
+		edge := 3
+		for e, a := range u.areaWalls {
+			if sel < a {
+				edge = e
+				break
+			}
+			sel -= a
+		}
+		for {
+			t := rng.Float64()
+			z := u.bedMin + rng.Float64()*(u.SurfaceZ-u.bedMin)
+			var p geom.Vec3
+			switch edge {
+			case 0:
+				p = geom.V(0, t*u.Length, z)
+			case 1:
+				p = geom.V(u.Width, t*u.Length, z)
+			case 2:
+				p = geom.V(t*u.Width, 0, z)
+			default:
+				p = geom.V(t*u.Width, u.Length, z)
+			}
+			if z >= u.Seabed(p.X, p.Y) {
+				return p
+			}
+		}
+	}
+}
+
+// SurfaceComponents implements Shape.
+func (u *Underwater) SurfaceComponents() int { return 1 }
+
+var _ Shape = (*Underwater)(nil)

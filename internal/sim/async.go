@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// AsyncKernel executes a protocol with per-message random delivery delays
+// instead of synchronized rounds: each sent message is scheduled at
+// now + U(0, MaxDelay] on a deterministic event queue and handled
+// individually. It models the asynchrony of a real radio network while
+// staying reproducible (fixed Seed ⇒ identical trace), and is used to
+// verify that the paper's flooding protocols converge to the same result
+// they produce under round synchrony.
+type AsyncKernel[M any] struct {
+	// G is the communication graph. Required.
+	G *graph.Graph
+	// Participates restricts the protocol to a node subset. Nil means
+	// every node participates.
+	Participates func(int) bool
+	// Init lets each participating node send its opening messages.
+	Init func(id int, out *Outbox[M])
+	// OnMessage handles a single delivered message. Required.
+	OnMessage func(id int, env Envelope[M], out *Outbox[M])
+	// Seed drives the delay draws.
+	Seed int64
+	// MaxDelay is the delivery-delay upper bound in virtual time units.
+	// Zero means 1.
+	MaxDelay float64
+	// MaxEvents bounds the execution. Zero means 1000 × the node count.
+	MaxEvents int
+}
+
+// AsyncResult reports an asynchronous execution.
+type AsyncResult struct {
+	// Messages is the number of deliveries processed.
+	Messages int
+	// VirtualTime is the delivery time of the last message.
+	VirtualTime float64
+}
+
+// ErrEventBudget is returned when the protocol is still sending after
+// MaxEvents deliveries.
+var ErrEventBudget = errors.New("sim: async protocol exceeded its event budget")
+
+// event is one scheduled delivery.
+type event[M any] struct {
+	at  float64
+	seq int // FIFO tiebreak keeps the trace deterministic
+	to  int
+	env Envelope[M]
+}
+
+type eventQueue[M any] []event[M]
+
+func (q eventQueue[M]) Len() int { return len(q) }
+func (q eventQueue[M]) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue[M]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue[M]) Push(x any)   { *q = append(*q, x.(event[M])) }
+func (q *eventQueue[M]) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes the protocol until no messages are in flight.
+func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
+	if k.G == nil || k.OnMessage == nil {
+		return AsyncResult{}, errors.New("sim: async kernel requires G and OnMessage")
+	}
+	participates := func(i int) bool { return k.Participates == nil || k.Participates(i) }
+	isNeighbor := func(from, to int) bool {
+		adj := k.G.Adj[from]
+		idx := sort.SearchInts(adj, to)
+		return idx < len(adj) && adj[idx] == to
+	}
+	maxDelay := k.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = 1
+	}
+	maxEvents := k.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1000 * k.G.Len()
+	}
+
+	rng := rand.New(rand.NewSource(k.Seed))
+	var queue eventQueue[M]
+	seq := 0
+	var res AsyncResult
+
+	outboxFor := func(i int) Outbox[M] {
+		return Outbox[M]{
+			from:         i,
+			neighbors:    k.G.Adj[i],
+			isNeighbor:   isNeighbor,
+			participates: participates,
+		}
+	}
+	schedule := func(now float64, out *Outbox[M]) {
+		for _, d := range out.pending {
+			seq++
+			heap.Push(&queue, event[M]{
+				at:  now + rng.Float64()*maxDelay,
+				seq: seq,
+				to:  d.to,
+				env: d.env,
+			})
+		}
+	}
+
+	if k.Init != nil {
+		for i := 0; i < k.G.Len(); i++ {
+			if !participates(i) {
+				continue
+			}
+			out := outboxFor(i)
+			k.Init(i, &out)
+			schedule(0, &out)
+		}
+	}
+	heap.Init(&queue)
+
+	for queue.Len() > 0 {
+		if res.Messages >= maxEvents {
+			return res, ErrEventBudget
+		}
+		ev := heap.Pop(&queue).(event[M])
+		res.Messages++
+		res.VirtualTime = ev.at
+		out := outboxFor(ev.to)
+		k.OnMessage(ev.to, ev.env, &out)
+		schedule(ev.at, &out)
+	}
+	return res, nil
+}
+
+// AsyncFloodCount is FloodCount executed under asynchrony. The forwarding
+// rule is strengthened for out-of-order delivery: a node re-forwards an
+// origin when a copy arrives with a larger remaining TTL than any it has
+// forwarded before (under rounds the first copy always carries the maximal
+// TTL, so the rules coincide). With that rule the counts are
+// delay-independent and equal the synchronous ones.
+func AsyncFloodCount(g *graph.Graph, member []bool, ttl int, seed int64) ([]int, AsyncResult, error) {
+	n := g.Len()
+	// bestTTL[node][origin] = largest remaining TTL forwarded so far.
+	bestTTL := make([]map[int]int, n)
+	participates := graph.InSet(member)
+
+	k := AsyncKernel[floodMsg]{
+		G:            g,
+		Participates: participates,
+		Seed:         seed,
+		Init: func(id int, out *Outbox[floodMsg]) {
+			bestTTL[id] = map[int]int{id: ttl}
+			if ttl > 0 {
+				out.Broadcast(floodMsg{origin: id, ttl: ttl - 1})
+			}
+		},
+		OnMessage: func(id int, env Envelope[floodMsg], out *Outbox[floodMsg]) {
+			prev, seen := bestTTL[id][env.Msg.origin]
+			if seen && prev >= env.Msg.ttl {
+				return
+			}
+			bestTTL[id][env.Msg.origin] = env.Msg.ttl
+			if env.Msg.ttl > 0 {
+				out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
+			}
+		},
+	}
+	res, err := k.Run()
+	if err != nil {
+		return nil, AsyncResult{}, err
+	}
+	counts := make([]int, n)
+	for i, m := range bestTTL {
+		counts[i] = len(m)
+	}
+	return counts, res, nil
+}
+
+// AsyncLabelComponents is LabelComponents executed under asynchrony.
+// Min-label propagation is monotone, so it converges to the same labels
+// regardless of delivery order.
+func AsyncLabelComponents(g *graph.Graph, member []bool, seed int64) ([]int, AsyncResult, error) {
+	n := g.Len()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = NoGroup
+	}
+	k := AsyncKernel[int]{
+		G:            g,
+		Participates: graph.InSet(member),
+		Seed:         seed,
+		Init: func(id int, out *Outbox[int]) {
+			label[id] = id
+			out.Broadcast(id)
+		},
+		OnMessage: func(id int, env Envelope[int], out *Outbox[int]) {
+			if env.Msg < label[id] {
+				label[id] = env.Msg
+				out.Broadcast(env.Msg)
+			}
+		},
+	}
+	res, err := k.Run()
+	if err != nil {
+		return nil, AsyncResult{}, err
+	}
+	return label, res, nil
+}

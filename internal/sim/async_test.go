@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAsyncKernelRequiresHandlers(t *testing.T) {
+	k := AsyncKernel[int]{}
+	if _, err := k.Run(); err == nil {
+		t.Error("expected error for missing G/OnMessage")
+	}
+}
+
+func TestAsyncKernelDeterministicPerSeed(t *testing.T) {
+	g := pathGraph(6)
+	trace := func(seed int64) []int {
+		var order []int
+		k := AsyncKernel[int]{
+			G:    g,
+			Seed: seed,
+			Init: func(id int, out *Outbox[int]) {
+				if id == 0 {
+					out.Broadcast(0)
+				}
+			},
+			OnMessage: func(id int, env Envelope[int], out *Outbox[int]) {
+				order = append(order, id)
+				if env.Msg < 4 { // bounded relay
+					out.Broadcast(env.Msg + 1)
+				}
+			},
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestAsyncKernelEventBudget(t *testing.T) {
+	g := ringGraph(4)
+	k := AsyncKernel[int]{
+		G:         g,
+		MaxEvents: 50,
+		Init: func(id int, out *Outbox[int]) {
+			out.Broadcast(0)
+		},
+		OnMessage: func(id int, env Envelope[int], out *Outbox[int]) {
+			out.Broadcast(0) // infinite ping-pong
+		},
+	}
+	if _, err := k.Run(); err != ErrEventBudget {
+		t.Errorf("err = %v, want ErrEventBudget", err)
+	}
+}
+
+// The core asynchrony result: both flooding protocols converge to exactly
+// the synchronous outcome under arbitrary delays.
+func TestAsyncMatchesSyncOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 12; trial++ {
+		n := 20 + rng.Intn(40)
+		g := graph.New(n)
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		for i := range g.Adj {
+			sortInts(g.Adj[i])
+		}
+		member := make([]bool, n)
+		for i := range member {
+			member[i] = rng.Float64() < 0.7
+		}
+		ttl := 1 + rng.Intn(3)
+
+		syncCounts, err := FloodCount(g, member, ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncCounts, _, err := AsyncFloodCount(g, member, ttl, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range syncCounts {
+			if syncCounts[i] != asyncCounts[i] {
+				t.Fatalf("trial %d: flood count differs at node %d: sync %d, async %d",
+					trial, i, syncCounts[i], asyncCounts[i])
+			}
+		}
+
+		syncLabels, err := LabelComponents(g, member)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncLabels, _, err := AsyncLabelComponents(g, member, int64(trial)*31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range syncLabels {
+			if syncLabels[i] != asyncLabels[i] {
+				t.Fatalf("trial %d: label differs at node %d: sync %d, async %d",
+					trial, i, syncLabels[i], asyncLabels[i])
+			}
+		}
+	}
+}
+
+func TestAsyncVirtualTimeAdvances(t *testing.T) {
+	g := pathGraph(10)
+	member := allTrue(10)
+	_, res, err := AsyncFloodCount(g, member, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 || res.VirtualTime <= 0 {
+		t.Errorf("async stats: %+v", res)
+	}
+	// Larger MaxDelay stretches virtual time (same message structure).
+	k := AsyncKernel[int]{
+		G:        g,
+		Seed:     2,
+		MaxDelay: 10,
+		Init: func(id int, out *Outbox[int]) {
+			if id == 0 {
+				out.Broadcast(1)
+			}
+		},
+		OnMessage: func(id int, env Envelope[int], out *Outbox[int]) {},
+	}
+	slow, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.VirtualTime <= 0 {
+		t.Errorf("virtual time = %v", slow.VirtualTime)
+	}
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// FloodCount is the Isolated Fragment Filtering primitive: every member
+// floods its ID for TTL hops and counts distinct members heard.
+func ExampleFloodCount() {
+	// A path 0-1-2-3-4 where every node participates.
+	g := graph.New(5)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	member := []bool{true, true, true, true, true}
+	counts, _ := sim.FloodCount(g, member, 2)
+	fmt.Println(counts)
+	// Output:
+	// [3 4 5 4 3]
+}
+
+// LabelComponents groups members into connected components by min-label
+// propagation — the paper's boundary grouping.
+func ExampleLabelComponents() {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	member := []bool{true, true, false, true, true}
+	label, _ := sim.LabelComponents(g, member)
+	fmt.Println(label, sim.Groups(label))
+	// Output:
+	// [0 0 -1 3 3] [[0 1] [3 4]]
+}

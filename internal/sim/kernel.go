@@ -1,0 +1,172 @@
+// Package sim provides a synchronous, round-based message-passing kernel
+// for executing distributed algorithms over a network graph, plus the
+// canonical localized primitives the paper's algorithms are built from:
+// TTL-bounded flood counting (Isolated Fragment Filtering) and label
+// propagation (boundary grouping).
+//
+// The kernel is deterministic: nodes are stepped in ascending ID order and
+// inboxes are sorted by sender, so repeated runs produce identical traces.
+package sim
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrNoQuiescence is returned when a protocol is still exchanging messages
+// after the round budget.
+var ErrNoQuiescence = errors.New("sim: protocol did not quiesce within the round budget")
+
+// Envelope is a delivered message.
+type Envelope[M any] struct {
+	From int
+	Msg  M
+}
+
+// Outbox collects the messages a node sends during one step; the executing
+// kernel decides when they are delivered (next round for Kernel, after a
+// random delay for AsyncKernel).
+type Outbox[M any] struct {
+	from         int
+	neighbors    []int
+	isNeighbor   func(from, to int) bool
+	participates func(int) bool
+	pending      []delivery[M]
+}
+
+type delivery[M any] struct {
+	to  int
+	env Envelope[M]
+}
+
+// Send enqueues a message to a neighbor. Sends to non-neighbors or to
+// non-participating nodes are dropped, mirroring radio reality: a packet
+// addressed outside the one-hop neighborhood never arrives.
+func (o *Outbox[M]) Send(to int, msg M) {
+	if !o.isNeighbor(o.from, to) || !o.participates(to) {
+		return
+	}
+	o.pending = append(o.pending, delivery[M]{to: to, env: Envelope[M]{From: o.from, Msg: msg}})
+}
+
+// Broadcast enqueues a message to every participating neighbor.
+func (o *Outbox[M]) Broadcast(msg M) {
+	for _, j := range o.neighbors {
+		if o.participates(j) {
+			o.pending = append(o.pending, delivery[M]{to: j, env: Envelope[M]{From: o.from, Msg: msg}})
+		}
+	}
+}
+
+// Kernel executes one protocol over a graph. M is the message type.
+type Kernel[M any] struct {
+	// G is the communication graph. Required.
+	G *graph.Graph
+	// Participates restricts the protocol to a node subset (e.g. the
+	// boundary nodes). Nil means every node participates.
+	Participates func(int) bool
+	// Init lets each participating node send its opening messages.
+	// Optional.
+	Init func(id int, out *Outbox[M])
+	// OnReceive handles one round's inbox for a node. Required.
+	OnReceive func(id int, inbox []Envelope[M], out *Outbox[M])
+	// MaxRounds bounds the execution. The zero value means 1 + the
+	// number of nodes (any simple flood quiesces by then).
+	MaxRounds int
+
+	g *graph.Graph
+}
+
+// Result reports execution statistics.
+type Result struct {
+	Rounds   int
+	Messages int
+}
+
+func (k *Kernel[M]) participates(i int) bool {
+	return k.Participates == nil || k.Participates(i)
+}
+
+func (k *Kernel[M]) isNeighbor(from, to int) bool {
+	adj := k.g.Adj[from]
+	idx := sort.SearchInts(adj, to)
+	return idx < len(adj) && adj[idx] == to
+}
+
+// Run executes the protocol until no messages are in flight, returning
+// round and message counts.
+func (k *Kernel[M]) Run() (Result, error) {
+	if k.G == nil || k.OnReceive == nil {
+		return Result{}, errors.New("sim: kernel requires G and OnReceive")
+	}
+	k.g = k.G
+	maxRounds := k.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = k.g.Len() + 1
+	}
+
+	n := k.g.Len()
+	inboxes := make([][]Envelope[M], n)
+	var res Result
+
+	outboxFor := func(i int) Outbox[M] {
+		return Outbox[M]{
+			from:         i,
+			neighbors:    k.g.Adj[i],
+			isNeighbor:   k.isNeighbor,
+			participates: k.participates,
+		}
+	}
+	collect := func(out *Outbox[M]) {
+		for _, d := range out.pending {
+			inboxes[d.to] = append(inboxes[d.to], d.env)
+			res.Messages++
+		}
+	}
+
+	if k.Init != nil {
+		for i := 0; i < n; i++ {
+			if !k.participates(i) {
+				continue
+			}
+			out := outboxFor(i)
+			k.Init(i, &out)
+			collect(&out)
+		}
+	}
+
+	for round := 0; ; round++ {
+		anyPending := false
+		for i := 0; i < n; i++ {
+			if len(inboxes[i]) > 0 {
+				anyPending = true
+				break
+			}
+		}
+		if !anyPending {
+			res.Rounds = round
+			return res, nil
+		}
+		if round >= maxRounds {
+			res.Rounds = round
+			return res, ErrNoQuiescence
+		}
+		next := make([][]Envelope[M], n)
+		for i := 0; i < n; i++ {
+			inbox := inboxes[i]
+			if len(inbox) == 0 {
+				continue
+			}
+			sort.SliceStable(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+			out := outboxFor(i)
+			k.OnReceive(i, inbox, &out)
+			for _, d := range out.pending {
+				next[d.to] = append(next[d.to], d.env)
+				res.Messages++
+			}
+		}
+		inboxes = next
+	}
+}

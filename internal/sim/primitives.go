@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"repro/internal/graph"
+)
+
+// floodMsg carries one origin's flood with its remaining hop budget.
+type floodMsg struct {
+	origin int
+	ttl    int
+}
+
+// FloodCount runs the TTL-bounded local flooding of Isolated Fragment
+// Filtering: every member node floods its ID through member nodes only,
+// with packets traveling at most ttl hops. It returns, for each node, the
+// number of distinct members heard from within ttl hops, counting the node
+// itself; non-members report zero.
+//
+// This is exactly the "local flooding packet with a TTL of T, forwarded by
+// other boundary nodes but not non-boundary nodes" of Sec. II-B.
+func FloodCount(g *graph.Graph, member []bool, ttl int) ([]int, error) {
+	counts, _, err := FloodCountStats(g, member, ttl)
+	return counts, err
+}
+
+// FloodCountStats is FloodCount with the kernel's execution statistics
+// (rounds, total messages) — the communication cost of one IFF pass.
+func FloodCountStats(g *graph.Graph, member []bool, ttl int) ([]int, Result, error) {
+	n := g.Len()
+	seen := make([]map[int]bool, n)
+	participates := graph.InSet(member)
+
+	k := Kernel[floodMsg]{
+		G:            g,
+		Participates: participates,
+		MaxRounds:    ttl + 1,
+		Init: func(id int, out *Outbox[floodMsg]) {
+			seen[id] = map[int]bool{id: true}
+			if ttl > 0 {
+				out.Broadcast(floodMsg{origin: id, ttl: ttl - 1})
+			}
+		},
+		OnReceive: func(id int, inbox []Envelope[floodMsg], out *Outbox[floodMsg]) {
+			for _, env := range inbox {
+				if seen[id][env.Msg.origin] {
+					continue
+				}
+				seen[id][env.Msg.origin] = true
+				if env.Msg.ttl > 0 {
+					out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
+				}
+			}
+		},
+	}
+	res, err := k.Run()
+	if err != nil {
+		return nil, Result{}, err
+	}
+	counts := make([]int, n)
+	for i, s := range seen {
+		counts[i] = len(s)
+	}
+	return counts, res, nil
+}
+
+// NoGroup marks nodes that belong to no group.
+const NoGroup = -1
+
+// LabelComponents runs min-ID label propagation over the subgraph induced
+// by member, the distributed grouping scheme of Sec. II-B: nodes on the
+// same boundary converge to the same label (the smallest member ID of
+// their component) because boundary nodes are connected through boundary
+// nodes only. It returns each node's group label, NoGroup for non-members.
+func LabelComponents(g *graph.Graph, member []bool) ([]int, error) {
+	label, _, err := LabelComponentsStats(g, member)
+	return label, err
+}
+
+// LabelComponentsStats is LabelComponents with the kernel's execution
+// statistics — the communication cost of one grouping pass.
+func LabelComponentsStats(g *graph.Graph, member []bool) ([]int, Result, error) {
+	n := g.Len()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = NoGroup
+	}
+
+	k := Kernel[int]{
+		G:            g,
+		Participates: graph.InSet(member),
+		Init: func(id int, out *Outbox[int]) {
+			label[id] = id
+			out.Broadcast(id)
+		},
+		OnReceive: func(id int, inbox []Envelope[int], out *Outbox[int]) {
+			best := label[id]
+			for _, env := range inbox {
+				if env.Msg < best {
+					best = env.Msg
+				}
+			}
+			if best < label[id] {
+				label[id] = best
+				out.Broadcast(best)
+			}
+		},
+	}
+	res, err := k.Run()
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return label, res, nil
+}
+
+// Groups collects the labels produced by LabelComponents into explicit
+// groups, ordered by label; each group lists its member IDs ascending.
+func Groups(label []int) [][]int {
+	byLabel := make(map[int][]int)
+	var order []int
+	for i, l := range label {
+		if l == NoGroup {
+			continue
+		}
+		if _, ok := byLabel[l]; !ok {
+			order = append(order, l)
+		}
+		byLabel[l] = append(byLabel[l], i)
+	}
+	// Labels are minima of their groups; iterating ascending gives a
+	// deterministic order.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	groups := make([][]int, 0, len(order))
+	for _, l := range order {
+		groups = append(groups, byLabel[l])
+	}
+	return groups
+}

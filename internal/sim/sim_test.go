@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	// Keep adjacency sorted for the kernel's neighbor checks.
+	return g
+}
+
+func ringGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	for i := range g.Adj {
+		sortInts(g.Adj[i])
+	}
+	return g
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func allTrue(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+func TestKernelRequiresHandlers(t *testing.T) {
+	k := Kernel[int]{}
+	if _, err := k.Run(); err == nil {
+		t.Error("expected error for missing G/OnReceive")
+	}
+}
+
+func TestKernelSimpleFlood(t *testing.T) {
+	g := pathGraph(5)
+	received := make([]bool, 5)
+	k := Kernel[int]{
+		G: g,
+		Init: func(id int, out *Outbox[int]) {
+			if id == 0 {
+				received[0] = true
+				out.Broadcast(1)
+			}
+		},
+		OnReceive: func(id int, inbox []Envelope[int], out *Outbox[int]) {
+			if !received[id] {
+				received[id] = true
+				out.Broadcast(1)
+			}
+		},
+	}
+	res, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range received {
+		if !r {
+			t.Errorf("node %d never received", i)
+		}
+	}
+	// Flood on a path takes one round per hop (plus the final echo).
+	if res.Rounds < 4 {
+		t.Errorf("rounds = %d, want >= 4", res.Rounds)
+	}
+	if res.Messages == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestKernelSendValidation(t *testing.T) {
+	g := pathGraph(3)
+	delivered := 0
+	k := Kernel[string]{
+		G:            g,
+		Participates: func(i int) bool { return i != 2 },
+		Init: func(id int, out *Outbox[string]) {
+			if id == 0 {
+				out.Send(2, "skip-hop") // not a neighbor: dropped
+				out.Send(1, "ok")
+			}
+			if id == 1 {
+				out.Send(2, "to-nonparticipant") // participant filter: dropped
+			}
+		},
+		OnReceive: func(id int, inbox []Envelope[string], out *Outbox[string]) {
+			delivered += len(inbox)
+		},
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestKernelNoQuiescence(t *testing.T) {
+	g := ringGraph(4)
+	k := Kernel[int]{
+		G:         g,
+		MaxRounds: 10,
+		Init: func(id int, out *Outbox[int]) {
+			if id == 0 {
+				out.Broadcast(0)
+			}
+		},
+		OnReceive: func(id int, inbox []Envelope[int], out *Outbox[int]) {
+			out.Broadcast(0) // ping-pong forever
+		},
+	}
+	if _, err := k.Run(); err != ErrNoQuiescence {
+		t.Errorf("err = %v, want ErrNoQuiescence", err)
+	}
+}
+
+func TestKernelInboxOrdering(t *testing.T) {
+	// Node 1 receives from 0 and 2 simultaneously; inbox must be sorted
+	// by sender ID.
+	g := pathGraph(3)
+	var froms []int
+	k := Kernel[int]{
+		G: g,
+		Init: func(id int, out *Outbox[int]) {
+			if id == 0 || id == 2 {
+				out.Send(1, id)
+			}
+		},
+		OnReceive: func(id int, inbox []Envelope[int], out *Outbox[int]) {
+			if id == 1 {
+				for _, env := range inbox {
+					froms = append(froms, env.From)
+				}
+			}
+		},
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(froms) != 2 || froms[0] != 0 || froms[1] != 2 {
+		t.Errorf("inbox order = %v, want [0 2]", froms)
+	}
+}
+
+func TestFloodCountPath(t *testing.T) {
+	g := pathGraph(7)
+	counts, err := FloodCount(g, allTrue(7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 hears itself, 1, 2 → 3; node 3 hears 1..5 → 5.
+	want := []int{3, 4, 5, 5, 5, 4, 3}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestFloodCountTTLZero(t *testing.T) {
+	g := pathGraph(4)
+	counts, err := FloodCount(g, allTrue(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("counts[%d] = %d, want 1 (self only)", i, c)
+		}
+	}
+}
+
+func TestFloodCountRespectsMembership(t *testing.T) {
+	g := pathGraph(5)
+	member := []bool{true, true, false, true, true}
+	counts, err := FloodCount(g, member, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 breaks the path: {0,1} and {3,4} cannot hear each other.
+	want := []int{2, 2, 0, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestFloodCountMatchesBFSTruth(t *testing.T) {
+	// Property: flood count equals the number of members within ttl hops
+	// through the member subgraph, computed independently with BFS.
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(30)
+		g := graph.New(n)
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		for i := range g.Adj {
+			sortInts(g.Adj[i])
+		}
+		member := make([]bool, n)
+		for i := range member {
+			member[i] = rng.Float64() < 0.7
+		}
+		ttl := rng.Intn(4)
+		counts, err := FloodCount(g, member, ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if !member[i] {
+				if counts[i] != 0 {
+					t.Fatalf("non-member %d count = %d", i, counts[i])
+				}
+				continue
+			}
+			dist := g.BFSHops([]int{i}, graph.InSet(member), ttl)
+			want := 0
+			for j, d := range dist {
+				if d != graph.Unreachable && member[j] {
+					want++
+				}
+			}
+			if counts[i] != want {
+				t.Fatalf("trial %d node %d: flood count %d, BFS truth %d", trial, i, counts[i], want)
+			}
+		}
+	}
+}
+
+func TestLabelComponents(t *testing.T) {
+	g := pathGraph(6)
+	member := []bool{true, true, true, false, true, true}
+	label, err := LabelComponents(g, member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, NoGroup, 4, 4}
+	for i := range want {
+		if label[i] != want[i] {
+			t.Errorf("label[%d] = %d, want %d", i, label[i], want[i])
+		}
+	}
+	groups := Groups(label)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Errorf("group sizes: %v", groups)
+	}
+}
+
+func TestLabelComponentsMatchesGraphComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(40)
+		g := graph.New(n)
+		for e := 0; e < 2*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		for i := range g.Adj {
+			sortInts(g.Adj[i])
+		}
+		member := make([]bool, n)
+		for i := range member {
+			member[i] = rng.Float64() < 0.6
+		}
+		label, err := LabelComponents(g, member)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps := g.ConnectedComponents(graph.InSet(member))
+		// Every component must share a single label, distinct across
+		// components, equal to the minimum member ID.
+		seen := map[int]bool{}
+		for _, comp := range comps {
+			min := comp[0]
+			for _, v := range comp {
+				if v < min {
+					min = v
+				}
+			}
+			for _, v := range comp {
+				if label[v] != min {
+					t.Fatalf("node %d label %d, want %d", v, label[v], min)
+				}
+			}
+			if seen[min] {
+				t.Fatalf("duplicate label %d", min)
+			}
+			seen[min] = true
+		}
+		for i := 0; i < n; i++ {
+			if !member[i] && label[i] != NoGroup {
+				t.Fatalf("non-member %d labeled %d", i, label[i])
+			}
+		}
+	}
+}
+
+func TestGroupsEmpty(t *testing.T) {
+	if g := Groups([]int{NoGroup, NoGroup}); len(g) != 0 {
+		t.Errorf("Groups = %v", g)
+	}
+}
