@@ -1,0 +1,29 @@
+# Development targets. `make check` is the full local gate: static
+# analysis, the complete test suite under the race detector, and a short
+# fuzz pass over every fuzz target.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race fuzz check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# `go test -fuzz` accepts a single package per invocation, so each fuzz
+# target gets its own run.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzFaultedDelivery -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run=^$$ -fuzz=FuzzSpheresThrough3 -fuzztime=$(FUZZTIME) ./internal/geom
+	$(GO) test -run=^$$ -fuzz=FuzzCircumcenter3 -fuzztime=$(FUZZTIME) ./internal/geom
+
+check: vet race fuzz

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	runName := flag.String("run", "all",
-		"experiment to run: fig1g|fig1h|fig1i|fig1jkl|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|fig11c|thm1|ablation|apps|mds|all")
+		"experiment to run: fig1g|fig1h|fig1i|fig1jkl|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|fig11c|thm1|ablation|apps|mds|faults|all")
 	scale := flag.Float64("scale", 1.0, "node-count scale factor (1.0 = paper size)")
 	k := flag.Int("k", 3, "landmark spacing for mesh construction")
 	csvDir := flag.String("csv", "", "directory to also write tables as CSV (optional)")
@@ -72,7 +72,8 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 		"fig1g": true, "fig1h": true, "fig1i": true, "fig1jkl": true,
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"fig11a": true, "fig11b": true, "fig11c": true,
-		"thm1": true, "ablation": true, "apps": true, "mds": true, "all": true,
+		"thm1": true, "ablation": true, "apps": true, "mds": true,
+		"faults": true, "all": true,
 	}
 	if !known[runName] {
 		return fmt.Errorf("unknown experiment %q", runName)
@@ -226,6 +227,26 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 		}
 		h, rows := eval.SurfaceToolsRows(reports)
 		add("apps", "Surface applications: embedding, k-way partition, greedy routing (+recovery)", h, rows)
+	}
+
+	// Robustness: detection quality vs. message loss. Unbounded random
+	// loss (no per-link cap), masked as far as the retransmission budget
+	// allows — the degradation beyond it is the quantity of interest.
+	if want("faults") {
+		sc := eval.Fig1().Scaled(scale)
+		fmt.Fprintf(w, "generating %s (%d nodes) for the loss sweep...\n",
+			sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
+		net, err := sc.Generate()
+		if err != nil {
+			return err
+		}
+		lossRates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+		sweep, err := eval.RunFaultSweep(net, sc.Name, lossRates, 0, core.Config{}, sc.Seed)
+		if err != nil {
+			return err
+		}
+		h, rows := eval.FaultSweepRows(sweep)
+		add("faults", "Robustness: detection quality vs. message loss ("+sc.Name+", exact ranging)", h, rows)
 	}
 
 	// Ablations.

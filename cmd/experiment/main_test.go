@@ -82,3 +82,24 @@ func TestRunFig1jklTiny(t *testing.T) {
 		t.Errorf("missing mesh table:\n%s", buf.String())
 	}
 }
+
+func TestRunFaultsTiny(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "faults", 0.05, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "message loss") {
+		t.Errorf("missing table title:\n%s", out)
+	}
+	for _, col := range []string{"recall%", "retransmits", "abandoned"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("missing column %s:\n%s", col, out)
+		}
+	}
+	for _, level := range []string{"0%", "5%", "50%"} {
+		if !strings.Contains(out, level) {
+			t.Errorf("missing loss level %s", level)
+		}
+	}
+}

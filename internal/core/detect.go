@@ -116,6 +116,19 @@ type Config struct {
 	Async     bool
 	AsyncSeed int64
 
+	// Faults, when enabled, injects message loss, duplication, delay,
+	// crashes and partitions into the flooding phases. The phases then
+	// run the acknowledged, retransmitting protocol variants; with
+	// per-link loss capped at Faults.MaxDropsPerLink and a
+	// RetransmitBudget at least that cap, the detection outcome is
+	// provably identical to the fault-free run. Each phase derives its
+	// own plan: IFF from Faults.Seed, grouping from Faults.Seed+1.
+	Faults sim.FaultConfig
+	// RetransmitBudget is the maximum number of retransmissions per
+	// unacknowledged packet under faults. Zero means 3; ignored without
+	// an enabled fault plan.
+	RetransmitBudget int
+
 	// Workers bounds pipeline parallelism. Zero means GOMAXPROCS. The
 	// result is independent of the worker count.
 	Workers int
@@ -159,6 +172,9 @@ func (c Config) withDefaults(haveMeasurement bool) Config {
 	if c.IFFTTL == 0 {
 		c.IFFTTL = 3
 	}
+	if c.RetransmitBudget == 0 {
+		c.RetransmitBudget = 3
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -193,6 +209,9 @@ type Result struct {
 	// (UBF itself sends nothing beyond the initial beacon exchanges).
 	IFFMessages      int
 	GroupingMessages int
+	// FaultStats aggregates the fault layer's counters across both
+	// flooding phases; zero when Config.Faults is disabled.
+	FaultStats sim.FaultStats
 }
 
 // ErrNoNetwork is returned when Detect is called without a network.
@@ -300,11 +319,28 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	} else {
 		var counts []int
 		var messages int
-		if cfg.Async {
+		switch {
+		case cfg.Faults.Enabled():
+			iffFaults := cfg.Faults
+			// Each phase gets an independent plan; keep the configured
+			// seed for IFF and derive the grouping one below.
+			plan := sim.NewFaultPlan(iffFaults, n)
+			opt := sim.ReliableOptions{Budget: cfg.RetransmitBudget}
+			if cfg.Async {
+				var stats sim.AsyncResult
+				counts, stats, err = sim.AsyncReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed, plan, opt)
+				messages = stats.Messages
+			} else {
+				var stats sim.Result
+				counts, stats, err = sim.ReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, plan, opt)
+				messages = stats.Messages
+			}
+			res.FaultStats.Add(plan.Stats())
+		case cfg.Async:
 			var stats sim.AsyncResult
 			counts, stats, err = sim.AsyncFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed)
 			messages = stats.Messages
-		} else {
+		default:
 			var stats sim.Result
 			counts, stats, err = sim.FloodCountStats(net.G, res.UBF, cfg.IFFTTL)
 			messages = stats.Messages
@@ -323,11 +359,27 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	// through boundary nodes only (Sec. II-B).
 	var label []int
 	var groupMessages int
-	if cfg.Async {
+	switch {
+	case cfg.Faults.Enabled():
+		groupFaults := cfg.Faults
+		groupFaults.Seed++
+		plan := sim.NewFaultPlan(groupFaults, n)
+		opt := sim.ReliableOptions{Budget: cfg.RetransmitBudget}
+		if cfg.Async {
+			var stats sim.AsyncResult
+			label, stats, err = sim.AsyncReliableLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1, plan, opt)
+			groupMessages = stats.Messages
+		} else {
+			var stats sim.Result
+			label, stats, err = sim.ReliableLabelComponents(net.G, res.Boundary, plan, opt)
+			groupMessages = stats.Messages
+		}
+		res.FaultStats.Add(plan.Stats())
+	case cfg.Async:
 		var stats sim.AsyncResult
 		label, stats, err = sim.AsyncLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1)
 		groupMessages = stats.Messages
-	} else {
+	default:
 		var stats sim.Result
 		label, stats, err = sim.LabelComponentsStats(net.G, res.Boundary)
 		groupMessages = stats.Messages

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/ranging"
+	"repro/internal/sim"
 )
 
 func TestMedoid(t *testing.T) {
@@ -223,5 +224,54 @@ func TestDetectAsyncEqualsSync(t *testing.T) {
 				t.Fatalf("seed %d: group label differs at node %d", seed, i)
 			}
 		}
+	}
+}
+
+// TestDetectFaultsBelowBudgetEqualsFaultFree: with per-link loss capped
+// below the retransmission budget, the hardened flooding phases mask the
+// faults completely — detection output is identical to the fault-free
+// run, and the fault counters prove losses actually happened.
+func TestDetectFaultsBelowBudgetEqualsFaultFree(t *testing.T) {
+	net, _ := fixtures(t)
+	clean, err := Detect(net, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := sim.FaultConfig{
+		Seed:            7,
+		DropRate:        0.2,
+		MaxDropsPerLink: 2,
+		DuplicateRate:   0.1,
+		DelayRate:       0.2,
+		MaxExtraDelay:   2,
+	}
+	for _, async := range []bool{false, true} {
+		faulty, err := Detect(net, nil, Config{
+			Async: async, AsyncSeed: 3,
+			Faults: faults, RetransmitBudget: 3,
+		})
+		if err != nil {
+			t.Fatalf("async=%v: %v", async, err)
+		}
+		for i := range clean.Boundary {
+			if clean.Boundary[i] != faulty.Boundary[i] {
+				t.Fatalf("async=%v: boundary differs at node %d", async, i)
+			}
+			if clean.FragmentSize[i] != faulty.FragmentSize[i] {
+				t.Fatalf("async=%v: fragment size differs at node %d", async, i)
+			}
+			if clean.GroupLabel[i] != faulty.GroupLabel[i] {
+				t.Fatalf("async=%v: group label differs at node %d", async, i)
+			}
+		}
+		if faulty.FaultStats.Dropped == 0 {
+			t.Errorf("async=%v: fault plan dropped nothing — test is vacuous", async)
+		}
+		if faulty.FaultStats.Retransmits == 0 {
+			t.Errorf("async=%v: no retransmissions despite losses", async)
+		}
+	}
+	if clean.FaultStats != (sim.FaultStats{}) {
+		t.Errorf("fault-free run reports fault activity: %+v", clean.FaultStats)
 	}
 }

@@ -15,7 +15,8 @@ import (
 // individually. It models the asynchrony of a real radio network while
 // staying reproducible (fixed Seed ⇒ identical trace), and is used to
 // verify that the paper's flooding protocols converge to the same result
-// they produce under round synchrony.
+// they produce under round synchrony. An optional FaultPlan additionally
+// injects loss, duplication, delay, crashes and partitions.
 type AsyncKernel[M any] struct {
 	// G is the communication graph. Required.
 	G *graph.Graph
@@ -26,13 +27,23 @@ type AsyncKernel[M any] struct {
 	Init func(id int, out *Outbox[M])
 	// OnMessage handles a single delivered message. Required.
 	OnMessage func(id int, env Envelope[M], out *Outbox[M])
+	// OnTimer handles a timer set via Outbox.SetTimer, which fires
+	// delay×MaxDelay virtual time units after it was set. Optional.
+	OnTimer func(id int, out *Outbox[M])
 	// Seed drives the delay draws.
 	Seed int64
 	// MaxDelay is the delivery-delay upper bound in virtual time units.
 	// Zero means 1.
 	MaxDelay float64
-	// MaxEvents bounds the execution. Zero means 1000 × the node count.
+	// MaxEvents bounds the execution (message deliveries plus timer
+	// firings). Zero means 1000 × the node count.
 	MaxEvents int
+	// Faults injects per-delivery faults; nil means perfect delivery.
+	// The plan's "step" is the count of messages delivered so far.
+	Faults *FaultPlan
+
+	now  float64
+	step int
 }
 
 // AsyncResult reports an asynchronous execution.
@@ -41,18 +52,31 @@ type AsyncResult struct {
 	Messages int
 	// VirtualTime is the delivery time of the last message.
 	VirtualTime float64
+	// Faults snapshots the fault layer's counters; zero without a plan.
+	Faults FaultStats
 }
 
-// ErrEventBudget is returned when the protocol is still sending after
-// MaxEvents deliveries.
+// ErrEventBudget is returned (wrapped in a QuiescenceError carrying
+// diagnostics) when the protocol is still sending after MaxEvents
+// deliveries.
 var ErrEventBudget = errors.New("sim: async protocol exceeded its event budget")
 
-// event is one scheduled delivery.
+// Now is the current virtual time, valid inside callbacks.
+func (k *AsyncKernel[M]) Now() float64 { return k.now }
+
+// Step is the number of messages delivered before the event being
+// handled — the async notion of a fault-plan step, and the exact value
+// the fault layer's crash gate evaluated for this delivery. Valid inside
+// callbacks.
+func (k *AsyncKernel[M]) Step() int { return k.step }
+
+// event is one scheduled delivery or timer firing.
 type event[M any] struct {
-	at  float64
-	seq int // FIFO tiebreak keeps the trace deterministic
-	to  int
-	env Envelope[M]
+	at    float64
+	seq   int // FIFO tiebreak keeps the trace deterministic
+	to    int
+	env   Envelope[M]
+	timer bool
 }
 
 type eventQueue[M any] []event[M]
@@ -74,7 +98,9 @@ func (q *eventQueue[M]) Pop() any {
 	return e
 }
 
-// Run executes the protocol until no messages are in flight.
+// Run executes the protocol until no messages or timers are in flight.
+// On budget exhaustion the error is a *QuiescenceError wrapping
+// ErrEventBudget.
 func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 	if k.G == nil || k.OnMessage == nil {
 		return AsyncResult{}, errors.New("sim: async kernel requires G and OnMessage")
@@ -97,6 +123,7 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 	rng := rand.New(rand.NewSource(k.Seed))
 	var queue eventQueue[M]
 	seq := 0
+	events := 0
 	var res AsyncResult
 
 	outboxFor := func(i int) Outbox[M] {
@@ -107,14 +134,41 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 			participates: participates,
 		}
 	}
-	schedule := func(now float64, out *Outbox[M]) {
+	schedule := func(now float64, step int, out *Outbox[M]) {
 		for _, d := range out.pending {
 			seq++
+			fate := k.Faults.Deliver(d.env.From, d.to, seq, step)
+			if fate.Drop {
+				continue
+			}
+			env := d.env
+			env.sentAt = step
+			env.seq = seq
 			heap.Push(&queue, event[M]{
-				at:  now + rng.Float64()*maxDelay,
+				at:  now + rng.Float64()*maxDelay + float64(fate.ExtraDelay)*maxDelay,
 				seq: seq,
 				to:  d.to,
-				env: d.env,
+				env: env,
+			})
+			if fate.Duplicate {
+				seq++
+				dup := env
+				dup.seq = seq
+				heap.Push(&queue, event[M]{
+					at:  now + rng.Float64()*maxDelay + float64(fate.DupExtraDelay)*maxDelay,
+					seq: seq,
+					to:  d.to,
+					env: dup,
+				})
+			}
+		}
+		for _, dt := range out.timers {
+			seq++
+			heap.Push(&queue, event[M]{
+				at:    now + float64(dt)*maxDelay,
+				seq:   seq,
+				to:    out.from,
+				timer: true,
 			})
 		}
 	}
@@ -126,22 +180,46 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 			}
 			out := outboxFor(i)
 			k.Init(i, &out)
-			schedule(0, &out)
+			schedule(0, 0, &out)
 		}
 	}
 	heap.Init(&queue)
 
 	for queue.Len() > 0 {
-		if res.Messages >= maxEvents {
-			return res, ErrEventBudget
+		if events >= maxEvents {
+			res.Faults = k.Faults.Stats()
+			return res, &QuiescenceError{
+				Base: ErrEventBudget, Steps: events,
+				InFlight: queue.Len(), Faults: res.Faults,
+			}
 		}
 		ev := heap.Pop(&queue).(event[M])
+		if k.Faults.CrashedAt(ev.to, res.Messages) {
+			if !ev.timer {
+				k.Faults.noteCrashDrop()
+			}
+			continue
+		}
+		events++
+		k.now = ev.at
+		k.step = res.Messages
+		if ev.timer {
+			if k.OnTimer == nil {
+				continue
+			}
+			out := outboxFor(ev.to)
+			k.OnTimer(ev.to, &out)
+			schedule(ev.at, res.Messages, &out)
+			continue
+		}
 		res.Messages++
 		res.VirtualTime = ev.at
+		k.Faults.noteDelivered(1)
 		out := outboxFor(ev.to)
 		k.OnMessage(ev.to, ev.env, &out)
-		schedule(ev.at, &out)
+		schedule(ev.at, res.Messages, &out)
 	}
+	res.Faults = k.Faults.Stats()
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestAsyncKernelEventBudget(t *testing.T) {
 			out.Broadcast(0) // infinite ping-pong
 		},
 	}
-	if _, err := k.Run(); err != ErrEventBudget {
+	if _, err := k.Run(); !errors.Is(err, ErrEventBudget) {
 		t.Errorf("err = %v, want ErrEventBudget", err)
 	}
 }

@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultConfig declaratively describes a fault environment for the
+// message-passing kernels: random message loss, duplication, extra
+// latency, node crashes, and a temporary network partition. The zero
+// value injects nothing — a kernel given a zero-config plan (or no plan
+// at all) behaves exactly like the perfect-delivery seed kernels.
+//
+// All faults are drawn deterministically from Seed, so a run under a
+// given config is exactly reproducible (see FaultPlan).
+type FaultConfig struct {
+	// Seed drives every fault decision. Two plans with the same config
+	// make identical decisions for identical delivery sequences.
+	Seed int64
+
+	// DropRate is the per-delivery probability that a message is lost.
+	DropRate float64
+	// MaxDropsPerLink caps how many messages each directed link may
+	// lose in total; 0 means unbounded. With a cap K, any packet
+	// retransmitted at least K times is guaranteed through — the bound
+	// behind the hardened protocols' exactness guarantee (see
+	// ReliableFloodCount).
+	MaxDropsPerLink int
+
+	// DuplicateRate is the per-delivery probability that one extra copy
+	// of the message is injected (with its own latency draw).
+	DuplicateRate float64
+
+	// DelayRate is the per-delivery probability that the message is
+	// held back by extra latency.
+	DelayRate float64
+	// MaxExtraDelay bounds the extra latency: uniformly 1..MaxExtraDelay
+	// rounds under Kernel, 1..MaxExtraDelay delay units under
+	// AsyncKernel. Zero means 1.
+	MaxExtraDelay int
+
+	// CrashRate is the per-node probability that the node crashes
+	// mid-protocol: from its crash step on it processes nothing, sends
+	// nothing, and deliveries to it are discarded.
+	CrashRate float64
+	// CrashSpan bounds when crashes occur: each crashing node stops at
+	// a step drawn uniformly from 1..CrashSpan (rounds under Kernel,
+	// delivered-message count under AsyncKernel). Zero means 8.
+	CrashSpan int
+
+	// PartitionFrac places that fraction of the nodes on the minority
+	// side of a network split; while the partition window is open,
+	// messages crossing the split are dropped. Zero disables.
+	PartitionFrac float64
+	// PartitionFrom and PartitionSpan delimit the window: steps in
+	// [PartitionFrom, PartitionFrom+PartitionSpan). A zero span with a
+	// nonzero PartitionFrac means 8.
+	PartitionFrom, PartitionSpan int
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c FaultConfig) Enabled() bool {
+	return c.DropRate > 0 || c.DuplicateRate > 0 || c.DelayRate > 0 ||
+		c.CrashRate > 0 || c.PartitionFrac > 0
+}
+
+// withDefaults normalizes the zero-means-default fields.
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.MaxExtraDelay == 0 {
+		c.MaxExtraDelay = 1
+	}
+	if c.CrashSpan == 0 {
+		c.CrashSpan = 8
+	}
+	if c.PartitionSpan == 0 {
+		c.PartitionSpan = 8
+	}
+	return c
+}
+
+// FaultStats counts what a fault plan (and the hardened protocols running
+// over it) did during one execution.
+type FaultStats struct {
+	// Attempts is the number of sends presented to the fault layer.
+	Attempts int
+	// Delivered counts envelopes actually handed to protocol handlers.
+	Delivered int
+	// Dropped counts deliveries lost to random loss.
+	Dropped int
+	// CrashDrops counts deliveries discarded because the receiver had
+	// crashed by delivery time.
+	CrashDrops int
+	// PartitionDrops counts deliveries lost crossing an open partition.
+	PartitionDrops int
+	// Duplicated counts extra copies the fault layer injected.
+	Duplicated int
+	// Delayed counts deliveries given extra latency.
+	Delayed int
+	// Crashed is the number of nodes the plan crashes.
+	Crashed int
+
+	// Retransmits, Acks, and Abandoned are protocol-level counters
+	// filled by the hardened variants (ReliableFloodCount and friends):
+	// packets re-sent after an acknowledgment timeout, acknowledgments
+	// processed, and packets given up on after the retransmit budget.
+	Retransmits int
+	Acks        int
+	Abandoned   int
+}
+
+// Add accumulates another run's counters into s.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Attempts += o.Attempts
+	s.Delivered += o.Delivered
+	s.Dropped += o.Dropped
+	s.CrashDrops += o.CrashDrops
+	s.PartitionDrops += o.PartitionDrops
+	s.Duplicated += o.Duplicated
+	s.Delayed += o.Delayed
+	s.Crashed += o.Crashed
+	s.Retransmits += o.Retransmits
+	s.Acks += o.Acks
+	s.Abandoned += o.Abandoned
+}
+
+// TotalDropped sums every kind of lost delivery.
+func (s FaultStats) TotalDropped() int {
+	return s.Dropped + s.CrashDrops + s.PartitionDrops
+}
+
+// Starved reports whether fault losses may have kept the protocol from
+// the lossless outcome: either a hardened protocol exhausted a packet's
+// retransmit budget (Abandoned), or deliveries were lost with no
+// retransmission layer present to recover them. A run that quiesced
+// with Starved() == false and no crashes reached the same state a
+// lossless execution would.
+func (s FaultStats) Starved() bool {
+	if s.Abandoned > 0 {
+		return true
+	}
+	return s.TotalDropped() > 0 && s.Retransmits == 0 && s.Acks == 0
+}
+
+// Fate is the fault layer's verdict on one send.
+type Fate struct {
+	// Drop loses the delivery entirely.
+	Drop bool
+	// Duplicate injects one extra copy of the message.
+	Duplicate bool
+	// ExtraDelay holds the original copy back by that many extra steps.
+	ExtraDelay int
+	// DupExtraDelay holds the duplicate copy back independently.
+	DupExtraDelay int
+}
+
+// FaultPlan is a seeded, deterministic realization of a FaultConfig that
+// the kernels consult per delivery. Every decision is a pure function of
+// (seed, sender, receiver, sequence number) — plus a per-link drop
+// budget when MaxDropsPerLink is set — so replaying the same protocol
+// under the same plan yields an identical delivery trace. A nil plan
+// (or a plan of a zero config) is perfect delivery.
+//
+// A plan carries run counters; use one plan per kernel execution.
+type FaultPlan struct {
+	cfg       FaultConfig
+	enabled   bool
+	crashStep []int  // per node; -1 = never
+	minority  []bool // partition side assignment
+	dropsLeft map[[2]int]int
+	stats     FaultStats
+}
+
+// hash salts keeping the independent decision streams uncorrelated.
+const (
+	saltDrop uint64 = iota + 1
+	saltDup
+	saltDelay
+	saltDelayAmt
+	saltDupDelay
+	saltCrash
+	saltCrashStep
+	saltSide
+)
+
+// NewFaultPlan realizes a config over an n-node network, fixing each
+// node's crash step and partition side up front.
+func NewFaultPlan(cfg FaultConfig, n int) *FaultPlan {
+	cfg = cfg.withDefaults()
+	p := &FaultPlan{
+		cfg:       cfg,
+		enabled:   cfg.Enabled(),
+		crashStep: make([]int, n),
+		minority:  make([]bool, n),
+	}
+	if cfg.MaxDropsPerLink > 0 {
+		p.dropsLeft = make(map[[2]int]int)
+	}
+	for i := 0; i < n; i++ {
+		p.crashStep[i] = -1
+		if cfg.CrashRate > 0 && p.u01(saltCrash, uint64(i), 0, 0) < cfg.CrashRate {
+			p.crashStep[i] = 1 + int(p.u01(saltCrashStep, uint64(i), 0, 0)*float64(cfg.CrashSpan))
+			p.stats.Crashed++
+		}
+		if cfg.PartitionFrac > 0 {
+			p.minority[i] = p.u01(saltSide, uint64(i), 0, 0) < cfg.PartitionFrac
+		}
+	}
+	return p
+}
+
+// Config returns the normalized config the plan realizes.
+func (p *FaultPlan) Config() FaultConfig {
+	if p == nil {
+		return FaultConfig{}
+	}
+	return p.cfg
+}
+
+// splitmix64 is the SplitMix64 finalizer — a fast, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 derives a uniform [0,1) draw from the seed and the given parts.
+func (p *FaultPlan) u01(salt, a, b, c uint64) float64 {
+	h := splitmix64(uint64(p.cfg.Seed) ^ salt<<56)
+	h = splitmix64(h ^ a)
+	h = splitmix64(h ^ b<<1)
+	h = splitmix64(h ^ c<<2)
+	return float64(h>>11) / (1 << 53)
+}
+
+// CrashStep returns the step at which the plan crashes the node, or -1
+// if it never does.
+func (p *FaultPlan) CrashStep(node int) int {
+	if p == nil || node >= len(p.crashStep) {
+		return -1
+	}
+	return p.crashStep[node]
+}
+
+// CrashedAt reports whether the node has crashed by the given step.
+func (p *FaultPlan) CrashedAt(node, step int) bool {
+	s := p.CrashStep(node)
+	return s >= 0 && step >= s
+}
+
+// partitioned reports whether the link from→to is severed at the step.
+func (p *FaultPlan) partitioned(from, to, step int) bool {
+	if p.cfg.PartitionFrac <= 0 {
+		return false
+	}
+	if step < p.cfg.PartitionFrom || step >= p.cfg.PartitionFrom+p.cfg.PartitionSpan {
+		return false
+	}
+	return p.minority[from] != p.minority[to]
+}
+
+// consumeDrop spends one unit of the link's drop budget, reporting
+// whether the drop may happen.
+func (p *FaultPlan) consumeDrop(from, to int) bool {
+	if p.cfg.MaxDropsPerLink <= 0 {
+		return true
+	}
+	key := [2]int{from, to}
+	left, seen := p.dropsLeft[key]
+	if !seen {
+		left = p.cfg.MaxDropsPerLink
+	}
+	if left <= 0 {
+		return false
+	}
+	p.dropsLeft[key] = left - 1
+	return true
+}
+
+// Deliver decides the fate of one send attempt. seq is the kernel-wide
+// send sequence number and step the sender's current step (round under
+// Kernel, delivered-message count under AsyncKernel). Nil-safe: a nil
+// plan delivers everything untouched.
+func (p *FaultPlan) Deliver(from, to, seq, step int) Fate {
+	if p == nil {
+		return Fate{}
+	}
+	p.stats.Attempts++
+	if !p.enabled {
+		return Fate{}
+	}
+	if step < 0 {
+		step = 0
+	}
+	if p.partitioned(from, to, step) {
+		p.stats.PartitionDrops++
+		return Fate{Drop: true}
+	}
+	f, t, q := uint64(from), uint64(to), uint64(seq)
+	if p.cfg.DropRate > 0 && p.u01(saltDrop, f, t, q) < p.cfg.DropRate && p.consumeDrop(from, to) {
+		p.stats.Dropped++
+		return Fate{Drop: true}
+	}
+	var fate Fate
+	if p.cfg.DuplicateRate > 0 && p.u01(saltDup, f, t, q) < p.cfg.DuplicateRate {
+		fate.Duplicate = true
+		p.stats.Duplicated++
+	}
+	if p.cfg.DelayRate > 0 {
+		if p.u01(saltDelay, f, t, q) < p.cfg.DelayRate {
+			fate.ExtraDelay = 1 + int(p.u01(saltDelayAmt, f, t, q)*float64(p.cfg.MaxExtraDelay))
+			if fate.ExtraDelay > p.cfg.MaxExtraDelay {
+				fate.ExtraDelay = p.cfg.MaxExtraDelay
+			}
+			p.stats.Delayed++
+		}
+		if fate.Duplicate && p.u01(saltDupDelay, f, t, q) < p.cfg.DelayRate {
+			fate.DupExtraDelay = 1 + int(p.u01(saltDupDelay, q, f, t)*float64(p.cfg.MaxExtraDelay))
+			if fate.DupExtraDelay > p.cfg.MaxExtraDelay {
+				fate.DupExtraDelay = p.cfg.MaxExtraDelay
+			}
+		}
+	}
+	return fate
+}
+
+// Stats snapshots the plan's counters; zero for a nil plan.
+func (p *FaultPlan) Stats() FaultStats {
+	if p == nil {
+		return FaultStats{}
+	}
+	return p.stats
+}
+
+func (p *FaultPlan) noteDelivered(n int) {
+	if p != nil {
+		p.stats.Delivered += n
+	}
+}
+
+func (p *FaultPlan) noteCrashDrop() {
+	if p != nil {
+		p.stats.CrashDrops++
+	}
+}
+
+func (p *FaultPlan) noteRetransmit() {
+	if p != nil {
+		p.stats.Retransmits++
+	}
+}
+
+func (p *FaultPlan) noteAck() {
+	if p != nil {
+		p.stats.Acks++
+	}
+}
+
+func (p *FaultPlan) noteAbandoned() {
+	if p != nil {
+		p.stats.Abandoned++
+	}
+}
+
+// QuiescenceError is returned when a kernel exhausts its round or event
+// budget with work still pending. It wraps the matching sentinel
+// (ErrNoQuiescence for Kernel, ErrEventBudget for AsyncKernel), so
+// errors.Is against those still works, and carries the diagnostics that
+// distinguish a protocol that genuinely diverges from one starved by
+// injected faults.
+type QuiescenceError struct {
+	// Base is the sentinel this error wraps.
+	Base error
+	// Steps is the budget spent: rounds under Kernel, events under
+	// AsyncKernel.
+	Steps int
+	// InFlight counts deliveries still queued when the budget ran out.
+	InFlight int
+	// PendingTimers counts timers still armed.
+	PendingTimers int
+	// Faults snapshots the fault layer's counters (zero without a plan).
+	Faults FaultStats
+}
+
+// Error implements error.
+func (e *QuiescenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (steps=%d in-flight=%d timers=%d", e.Base, e.Steps, e.InFlight, e.PendingTimers)
+	if d := e.Faults.TotalDropped(); d > 0 {
+		fmt.Fprintf(&b, "; starved by faults: dropped=%d crash-dropped=%d partition-dropped=%d abandoned=%d",
+			e.Faults.Dropped, e.Faults.CrashDrops, e.Faults.PartitionDrops, e.Faults.Abandoned)
+	} else {
+		b.WriteString("; no fault losses — the protocol itself does not converge")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Unwrap exposes the wrapped sentinel to errors.Is.
+func (e *QuiescenceError) Unwrap() error { return e.Base }
+
+// StarvedByFaults reports whether fault losses are a plausible cause of
+// the missed quiescence.
+func (e *QuiescenceError) StarvedByFaults() bool { return e.Faults.TotalDropped() > 0 }

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzFaultedDelivery asserts the kernel's delivery invariants under
+// arbitrary fault plans: a message is only ever handed to a node from a
+// direct neighbor, never to a node that has crashed, never to a
+// non-participant, and the flood still quiesces. Run with
+// `go test -fuzz=FuzzFaultedDelivery ./internal/sim` to explore beyond
+// the seed corpus; the seeds alone run as a regular test.
+func FuzzFaultedDelivery(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint16(0xACE1), 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(int64(7), uint8(12), uint16(0xBEEF), 0.5, 0.3, 0.4, 0.2, 0.3)
+	f.Add(int64(42), uint8(20), uint16(0x1234), 1.0, 0.0, 0.0, 1.0, 1.0)
+	f.Add(int64(-3), uint8(5), uint16(0), 0.1, 0.9, 0.9, 0.05, 0.8)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, edgeBits uint16,
+		drop, dup, delay, crash, part float64) {
+		for _, r := range []float64{drop, dup, delay, crash, part} {
+			if r < 0 || r > 1 {
+				t.Skip()
+			}
+		}
+		n := 4 + int(nRaw)%17 // 4..20 nodes
+		g := graph.New(n)
+		// Ring backbone keeps the graph connected; edgeBits adds chords.
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+		bits := edgeBits
+		for bits != 0 {
+			u := int(bits) % n
+			v := int(bits>>4) % n
+			if u != v {
+				g.AddEdge(u, v)
+			}
+			bits >>= 3
+		}
+		for i := range g.Adj {
+			sort.Ints(g.Adj[i])
+		}
+
+		member := make([]bool, n)
+		for i := range member {
+			member[i] = (uint(seed)>>uint(i%32))&1 == 0 || i%3 == 0
+		}
+		plan := NewFaultPlan(FaultConfig{
+			Seed:          seed,
+			DropRate:      drop,
+			DuplicateRate: dup * 0.5,
+			DelayRate:     delay,
+			MaxExtraDelay: 2,
+			CrashRate:     crash * 0.5,
+			CrashSpan:     4,
+			PartitionFrac: part * 0.5,
+			PartitionSpan: 4,
+		}, n)
+
+		isNeighbor := func(node, from int) bool {
+			adj := g.Adj[node]
+			j := sort.SearchInts(adj, from)
+			return j < len(adj) && adj[j] == from
+		}
+
+		var k Kernel[floodMsg]
+		k = Kernel[floodMsg]{
+			G: g,
+			// Extra delays stretch a TTL-2 flood well past the default
+			// budget of n+1 rounds; give it ample room.
+			MaxRounds:    64 + 8*n,
+			Participates: func(i int) bool { return member[i] },
+			Faults:       plan,
+			Init: func(id int, out *Outbox[floodMsg]) {
+				out.Broadcast(floodMsg{origin: id, ttl: 2})
+			},
+			OnReceive: func(id int, inbox []Envelope[floodMsg], out *Outbox[floodMsg]) {
+				if !member[id] {
+					t.Fatalf("non-participant %d received messages", id)
+				}
+				if plan.CrashedAt(id, k.Round()) {
+					t.Fatalf("node %d received at round %d after crashing at step %d",
+						id, k.Round(), plan.CrashStep(id))
+				}
+				for i, env := range inbox {
+					if !isNeighbor(id, env.From) {
+						t.Fatalf("node %d received from non-neighbor %d", id, env.From)
+					}
+					if !member[env.From] {
+						t.Fatalf("non-participant %d sent a message", env.From)
+					}
+					if i > 0 {
+						prev := inbox[i-1]
+						if prev.From > env.From ||
+							(prev.From == env.From && prev.SentStep() > env.SentStep()) ||
+							(prev.From == env.From && prev.SentStep() == env.SentStep() && prev.Seq() >= env.Seq()) {
+							t.Fatalf("inbox not totally ordered at %d: (%d,%d,%d) before (%d,%d,%d)",
+								i, prev.From, prev.SentStep(), prev.Seq(), env.From, env.SentStep(), env.Seq())
+						}
+					}
+					if env.Msg.ttl > 1 {
+						out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
+					}
+				}
+			},
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("bounded flood must quiesce: %v", err)
+		}
+
+		// Same invariants on the event-driven kernel, with a fresh plan so
+		// the budget state is independent of the sync run.
+		plan2 := NewFaultPlan(plan.Config(), n)
+		var ak AsyncKernel[floodMsg]
+		ak = AsyncKernel[floodMsg]{
+			G:            g,
+			Seed:         seed,
+			Participates: func(i int) bool { return member[i] },
+			Faults:       plan2,
+			Init: func(id int, out *Outbox[floodMsg]) {
+				out.Broadcast(floodMsg{origin: id, ttl: 2})
+			},
+			OnMessage: func(id int, env Envelope[floodMsg], out *Outbox[floodMsg]) {
+				if !member[id] {
+					t.Fatalf("async: non-participant %d received", id)
+				}
+				if plan2.CrashedAt(id, ak.Step()) {
+					t.Fatalf("async: node %d received at step %d after crash step %d",
+						id, ak.Step(), plan2.CrashStep(id))
+				}
+				if !isNeighbor(id, env.From) {
+					t.Fatalf("async: node %d received from non-neighbor %d", id, env.From)
+				}
+				if env.Msg.ttl > 1 {
+					out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
+				}
+			},
+		}
+		if _, err := ak.Run(); err != nil {
+			t.Fatalf("async bounded flood must quiesce: %v", err)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// qFaultCfg is a bounded FaultConfig for testing/quick: every rate stays
+// in a range where runs terminate quickly, and structural parameters stay
+// small enough that the kernels exercise all fault paths.
+type qFaultCfg struct{ C FaultConfig }
+
+// Generate implements quick.Generator.
+func (qFaultCfg) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qFaultCfg{C: FaultConfig{
+		Seed:            r.Int63(),
+		DropRate:        r.Float64() * 0.5,
+		MaxDropsPerLink: r.Intn(4),
+		DuplicateRate:   r.Float64() * 0.5,
+		DelayRate:       r.Float64() * 0.5,
+		MaxExtraDelay:   1 + r.Intn(3),
+		CrashRate:       r.Float64() * 0.3,
+		CrashSpan:       1 + r.Intn(6),
+		PartitionFrac:   r.Float64() * 0.5,
+		PartitionFrom:   r.Intn(4),
+		PartitionSpan:   1 + r.Intn(5),
+	}})
+}
+
+var faultQuickCfg = &quick.Config{MaxCount: 60}
+
+// deliveryRec is one observed delivery, enough to distinguish any two
+// executions of the flood protocol.
+type deliveryRec struct {
+	to, from, msg, step int
+}
+
+// syncTrace runs a TTL-flood under a fresh plan built from cfg and
+// records every delivery in order.
+func syncTrace(t *testing.T, cfg FaultConfig) ([]deliveryRec, FaultStats) {
+	t.Helper()
+	g := ringGraph(9)
+	plan := NewFaultPlan(cfg, 9)
+	var trace []deliveryRec
+	k := Kernel[floodMsg]{
+		G:      g,
+		Faults: plan,
+		Init: func(id int, out *Outbox[floodMsg]) {
+			out.Broadcast(floodMsg{origin: id, ttl: 2})
+		},
+		OnReceive: func(id int, inbox []Envelope[floodMsg], out *Outbox[floodMsg]) {
+			for _, env := range inbox {
+				trace = append(trace, deliveryRec{id, env.From, env.Msg.origin, env.SentStep()})
+				if env.Msg.ttl > 1 {
+					out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
+				}
+			}
+		},
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("cfg %+v: %v", cfg, err)
+	}
+	return trace, plan.Stats()
+}
+
+// asyncTrace is syncTrace on the event-driven kernel.
+func asyncTrace(t *testing.T, cfg FaultConfig) ([]deliveryRec, FaultStats) {
+	t.Helper()
+	g := ringGraph(9)
+	plan := NewFaultPlan(cfg, 9)
+	var trace []deliveryRec
+	k := AsyncKernel[floodMsg]{
+		G:      g,
+		Seed:   cfg.Seed ^ 0x5ca1ab1e,
+		Faults: plan,
+		Init: func(id int, out *Outbox[floodMsg]) {
+			out.Broadcast(floodMsg{origin: id, ttl: 2})
+		},
+		OnMessage: func(id int, env Envelope[floodMsg], out *Outbox[floodMsg]) {
+			trace = append(trace, deliveryRec{id, env.From, env.Msg.origin, env.SentStep()})
+			if env.Msg.ttl > 1 {
+				out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
+			}
+		},
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatalf("cfg %+v: %v", cfg, err)
+	}
+	return trace, plan.Stats()
+}
+
+// TestQuickFaultPlanReplayIsDeterministic: any seeded FaultPlan replayed
+// against the same protocol yields byte-identical delivery traces and
+// fault statistics. This is the contract that makes faulty runs
+// debuggable — a failure reproduces from (config, seed) alone.
+func TestQuickFaultPlanReplayIsDeterministic(t *testing.T) {
+	f := func(q qFaultCfg) bool {
+		a, sa := syncTrace(t, q.C)
+		b, sb := syncTrace(t, q.C)
+		if !reflect.DeepEqual(a, b) || sa != sb {
+			t.Logf("sync replay diverged under %+v", q.C)
+			return false
+		}
+		c, sc := asyncTrace(t, q.C)
+		d, sd := asyncTrace(t, q.C)
+		if !reflect.DeepEqual(c, d) || sc != sd {
+			t.Logf("async replay diverged under %+v", q.C)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, faultQuickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFaultStatsConserve: every copy the fault layer lets through —
+// original attempts plus injected duplicates — ends up exactly once as a
+// delivery, a random drop, a crash drop, or a partition drop.
+func TestQuickFaultStatsConserve(t *testing.T) {
+	f := func(q qFaultCfg) bool {
+		_, s := syncTrace(t, q.C)
+		if s.Attempts+s.Duplicated != s.Delivered+s.Dropped+s.CrashDrops+s.PartitionDrops {
+			t.Logf("attempts %d + dups %d != delivered %d + drops %d/%d/%d",
+				s.Attempts, s.Duplicated, s.Delivered, s.Dropped, s.CrashDrops, s.PartitionDrops)
+			return false
+		}
+		return s.Duplicated <= s.Attempts && s.Delayed <= s.Attempts
+	}
+	if err := quick.Check(f, faultQuickCfg); err != nil {
+		t.Error(err)
+	}
+}

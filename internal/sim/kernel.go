@@ -2,10 +2,14 @@
 // for executing distributed algorithms over a network graph, plus the
 // canonical localized primitives the paper's algorithms are built from:
 // TTL-bounded flood counting (Isolated Fragment Filtering) and label
-// propagation (boundary grouping).
+// propagation (boundary grouping), and hardened (acknowledged,
+// retransmitting) variants of both that survive injected faults.
 //
 // The kernel is deterministic: nodes are stepped in ascending ID order and
-// inboxes are sorted by sender, so repeated runs produce identical traces.
+// inboxes are totally ordered by (sender, send round, send sequence), so
+// repeated runs produce identical traces. An optional FaultPlan injects
+// seeded, reproducible message loss, duplication, delay, node crashes and
+// partitions; a nil plan is perfect delivery.
 package sim
 
 import (
@@ -15,15 +19,28 @@ import (
 	"repro/internal/graph"
 )
 
-// ErrNoQuiescence is returned when a protocol is still exchanging messages
-// after the round budget.
+// ErrNoQuiescence is returned (wrapped in a QuiescenceError carrying
+// diagnostics) when a protocol is still exchanging messages after the
+// round budget.
 var ErrNoQuiescence = errors.New("sim: protocol did not quiesce within the round budget")
 
 // Envelope is a delivered message.
 type Envelope[M any] struct {
 	From int
 	Msg  M
+
+	sentAt int // sending step: round (Kernel) or event index (AsyncKernel)
+	seq    int // kernel-wide send sequence, the final inbox tie-break
 }
+
+// SentStep reports when the message was sent: the sending round under
+// Kernel (-1 for Init-time sends), the sender's delivered-event index
+// under AsyncKernel.
+func (e Envelope[M]) SentStep() int { return e.sentAt }
+
+// Seq is the kernel-wide send sequence number; together with the sender
+// and send step it totally orders duplicated messages in an inbox.
+func (e Envelope[M]) Seq() int { return e.seq }
 
 // Outbox collects the messages a node sends during one step; the executing
 // kernel decides when they are delivered (next round for Kernel, after a
@@ -34,6 +51,7 @@ type Outbox[M any] struct {
 	isNeighbor   func(from, to int) bool
 	participates func(int) bool
 	pending      []delivery[M]
+	timers       []int
 }
 
 type delivery[M any] struct {
@@ -60,6 +78,18 @@ func (o *Outbox[M]) Broadcast(msg M) {
 	}
 }
 
+// SetTimer asks the kernel to invoke OnTimer for this node after delay
+// steps: rounds under Kernel, delay units (multiples of MaxDelay) under
+// AsyncKernel. Delays below 1 are clamped to 1. Timers let protocols act
+// on the absence of messages — the acknowledgment timeouts of the
+// hardened primitives.
+func (o *Outbox[M]) SetTimer(delay int) {
+	if delay < 1 {
+		delay = 1
+	}
+	o.timers = append(o.timers, delay)
+}
+
 // Kernel executes one protocol over a graph. M is the message type.
 type Kernel[M any] struct {
 	// G is the communication graph. Required.
@@ -72,18 +102,33 @@ type Kernel[M any] struct {
 	Init func(id int, out *Outbox[M])
 	// OnReceive handles one round's inbox for a node. Required.
 	OnReceive func(id int, inbox []Envelope[M], out *Outbox[M])
+	// OnTimer handles a timer set via Outbox.SetTimer. Optional; timers
+	// fire after the same round's OnReceive.
+	OnTimer func(id int, out *Outbox[M])
 	// MaxRounds bounds the execution. The zero value means 1 + the
 	// number of nodes (any simple flood quiesces by then).
 	MaxRounds int
+	// Faults injects message loss, duplication, delay, crashes and
+	// partitions per delivery. Nil means perfect delivery.
+	Faults *FaultPlan
 
-	g *graph.Graph
+	g     *graph.Graph
+	round int
 }
 
 // Result reports execution statistics.
 type Result struct {
 	Rounds   int
 	Messages int
+	// Faults snapshots the fault layer's counters; zero without a plan.
+	// A run that quiesced with Faults.Starved() true may have converged
+	// to a different state than a lossless execution would.
+	Faults FaultStats
 }
+
+// Round is the round currently being executed, valid inside OnReceive,
+// OnTimer, and Init callbacks.
+func (k *Kernel[M]) Round() int { return k.round }
 
 func (k *Kernel[M]) participates(i int) bool {
 	return k.Participates == nil || k.Participates(i)
@@ -95,8 +140,9 @@ func (k *Kernel[M]) isNeighbor(from, to int) bool {
 	return idx < len(adj) && adj[idx] == to
 }
 
-// Run executes the protocol until no messages are in flight, returning
-// round and message counts.
+// Run executes the protocol until no messages or timers are pending,
+// returning round and message counts. On budget exhaustion the error is
+// a *QuiescenceError wrapping ErrNoQuiescence.
 func (k *Kernel[M]) Run() (Result, error) {
 	if k.G == nil || k.OnReceive == nil {
 		return Result{}, errors.New("sim: kernel requires G and OnReceive")
@@ -108,8 +154,10 @@ func (k *Kernel[M]) Run() (Result, error) {
 	}
 
 	n := k.g.Len()
-	inboxes := make([][]Envelope[M], n)
 	var res Result
+	futures := make(map[int][]delivery[M]) // arrival round -> deliveries
+	timerAt := make(map[int][]int)         // fire round -> node IDs
+	seq := 0
 
 	outboxFor := func(i int) Outbox[M] {
 		return Outbox[M]{
@@ -119,10 +167,30 @@ func (k *Kernel[M]) Run() (Result, error) {
 			participates: k.participates,
 		}
 	}
-	collect := func(out *Outbox[M]) {
+	// collect routes a node's sends and timers through the fault layer.
+	// sendRound is the sending round (-1 for Init).
+	collect := func(i, sendRound int, out *Outbox[M]) {
 		for _, d := range out.pending {
-			inboxes[d.to] = append(inboxes[d.to], d.env)
-			res.Messages++
+			seq++
+			fate := k.Faults.Deliver(d.env.From, d.to, seq, sendRound)
+			if fate.Drop {
+				continue
+			}
+			env := d.env
+			env.sentAt = sendRound
+			env.seq = seq
+			at := sendRound + 1 + fate.ExtraDelay
+			futures[at] = append(futures[at], delivery[M]{to: d.to, env: env})
+			if fate.Duplicate {
+				seq++
+				dup := env
+				dup.seq = seq
+				at := sendRound + 1 + fate.DupExtraDelay
+				futures[at] = append(futures[at], delivery[M]{to: d.to, env: dup})
+			}
+		}
+		for _, dt := range out.timers {
+			timerAt[sendRound+dt] = append(timerAt[sendRound+dt], i)
 		}
 	}
 
@@ -133,40 +201,87 @@ func (k *Kernel[M]) Run() (Result, error) {
 			}
 			out := outboxFor(i)
 			k.Init(i, &out)
-			collect(&out)
+			collect(i, -1, &out)
 		}
 	}
 
 	for round := 0; ; round++ {
-		anyPending := false
-		for i := 0; i < n; i++ {
-			if len(inboxes[i]) > 0 {
-				anyPending = true
-				break
-			}
-		}
-		if !anyPending {
+		k.round = round
+		if len(futures) == 0 && len(timerAt) == 0 {
 			res.Rounds = round
+			res.Faults = k.Faults.Stats()
 			return res, nil
 		}
 		if round >= maxRounds {
 			res.Rounds = round
-			return res, ErrNoQuiescence
+			res.Faults = k.Faults.Stats()
+			inFlight := 0
+			for _, ds := range futures {
+				inFlight += len(ds)
+			}
+			pendingTimers := 0
+			for _, ts := range timerAt {
+				pendingTimers += len(ts)
+			}
+			return res, &QuiescenceError{
+				Base: ErrNoQuiescence, Steps: round,
+				InFlight: inFlight, PendingTimers: pendingTimers,
+				Faults: res.Faults,
+			}
 		}
-		next := make([][]Envelope[M], n)
-		for i := 0; i < n; i++ {
-			inbox := inboxes[i]
-			if len(inbox) == 0 {
+
+		inboxes := make(map[int][]Envelope[M])
+		for _, d := range futures[round] {
+			if k.Faults.CrashedAt(d.to, round) {
+				k.Faults.noteCrashDrop()
 				continue
 			}
-			sort.SliceStable(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
-			out := outboxFor(i)
-			k.OnReceive(i, inbox, &out)
-			for _, d := range out.pending {
-				next[d.to] = append(next[d.to], d.env)
-				res.Messages++
+			inboxes[d.to] = append(inboxes[d.to], d.env)
+		}
+		delete(futures, round)
+		timerDue := make(map[int]bool)
+		for _, id := range timerAt[round] {
+			if !k.Faults.CrashedAt(id, round) {
+				timerDue[id] = true
 			}
 		}
-		inboxes = next
+		delete(timerAt, round)
+
+		active := make([]int, 0, len(inboxes)+len(timerDue))
+		for id := range inboxes {
+			active = append(active, id)
+		}
+		for id := range timerDue {
+			if _, hasInbox := inboxes[id]; !hasInbox {
+				active = append(active, id)
+			}
+		}
+		sort.Ints(active)
+
+		for _, i := range active {
+			inbox := inboxes[i]
+			// Total order: (sender, send round, send sequence). The
+			// sequence makes the relative order of duplicated messages
+			// from the same sender fully specified.
+			sort.Slice(inbox, func(a, b int) bool {
+				if inbox[a].From != inbox[b].From {
+					return inbox[a].From < inbox[b].From
+				}
+				if inbox[a].sentAt != inbox[b].sentAt {
+					return inbox[a].sentAt < inbox[b].sentAt
+				}
+				return inbox[a].seq < inbox[b].seq
+			})
+			out := outboxFor(i)
+			if len(inbox) > 0 {
+				res.Messages += len(inbox)
+				k.Faults.noteDelivered(len(inbox))
+				k.OnReceive(i, inbox, &out)
+			}
+			if timerDue[i] && k.OnTimer != nil {
+				k.OnTimer(i, &out)
+			}
+			collect(i, round, &out)
+		}
 	}
 }

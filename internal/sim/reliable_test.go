@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// lossyPlan builds the canonical "recoverable faults" plan used by the
+// hardened-protocol tests: real loss, duplication and reordering, but
+// per-link drops capped below the retransmit budget so delivery of every
+// committed packet is guaranteed.
+func lossyPlan(seed int64, n int) *FaultPlan {
+	return NewFaultPlan(FaultConfig{
+		Seed:            seed,
+		DropRate:        0.3,
+		MaxDropsPerLink: 2,
+		DuplicateRate:   0.2,
+		DelayRate:       0.3,
+		MaxExtraDelay:   2,
+	}, n)
+}
+
+func randomGraph(t *testing.T, rng *rand.Rand, n, edges int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	for i := range g.Adj {
+		sortInts(g.Adj[i])
+	}
+	return g
+}
+
+// TestReliableFloodLosslessMatchesPlain: with no fault plan the hardened
+// flood produces exactly the plain counts.
+func TestReliableFloodLosslessMatchesPlain(t *testing.T) {
+	g := pathGraph(7)
+	member := allTrue(7)
+	want, err := FloodCount(g, member, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := ReliableFloodCount(g, member, 2, nil, ReliableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if res.Faults.Retransmits != 0 {
+		t.Errorf("lossless run retransmitted: %+v", res.Faults)
+	}
+}
+
+// TestReliableFloodSurvivesBoundedLoss: under capped loss with a budget
+// at least the cap, the hardened flood equals the lossless flood — on
+// both kernels — and the counters show the recovery work.
+func TestReliableFloodSurvivesBoundedLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 8; trial++ {
+		n := 15 + rng.Intn(25)
+		g := randomGraph(t, rng, n, 3*n)
+		member := make([]bool, n)
+		for i := range member {
+			member[i] = rng.Float64() < 0.7
+		}
+		ttl := 1 + rng.Intn(3)
+		want, err := FloodCount(g, member, ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		opt := ReliableOptions{Budget: 4}
+		syncPlan := lossyPlan(int64(trial)*17+1, n)
+		got, res, err := ReliableFloodCount(g, member, ttl, syncPlan, opt)
+		if err != nil {
+			t.Fatalf("trial %d sync: %v", trial, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d sync: counts[%d] = %d, want %d (faults %+v)",
+					trial, i, got[i], want[i], res.Faults)
+			}
+		}
+		if res.Faults.Dropped > 0 && res.Faults.Retransmits == 0 {
+			t.Fatalf("trial %d: %d drops but no retransmissions", trial, res.Faults.Dropped)
+		}
+
+		asyncPlan := lossyPlan(int64(trial)*17+1, n)
+		agot, ares, err := AsyncReliableFloodCount(g, member, ttl, int64(trial), asyncPlan, opt)
+		if err != nil {
+			t.Fatalf("trial %d async: %v", trial, err)
+		}
+		for i := range want {
+			if agot[i] != want[i] {
+				t.Fatalf("trial %d async: counts[%d] = %d, want %d (faults %+v)",
+					trial, i, agot[i], want[i], ares.Faults)
+			}
+		}
+	}
+}
+
+// TestReliableLabelsSurviveBoundedLoss: hardened grouping equals plain
+// connected-component labels under recoverable faults, on both kernels.
+func TestReliableLabelsSurviveBoundedLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		n := 15 + rng.Intn(30)
+		g := randomGraph(t, rng, n, 2*n)
+		member := make([]bool, n)
+		for i := range member {
+			member[i] = rng.Float64() < 0.6
+		}
+		want, err := LabelComponents(g, member)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		opt := ReliableOptions{Budget: 4}
+		got, _, err := ReliableLabelComponents(g, member, lossyPlan(int64(trial)*13+5, n), opt)
+		if err != nil {
+			t.Fatalf("trial %d sync: %v", trial, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d sync: label[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+
+		agot, _, err := AsyncReliableLabelComponents(g, member, int64(trial)*3, lossyPlan(int64(trial)*13+5, n), opt)
+		if err != nil {
+			t.Fatalf("trial %d async: %v", trial, err)
+		}
+		for i := range want {
+			if agot[i] != want[i] {
+				t.Fatalf("trial %d async: label[%d] = %d, want %d", trial, i, agot[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReliableFloodAbandonsUnderUnboundedLoss: with uncapped heavy loss
+// and a tiny budget, the protocol gives up cleanly: it still quiesces,
+// and the Abandoned counter plus Starved() report the degradation.
+func TestReliableFloodAbandonsUnderUnboundedLoss(t *testing.T) {
+	g := pathGraph(10)
+	member := allTrue(10)
+	plan := NewFaultPlan(FaultConfig{Seed: 8, DropRate: 0.9}, 10)
+	counts, res, err := ReliableFloodCount(g, member, 3, plan, ReliableOptions{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Abandoned == 0 {
+		t.Errorf("90%% loss with budget 1 should abandon packets: %+v", res.Faults)
+	}
+	if !res.Faults.Starved() {
+		t.Error("abandonment must surface as starvation")
+	}
+	// Self-counts always survive.
+	for i, c := range counts {
+		if c < 1 {
+			t.Errorf("counts[%d] = %d, want >= 1", i, c)
+		}
+	}
+}
+
+// TestReliableFloodSurvivesCrashesGracefully: crashed nodes drop out
+// without wedging the survivors — the protocol quiesces (retransmission
+// budgets bound the wasted effort) and live nodes still count each other
+// where a live path exists.
+func TestReliableFloodSurvivesCrashesGracefully(t *testing.T) {
+	g := pathGraph(12)
+	member := allTrue(12)
+	plan := NewFaultPlan(FaultConfig{Seed: 5, CrashRate: 0.25, CrashSpan: 4}, 12)
+	counts, res, err := ReliableFloodCount(g, member, 2, plan, ReliableOptions{Budget: 2})
+	if err != nil {
+		t.Fatalf("crashes must not prevent quiescence: %v", err)
+	}
+	if res.Faults.Crashed == 0 {
+		t.Fatal("seed 5 is known to crash one node; plan changed?")
+	}
+	for i, c := range counts {
+		if plan.CrashStep(i) >= 0 {
+			continue
+		}
+		if c < 1 {
+			t.Errorf("live node %d count %d, want >= 1", i, c)
+		}
+	}
+	if res.Faults.CrashDrops == 0 {
+		t.Errorf("messages to crashed nodes should be counted: %+v", res.Faults)
+	}
+}

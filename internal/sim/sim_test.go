@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -127,8 +128,19 @@ func TestKernelNoQuiescence(t *testing.T) {
 			out.Broadcast(0) // ping-pong forever
 		},
 	}
-	if _, err := k.Run(); err != ErrNoQuiescence {
+	_, err := k.Run()
+	if !errors.Is(err, ErrNoQuiescence) {
 		t.Errorf("err = %v, want ErrNoQuiescence", err)
+	}
+	var qe *QuiescenceError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %T, want *QuiescenceError", err)
+	}
+	if qe.InFlight == 0 {
+		t.Error("diagnostics report no in-flight messages for a diverging protocol")
+	}
+	if qe.StarvedByFaults() {
+		t.Error("no fault plan, yet diagnostics blame faults")
 	}
 }
 
