@@ -1,11 +1,15 @@
 # Development targets. `make check` is the full local gate: static
-# analysis, the complete test suite under the race detector, and a short
-# fuzz pass over every fuzz target.
+# analysis, the complete test suite under the race detector (including the
+# parallel sweep engine's scheduling-independence tests), a one-iteration
+# benchmark smoke pass, and a short fuzz pass over every fuzz target.
 
 GO      ?= go
 FUZZTIME ?= 10s
+# Per-benchmark time for `make bench`. Short enough for a laptop pass;
+# raise it when recording a baseline worth keeping.
+BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race fuzz check
+.PHONY: build test vet race fuzz bench benchsmoke check
 
 build:
 	$(GO) build ./...
@@ -26,4 +30,14 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzSpheresThrough3 -fuzztime=$(FUZZTIME) ./internal/geom
 	$(GO) test -run=^$$ -fuzz=FuzzCircumcenter3 -fuzztime=$(FUZZTIME) ./internal/geom
 
-check: vet race fuzz
+# `make bench` records a machine-readable baseline (schema: internal/bench,
+# documented in EXPERIMENTS.md) named for today's date.
+bench:
+	BENCH_JSON=BENCH_$$(date +%Y-%m-%d).json $(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
+
+# One iteration of every benchmark, writing the baseline to a throwaway
+# file — proves the suite and the BENCH_JSON writer stay runnable.
+benchsmoke:
+	BENCH_JSON=$$(mktemp -d)/BENCH_smoke.json $(GO) test -run '^$$' -bench . -benchtime 1x .
+
+check: vet race benchsmoke fuzz

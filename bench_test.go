@@ -4,12 +4,26 @@ package repro_test
 // per-experiment index). Benchmarks run the same code paths as
 // cmd/experiment at reduced deployment scale so `go test -bench=.` finishes
 // in minutes; absolute timings are reported per pipeline stage.
+//
+// When the BENCH_JSON environment variable names a file, TestMain writes the
+// run's measurements there in the machine-readable baseline format of
+// internal/bench (see EXPERIMENTS.md for the schema): per-case wall time and
+// op counts, the UBF work counters where the case exposes them, and
+// approximate per-op allocation figures. `make bench` uses this to produce
+// BENCH_<date>.json.
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/geom"
@@ -25,6 +39,66 @@ import (
 
 // benchScale keeps bench deployments small enough for tight iteration.
 const benchScale = 0.15
+
+var benchRecorder bench.Recorder
+
+// record registers the enclosing benchmark with the baseline recorder; the
+// returned stage is live during the run so the benchmark body can accumulate
+// work counters (balls tested, nodes checked) into it. Wall time and op
+// counts fold across the harness's ramp-up invocations, so ns_per_op is the
+// average over every timed iteration. Allocation figures come from
+// MemStats deltas around the invocation — approximate, but they include the
+// benchmark loop only when record is called right before ResetTimer.
+func record(b *testing.B) *bench.Stage {
+	s := &bench.Stage{Name: strings.TrimPrefix(b.Name(), "Benchmark")}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.Cleanup(func() {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		s.WallNS = b.Elapsed().Nanoseconds()
+		s.Ops = int64(b.N)
+		if s.Ops > 0 {
+			s.Allocs = int64(m1.Mallocs-m0.Mallocs) / s.Ops
+			s.Bytes = int64(m1.TotalAlloc-m0.TotalAlloc) / s.Ops
+		}
+		benchRecorder.Record(*s)
+	})
+	return s
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && code == 0 {
+		if err := writeBenchBaseline(path); err != nil {
+			fmt.Fprintln(os.Stderr, "bench baseline:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// writeBenchBaseline dumps the recorder to the BENCH_JSON file. A run with
+// no benchmarks (plain `go test`) records nothing and writes nothing, so
+// test-only invocations never clobber an existing baseline.
+func writeBenchBaseline(path string) error {
+	stages := benchRecorder.Stages()
+	if len(stages) == 0 {
+		return nil
+	}
+	name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+	bl := bench.New(name, time.Now().UTC().Format(time.RFC3339), benchScale)
+	bl.Stages = stages
+	return bl.WriteFile(path)
+}
+
+func sumInts(xs []int) int64 {
+	var t int64
+	for _, x := range xs {
+		t += int64(x)
+	}
+	return t
+}
 
 var (
 	benchOnce    sync.Once
@@ -66,12 +140,15 @@ func benchFixtures(b *testing.B) (*netgen.Network, *netgen.Measurement, *core.Re
 // MDS coordinates plus surface construction (Figs. 1(b)–(f)).
 func BenchmarkPipelineFig1(b *testing.B) {
 	net, meas, _, _ := benchFixtures(b)
+	st := record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		det, err := core.Detect(net, meas, core.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
+		st.BallsTested += sumInts(det.BallsTested)
+		st.NodesChecked += sumInts(det.NodesChecked)
 		if _, err := mesh.BuildAll(net.G, det.Groups, mesh.Config{K: 3}); err != nil {
 			b.Fatal(err)
 		}
@@ -83,6 +160,7 @@ func BenchmarkPipelineFig1(b *testing.B) {
 func BenchmarkFig1gErrorPoint(b *testing.B) {
 	net, _, _, _ := benchFixtures(b)
 	truth := net.TrueBoundary()
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		meas := net.Measure(ranging.UniformAdditive{Fraction: 0.3}, int64(i))
@@ -101,6 +179,7 @@ func BenchmarkFig1gErrorPoint(b *testing.B) {
 func BenchmarkFig1hMistakenDistribution(b *testing.B) {
 	net, _, det, _ := benchFixtures(b)
 	truth := net.TrueBoundary()
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := metrics.Evaluate(net.G, truth, det.Boundary, eval.MaxHops); err != nil {
@@ -120,6 +199,7 @@ func BenchmarkFig1iMissingDistribution(b *testing.B) {
 // study: surface reconstruction from a noisy detection.
 func BenchmarkFig1jklMeshUnderError(b *testing.B) {
 	net, _, det, _ := benchFixtures(b)
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mesh.BuildAll(net.G, det.Groups, mesh.Config{K: 3}); err != nil {
@@ -132,6 +212,7 @@ func BenchmarkFig1jklMeshUnderError(b *testing.B) {
 func benchScenario(b *testing.B, sc eval.Scenario) {
 	b.Helper()
 	sc = sc.Scaled(benchScale)
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.RunScenario(sc, 0, core.Config{}, mesh.Config{K: 3}); err != nil {
@@ -160,6 +241,7 @@ func BenchmarkFig10Sphere(b *testing.B) { benchScenario(b, eval.Fig10()) }
 func BenchmarkFig11Sweep(b *testing.B) {
 	scenarios := []eval.Scenario{eval.Fig10().Scaled(benchScale), eval.Fig1().Scaled(benchScale)}
 	levels := []float64{0, 0.3, 0.6}
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.RunAggregateSweep(scenarios, levels, core.Config{}); err != nil {
@@ -168,20 +250,49 @@ func BenchmarkFig11Sweep(b *testing.B) {
 	}
 }
 
-// BenchmarkUBFPerDegree measures the raw Unit Ball Fitting kernel across
-// nodal degrees — the Theorem 1 complexity table.
+// BenchmarkUBFPerDegree measures the Unit Ball Fitting kernel across nodal
+// degrees — the Theorem 1 complexity table. Two call shapes per degree:
+//
+//   - kernel: the raw one-hop shape (degree+1 coords in a unit ball), the
+//     literal Algorithm 1 step II input;
+//   - twohop: the pipeline's actual stage-2 shape — the deciding node tests
+//     its balls against its full two-hop knowledge, n ≈ 8× degree in a
+//     radius-2 ball — where the grid/ordering/scan optimizations act.
+//
+// Both shapes average over 16 pre-generated instances so candidate-ordering
+// heuristics are judged in aggregate rather than on one lucky draw.
 func BenchmarkUBFPerDegree(b *testing.B) {
 	for _, degree := range []int{10, 18, 30, 45} {
 		degree := degree
 		b.Run(byDegree(degree), func(b *testing.B) {
-			rng := rand.New(rand.NewSource(int64(degree)))
-			coords := []geom.Vec3{geom.Zero}
-			for len(coords) < degree+1 {
-				coords = append(coords, geom.RandomInBall(rng, geom.Sphere{Radius: 1}))
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				core.FitEmptyBall(coords, 0, 1.0, 1e-9)
+			for _, shape := range []struct {
+				name   string
+				n      int
+				radius float64
+			}{
+				{"kernel", degree + 1, 1},
+				{"twohop", 8*degree + 1, 2},
+			} {
+				shape := shape
+				b.Run(shape.name, func(b *testing.B) {
+					sets := make([][]geom.Vec3, 16)
+					for s := range sets {
+						rng := rand.New(rand.NewSource(int64(1000*degree + s)))
+						coords := []geom.Vec3{geom.Zero}
+						for len(coords) < shape.n {
+							coords = append(coords, geom.RandomInBall(rng, geom.Sphere{Radius: shape.radius}))
+						}
+						sets[s] = coords
+					}
+					st := record(b)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						r := core.FitEmptyBall(sets[i%len(sets)], 0, 1.0, 1e-9)
+						st.BallsTested += int64(r.BallsTested)
+						st.NodesChecked += int64(r.NodesChecked)
+					}
+				})
 			}
 		})
 	}
@@ -193,6 +304,50 @@ func byDegree(d int) string {
 		return "degree0" + string(rune('0'+d))
 	default:
 		return "degree" + string(rune('0'+d/10)) + string(rune('0'+d%10))
+	}
+}
+
+// fig1TwoHop builds one two-hop knowledge set at the fig1 average degree
+// (~18.8): 151 coords in a radius-2 ball around the deciding node. The
+// boundary variant carves a half-space so the origin sits on the hole wall
+// — the case where an empty ball exists and candidate ordering decides how
+// fast it is found.
+func fig1TwoHop(rng *rand.Rand, interior bool) []geom.Vec3 {
+	coords := []geom.Vec3{geom.Zero}
+	for len(coords) < 151 {
+		p := geom.RandomInBall(rng, geom.Sphere{Radius: 2})
+		if !interior && p.Z < -0.15 {
+			continue // carve a half-space: origin sits on the boundary
+		}
+		coords = append(coords, p)
+	}
+	return coords
+}
+
+// BenchmarkUBFStageFig1 measures the UBF stage at the exact fig1 call shape
+// for an interior node (no empty ball: the full candidate set is exhausted)
+// and a boundary node (an empty ball exists: early exit), averaged over 16
+// random instances.
+func BenchmarkUBFStageFig1(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		interior bool
+	}{{"interior", true}, {"boundary", false}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			sets := make([][]geom.Vec3, 16)
+			for s := range sets {
+				sets[s] = fig1TwoHop(rand.New(rand.NewSource(int64(100+s))), tc.interior)
+			}
+			st := record(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := core.FitEmptyBall(sets[i%len(sets)], 0, 1.0, 1e-9)
+				st.BallsTested += int64(r.BallsTested)
+				st.NodesChecked += int64(r.NodesChecked)
+			}
+		})
 	}
 }
 
@@ -208,6 +363,7 @@ func BenchmarkMDSLocalFrame(b *testing.B) {
 		d := pts[x].Dist(pts[y])
 		return d, d <= 1
 	}
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mds.Localize(len(pts), dist, mds.Options{SmacofIterations: 40}); err != nil {
@@ -220,6 +376,7 @@ func BenchmarkMDSLocalFrame(b *testing.B) {
 // bench network.
 func BenchmarkIFFFlood(b *testing.B) {
 	net, _, det, _ := benchFixtures(b)
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.FloodCount(net.G, det.UBF, 3); err != nil {
@@ -231,6 +388,7 @@ func BenchmarkIFFFlood(b *testing.B) {
 // BenchmarkGrouping measures boundary grouping by label propagation.
 func BenchmarkGrouping(b *testing.B) {
 	net, _, det, _ := benchFixtures(b)
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.LabelComponents(net.G, det.Boundary); err != nil {
@@ -249,6 +407,7 @@ func BenchmarkSurfaceConstruction(b *testing.B) {
 			largest = g
 		}
 	}
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mesh.Build(net.G, largest, mesh.Config{K: 3}); err != nil {
@@ -266,6 +425,7 @@ func BenchmarkGreedyRouting(b *testing.B) {
 	if len(lms) < 2 {
 		b.Skip("overlay too small")
 	}
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		from := lms[i%len(lms)]
@@ -283,6 +443,7 @@ func BenchmarkGreedyRouting(b *testing.B) {
 // construction (the simulation substrate itself).
 func BenchmarkNetworkGeneration(b *testing.B) {
 	sc := eval.Fig10().Scaled(benchScale)
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sc.Generate(); err != nil {
@@ -295,17 +456,22 @@ func BenchmarkNetworkGeneration(b *testing.B) {
 // localization substrate removed (the oracle ablation).
 func BenchmarkDetectTrueCoords(b *testing.B) {
 	net, _, _, _ := benchFixtures(b)
+	st := record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Detect(net, nil, core.Config{}); err != nil {
+		det, err := core.Detect(net, nil, core.Config{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		st.BallsTested += sumInts(det.BallsTested)
+		st.NodesChecked += sumInts(det.NodesChecked)
 	}
 }
 
 // BenchmarkDegreeBaseline measures the ablation baseline detector.
 func BenchmarkDegreeBaseline(b *testing.B) {
 	net, _, _, _ := benchFixtures(b)
+	record(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DegreeBaseline(net, core.DegreeBaselineConfig{}); err != nil {

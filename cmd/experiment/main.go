@@ -8,6 +8,13 @@
 //	experiment -run fig1g            # Fig. 1(g): efficiency vs. error
 //	experiment -run fig11a -scale 1  # Fig. 11(a): multi-scenario aggregate
 //	experiment -run all -scale 0.25  # everything, at reduced size
+//	experiment -run all -workers 4 -bench BENCH_run.json
+//
+// -workers widens the sweep engine's worker pool (0 = one worker per CPU);
+// results are identical at any width. -bench additionally writes each
+// experiment's wall time (and, where the study surfaces them, UBF work
+// counters) as a machine-readable baseline in the internal/bench format —
+// the same schema `make bench` produces from the benchmark suite.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/export"
@@ -33,9 +41,11 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "node-count scale factor (1.0 = paper size)")
 	k := flag.Int("k", 3, "landmark spacing for mesh construction")
 	csvDir := flag.String("csv", "", "directory to also write tables as CSV (optional)")
+	workers := flag.Int("workers", 0, "sweep-engine pool width (0 = one per CPU; any width gives identical results)")
+	benchPath := flag.String("bench", "", "file to write a machine-readable timing baseline (BENCH_<name>.json)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *runName, *scale, *k, *csvDir); err != nil {
+	if err := run(os.Stdout, *runName, *scale, *k, *csvDir, *workers, *benchPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
@@ -49,11 +59,24 @@ type table struct {
 	rows   [][]string
 }
 
-func run(w io.Writer, runName string, scale float64, k int, csvDir string) error {
+func run(w io.Writer, runName string, scale float64, k int, csvDir string, workers int, benchPath string) error {
 	start := time.Now()
 	var tables []table
 	add := func(name, title string, header []string, rows [][]string) {
 		tables = append(tables, table{name: name, title: title, header: header, rows: rows})
+	}
+
+	eng := eval.Engine{Workers: workers}
+	var rec bench.Recorder
+	// timed wraps one experiment block and records its wall time as a
+	// baseline stage.
+	timed := func(name string, f func() error) error {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		rec.Record(bench.Stage{Name: name, WallNS: time.Since(t0).Nanoseconds(), Ops: 1})
+		return nil
 	}
 
 	wantAll := runName == "all"
@@ -84,50 +107,62 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 
 	// Fig. 1(g)–(i): the error sweep on the Fig. 1 network.
 	if want("fig1g", "fig1h", "fig1i") {
-		sc := eval.Fig1().Scaled(scale)
-		fmt.Fprintf(w, "generating %s (%d nodes)...\n", sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
-		net, err := sc.Generate()
+		err := timed("fig1-error-sweep", func() error {
+			sc := eval.Fig1().Scaled(scale)
+			fmt.Fprintf(w, "generating %s (%d nodes)...\n", sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
+			net, err := sc.Generate()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "network: %v\n", net.Stats())
+			sweep, err := eng.ErrorSweep(net, sc.Name, levels, core.Config{}, sc.Seed)
+			if err != nil {
+				return err
+			}
+			if want("fig1g") {
+				h, rows := eval.EfficiencyRows(sweep)
+				add("fig1g", "Fig. 1(g): boundary nodes vs. distance measurement error ("+sc.Name+")", h, rows)
+			}
+			if want("fig1h") {
+				h, rows := eval.DistributionRows(sweep, false)
+				add("fig1h", "Fig. 1(h): mistaken-node hop distribution", h, rows)
+			}
+			if want("fig1i") {
+				h, rows := eval.DistributionRows(sweep, true)
+				add("fig1i", "Fig. 1(i): missing-node hop distribution", h, rows)
+			}
+			return nil
+		})
 		if err != nil {
 			return err
-		}
-		fmt.Fprintf(w, "network: %v\n", net.Stats())
-		sweep, err := eval.RunErrorSweep(net, sc.Name, levels, core.Config{}, sc.Seed)
-		if err != nil {
-			return err
-		}
-		if want("fig1g") {
-			h, rows := eval.EfficiencyRows(sweep)
-			add("fig1g", "Fig. 1(g): boundary nodes vs. distance measurement error ("+sc.Name+")", h, rows)
-		}
-		if want("fig1h") {
-			h, rows := eval.DistributionRows(sweep, false)
-			add("fig1h", "Fig. 1(h): mistaken-node hop distribution", h, rows)
-		}
-		if want("fig1i") {
-			h, rows := eval.DistributionRows(sweep, true)
-			add("fig1i", "Fig. 1(i): missing-node hop distribution", h, rows)
 		}
 	}
 
 	// Fig. 1(j)–(l): mesh quality under 0–40 % error.
 	if want("fig1jkl") {
-		sc := eval.Fig1().Scaled(scale)
-		shape, err := sc.MakeShape()
+		err := timed("fig1-mesh-study", func() error {
+			sc := eval.Fig1().Scaled(scale)
+			shape, err := sc.MakeShape()
+			if err != nil {
+				return err
+			}
+			field, _ := shape.(shapes.DistanceField)
+			net, err := sc.Generate()
+			if err != nil {
+				return err
+			}
+			points, err := eval.RunMeshErrorStudy(net, []float64{0, 0.2, 0.3, 0.4},
+				core.Config{}, meshCfg, sc.Seed, field)
+			if err != nil {
+				return err
+			}
+			h, rows := eval.MeshErrorRows(points)
+			add("fig1jkl", "Fig. 1(j)-(l): mesh quality under distance measurement error", h, rows)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		field, _ := shape.(shapes.DistanceField)
-		net, err := sc.Generate()
-		if err != nil {
-			return err
-		}
-		points, err := eval.RunMeshErrorStudy(net, []float64{0, 0.2, 0.3, 0.4},
-			core.Config{}, meshCfg, sc.Seed, field)
-		if err != nil {
-			return err
-		}
-		h, rows := eval.MeshErrorRows(points)
-		add("fig1jkl", "Fig. 1(j)-(l): mesh quality under distance measurement error", h, rows)
 	}
 
 	// Figs. 6–10: the five scenario studies.
@@ -143,13 +178,19 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 		if !want(sr.key) {
 			continue
 		}
-		sc := sr.sc.Scaled(scale)
-		fmt.Fprintf(w, "running %s (%s)...\n", sc.Name, sc.Figure)
-		rep, err := eval.RunScenario(sc, 0, core.Config{}, meshCfg)
+		err := timed(sr.key+"-scenario", func() error {
+			sc := sr.sc.Scaled(scale)
+			fmt.Fprintf(w, "running %s (%s)...\n", sc.Name, sc.Figure)
+			rep, err := eval.RunScenario(sc, 0, core.Config{}, meshCfg)
+			if err != nil {
+				return err
+			}
+			scenarioReports = append(scenarioReports, rep)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		scenarioReports = append(scenarioReports, rep)
 	}
 	if len(scenarioReports) > 0 {
 		h, rows := eval.ScenarioRows(scenarioReports)
@@ -158,32 +199,40 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 
 	// Fig. 11: the aggregate sweep over every scenario.
 	if want("fig11a", "fig11b", "fig11c") {
-		scenarios := make([]eval.Scenario, 0)
-		for _, sc := range eval.AllScenarios() {
-			scenarios = append(scenarios, sc.Scaled(scale))
-		}
-		fmt.Fprintf(w, "running aggregate sweep over %d scenarios × %d error levels...\n",
-			len(scenarios), len(levels))
-		agg, err := eval.RunAggregateSweep(scenarios, levels, core.Config{})
+		err := timed("fig11-aggregate-sweep", func() error {
+			scenarios := make([]eval.Scenario, 0)
+			for _, sc := range eval.AllScenarios() {
+				scenarios = append(scenarios, sc.Scaled(scale))
+			}
+			fmt.Fprintf(w, "running aggregate sweep over %d scenarios × %d error levels...\n",
+				len(scenarios), len(levels))
+			agg, err := eng.AggregateSweep(scenarios, levels, core.Config{})
+			if err != nil {
+				return err
+			}
+			if want("fig11a") {
+				h, rows := eval.EfficiencyRows(agg)
+				add("fig11a", "Fig. 11(a): aggregate efficiency vs. distance measurement error", h, rows)
+			}
+			if want("fig11b") {
+				h, rows := eval.DistributionRows(agg, false)
+				add("fig11b", "Fig. 11(b): aggregate mistaken-node hop distribution", h, rows)
+			}
+			if want("fig11c") {
+				h, rows := eval.DistributionRows(agg, true)
+				add("fig11c", "Fig. 11(c): aggregate missing-node hop distribution", h, rows)
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		if want("fig11a") {
-			h, rows := eval.EfficiencyRows(agg)
-			add("fig11a", "Fig. 11(a): aggregate efficiency vs. distance measurement error", h, rows)
-		}
-		if want("fig11b") {
-			h, rows := eval.DistributionRows(agg, false)
-			add("fig11b", "Fig. 11(b): aggregate mistaken-node hop distribution", h, rows)
-		}
-		if want("fig11c") {
-			h, rows := eval.DistributionRows(agg, true)
-			add("fig11c", "Fig. 11(c): aggregate missing-node hop distribution", h, rows)
-		}
 	}
 
-	// Theorem 1: per-node work vs. density.
+	// Theorem 1: per-node work vs. density. Recorded with the study's own
+	// work counters so baselines can diff balls/checks, not just time.
 	if want("thm1") {
+		t0 := time.Now()
 		makeNet := eval.Fig10().Scaled(scale)
 		points, err := eval.RunComplexityStudy(func(deg float64) (*netgen.Network, error) {
 			sc := makeNet
@@ -193,6 +242,12 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 		if err != nil {
 			return err
 		}
+		st := bench.Stage{Name: "thm1-complexity", WallNS: time.Since(t0).Nanoseconds(), Ops: 1}
+		for _, p := range points {
+			st.BallsTested += p.TotalBalls
+			st.NodesChecked += p.TotalChecks
+		}
+		rec.Record(st)
 		h, rows := eval.ComplexityRows(points)
 		add("thm1", "Theorem 1: UBF per-node work vs. nodal degree (balls ~ ρ², checks ~ ρ³)", h, rows)
 	}
@@ -200,68 +255,92 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 	// Localization-quality study: the mechanism behind Fig. 1(g)'s
 	// degradation.
 	if want("mds") {
-		sc := eval.Fig10().Scaled(scale)
-		net, err := sc.Generate()
+		err := timed("mds-localization", func() error {
+			sc := eval.Fig10().Scaled(scale)
+			net, err := sc.Generate()
+			if err != nil {
+				return err
+			}
+			points, err := eval.RunLocalizationStudy(net, levels, core.Config{}, sc.Seed)
+			if err != nil {
+				return err
+			}
+			h, rows := eval.LocalizationRows(points)
+			add("mds", "Localization quality: one-hop MDS frame error vs. ranging error", h, rows)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		points, err := eval.RunLocalizationStudy(net, levels, core.Config{}, sc.Seed)
-		if err != nil {
-			return err
-		}
-		h, rows := eval.LocalizationRows(points)
-		add("mds", "Localization quality: one-hop MDS frame error vs. ranging error", h, rows)
 	}
 
 	// Surface-tool applications (Sec. I's embedding / partition / routing).
 	if want("apps") {
-		var reports []*eval.SurfaceToolsReport
-		for _, sc := range AppsScenarios() {
-			sc = sc.Scaled(scale)
-			fmt.Fprintf(w, "running surface tools on %s...\n", sc.Name)
-			rep, err := eval.RunSurfaceTools(sc, meshCfg, 6)
-			if err != nil {
-				return err
+		err := timed("surface-apps", func() error {
+			var reports []*eval.SurfaceToolsReport
+			for _, sc := range AppsScenarios() {
+				sc = sc.Scaled(scale)
+				fmt.Fprintf(w, "running surface tools on %s...\n", sc.Name)
+				rep, err := eval.RunSurfaceTools(sc, meshCfg, 6)
+				if err != nil {
+					return err
+				}
+				reports = append(reports, rep)
 			}
-			reports = append(reports, rep)
+			h, rows := eval.SurfaceToolsRows(reports)
+			add("apps", "Surface applications: embedding, k-way partition, greedy routing (+recovery)", h, rows)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		h, rows := eval.SurfaceToolsRows(reports)
-		add("apps", "Surface applications: embedding, k-way partition, greedy routing (+recovery)", h, rows)
 	}
 
 	// Robustness: detection quality vs. message loss. Unbounded random
 	// loss (no per-link cap), masked as far as the retransmission budget
 	// allows — the degradation beyond it is the quantity of interest.
 	if want("faults") {
-		sc := eval.Fig1().Scaled(scale)
-		fmt.Fprintf(w, "generating %s (%d nodes) for the loss sweep...\n",
-			sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
-		net, err := sc.Generate()
+		err := timed("fault-sweep", func() error {
+			sc := eval.Fig1().Scaled(scale)
+			fmt.Fprintf(w, "generating %s (%d nodes) for the loss sweep...\n",
+				sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
+			net, err := sc.Generate()
+			if err != nil {
+				return err
+			}
+			lossRates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+			sweep, err := eng.FaultSweep(net, sc.Name, lossRates, 0, core.Config{}, sc.Seed)
+			if err != nil {
+				return err
+			}
+			h, rows := eval.FaultSweepRows(sweep)
+			add("faults", "Robustness: detection quality vs. message loss ("+sc.Name+", exact ranging)", h, rows)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		lossRates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
-		sweep, err := eval.RunFaultSweep(net, sc.Name, lossRates, 0, core.Config{}, sc.Seed)
-		if err != nil {
-			return err
-		}
-		h, rows := eval.FaultSweepRows(sweep)
-		add("faults", "Robustness: detection quality vs. message loss ("+sc.Name+", exact ranging)", h, rows)
 	}
 
 	// Ablations.
 	if want("ablation") {
-		sc := eval.Fig1().Scaled(scale)
-		net, err := sc.Generate()
+		err := timed("ablations", func() error {
+			sc := eval.Fig1().Scaled(scale)
+			net, err := sc.Generate()
+			if err != nil {
+				return err
+			}
+			rows20, err := eng.Ablations(net, 0.2, sc.Seed)
+			if err != nil {
+				return err
+			}
+			h, rows := eval.AblationRows(rows20)
+			add("ablation", "Ablations at 20% distance error ("+sc.Name+")", h, rows)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		rows20, err := eval.RunAblations(net, 0.2, sc.Seed)
-		if err != nil {
-			return err
-		}
-		h, rows := eval.AblationRows(rows20)
-		add("ablation", "Ablations at 20% distance error ("+sc.Name+")", h, rows)
 	}
 
 	for _, t := range tables {
@@ -271,6 +350,15 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string) error
 				return err
 			}
 		}
+	}
+	if benchPath != "" {
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(benchPath), "BENCH_"), ".json")
+		bl := bench.New(name, time.Now().UTC().Format(time.RFC3339), scale)
+		bl.Stages = rec.Stages()
+		if err := bl.WriteFile(benchPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote timing baseline to %s\n", benchPath)
 	}
 	fmt.Fprintf(w, "\ndone in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil

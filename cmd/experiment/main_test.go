@@ -6,18 +6,20 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", 0.1, 3, ""); err == nil {
+	if err := run(&buf, "nope", 0.1, 3, "", 0, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunFig1gTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1g", 0.03, 3, ""); err != nil {
+	if err := run(&buf, "fig1g", 0.03, 3, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +37,7 @@ func TestRunFig1gTiny(t *testing.T) {
 func TestRunScenarioAndCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "fig10", 0.05, 4, dir); err != nil {
+	if err := run(&buf, "fig10", 0.05, 4, dir, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "fig10-sphere") {
@@ -52,7 +54,7 @@ func TestRunScenarioAndCSV(t *testing.T) {
 
 func TestRunThm1Tiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "thm1", 0.05, 3, ""); err != nil {
+	if err := run(&buf, "thm1", 0.05, 3, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Theorem 1") {
@@ -62,7 +64,7 @@ func TestRunThm1Tiny(t *testing.T) {
 
 func TestRunAblationTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "ablation", 0.03, 3, ""); err != nil {
+	if err := run(&buf, "ablation", 0.03, 3, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -75,7 +77,7 @@ func TestRunAblationTiny(t *testing.T) {
 
 func TestRunFig1jklTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1jkl", 0.03, 4, ""); err != nil {
+	if err := run(&buf, "fig1jkl", 0.03, 4, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "mesh quality") {
@@ -85,7 +87,7 @@ func TestRunFig1jklTiny(t *testing.T) {
 
 func TestRunFaultsTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "faults", 0.05, 3, ""); err != nil {
+	if err := run(&buf, "faults", 0.05, 3, "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -101,5 +103,55 @@ func TestRunFaultsTiny(t *testing.T) {
 		if !strings.Contains(out, level) {
 			t.Errorf("missing loss level %s", level)
 		}
+	}
+}
+
+// TestRunWritesBenchBaseline: -bench writes a loadable baseline whose thm1
+// stage carries the study's UBF work counters, and -workers does not change
+// the printed tables.
+func TestRunWritesBenchBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_thm1.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "thm1", 0.05, 3, "", 2, path); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := bench.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Name != "thm1" {
+		t.Errorf("baseline name %q, want thm1", bl.Name)
+	}
+	var thm1 *bench.Stage
+	for i := range bl.Stages {
+		if bl.Stages[i].Name == "thm1-complexity" {
+			thm1 = &bl.Stages[i]
+		}
+	}
+	if thm1 == nil {
+		t.Fatalf("no thm1-complexity stage in %+v", bl.Stages)
+	}
+	if thm1.WallNS <= 0 || thm1.BallsTested <= 0 || thm1.NodesChecked <= 0 {
+		t.Errorf("thm1 stage missing measurements: %+v", thm1)
+	}
+
+	var serial bytes.Buffer
+	if err := run(&serial, "thm1", 0.05, 3, "", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	stripDone := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var kept []string
+		for _, l := range lines {
+			if l == "" || strings.HasPrefix(l, "done in ") || strings.HasPrefix(l, "wrote timing baseline") {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripDone(serial.String()) != stripDone(buf.String()) {
+		t.Errorf("tables differ between -workers 1 and -workers 2:\n%s\n---\n%s",
+			serial.String(), buf.String())
 	}
 }

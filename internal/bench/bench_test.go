@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := New("2026-08-05", "2026-08-05T12:00:00Z", 0.15)
+	b.Stages = []Stage{
+		{Name: "ubf", WallNS: 3_000_000, Ops: 3, NSPerOp: 1_000_000,
+			BallsTested: 1234, NodesChecked: 56789, Allocs: 0, Bytes: 0},
+		{Name: "mds", WallNS: 500_000, Ops: 1, NSPerOp: 500_000},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WriteFile sorts stages by name; compare against the sorted original.
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, b)
+	}
+	if b.Stages[0].Name != "mds" {
+		t.Fatalf("WriteFile did not sort stages: %+v", b.Stages)
+	}
+}
+
+func TestValidateRejectsBadBaselines(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Baseline
+	}{
+		{"no name", Baseline{}},
+		{"unnamed stage", Baseline{Name: "x", Stages: []Stage{{}}}},
+		{"duplicate stage", Baseline{Name: "x", Stages: []Stage{
+			{Name: "a", Ops: 1, WallNS: 10, NSPerOp: 10},
+			{Name: "a", Ops: 1, WallNS: 10, NSPerOp: 10}}}},
+		{"negative ops", Baseline{Name: "x", Stages: []Stage{{Name: "a", Ops: -1}}}},
+		{"inconsistent ns/op", Baseline{Name: "x", Stages: []Stage{
+			{Name: "a", Ops: 2, WallNS: 100, NSPerOp: 99}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.b.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid baseline", tc.name)
+		}
+	}
+}
+
+func TestRecorderFoldsShards(t *testing.T) {
+	var r Recorder
+	r.Record(Stage{Name: "ubf", WallNS: 100, Ops: 1, BallsTested: 10, NodesChecked: 40})
+	r.Record(Stage{Name: "ubf", WallNS: 300, Ops: 1, BallsTested: 30, NodesChecked: 80})
+	r.Record(Stage{Name: "mds", WallNS: 50, Ops: 1})
+	got := r.Stages()
+	want := []Stage{
+		{Name: "mds", WallNS: 50, Ops: 1, NSPerOp: 50},
+		{Name: "ubf", WallNS: 400, Ops: 2, NSPerOp: 200, BallsTested: 40, NodesChecked: 120},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fold mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}

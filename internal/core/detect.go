@@ -6,11 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/mds"
 	"repro/internal/netgen"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -262,7 +262,7 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	if cfg.Coords == CoordsMDS {
 		res.CoordError = make([]float64, n)
 		frames = make([]frame, n)
-		err := parallelFor(n, cfg.Workers, func(i int) error {
+		err := par.For(n, cfg.Workers, func(_, i int) error {
 			f, err := buildFrame(net, meas, cfg, i)
 			if err != nil {
 				return fmt.Errorf("node %d frame: %w", i, err)
@@ -282,9 +282,13 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 		}
 	}
 
-	// Stage 2: Unit Ball Fitting per node.
-	err := parallelFor(n, cfg.Workers, func(i int) error {
-		coords, candidates, spreads := assembleKnowledge(net, cfg, frames, i)
+	// Stage 2: Unit Ball Fitting per node. Each worker owns a UBFScratch
+	// (grid, tolerance and ordering buffers) and an assembleScratch, so the
+	// steady-state per-node cost allocates nothing on the CoordsTrue path.
+	scratch := make([]UBFScratch, cfg.Workers)
+	asm := make([]assembleScratch, cfg.Workers)
+	err := par.For(n, cfg.Workers, func(w, i int) error {
+		coords, candidates, spreads := assembleKnowledge(net, cfg, frames, i, &asm[w])
 		// Per-point tolerance: every known position is discounted by its
 		// own locally observable uncertainty — the spread of the
 		// independent estimates the consensus stitching collected for
@@ -301,7 +305,7 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 			}
 			maxBorderline = cfg.MaxBorderline
 		}
-		r := FitEmptyBallUncertain(coords, 0, candidates, radius, tolAt, maxBorderline)
+		r := scratch[w].Fit(coords, 0, candidates, radius, tolAt, maxBorderline)
 		res.UBF[i] = r.Boundary
 		res.BallsTested[i] = r.BallsTested
 		res.NodesChecked[i] = r.NodesChecked
@@ -393,32 +397,6 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	return res, nil
 }
 
-// parallelFor runs fn(0..n-1) on the given number of workers, returning the
-// first error.
-func parallelFor(n, workers int, fn func(int) error) error {
-	var firstErr error
-	var errOnce sync.Once
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return firstErr
-}
-
 // buildFrame embeds node i's closed one-hop neighborhood from measured
 // distances.
 func buildFrame(net *netgen.Network, meas *netgen.Measurement, cfg Config, i int) (frame, error) {
@@ -442,34 +420,71 @@ func buildFrame(net *netgen.Network, meas *netgen.Measurement, cfg Config, i int
 	}, nil
 }
 
+// assembleScratch holds one worker's reusable buffers for per-node
+// knowledge assembly. Stage 2 assembles a fresh view for every node; with
+// the buffers (and the stamp array replacing the two-hop dedup map) reused
+// across nodes, the steady-state assembly allocates nothing.
+type assembleScratch struct {
+	members    []int
+	candidates []int
+	coords     []geom.Vec3
+	spreads    []float64
+	stamp      []int32 // stamp[u] == epoch ⟺ u already collected
+	epoch      int32
+}
+
+// visited returns the stamp array sized for n nodes under a fresh epoch, so
+// membership resets in O(1) instead of clearing (or reallocating a map).
+func (as *assembleScratch) visited(n int) []int32 {
+	if len(as.stamp) < n {
+		as.stamp = make([]int32, n)
+		as.epoch = 0
+	}
+	as.epoch++
+	if as.epoch == 0 { // epoch wrapped: clear once and restart
+		for i := range as.stamp {
+			as.stamp[i] = 0
+		}
+		as.epoch = 1
+	}
+	return as.stamp
+}
+
 // assembleKnowledge produces node i's view for the UBF test: coordinates
 // with i first, the candidate indices (its one-hop neighbors), and each
 // coordinate's uncertainty estimate (nil under CoordsTrue, meaning exact).
-func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int) (coords []geom.Vec3, candidates []int, spreads []float64) {
+// Returned slices may alias as and are only valid until the next call with
+// the same scratch.
+func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int, as *assembleScratch) (coords []geom.Vec3, candidates []int, spreads []float64) {
 	oneHop := net.G.Adj[i]
-	candidates = make([]int, len(oneHop))
+	candidates = as.candidates[:0]
 	for k := range oneHop {
-		candidates[k] = k + 1 // coords layout: i, then its one-hop neighbors
+		candidates = append(candidates, k+1) // coords layout: i, then its one-hop neighbors
 	}
+	as.candidates = candidates
 
 	if cfg.Coords == CoordsTrue {
-		members := closedNeighborhood(net, i)
+		members := append(as.members[:0], i)
+		members = append(members, oneHop...)
 		if cfg.Scope == ScopeTwoHop {
-			members = extendTwoHop(net, i, members)
+			members = extendTwoHop(net, i, members, as)
 		}
-		coords = make([]geom.Vec3, len(members))
-		for k, m := range members {
-			coords[k] = net.Nodes[m].Pos
+		as.members = members
+		coords = as.coords[:0]
+		for _, m := range members {
+			coords = append(coords, net.Nodes[m].Pos)
 		}
+		as.coords = coords
 		return coords, candidates, nil
 	}
 
 	own := frames[i]
 	if cfg.Scope == ScopeOneHop {
-		spreads = make([]float64, len(own.coords))
-		for k := range spreads {
-			spreads[k] = own.residual
+		spreads = as.spreads[:0]
+		for range own.coords {
+			spreads = append(spreads, own.residual)
 		}
+		as.spreads = spreads
 		return own.coords, candidates, spreads
 	}
 	coords, spreads = stitchTwoHop(net, cfg, frames, i)
@@ -478,15 +493,16 @@ func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int) (
 
 // extendTwoHop appends the two-hop neighbors of i to members (which already
 // holds i and its one-hop neighbors), preserving order and uniqueness.
-func extendTwoHop(net *netgen.Network, i int, members []int) []int {
-	seen := make(map[int]bool, 4*len(members))
+func extendTwoHop(net *netgen.Network, i int, members []int, as *assembleScratch) []int {
+	stamp := as.visited(net.Len())
+	e := as.epoch
 	for _, m := range members {
-		seen[m] = true
+		stamp[m] = e
 	}
 	for _, j := range net.G.Adj[i] {
 		for _, u := range net.G.Adj[j] {
-			if !seen[u] {
-				seen[u] = true
+			if stamp[u] != e {
+				stamp[u] = e
 				members = append(members, u)
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -203,21 +204,54 @@ func TestDetectIFFFiltersSmallFragments(t *testing.T) {
 
 func TestDetectDeterministicAcrossWorkerCounts(t *testing.T) {
 	net, _ := fixtures(t)
-	a, err := Detect(net, nil, Config{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
+	// Three pipeline flavors: the plain synchronous run (grid-pruned UBF
+	// hot path included), the asynchronous kernel, and an async run under
+	// a recoverable fault plan (per-link loss within the retransmit
+	// budget, so the hardened protocols still deliver exact results).
+	// Each must produce a byte-identical Result regardless of worker
+	// count — scheduling must never leak into verdicts, counters, or
+	// fragment/group structure.
+	configs := map[string]Config{
+		"sync":  {},
+		"async": {Async: true, AsyncSeed: 7},
+		"faulty-async": {
+			Async:            true,
+			AsyncSeed:        7,
+			RetransmitBudget: 3,
+			Faults: sim.FaultConfig{
+				Seed:            11,
+				DropRate:        0.2,
+				MaxDropsPerLink: 2, // ≤ RetransmitBudget: recoverable
+				DuplicateRate:   0.1,
+			},
+		},
 	}
-	b, err := Detect(net, nil, Config{Workers: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a.Boundary {
-		if a.Boundary[i] != b.Boundary[i] || a.UBF[i] != b.UBF[i] {
-			t.Fatalf("worker count changed verdict at node %d", i)
-		}
-		if a.BallsTested[i] != b.BallsTested[i] {
-			t.Fatalf("worker count changed work accounting at node %d", i)
-		}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			cfg1 := cfg
+			cfg1.Workers = 1
+			a, err := Detect(net, nil, cfg1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg8 := cfg
+			cfg8.Workers = 8
+			b, err := Detect(net, nil, cfg8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				for i := range a.Boundary {
+					if a.Boundary[i] != b.Boundary[i] || a.UBF[i] != b.UBF[i] {
+						t.Fatalf("worker count changed verdict at node %d", i)
+					}
+					if a.BallsTested[i] != b.BallsTested[i] || a.NodesChecked[i] != b.NodesChecked[i] {
+						t.Fatalf("worker count changed work accounting at node %d", i)
+					}
+				}
+				t.Fatal("worker count changed the Result outside the per-node fields")
+			}
+		})
 	}
 }
 

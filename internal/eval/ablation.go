@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
-	"repro/internal/ranging"
 )
 
 // AblationRow is one pipeline variant's detection quality on a fixed
@@ -26,14 +25,21 @@ type AblationRow struct {
 //   - unit-ball radius factors (hole-size selectivity, Sec. II-A3);
 //   - IFF threshold/TTL variants around the icosahedron defaults;
 //   - the degree-threshold baseline.
+//
+// Variants run on the default Engine pool in a fixed row order.
 func RunAblations(net *netgen.Network, errorFrac float64, seed int64) ([]AblationRow, error) {
-	truth := net.TrueBoundary()
-	meas := net.Measure(ranging.ForFraction(errorFrac), seed)
+	return Engine{}.Ablations(net, errorFrac, seed)
+}
 
-	type variant struct {
-		name string
-		run  func() ([]bool, error)
-	}
+// ablationVariant is one pipeline configuration of the ablation study.
+type ablationVariant struct {
+	name string
+	run  func() ([]bool, error)
+}
+
+// ablationVariants enumerates the study's pipeline configurations over a
+// fixed network and measurement. The order defines the row order.
+func ablationVariants(net *netgen.Network, meas *netgen.Measurement) []ablationVariant {
 	detect := func(cfg core.Config, withMeas bool) func() ([]bool, error) {
 		return func() ([]bool, error) {
 			m := meas
@@ -47,7 +53,7 @@ func RunAblations(net *netgen.Network, errorFrac float64, seed int64) ([]Ablatio
 			return res.Boundary, nil
 		}
 	}
-	variants := []variant{
+	return []ablationVariant{
 		{"full-pipeline", detect(core.Config{}, true)},
 		{"no-iff", detect(core.Config{IFFThreshold: -1}, true)},
 		{"one-hop-scope", detect(core.Config{Scope: core.ScopeOneHop}, true)},
@@ -62,20 +68,6 @@ func RunAblations(net *netgen.Network, errorFrac float64, seed int64) ([]Ablatio
 			return core.DegreeBaseline(net, core.DegreeBaselineConfig{})
 		}},
 	}
-
-	var rows []AblationRow
-	for _, v := range variants {
-		found, err := v.run()
-		if err != nil {
-			return nil, fmt.Errorf("variant %s: %w", v.name, err)
-		}
-		report, err := metrics.Evaluate(net.G, truth, found, MaxHops)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Variant: v.name, Report: report})
-	}
-	return rows, nil
 }
 
 // AblationRows renders the ablation study as a table.

@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/par"
+	"repro/internal/ranging"
+	"repro/internal/sim"
+)
+
+// Engine runs the evaluation studies on a bounded worker pool, one cell —
+// a (scenario, level) pair or an ablation variant — per pool task. Every
+// cell derives its seeds from the cell's own indices exactly as the serial
+// loops did, and results land in index-addressed slots folded in a fixed
+// order, so an Engine sweep is byte-identical to the serial one regardless
+// of Workers or GOMAXPROCS (asserted by TestEngineSchedulingIndependence).
+//
+// The zero value uses GOMAXPROCS workers. The per-cell pipeline itself
+// parallelizes with cfg.Workers; both knobs default to GOMAXPROCS, which
+// oversubscribes mildly and keeps the machine busy through the serial
+// tails of uneven cells.
+type Engine struct {
+	// Workers bounds the number of concurrently running cells.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// ErrorSweep is the pooled RunErrorSweep: levels run concurrently, each
+// with the measurement seed the serial loop would have used
+// (seed + level index).
+func (e Engine) ErrorSweep(net *netgen.Network, name string, levels []float64, cfg core.Config, seed int64) (SweepResult, error) {
+	res := SweepResult{Scenario: name, Points: make([]SweepPoint, len(levels))}
+	truth := net.TrueBoundary()
+	err := par.For(len(levels), e.Workers, func(_, li int) error {
+		level := levels[li]
+		meas := net.Measure(ranging.ForFraction(level), seed+int64(li))
+		det, err := core.Detect(net, meas, cfg)
+		if err != nil {
+			return fmt.Errorf("error level %.0f%%: %w", level*100, err)
+		}
+		report, err := metrics.Evaluate(net.G, truth, det.Boundary, MaxHops)
+		if err != nil {
+			return err
+		}
+		res.Points[li] = SweepPoint{ErrorFrac: level, Report: report}
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return res, nil
+}
+
+// AggregateSweep is the pooled RunAggregateSweep: all (scenario, level)
+// cells run concurrently — network generation is per scenario, guarded so
+// it happens once — and the per-level reports are folded in scenario
+// order, matching the serial accumulation exactly.
+func (e Engine) AggregateSweep(scenarios []Scenario, levels []float64, cfg core.Config) (SweepResult, error) {
+	agg := SweepResult{Scenario: "aggregate"}
+	agg.Points = make([]SweepPoint, len(levels))
+	for i, level := range levels {
+		agg.Points[i].ErrorFrac = level
+	}
+	if len(scenarios) == 0 || len(levels) == 0 {
+		return agg, nil
+	}
+
+	// Phase 1: generate scenario networks (each is expensive).
+	nets := make([]*netgen.Network, len(scenarios))
+	err := par.For(len(scenarios), e.Workers, func(_, si int) error {
+		net, err := scenarios[si].Generate()
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", scenarios[si].Name, err)
+		}
+		nets[si] = net
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+
+	// Phase 2: every (scenario, level) cell, seeded exactly as the
+	// serial RunErrorSweep call inside RunAggregateSweep seeds it.
+	cells := make([]metrics.Report, len(scenarios)*len(levels))
+	truths := make([][]bool, len(scenarios))
+	for si, net := range nets {
+		truths[si] = net.TrueBoundary()
+	}
+	err = par.For(len(cells), e.Workers, func(_, ci int) error {
+		si, li := ci/len(levels), ci%len(levels)
+		sc, net, level := scenarios[si], nets[si], levels[li]
+		meas := net.Measure(ranging.ForFraction(level), sc.Seed*1000+int64(li))
+		det, err := core.Detect(net, meas, cfg)
+		if err != nil {
+			return fmt.Errorf("scenario %s: error level %.0f%%: %w", sc.Name, level*100, err)
+		}
+		report, err := metrics.Evaluate(net.G, truths[si], det.Boundary, MaxHops)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		cells[ci] = report
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+
+	// Fixed fold order: scenarios outer, levels inner — the serial order.
+	for si := range scenarios {
+		for li := range levels {
+			if err := agg.Points[li].Report.Add(cells[si*len(levels)+li]); err != nil {
+				return SweepResult{}, err
+			}
+		}
+	}
+	return agg, nil
+}
+
+// FaultSweep is the pooled RunFaultSweep: loss levels run concurrently,
+// each with the serial loop's fault seed (seed + 101·level index) and
+// measurement seed (seed + level index).
+func (e Engine) FaultSweep(net *netgen.Network, name string, lossRates []float64, errorFrac float64, cfg core.Config, seed int64) (FaultSweepResult, error) {
+	res := FaultSweepResult{Scenario: name, Points: make([]FaultPoint, len(lossRates))}
+	truth := net.TrueBoundary()
+	err := par.For(len(lossRates), e.Workers, func(_, li int) error {
+		loss := lossRates[li]
+		c := cfg
+		if loss > 0 {
+			c.Faults = sim.FaultConfig{
+				Seed:     seed + int64(li)*101,
+				DropRate: loss,
+			}
+		}
+		var meas *netgen.Measurement
+		if errorFrac > 0 {
+			meas = net.Measure(ranging.ForFraction(errorFrac), seed+int64(li))
+		}
+		det, err := core.Detect(net, meas, c)
+		if err != nil {
+			return fmt.Errorf("loss level %.0f%%: %w", loss*100, err)
+		}
+		report, err := metrics.Evaluate(net.G, truth, det.Boundary, MaxHops)
+		if err != nil {
+			return err
+		}
+		pt := FaultPoint{LossRate: loss, Report: report}
+		pt.Faults.Add(det.FaultStats)
+		res.Points[li] = pt
+		return nil
+	})
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	return res, nil
+}
+
+// Ablations is the pooled RunAblations: the pipeline variants run
+// concurrently on the shared network and measurement; rows keep the fixed
+// variant order.
+func (e Engine) Ablations(net *netgen.Network, errorFrac float64, seed int64) ([]AblationRow, error) {
+	truth := net.TrueBoundary()
+	meas := net.Measure(ranging.ForFraction(errorFrac), seed)
+	variants := ablationVariants(net, meas)
+
+	rows := make([]AblationRow, len(variants))
+	err := par.For(len(variants), e.Workers, func(_, vi int) error {
+		v := variants[vi]
+		found, err := v.run()
+		if err != nil {
+			return fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		report, err := metrics.Evaluate(net.G, truth, found, MaxHops)
+		if err != nil {
+			return err
+		}
+		rows[vi] = AblationRow{Variant: v.name, Report: report}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

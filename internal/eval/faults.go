@@ -6,8 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
-	"repro/internal/ranging"
-	"repro/internal/sim"
 )
 
 // FaultPoint is one loss level of a fault sweep.
@@ -33,34 +31,10 @@ type FaultSweepResult struct {
 // RetransmitBudget; the outcome is classified against ground truth.
 // Level 0 reproduces the fault-free run. Measurement error is fixed at
 // errorFrac with exact ranging when zero.
+// Loss levels run on the default Engine pool; per-level seeding keeps the
+// result identical to a serial run.
 func RunFaultSweep(net *netgen.Network, name string, lossRates []float64, errorFrac float64, cfg core.Config, seed int64) (FaultSweepResult, error) {
-	res := FaultSweepResult{Scenario: name}
-	truth := net.TrueBoundary()
-	for li, loss := range lossRates {
-		c := cfg
-		if loss > 0 {
-			c.Faults = sim.FaultConfig{
-				Seed:     seed + int64(li)*101,
-				DropRate: loss,
-			}
-		}
-		var meas *netgen.Measurement
-		if errorFrac > 0 {
-			meas = net.Measure(ranging.ForFraction(errorFrac), seed+int64(li))
-		}
-		det, err := core.Detect(net, meas, c)
-		if err != nil {
-			return FaultSweepResult{}, fmt.Errorf("loss level %.0f%%: %w", loss*100, err)
-		}
-		report, err := metrics.Evaluate(net.G, truth, det.Boundary, MaxHops)
-		if err != nil {
-			return FaultSweepResult{}, err
-		}
-		pt := FaultPoint{LossRate: loss, Report: report}
-		pt.Faults.Add(det.FaultStats)
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+	return Engine{}.FaultSweep(net, name, lossRates, errorFrac, cfg, seed)
 }
 
 // FaultSweepRows renders a fault sweep as a table: detection quality

@@ -105,6 +105,10 @@ type ComplexityPoint struct {
 	// Θ(ρ³) total work.
 	AvgBalls  float64
 	AvgChecks float64
+	// TotalBalls and TotalChecks are the network-wide sums the averages
+	// derive from — the work counters bench baselines record.
+	TotalBalls  int64
+	TotalChecks int64
 }
 
 // RunComplexityStudy measures UBF's per-node work across nodal densities on
@@ -122,12 +126,12 @@ func RunComplexityStudy(make func(targetDegree float64) (*netgen.Network, error)
 		}
 		p := ComplexityPoint{TargetDegree: d, AvgDegree: net.G.AvgDegree()}
 		for i := range det.BallsTested {
-			p.AvgBalls += float64(det.BallsTested[i])
-			p.AvgChecks += float64(det.NodesChecked[i])
+			p.TotalBalls += int64(det.BallsTested[i])
+			p.TotalChecks += int64(det.NodesChecked[i])
 		}
 		n := float64(net.Len())
-		p.AvgBalls /= n
-		p.AvgChecks /= n
+		p.AvgBalls = float64(p.TotalBalls) / n
+		p.AvgChecks = float64(p.TotalChecks) / n
 		out = append(out, p)
 	}
 	return out, nil

@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
-	"repro/internal/ranging"
 )
 
 // MaxHops is the histogram range of the paper's mistaken/missing
@@ -30,49 +29,18 @@ type SweepResult struct {
 // levels: at each level the network is re-ranged with the paper's uniform
 // model, the full detection pipeline runs on MDS coordinates, and the
 // outcome is classified against ground truth. Level 0 uses exact ranging.
+// Levels run on the default Engine pool; per-level seeding keeps the
+// result identical to a serial run.
 func RunErrorSweep(net *netgen.Network, name string, levels []float64, cfg core.Config, seed int64) (SweepResult, error) {
-	res := SweepResult{Scenario: name}
-	truth := net.TrueBoundary()
-	for li, level := range levels {
-		meas := net.Measure(ranging.ForFraction(level), seed+int64(li))
-		det, err := core.Detect(net, meas, cfg)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("error level %.0f%%: %w", level*100, err)
-		}
-		report, err := metrics.Evaluate(net.G, truth, det.Boundary, MaxHops)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		res.Points = append(res.Points, SweepPoint{ErrorFrac: level, Report: report})
-	}
-	return res, nil
+	return Engine{}.ErrorSweep(net, name, levels, cfg, seed)
 }
 
 // RunAggregateSweep runs the error sweep over several scenarios and sums
 // the reports per error level — the >10 000-boundary-node aggregate of
-// Fig. 11. Scenario networks are generated on demand.
+// Fig. 11. Scenario networks are generated on demand; the (scenario,
+// level) cells run on the default Engine pool with a fixed fold order.
 func RunAggregateSweep(scenarios []Scenario, levels []float64, cfg core.Config) (SweepResult, error) {
-	agg := SweepResult{Scenario: "aggregate"}
-	agg.Points = make([]SweepPoint, len(levels))
-	for i, level := range levels {
-		agg.Points[i].ErrorFrac = level
-	}
-	for _, sc := range scenarios {
-		net, err := sc.Generate()
-		if err != nil {
-			return SweepResult{}, err
-		}
-		sweep, err := RunErrorSweep(net, sc.Name, levels, cfg, sc.Seed*1000)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
-		}
-		for i := range agg.Points {
-			if err := agg.Points[i].Report.Add(sweep.Points[i].Report); err != nil {
-				return SweepResult{}, err
-			}
-		}
-	}
-	return agg, nil
+	return Engine{}.AggregateSweep(scenarios, levels, cfg)
 }
 
 // EfficiencyRows renders a sweep as the Fig. 1(g) / 11(a) table: one row

@@ -1,0 +1,224 @@
+package geom
+
+import "math"
+
+// PointGrid is a reusable uniform bucket grid over a point set, the
+// spatial index behind the pruned emptiness test of Unit Ball Fitting
+// (and usable anywhere a fixed point set is queried by region). Cells are
+// cubes of a caller-chosen size; each point lands in exactly one cell.
+//
+// The grid stores bucket membership in a compact CSR layout (one item
+// array plus per-cell offsets) instead of per-cell slices, so a Build
+// over inputs of similar size reuses the previous allocation. A zero
+// PointGrid is ready to Build.
+type PointGrid struct {
+	points     []Vec3 // aliased, not copied
+	cell       float64
+	inv        float64 // 1/cell
+	min        Vec3    // grid origin (bbox minimum)
+	nx, ny, nz int
+
+	// CSR buckets: cell (x,y,z) holds items[starts[c]:starts[c+1]] with
+	// c = (x*ny+y)*nz+z; item values are indices into points, ascending
+	// within each cell.
+	starts []int32
+	items  []int32
+}
+
+// maxCellsFactor bounds the cell-array size relative to the point count:
+// pathologically spread-out inputs get their cell size grown instead of
+// an unbounded cell array.
+const maxCellsFactor = 8
+
+// Build indexes points with the given cell size (> 0), replacing any
+// previous contents. The points slice is aliased; callers must not move
+// the points while querying. Building an empty set yields a grid whose
+// queries return nothing.
+func (g *PointGrid) Build(points []Vec3, cell float64) {
+	g.points = points
+	g.cell = cell
+	if len(points) == 0 {
+		g.nx, g.ny, g.nz = 0, 0, 0
+		g.items = g.items[:0]
+		return
+	}
+	box := BoundingBox(points)
+	size := box.Size()
+
+	// Grow the cell until the cell array stays proportional to the point
+	// count. Deterministic in the inputs, so queries (and the work
+	// counters of callers) are reproducible.
+	// The count check runs in floating point: for extreme spreads the
+	// integer per-axis product overflows before the first doubling.
+	limit := float64(maxCellsFactor*len(points) + 64)
+	for {
+		fx := math.Floor(size.X/cell) + 1
+		fy := math.Floor(size.Y/cell) + 1
+		fz := math.Floor(size.Z/cell) + 1
+		if fx*fy*fz <= limit {
+			g.nx, g.ny, g.nz = int(fx), int(fy), int(fz)
+			break
+		}
+		cell *= 2
+	}
+	g.cell = cell
+	g.inv = 1 / cell
+	g.min = box.Min
+
+	ncells := g.nx * g.ny * g.nz
+	if cap(g.starts) < ncells+1 {
+		g.starts = make([]int32, ncells+1)
+	} else {
+		g.starts = g.starts[:ncells+1]
+		for i := range g.starts {
+			g.starts[i] = 0
+		}
+	}
+	if cap(g.items) < len(points) {
+		g.items = make([]int32, len(points))
+	} else {
+		g.items = g.items[:len(points)]
+	}
+
+	// Counting sort: bucket sizes, prefix offsets, then a stable fill in
+	// ascending point order.
+	for i := range points {
+		g.starts[g.cellOf(points[i])+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		g.starts[c+1] += g.starts[c]
+	}
+	// starts now holds final offsets; use a second pass with a moving
+	// cursor per cell. Reuse starts as the cursor array and rebuild it
+	// afterwards by shifting.
+	for i := range points {
+		c := g.cellOf(points[i])
+		g.items[g.starts[c]] = int32(i)
+		g.starts[c]++
+	}
+	// Shift cursors back down to starts: after the fill, starts[c] is the
+	// end of cell c, i.e. the start of cell c+1.
+	for c := ncells; c > 0; c-- {
+		g.starts[c] = g.starts[c-1]
+	}
+	g.starts[0] = 0
+}
+
+// cellOf returns the flat cell index of p (which must be inside the
+// indexed bounding box).
+func (g *PointGrid) cellOf(p Vec3) int {
+	x := int((p.X - g.min.X) * g.inv)
+	y := int((p.Y - g.min.Y) * g.inv)
+	z := int((p.Z - g.min.Z) * g.inv)
+	// Points on the bbox max face land one past the last cell; clamp.
+	if x >= g.nx {
+		x = g.nx - 1
+	}
+	if y >= g.ny {
+		y = g.ny - 1
+	}
+	if z >= g.nz {
+		z = g.nz - 1
+	}
+	return (x*g.ny+y)*g.nz + z
+}
+
+// Len returns the number of indexed points.
+func (g *PointGrid) Len() int { return len(g.items) }
+
+// CellSize returns the effective cell size (it may exceed the size passed
+// to Build when the spread of the points forced coarser cells).
+func (g *PointGrid) CellSize() float64 { return g.cell }
+
+// CellRange returns the inclusive cell-coordinate bounds of the cells
+// intersecting box, clamped to the grid. ok is false when box misses the
+// grid entirely (or the grid is empty).
+func (g *PointGrid) CellRange(box AABB) (lo, hi [3]int, ok bool) {
+	if g.nx == 0 || box.IsEmpty() {
+		return lo, hi, false
+	}
+	dims := [3]int{g.nx, g.ny, g.nz}
+	min := [3]float64{box.Min.X - g.min.X, box.Min.Y - g.min.Y, box.Min.Z - g.min.Z}
+	max := [3]float64{box.Max.X - g.min.X, box.Max.Y - g.min.Y, box.Max.Z - g.min.Z}
+	for a := 0; a < 3; a++ {
+		l := int(math.Floor(min[a] * g.inv))
+		h := int(math.Floor(max[a] * g.inv))
+		if h < 0 || l >= dims[a] {
+			return lo, hi, false
+		}
+		if l < 0 {
+			l = 0
+		}
+		if h >= dims[a] {
+			h = dims[a] - 1
+		}
+		lo[a], hi[a] = l, h
+	}
+	return lo, hi, true
+}
+
+// Cell returns the indices (into the Build points) bucketed in cell
+// (x, y, z), ascending. The coordinates must lie inside the ranges
+// reported by CellRange.
+func (g *PointGrid) Cell(x, y, z int) []int32 {
+	c := (x*g.ny+y)*g.nz + z
+	return g.items[g.starts[c]:g.starts[c+1]]
+}
+
+// CellMinDist2 returns the squared distance from p to the closest point
+// of cell (x, y, z)'s cube, zero when p is inside it. Callers use it to
+// cull cells that cannot intersect a query ball.
+func (g *PointGrid) CellMinDist2(x, y, z int, p Vec3) float64 {
+	var d2 float64
+	lo := g.min.X + float64(x)*g.cell
+	if d := lo - p.X; d > 0 {
+		d2 += d * d
+	} else if d := p.X - (lo + g.cell); d > 0 {
+		d2 += d * d
+	}
+	lo = g.min.Y + float64(y)*g.cell
+	if d := lo - p.Y; d > 0 {
+		d2 += d * d
+	} else if d := p.Y - (lo + g.cell); d > 0 {
+		d2 += d * d
+	}
+	lo = g.min.Z + float64(z)*g.cell
+	if d := lo - p.Z; d > 0 {
+		d2 += d * d
+	} else if d := p.Z - (lo + g.cell); d > 0 {
+		d2 += d * d
+	}
+	return d2
+}
+
+// AppendWithin appends to dst the indices of all points with
+// dist(points[i], center) <= r, excluding exclude (pass a negative value
+// to exclude nothing), and returns the extended slice. Results are ordered
+// by cell block and ascending index within each cell — a deterministic
+// order independent of query history.
+func (g *PointGrid) AppendWithin(dst []int32, center Vec3, r float64, exclude int) []int32 {
+	if r < 0 {
+		return dst
+	}
+	e := Vec3{r, r, r}
+	lo, hi, ok := g.CellRange(AABB{Min: center.Sub(e), Max: center.Add(e)})
+	if !ok {
+		return dst
+	}
+	r2 := r * r
+	for x := lo[0]; x <= hi[0]; x++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for z := lo[2]; z <= hi[2]; z++ {
+				if g.CellMinDist2(x, y, z, center) > r2 {
+					continue
+				}
+				for _, n := range g.Cell(x, y, z) {
+					if int(n) != exclude && g.points[n].Dist2(center) <= r2 {
+						dst = append(dst, n)
+					}
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n int, spread float64) []Vec3 {
+	pts := make([]Vec3, n)
+	for i := range pts {
+		pts[i] = V(rng.Float64()*spread-spread/2,
+			rng.Float64()*spread-spread/2,
+			rng.Float64()*spread-spread/2)
+	}
+	return pts
+}
+
+// bruteWithin is the reference for AppendWithin.
+func bruteWithin(pts []Vec3, center Vec3, r float64, exclude int) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if i != exclude && p.Dist2(center) <= r*r {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestPointGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		spread := 0.1 + rng.Float64()*20
+		pts := randPoints(rng, n, spread)
+		cell := 0.05 + rng.Float64()*spread
+		var g PointGrid
+		g.Build(pts, cell)
+		if g.Len() != n {
+			t.Fatalf("trial %d: indexed %d of %d points", trial, g.Len(), n)
+		}
+		for q := 0; q < 20; q++ {
+			center := V(rng.Float64()*spread-spread/2, rng.Float64()*spread-spread/2,
+				rng.Float64()*spread-spread/2)
+			r := rng.Float64() * spread / 2
+			exclude := rng.Intn(n+1) - 1
+			got := g.AppendWithin(nil, center, r, exclude)
+			want := bruteWithin(pts, center, r, exclude)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %d: got %d points, want %d", trial, q, len(got), len(want))
+			}
+			seen := map[int32]bool{}
+			for _, i := range got {
+				seen[i] = true
+			}
+			for _, i := range want {
+				if !seen[i] {
+					t.Fatalf("trial %d query %d: missing index %d", trial, q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPointGridCellsPartitionThePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randPoints(rng, 300, 5)
+	var g PointGrid
+	g.Build(pts, 0.7)
+	lo, hi, ok := g.CellRange(BoundingBox(pts))
+	if !ok {
+		t.Fatal("bbox misses its own grid")
+	}
+	seen := make([]int, len(pts))
+	for x := lo[0]; x <= hi[0]; x++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for z := lo[2]; z <= hi[2]; z++ {
+				box := AABB{
+					Min: g.min.Add(V(float64(x)*g.cell, float64(y)*g.cell, float64(z)*g.cell)),
+					Max: g.min.Add(V(float64(x+1)*g.cell, float64(y+1)*g.cell, float64(z+1)*g.cell)),
+				}
+				for _, n := range g.Cell(x, y, z) {
+					seen[n]++
+					if !box.Contains(pts[n]) {
+						t.Fatalf("point %d bucketed outside its cell", n)
+					}
+					if d := g.CellMinDist2(x, y, z, pts[n]); d != 0 {
+						t.Fatalf("member point %d at min-dist2 %g from its own cell", n, d)
+					}
+				}
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("point %d appears in %d cells", i, c)
+		}
+	}
+}
+
+func TestPointGridEmptyAndDegenerate(t *testing.T) {
+	var g PointGrid
+	g.Build(nil, 1)
+	if g.Len() != 0 {
+		t.Error("empty build has items")
+	}
+	if got := g.AppendWithin(nil, Zero, 10, -1); len(got) != 0 {
+		t.Errorf("query on empty grid returned %v", got)
+	}
+	// All points coincident: one cell, all indexed.
+	pts := []Vec3{V(1, 1, 1), V(1, 1, 1), V(1, 1, 1)}
+	g.Build(pts, 0.5)
+	if got := g.AppendWithin(nil, V(1, 1, 1), 0, -1); len(got) != 3 {
+		t.Errorf("coincident points: got %v", got)
+	}
+}
+
+// The cell-size guard must keep memory bounded for spread-out inputs.
+func TestPointGridCellBlowupGuard(t *testing.T) {
+	pts := []Vec3{V(0, 0, 0), V(1e6, 1e6, 1e6)}
+	var g PointGrid
+	g.Build(pts, 1e-3) // naive grid would want 10^27 cells
+	if cells := len(g.starts) - 1; cells > maxCellsFactor*len(pts)+64 {
+		t.Fatalf("cell array not bounded: %d cells", cells)
+	}
+	if got := g.AppendWithin(nil, Zero, 1, -1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("query after coarsening: %v", got)
+	}
+}
+
+// Rebuilding with same-magnitude input must not allocate (the UBF hot
+// path rebuilds the grid once per node).
+func TestPointGridRebuildDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPoints(rng, 120, 4)
+	var g PointGrid
+	g.Build(pts, 0.5) // warm capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Build(pts, 0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("rebuild allocates %.1f times per run", allocs)
+	}
+}

@@ -80,54 +80,76 @@ func Circumcenter3(a, b, c Vec3) (center Vec3, radius float64, ok bool) {
 //     coincident solutions, which we collapse;
 //   - two otherwise, mirrored across the triangle's plane.
 func SpheresThrough3(a, b, c Vec3, radius float64) []Sphere {
-	cc, cr, ok := Circumcenter3(a, b, c)
-	if !ok || radius <= 0 {
-		return nil
-	}
-	h2 := radius*radius - cr*cr
-	if h2 < 0 {
-		return nil
-	}
-	normal, ok := b.Sub(a).Cross(c.Sub(a)).Normalize()
-	if !ok {
-		return nil
-	}
-	h := math.Sqrt(h2)
-	// Collapse the two mirrored centers when they are numerically
-	// indistinguishable (circumradius ≈ radius).
-	if h <= 1e-12*radius {
-		return []Sphere{{Center: cc, Radius: radius}}
-	}
-	off := normal.Scale(h)
-	return []Sphere{
-		{Center: cc.Add(off), Radius: radius},
-		{Center: cc.Sub(off), Radius: radius},
-	}
+	return SpheresThrough3Into(nil, a, b, c, radius)
 }
 
 // SpheresThrough3Into is an allocation-free variant of SpheresThrough3 that
-// appends into dst and returns the extended slice. The hot loop of UBF calls
-// this once per neighbor pair.
+// appends into dst and returns the extended slice.
 func SpheresThrough3Into(dst []Sphere, a, b, c Vec3, radius float64) []Sphere {
-	cc, cr, ok := Circumcenter3(a, b, c)
-	if !ok || radius <= 0 {
-		return dst
+	u := b.Sub(a)
+	v := c.Sub(a)
+	c1, c2, count := SpheresThrough3Centers(u, v, u.Norm2(), v.Norm2(), radius)
+	switch count {
+	case 1:
+		return append(dst, Sphere{Center: a.Add(c1), Radius: radius})
+	case 2:
+		return append(dst,
+			Sphere{Center: a.Add(c1), Radius: radius},
+			Sphere{Center: a.Add(c2), Radius: radius})
 	}
-	h2 := radius*radius - cr*cr
+	return dst
+}
+
+// SpheresThrough3Centers is the fused kernel behind SpheresThrough3: it
+// takes u = b-a and v = c-a with their squared norms uu, vv already
+// computed — a pair loop over neighbors of a fixed node hoists those out —
+// and returns the sphere centers relative to a, so the caller can stay in
+// a translated frame entirely. count is 0 (collinear points, or circumradius
+// beyond radius), 1 (the mirrored pair collapsed; c1 only), or 2.
+//
+// The math is restructured against the textbook circumcenter formula: any
+// equidistant center w = αu + βv + t·(u×v) must satisfy 2w·u = |u|² and
+// 2w·v = |v|², a 2×2 system in (α, β) whose determinant is |u×v|² — so the
+// in-plane offset costs one dot and one cross product instead of three
+// crosses, and the plane-normal normalization and the out-of-plane lift
+// height fold into a single sqrt.
+func SpheresThrough3Centers(u, v Vec3, uu, vv, radius float64) (c1, c2 Vec3, count int) {
+	if radius <= 0 {
+		return c1, c2, 0
+	}
+	// |u×v|² equals uu·vv - (u·v)² (Lagrange), but that difference cancels
+	// catastrophically near collinearity — exactly where the guard below
+	// must be trustworthy — so the cross is computed explicitly.
+	n := u.Cross(v)
+	n2 := n.Norm2()
+	// Same collinearity guard as Circumcenter3 (see the comment there).
+	scale := uu * vv
+	if n2 <= 1e-20*scale || scale == 0 {
+		return c1, c2, 0
+	}
+	inv := 1 / n2 // the loop's only division; shared by the solve and the lift
+	// The Cramer numerators are vv·(uu - u·v) and uu·(vv - u·v); forming
+	// them literally cancels catastrophically when u ≈ v (b and c nearly
+	// coincident: both differences drop to ulp noise while the true values
+	// are ~|u||d|). Rewriting through d = v - u (= c - b) keeps them exact:
+	// uu - u·v = -u·d and vv - u·v = v·d.
+	d := v.Sub(u)
+	alpha := -vv * u.Dot(d) * 0.5 * inv
+	beta := uu * v.Dot(d) * 0.5 * inv
+	off := u.Scale(alpha).Add(v.Scale(beta)) // circumcenter - a, in-plane
+	h2 := radius*radius - off.Norm2()        // cr² = |off|², no sqrt needed
 	if h2 < 0 {
-		return dst
+		return c1, c2, 0
 	}
-	normal, ok := b.Sub(a).Cross(c.Sub(a)).Normalize()
-	if !ok {
-		return dst
+	// Collapse the two mirrored centers when they are numerically
+	// indistinguishable (circumradius ≈ radius). r² - |off|² carries a few
+	// ulps of r² of rounding (~2e-16·r²), so anything below 1e-14·r² is
+	// noise around an exact tangency, not a real pair of centers.
+	if h2 <= 1e-14*radius*radius {
+		return off, off, 1
 	}
-	h := math.Sqrt(h2)
-	if h <= 1e-12*radius {
-		return append(dst, Sphere{Center: cc, Radius: radius})
-	}
-	off := normal.Scale(h)
-	return append(dst,
-		Sphere{Center: cc.Add(off), Radius: radius},
-		Sphere{Center: cc.Sub(off), Radius: radius},
-	)
+	// The mirrored centers sit at off ± n·(h/|n|); fold the normalization
+	// and the height into one sqrt.
+	lift := n.Scale(math.Sqrt(h2 * inv))
+	return off.Add(lift), off.Sub(lift), 2
 }

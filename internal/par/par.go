@@ -1,0 +1,89 @@
+// Package par provides the bounded worker pool shared by the detection
+// pipeline (per-node stages in internal/core) and the evaluation sweep
+// engine (per-cell studies in internal/eval).
+//
+// The pool is deliberately minimal: a fixed number of workers drains an
+// index stream. Two failure modes of the naive channel loop are handled
+// here so every caller inherits the fix:
+//
+//   - once any invocation fails, dispatch stops — the remaining indices
+//     are never sent, so a long job aborts promptly instead of running
+//     every cell to completion just to discard the results;
+//   - a panicking invocation is recovered into an error instead of
+//     killing its worker goroutine, which would otherwise leave the
+//     dispatcher blocked on an unbuffered send forever.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// For runs fn(worker, i) for every i in [0, n) on the given number of
+// workers and returns the first error (by completion order; ties broken
+// arbitrarily). worker identifies the executing worker in [0, workers),
+// letting callers thread per-worker scratch state through without locking.
+//
+// workers <= 0 means runtime.GOMAXPROCS(0); the pool never spawns more
+// than n workers. After the first error or panic no further indices are
+// dispatched; invocations already in flight run to completion. A panic in
+// fn is returned as an error carrying the panic value.
+func For(n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					record(fmt.Errorf("par: worker %d panic: %v", w, r))
+				}
+			}()
+			for i := range work {
+				if err := fn(w, i); err != nil {
+					record(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}

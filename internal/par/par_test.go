@@ -1,0 +1,114 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 1000
+		var hits [n]int32
+		err := For(n, workers, func(w, i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	var seen sync.Map
+	err := For(64, workers, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		seen.Store(w, true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	if err := For(0, 4, func(w, i int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: the seed dispatcher kept sending every remaining index after
+// the first error, so a failing 10^6-cell job ran all 10^6 cells anyway.
+// After the fix, dispatch must stop almost immediately.
+func TestForStopsDispatchAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 1_000_000
+	var calls int64
+	err := For(n, 4, func(w, i int) error {
+		atomic.AddInt64(&calls, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// In-flight work may finish, but the dispatcher must not have pushed
+	// anywhere near the full index range.
+	if c := atomic.LoadInt64(&calls); c > n/100 {
+		t.Errorf("ran %d of %d indices after the first error", c, n)
+	}
+}
+
+// Regression: a panicking worker died without draining the channel, which
+// left the dispatcher blocked on an unbuffered send forever (deadlock).
+// After the fix the panic must surface as an error and For must return.
+func TestForRecoversWorkerPanic(t *testing.T) {
+	err := For(10_000, 2, func(w, i int) error {
+		if i == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("err = %v, want the panic value preserved", err)
+	}
+}
+
+// All workers panicking at once must still unblock the dispatcher.
+func TestForRecoversAllWorkersPanicking(t *testing.T) {
+	err := For(10_000, 4, func(w, i int) error {
+		panic(i)
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+}
+
+func TestForReturnsFirstRecordedError(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	err := For(100, 3, func(w, i int) error {
+		if i%10 == 9 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
