@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race fuzz bench benchsmoke check
+.PHONY: build test vet race fuzz bench benchsmoke trace-smoke check
 
 build:
 	$(GO) build ./...
@@ -40,4 +40,12 @@ bench:
 benchsmoke:
 	BENCH_JSON=$$(mktemp -d)/BENCH_smoke.json $(GO) test -run '^$$' -bench . -benchtime 1x .
 
-check: vet race benchsmoke fuzz
+# End-to-end observability smoke: record a trace of a faulty asynchronous
+# run at reduced scale, then let the run's own exit-time validation (and a
+# non-empty-file check here) prove the JSONL matches the schema.
+trace-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/experiment -run faults -async -scale 0.15 -trace $$dir/trace.jsonl && \
+	test -s $$dir/trace.jsonl && echo "trace-smoke: OK ($$dir/trace.jsonl)"
+
+check: vet race benchsmoke trace-smoke fuzz

@@ -9,15 +9,22 @@
 //	experiment -run fig11a -scale 1  # Fig. 11(a): multi-scenario aggregate
 //	experiment -run all -scale 0.25  # everything, at reduced size
 //	experiment -run all -workers 4 -bench BENCH_run.json
+//	experiment -run faults -async -trace trace.jsonl -pprof prof
 //
-// -workers widens the sweep engine's worker pool (0 = one worker per CPU);
-// results are identical at any width. -bench additionally writes each
-// experiment's wall time (and, where the study surfaces them, UBF work
-// counters) as a machine-readable baseline in the internal/bench format —
-// the same schema `make bench` produces from the benchmark suite.
+// The shared flags (-seed, -workers, -out, -trace, -pprof) follow the
+// repository-wide convention (see internal/cli): -workers widens the sweep
+// engine's worker pool (0 = one worker per CPU; results are identical at
+// any width), -out writes the tables as a JSON envelope, -trace records
+// every pipeline stage event and counter as JSONL (validated against the
+// schema on exit), and -pprof captures CPU/heap profiles. -bench
+// additionally writes each experiment's wall time (and, where the study
+// surfaces them, UBF work counters) as a machine-readable baseline in the
+// internal/bench format — the same schema `make bench` produces from the
+// benchmark suite.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,25 +34,44 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/export"
 	"repro/internal/mesh"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/shapes"
 )
 
+// options collects one invocation's parameters: the experiment selection
+// plus the repository-wide shared flag block.
+type options struct {
+	Run   string
+	Scale float64
+	K     int
+	CSV   string
+	Bench string
+	// Async executes the flooding phases on the asynchronous kernel —
+	// detection outcomes are identical by design; combined with faults
+	// (the -run faults sweep) this exercises the fully hardened path.
+	Async bool
+	cli.Common
+}
+
 func main() {
-	runName := flag.String("run", "all",
+	var opts options
+	flag.StringVar(&opts.Run, "run", "all",
 		"experiment to run: fig1g|fig1h|fig1i|fig1jkl|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|fig11c|thm1|ablation|apps|mds|faults|all")
-	scale := flag.Float64("scale", 1.0, "node-count scale factor (1.0 = paper size)")
-	k := flag.Int("k", 3, "landmark spacing for mesh construction")
-	csvDir := flag.String("csv", "", "directory to also write tables as CSV (optional)")
-	workers := flag.Int("workers", 0, "sweep-engine pool width (0 = one per CPU; any width gives identical results)")
-	benchPath := flag.String("bench", "", "file to write a machine-readable timing baseline (BENCH_<name>.json)")
+	flag.Float64Var(&opts.Scale, "scale", 1.0, "node-count scale factor (1.0 = paper size)")
+	flag.IntVar(&opts.K, "k", 3, "landmark spacing for mesh construction")
+	flag.StringVar(&opts.CSV, "csv", "", "directory to also write tables as CSV (optional)")
+	flag.StringVar(&opts.Bench, "bench", "", "file to write a machine-readable timing baseline (BENCH_<name>.json)")
+	flag.BoolVar(&opts.Async, "async", false, "run the flooding phases on the asynchronous kernel")
+	opts.Common.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *runName, *scale, *k, *csvDir, *workers, *benchPath); err != nil {
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
@@ -59,33 +85,63 @@ type table struct {
 	rows   [][]string
 }
 
-func run(w io.Writer, runName string, scale float64, k int, csvDir string, workers int, benchPath string) error {
+// tableJSON is a table's envelope payload form.
+type tableJSON struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func run(w io.Writer, opts options) error {
 	start := time.Now()
+	sess, err := opts.Common.Start()
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			sess.Close()
+		}
+	}()
+
 	var tables []table
 	add := func(name, title string, header []string, rows [][]string) {
 		tables = append(tables, table{name: name, title: title, header: header, rows: rows})
 	}
 
-	eng := eval.Engine{Workers: workers}
+	eng := eval.Engine{Workers: opts.Workers, Obs: sess.Obs}
+	detectCfg := core.Config{Async: opts.Async, Workers: opts.Workers}
+	// seed applies the shared -seed override on top of a scenario default.
+	seed := func(def int64) int64 {
+		if opts.Seed != 0 {
+			return opts.Seed
+		}
+		return def
+	}
 	var rec bench.Recorder
-	// timed wraps one experiment block and records its wall time as a
-	// baseline stage.
+	// timed wraps one experiment block, records its wall time as a
+	// baseline stage, and spans it on the trace.
 	timed := func(name string, f func() error) error {
+		span := obs.StartLabeled(sess.Obs, obs.StageExperiment, name)
 		t0 := time.Now()
-		if err := f(); err != nil {
+		err := f()
+		span.End()
+		if err != nil {
 			return err
 		}
 		rec.Record(bench.Stage{Name: name, WallNS: time.Since(t0).Nanoseconds(), Ops: 1})
 		return nil
 	}
 
-	wantAll := runName == "all"
+	wantAll := opts.Run == "all"
 	want := func(names ...string) bool {
 		if wantAll {
 			return true
 		}
 		for _, n := range names {
-			if n == runName {
+			if n == opts.Run {
 				return true
 			}
 		}
@@ -98,24 +154,24 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 		"thm1": true, "ablation": true, "apps": true, "mds": true,
 		"faults": true, "all": true,
 	}
-	if !known[runName] {
-		return fmt.Errorf("unknown experiment %q", runName)
+	if !known[opts.Run] {
+		return fmt.Errorf("unknown experiment %q", opts.Run)
 	}
 
 	levels := eval.PaperErrorLevels()
-	meshCfg := mesh.Config{K: k}
+	meshCfg := mesh.Config{K: opts.K}
 
 	// Fig. 1(g)–(i): the error sweep on the Fig. 1 network.
 	if want("fig1g", "fig1h", "fig1i") {
 		err := timed("fig1-error-sweep", func() error {
-			sc := eval.Fig1().Scaled(scale)
+			sc := eval.Fig1().Scaled(opts.Scale)
 			fmt.Fprintf(w, "generating %s (%d nodes)...\n", sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
 			net, err := sc.Generate()
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "network: %v\n", net.Stats())
-			sweep, err := eng.ErrorSweep(net, sc.Name, levels, core.Config{}, sc.Seed)
+			sweep, err := eng.ErrorSweep(net, sc.Name, levels, detectCfg, seed(sc.Seed))
 			if err != nil {
 				return err
 			}
@@ -141,7 +197,7 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 	// Fig. 1(j)–(l): mesh quality under 0–40 % error.
 	if want("fig1jkl") {
 		err := timed("fig1-mesh-study", func() error {
-			sc := eval.Fig1().Scaled(scale)
+			sc := eval.Fig1().Scaled(opts.Scale)
 			shape, err := sc.MakeShape()
 			if err != nil {
 				return err
@@ -152,7 +208,7 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 				return err
 			}
 			points, err := eval.RunMeshErrorStudy(net, []float64{0, 0.2, 0.3, 0.4},
-				core.Config{}, meshCfg, sc.Seed, field)
+				detectCfg, meshCfg, seed(sc.Seed), field)
 			if err != nil {
 				return err
 			}
@@ -179,9 +235,9 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 			continue
 		}
 		err := timed(sr.key+"-scenario", func() error {
-			sc := sr.sc.Scaled(scale)
+			sc := sr.sc.Scaled(opts.Scale)
 			fmt.Fprintf(w, "running %s (%s)...\n", sc.Name, sc.Figure)
-			rep, err := eval.RunScenario(sc, 0, core.Config{}, meshCfg)
+			rep, err := eval.RunScenarioContext(context.Background(), sess.Obs, sc, 0, detectCfg, meshCfg)
 			if err != nil {
 				return err
 			}
@@ -202,11 +258,11 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 		err := timed("fig11-aggregate-sweep", func() error {
 			scenarios := make([]eval.Scenario, 0)
 			for _, sc := range eval.AllScenarios() {
-				scenarios = append(scenarios, sc.Scaled(scale))
+				scenarios = append(scenarios, sc.Scaled(opts.Scale))
 			}
 			fmt.Fprintf(w, "running aggregate sweep over %d scenarios × %d error levels...\n",
 				len(scenarios), len(levels))
-			agg, err := eng.AggregateSweep(scenarios, levels, core.Config{})
+			agg, err := eng.AggregateSweep(scenarios, levels, detectCfg)
 			if err != nil {
 				return err
 			}
@@ -232,13 +288,15 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 	// Theorem 1: per-node work vs. density. Recorded with the study's own
 	// work counters so baselines can diff balls/checks, not just time.
 	if want("thm1") {
+		span := obs.StartLabeled(sess.Obs, obs.StageExperiment, "thm1-complexity")
 		t0 := time.Now()
-		makeNet := eval.Fig10().Scaled(scale)
+		makeNet := eval.Fig10().Scaled(opts.Scale)
 		points, err := eval.RunComplexityStudy(func(deg float64) (*netgen.Network, error) {
 			sc := makeNet
 			sc.TargetDegree = deg
 			return sc.Generate()
-		}, []float64{8, 12, 18.5, 25, 35}, core.Config{})
+		}, []float64{8, 12, 18.5, 25, 35}, detectCfg)
+		span.End()
 		if err != nil {
 			return err
 		}
@@ -256,12 +314,12 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 	// degradation.
 	if want("mds") {
 		err := timed("mds-localization", func() error {
-			sc := eval.Fig10().Scaled(scale)
+			sc := eval.Fig10().Scaled(opts.Scale)
 			net, err := sc.Generate()
 			if err != nil {
 				return err
 			}
-			points, err := eval.RunLocalizationStudy(net, levels, core.Config{}, sc.Seed)
+			points, err := eval.RunLocalizationStudy(net, levels, detectCfg, seed(sc.Seed))
 			if err != nil {
 				return err
 			}
@@ -279,7 +337,7 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 		err := timed("surface-apps", func() error {
 			var reports []*eval.SurfaceToolsReport
 			for _, sc := range AppsScenarios() {
-				sc = sc.Scaled(scale)
+				sc = sc.Scaled(opts.Scale)
 				fmt.Fprintf(w, "running surface tools on %s...\n", sc.Name)
 				rep, err := eval.RunSurfaceTools(sc, meshCfg, 6)
 				if err != nil {
@@ -301,7 +359,7 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 	// allows — the degradation beyond it is the quantity of interest.
 	if want("faults") {
 		err := timed("fault-sweep", func() error {
-			sc := eval.Fig1().Scaled(scale)
+			sc := eval.Fig1().Scaled(opts.Scale)
 			fmt.Fprintf(w, "generating %s (%d nodes) for the loss sweep...\n",
 				sc.Name, sc.SurfaceNodes+sc.InteriorNodes)
 			net, err := sc.Generate()
@@ -309,7 +367,7 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 				return err
 			}
 			lossRates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
-			sweep, err := eng.FaultSweep(net, sc.Name, lossRates, 0, core.Config{}, sc.Seed)
+			sweep, err := eng.FaultSweep(net, sc.Name, lossRates, 0, detectCfg, seed(sc.Seed))
 			if err != nil {
 				return err
 			}
@@ -325,12 +383,12 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 	// Ablations.
 	if want("ablation") {
 		err := timed("ablations", func() error {
-			sc := eval.Fig1().Scaled(scale)
+			sc := eval.Fig1().Scaled(opts.Scale)
 			net, err := sc.Generate()
 			if err != nil {
 				return err
 			}
-			rows20, err := eng.Ablations(net, 0.2, sc.Seed)
+			rows20, err := eng.Ablations(net, 0.2, seed(sc.Seed))
 			if err != nil {
 				return err
 			}
@@ -345,20 +403,46 @@ func run(w io.Writer, runName string, scale float64, k int, csvDir string, worke
 
 	for _, t := range tables {
 		fmt.Fprintf(w, "\n== %s ==\n%s", t.title, eval.FormatTable(t.header, t.rows))
-		if csvDir != "" {
-			if err := writeCSV(csvDir, t); err != nil {
+		if opts.CSV != "" {
+			if err := writeCSV(opts.CSV, t); err != nil {
 				return err
 			}
 		}
 	}
-	if benchPath != "" {
-		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(benchPath), "BENCH_"), ".json")
-		bl := bench.New(name, time.Now().UTC().Format(time.RFC3339), scale)
-		bl.Stages = rec.Stages()
-		if err := bl.WriteFile(benchPath); err != nil {
+	if opts.Out != "" {
+		payload := make([]tableJSON, 0, len(tables))
+		for _, t := range tables {
+			payload = append(payload, tableJSON{Name: t.name, Title: t.title, Header: t.header, Rows: t.rows})
+		}
+		env := opts.Common.NewEnvelope("experiment", map[string]any{
+			"run": opts.Run, "scale": opts.Scale, "k": opts.K, "async": opts.Async,
+		}, payload)
+		if err := cli.WriteEnvelope(opts.Out, env); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\nwrote timing baseline to %s\n", benchPath)
+		fmt.Fprintf(w, "\nwrote results envelope to %s\n", opts.Out)
+	}
+	if opts.Bench != "" {
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(opts.Bench), "BENCH_"), ".json")
+		bl := bench.New(name, time.Now().UTC().Format(time.RFC3339), opts.Scale)
+		bl.Stages = rec.Stages()
+		if err := bl.WriteFile(opts.Bench); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote timing baseline to %s\n", opts.Bench)
+	}
+
+	// Close the session before reporting: this stops the profiles,
+	// flushes the trace, and fails the run if the written JSONL does not
+	// validate against the schema.
+	closed = true
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	if opts.Trace != "" {
+		fmt.Fprintf(w, "\ntrace: %d events (%d experiment spans, %d cell spans, %d detect spans) -> %s\n",
+			sess.Summary.Events, sess.Summary.Spans[obs.StageExperiment],
+			sess.Summary.Spans[obs.StageCell], sess.Summary.Spans[obs.StageDetect], opts.Trace)
 	}
 	fmt.Fprintf(w, "\ndone in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil

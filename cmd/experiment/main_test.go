@@ -8,18 +8,25 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/obs"
 )
+
+// opt builds the common tiny-run options for tests.
+func opt(run string, scale float64, k int) options {
+	return options{Run: run, Scale: scale, K: k}
+}
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", 0.1, 3, "", 0, ""); err == nil {
+	if err := run(&buf, opt("nope", 0.1, 3)); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunFig1gTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1g", 0.03, 3, "", 0, ""); err != nil {
+	if err := run(&buf, opt("fig1g", 0.03, 3)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,7 +44,9 @@ func TestRunFig1gTiny(t *testing.T) {
 func TestRunScenarioAndCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "fig10", 0.05, 4, dir, 0, ""); err != nil {
+	o := opt("fig10", 0.05, 4)
+	o.CSV = dir
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "fig10-sphere") {
@@ -54,7 +63,7 @@ func TestRunScenarioAndCSV(t *testing.T) {
 
 func TestRunThm1Tiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "thm1", 0.05, 3, "", 0, ""); err != nil {
+	if err := run(&buf, opt("thm1", 0.05, 3)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Theorem 1") {
@@ -64,7 +73,7 @@ func TestRunThm1Tiny(t *testing.T) {
 
 func TestRunAblationTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "ablation", 0.03, 3, "", 0, ""); err != nil {
+	if err := run(&buf, opt("ablation", 0.03, 3)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -77,7 +86,7 @@ func TestRunAblationTiny(t *testing.T) {
 
 func TestRunFig1jklTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1jkl", 0.03, 4, "", 0, ""); err != nil {
+	if err := run(&buf, opt("fig1jkl", 0.03, 4)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "mesh quality") {
@@ -87,7 +96,7 @@ func TestRunFig1jklTiny(t *testing.T) {
 
 func TestRunFaultsTiny(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "faults", 0.05, 3, "", 0, ""); err != nil {
+	if err := run(&buf, opt("faults", 0.05, 3)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -112,7 +121,10 @@ func TestRunFaultsTiny(t *testing.T) {
 func TestRunWritesBenchBaseline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_thm1.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "thm1", 0.05, 3, "", 2, path); err != nil {
+	o := opt("thm1", 0.05, 3)
+	o.Workers = 2
+	o.Bench = path
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	bl, err := bench.Load(path)
@@ -136,7 +148,9 @@ func TestRunWritesBenchBaseline(t *testing.T) {
 	}
 
 	var serial bytes.Buffer
-	if err := run(&serial, "thm1", 0.05, 3, "", 1, ""); err != nil {
+	so := opt("thm1", 0.05, 3)
+	so.Workers = 1
+	if err := run(&serial, so); err != nil {
 		t.Fatal(err)
 	}
 	stripDone := func(s string) string {
@@ -153,5 +167,88 @@ func TestRunWritesBenchBaseline(t *testing.T) {
 	if stripDone(serial.String()) != stripDone(buf.String()) {
 		t.Errorf("tables differ between -workers 1 and -workers 2:\n%s\n---\n%s",
 			serial.String(), buf.String())
+	}
+}
+
+// TestRunTraceAndEnvelope: a faulty async run with -trace/-out writes a
+// schema-valid JSONL (per-stage spans, message counters) and a results
+// envelope, and tracing does not change the printed tables.
+func TestRunTraceAndEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	outPath := filepath.Join(dir, "results.json")
+
+	var plain bytes.Buffer
+	po := opt("faults", 0.05, 3)
+	po.Async = true
+	if err := run(&plain, po); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	o := opt("faults", 0.05, 3)
+	o.Async = true
+	o.Trace = trace
+	o.Out = outPath
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing must not perturb the results: compare the outputs with the
+	// run-specific status lines (envelope/trace paths, wall time) removed.
+	tables := func(s string) string {
+		var kept []string
+		for _, l := range strings.Split(s, "\n") {
+			if l == "" || strings.HasPrefix(l, "done in ") ||
+				strings.HasPrefix(l, "wrote results") || strings.HasPrefix(l, "trace:") {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if tables(plain.String()) != tables(buf.String()) {
+		t.Errorf("tables differ with tracing on:\n%s\n---\n%s", plain.String(), buf.String())
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.ValidateTrace(f)
+	if err != nil {
+		t.Fatalf("trace failed validation: %v", err)
+	}
+	if sum.Events == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, s := range []obs.Stage{obs.StageDetect, obs.StageUBF, obs.StageIFF, obs.StageGrouping, obs.StageExperiment, obs.StageCell} {
+		if sum.Spans[s] == 0 {
+			t.Errorf("no %s spans in trace", s)
+		}
+	}
+	// The faulty async run must account its messages through the fault
+	// layer: attempts, deliveries, and (at the sweep's high loss rates)
+	// drops and retransmissions.
+	for _, c := range []obs.Counter{obs.CtrMsgsSent, obs.CtrMsgsDelivered, obs.CtrMsgsDropped, obs.CtrMsgsRetransmitted} {
+		if sum.CounterTotal(c) == 0 {
+			t.Errorf("counter %s absent from faulty-async trace", c)
+		}
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, data, err := cli.ReadEnvelope(raw)
+	if err != nil {
+		t.Fatalf("results envelope: %v", err)
+	}
+	if env.Tool != "experiment" {
+		t.Errorf("envelope tool %q, want experiment", env.Tool)
+	}
+	if !strings.Contains(string(data), "message loss") {
+		t.Errorf("envelope payload missing table: %s", data)
 	}
 }

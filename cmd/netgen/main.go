@@ -3,75 +3,112 @@
 // Usage:
 //
 //	netgen -scenario fig6 -out net.json     # deploy and store a network
-//	netgen -in net.json -stats              # inspect a stored network
+//	netgen -in net.json                     # inspect a stored network
+//
+// The shared flags (-seed, -workers, -out, -trace, -pprof) follow the
+// repository-wide convention (see internal/cli): -out wraps the network
+// JSON in the common output envelope; -in accepts both an envelope and
+// the legacy raw network JSON.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/eval"
 	"repro/internal/export"
 )
 
+// options collects one invocation's parameters: the generation selection
+// plus the repository-wide shared flag block.
+type options struct {
+	Scenario string
+	Scale    float64
+	In       string
+	cli.Common
+}
+
 func main() {
-	scenario := flag.String("scenario", "fig10", "deployment: fig1|fig6|fig7|fig8|fig9|fig10")
-	scale := flag.Float64("scale", 1.0, "node-count scale factor")
-	out := flag.String("out", "", "write the generated network as JSON to this path")
-	in := flag.String("in", "", "read a network JSON instead of generating")
+	var opts options
+	flag.StringVar(&opts.Scenario, "scenario", "fig10", "deployment: fig1|fig6|fig7|fig8|fig9|fig10")
+	flag.Float64Var(&opts.Scale, "scale", 1.0, "node-count scale factor")
+	flag.StringVar(&opts.In, "in", "", "read a network (envelope or raw JSON) instead of generating")
+	opts.Common.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*scenario, *scale, *out, *in); err != nil {
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, scale float64, out, in string) error {
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		net, err := export.ReadNetworkJSON(f)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s: radius=%.4f %v\n", in, net.Radius, net.Stats())
-		return nil
+func run(w io.Writer, opts options) error {
+	if opts.In != "" {
+		return inspect(w, opts.In)
 	}
 
 	var picked *eval.Scenario
 	for _, sc := range eval.AllScenarios() {
-		if sc.Name == scenario || strings.HasPrefix(sc.Name, scenario) {
+		if sc.Name == opts.Scenario || strings.HasPrefix(sc.Name, opts.Scenario) {
 			sc := sc
 			picked = &sc
 			break
 		}
 	}
 	if picked == nil {
-		return fmt.Errorf("unknown scenario %q", scenario)
+		return fmt.Errorf("unknown scenario %q", opts.Scenario)
 	}
-	sc := picked.Scaled(scale)
+	sc := picked.Scaled(opts.Scale)
+	if opts.Seed != 0 {
+		sc.Seed = opts.Seed
+	}
 	net, err := sc.Generate()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s (%s): radius=%.4f %v\n", sc.Name, sc.Figure, net.Radius, net.Stats())
-	if out == "" {
+	fmt.Fprintf(w, "%s (%s): radius=%.4f %v\n", sc.Name, sc.Figure, net.Radius, net.Stats())
+	if opts.Out == "" {
 		return nil
 	}
-	f, err := os.Create(out)
+	raw, err := cli.MarshalRaw(func(buf *bytes.Buffer) error {
+		return export.WriteNetworkJSON(buf, net)
+	})
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := export.WriteNetworkJSON(f, net); err != nil {
+	env := opts.Common.NewEnvelope("netgen", map[string]any{
+		"scenario": opts.Scenario, "scale": opts.Scale,
+	}, raw)
+	if err := cli.WriteEnvelope(opts.Out, env); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", out)
+	fmt.Fprintf(w, "wrote %s\n", opts.Out)
+	return nil
+}
+
+// inspect reads a stored network — the common envelope or the legacy raw
+// network JSON — and prints its stats.
+func inspect(w io.Writer, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	payload := raw
+	if env, data, err := cli.ReadEnvelope(raw); err == nil {
+		if env.Tool != "netgen" {
+			return fmt.Errorf("%s: envelope from %q, not netgen", path, env.Tool)
+		}
+		payload = data
+	}
+	net, err := export.ReadNetworkJSON(bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: radius=%.4f %v\n", path, net.Radius, net.Stats())
 	return nil
 }

@@ -1,35 +1,83 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestGenerateAndInspectRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "net.json")
-	if err := run("fig10", 0.1, out, ""); err != nil {
+	var buf bytes.Buffer
+	o := options{Scenario: "fig10", Scale: 0.1}
+	o.Out = out
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, "", out); err != nil {
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\"tool\": \"netgen\"") {
+		t.Errorf("output is not an envelope:\n%.200s", raw)
+	}
+	if err := run(&buf, options{In: out}); err != nil {
 		t.Fatalf("inspect: %v", err)
 	}
 }
 
+// TestInspectLegacyRawNetwork: -in still accepts the pre-envelope format
+// (a bare network JSON document).
+func TestInspectLegacyRawNetwork(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "net.json")
+	var buf bytes.Buffer
+	o := options{Scenario: "fig10", Scale: 0.1}
+	o.Out = out
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the embedded payload as the legacy format.
+	var env struct {
+		Data json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, env.Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, options{In: legacy}); err != nil {
+		t.Fatalf("legacy inspect: %v", err)
+	}
+}
+
 func TestGenerateWithoutOutput(t *testing.T) {
-	if err := run("fig10", 0.1, "", ""); err != nil {
+	var buf bytes.Buffer
+	if err := run(&buf, options{Scenario: "fig10", Scale: 0.1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnknownScenario(t *testing.T) {
-	if err := run("bogus", 1, "", ""); err == nil {
+	var buf bytes.Buffer
+	if err := run(&buf, options{Scenario: "bogus", Scale: 1}); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 }
 
 func TestInspectMissingFile(t *testing.T) {
-	if err := run("", 0, "", "/nonexistent/net.json"); err == nil {
+	var buf bytes.Buffer
+	if err := run(&buf, options{In: "/nonexistent/net.json"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -1,0 +1,191 @@
+// Package cli unifies the flag surface and output conventions of the
+// repository's commands (boundary3d, experiment, netgen): one Common
+// options block registering the shared -seed, -workers, -out, -trace and
+// -pprof flags; one Session wiring those options into the obs layer
+// (JSONL trace writer, pprof capture); and one JSON output envelope so
+// every command's -out file has the same machine-readable framing.
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Common is the flag block every command shares. Register it on the
+// command's FlagSet, parse, then Start a Session to realize the
+// observability options.
+type Common struct {
+	// Seed overrides the run's base RNG seed; 0 keeps each scenario's
+	// default.
+	Seed int64
+	// Workers bounds worker-pool parallelism (sweep engine and pipeline).
+	// 0 means one worker per CPU; results are identical at any width.
+	Workers int
+	// Out is the path of the command's JSON envelope output ("" = none).
+	Out string
+	// Trace is the path of the JSONL observability trace ("" = none).
+	Trace string
+	// Pprof is the path prefix for CPU/heap profile capture ("" = none);
+	// the profiles land at <prefix>.cpu.pprof and <prefix>.heap.pprof.
+	Pprof string
+}
+
+// Register installs the shared flags on the flag set.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.Int64Var(&c.Seed, "seed", 0, "base RNG seed override (0 = scenario defaults)")
+	fs.IntVar(&c.Workers, "workers", 0, "worker-pool width (0 = one per CPU; any width gives identical results)")
+	fs.StringVar(&c.Out, "out", "", "write the run's results as a JSON envelope to this path")
+	fs.StringVar(&c.Trace, "trace", "", "write an observability trace (JSONL stage events and counters) to this path")
+	fs.StringVar(&c.Pprof, "pprof", "", "capture CPU and heap profiles under this path prefix")
+}
+
+// Session realizes a Common's observability options for one run: the
+// trace sink behind Obs and an optional profiler. Always Close it —
+// Close stops the profiles, flushes the trace, and validates the written
+// JSONL against the schema (the summary lands in Summary).
+type Session struct {
+	// Obs is the observer to thread through the run; nil when -trace is
+	// unset, so unobserved runs keep the zero-cost no-op path.
+	Obs obs.Observer
+	// Summary aggregates the validated trace after Close; zero without
+	// -trace.
+	Summary obs.TraceSummary
+
+	tracePath string
+	traceFile *os.File
+	trace     *obs.JSONL
+	prof      *obs.Profiler
+}
+
+// Start opens the session: creates the trace file and starts profiling,
+// as requested by the options.
+func (c Common) Start() (*Session, error) {
+	s := &Session{tracePath: c.Trace}
+	if c.Trace != "" {
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("cli: trace: %w", err)
+		}
+		s.traceFile = f
+		s.trace = obs.NewJSONL(f)
+		s.Obs = s.trace
+	}
+	if c.Pprof != "" {
+		p, err := obs.StartProfilePrefix(c.Pprof)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.prof = p
+	}
+	return s, nil
+}
+
+// Close stops profiling, flushes and closes the trace, then re-reads the
+// written file and validates it against the trace schema, storing the
+// aggregate in Summary. Safe on a zero-option session.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	if err := s.prof.Stop(); err != nil {
+		firstErr = err
+	}
+	s.prof = nil
+	if s.trace != nil {
+		if err := s.trace.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.trace = nil
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.traceFile = nil
+		f, err := os.Open(s.tracePath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			sum, verr := obs.ValidateTrace(f)
+			f.Close()
+			if verr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cli: trace failed schema validation: %w", verr)
+			}
+			s.Summary = sum
+		}
+	}
+	return firstErr
+}
+
+// Envelope is the shared JSON framing of every command's -out file: the
+// producing tool, the run's shared options, free-form parameters, and the
+// tool-specific payload.
+type Envelope struct {
+	Tool    string         `json:"tool"`
+	Seed    int64          `json:"seed,omitempty"`
+	Workers int            `json:"workers,omitempty"`
+	Params  map[string]any `json:"params,omitempty"`
+	Data    any            `json:"data"`
+}
+
+// NewEnvelope frames a payload with the session's shared options.
+func (c Common) NewEnvelope(tool string, params map[string]any, data any) Envelope {
+	return Envelope{Tool: tool, Seed: c.Seed, Workers: c.Workers, Params: params, Data: data}
+}
+
+// WriteEnvelope writes the envelope as indented JSON to path.
+func WriteEnvelope(path string, env Envelope) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEnvelope parses an envelope, leaving Data raw for the caller to
+// decode. It fails on JSON that is not an envelope (no "tool" key), so
+// callers can fall back to a legacy payload format.
+func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
+	var probe struct {
+		Tool    string          `json:"tool"`
+		Seed    int64           `json:"seed"`
+		Workers int             `json:"workers"`
+		Params  map[string]any  `json:"params"`
+		Data    json.RawMessage `json:"data"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(&probe); err != nil {
+		return Envelope{}, nil, err
+	}
+	if probe.Tool == "" || probe.Data == nil {
+		return Envelope{}, nil, fmt.Errorf("cli: not an output envelope (missing tool/data)")
+	}
+	return Envelope{
+		Tool: probe.Tool, Seed: probe.Seed, Workers: probe.Workers, Params: probe.Params,
+	}, probe.Data, nil
+}
+
+// MarshalRaw renders any value to a raw JSON message — the helper for
+// embedding writer-style exports (e.g. a network) into an envelope.
+func MarshalRaw(write func(w *bytes.Buffer) error) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}

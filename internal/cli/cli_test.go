@@ -1,0 +1,167 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCommonRegisterDefaults: the shared flag block parses with its
+// documented defaults and accepts the conventional overrides.
+func TestCommonRegisterDefaults(t *testing.T) {
+	var c Common
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 0 || c.Workers != 0 || c.Out != "" || c.Trace != "" || c.Pprof != "" {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	c = Common{}
+	c.Register(fs)
+	if err := fs.Parse([]string{"-seed", "42", "-workers", "3", "-out", "o.json", "-trace", "t.jsonl", "-pprof", "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Workers != 3 || c.Out != "o.json" || c.Trace != "t.jsonl" || c.Pprof != "p" {
+		t.Errorf("parsed values wrong: %+v", c)
+	}
+}
+
+// TestSessionTraceLifecycle: Start wires a JSONL observer, Close validates
+// the written trace and surfaces its summary.
+func TestSessionTraceLifecycle(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	c := Common{Trace: trace}
+	s, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obs == nil {
+		t.Fatal("no observer with -trace set")
+	}
+	span := obs.Start(s.Obs, obs.StageDetect)
+	obs.Add(s.Obs, obs.StageUBF, obs.CtrBallsTested, 3)
+	span.End()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Summary.Events != 3 {
+		t.Errorf("summary events = %d, want 3", s.Summary.Events)
+	}
+	if s.Summary.Total(obs.StageUBF, obs.CtrBallsTested) != 3 {
+		t.Errorf("summary counters wrong: %+v", s.Summary.Counters)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Errorf("trace file missing: %v", err)
+	}
+}
+
+// TestSessionZeroOptions: no trace, no profile — the session is inert and
+// its observer nil, preserving the no-op pipeline path.
+func TestSessionZeroOptions(t *testing.T) {
+	s, err := Common{}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obs != nil {
+		t.Error("zero-option session has an observer")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSession *Session
+	if err := nilSession.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionPprof: the -pprof prefix produces both profile files.
+func TestSessionPprof(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "prof")
+	s, err := Common{Pprof: prefix}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("profile %s missing: %v", suffix, err)
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip: WriteEnvelope output reads back with the framing
+// fields intact and the payload raw.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	c := Common{Seed: 7, Workers: 2}
+	env := c.NewEnvelope("testtool", map[string]any{"k": 3.0}, map[string]string{"hello": "world"})
+	if err := WriteEnvelope(path, env); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, data, err := ReadEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "testtool" || got.Seed != 7 || got.Workers != 2 || got.Params["k"] != 3.0 {
+		t.Errorf("envelope framing wrong: %+v", got)
+	}
+	var payload map[string]string
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload["hello"] != "world" {
+		t.Errorf("payload wrong: %v", payload)
+	}
+}
+
+// TestReadEnvelopeRejectsLegacy: non-envelope JSON fails, so callers can
+// fall back to their legacy formats.
+func TestReadEnvelopeRejectsLegacy(t *testing.T) {
+	for name, raw := range map[string]string{
+		"bare object": `{"nodes": [1, 2, 3]}`,
+		"no data":     `{"tool": "x"}`,
+		"not json":    `nope`,
+	} {
+		if _, _, err := ReadEnvelope([]byte(raw)); err == nil {
+			t.Errorf("%s accepted as envelope", name)
+		}
+	}
+}
+
+// TestMarshalRaw embeds writer-style output as raw JSON.
+func TestMarshalRaw(t *testing.T) {
+	raw, err := MarshalRaw(func(w *bytes.Buffer) error {
+		w.WriteString(`{"a": 1}`)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"a"`) {
+		t.Errorf("raw payload wrong: %s", raw)
+	}
+	env := Envelope{Tool: "t", Data: raw}
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"data":{"a":1}`) {
+		t.Errorf("raw message did not inline: %s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mds"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -233,7 +235,24 @@ type frame struct {
 // Detect runs the full localized boundary-detection pipeline: local frames,
 // Unit Ball Fitting, Isolated Fragment Filtering, and boundary grouping.
 // meas may be nil when cfg.Coords is CoordsTrue.
+//
+// Deprecated: Detect is kept as a thin convenience wrapper for existing
+// callers. New code should call DetectContext, which adds cancellation and
+// observer injection; Detect is exactly
+// DetectContext(context.Background(), nil, net, meas, cfg).
 func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result, error) {
+	return DetectContext(context.Background(), nil, net, meas, cfg)
+}
+
+// DetectContext is Detect with cancellation and observation. ctx is
+// checked between stages and inside the parallel per-node loops, so a
+// cancelled run returns ctx.Err() promptly without partial results. o, when
+// non-nil, receives span events for every stage (detect, frames, ubf, iff,
+// grouping) plus typed counters (balls tested, grid cells probed, messages
+// delivered/dropped/retransmitted, ...); a nil o adds no allocations and no
+// measurable cost. Observation never changes the result: verdicts are
+// bit-identical with tracing on or off.
+func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result, error) {
 	if net == nil {
 		return nil, ErrNoNetwork
 	}
@@ -247,8 +266,15 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	if cfg.Scope != ScopeOneHop && cfg.Scope != ScopeTwoHop {
 		return nil, fmt.Errorf("core: unknown scope %d", cfg.Scope)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	detectSpan := obs.Start(o, obs.StageDetect)
+	defer detectSpan.End()
 
 	n := net.Len()
+	obs.Add(o, obs.StageDetect, obs.CtrNodes, int64(n))
 	res := &Result{
 		UBF:          make([]bool, n),
 		BallsTested:  make([]int, n),
@@ -260,9 +286,13 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	// Stage 1 (CoordsMDS only): every node builds its one-hop MDS frame.
 	var frames []frame
 	if cfg.Coords == CoordsMDS {
+		framesSpan := obs.Start(o, obs.StageFrames)
 		res.CoordError = make([]float64, n)
 		frames = make([]frame, n)
 		err := par.For(n, cfg.Workers, func(_, i int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f, err := buildFrame(net, meas, cfg, i)
 			if err != nil {
 				return fmt.Errorf("node %d frame: %w", i, err)
@@ -277,6 +307,7 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 			}
 			return nil
 		})
+		framesSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -285,9 +316,14 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 	// Stage 2: Unit Ball Fitting per node. Each worker owns a UBFScratch
 	// (grid, tolerance and ordering buffers) and an assembleScratch, so the
 	// steady-state per-node cost allocates nothing on the CoordsTrue path.
+	ubfSpan := obs.Start(o, obs.StageUBF)
 	scratch := make([]UBFScratch, cfg.Workers)
 	asm := make([]assembleScratch, cfg.Workers)
+	cellsProbed := make([]int64, cfg.Workers)
 	err := par.For(n, cfg.Workers, func(w, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		coords, candidates, spreads := assembleKnowledge(net, cfg, frames, i, &asm[w])
 		// Per-point tolerance: every known position is discounted by its
 		// own locally observable uncertainty — the spread of the
@@ -309,20 +345,40 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 		res.UBF[i] = r.Boundary
 		res.BallsTested[i] = r.BallsTested
 		res.NodesChecked[i] = r.NodesChecked
+		cellsProbed[w] += int64(r.CellsProbed)
 		return nil
 	})
+	if o != nil {
+		var balls, checked, cells, marked int64
+		for i := range res.BallsTested {
+			balls += int64(res.BallsTested[i])
+			checked += int64(res.NodesChecked[i])
+			if res.UBF[i] {
+				marked++
+			}
+		}
+		for _, c := range cellsProbed {
+			cells += c
+		}
+		obs.Add(o, obs.StageUBF, obs.CtrBallsTested, balls)
+		obs.Add(o, obs.StageUBF, obs.CtrNodesChecked, checked)
+		obs.Add(o, obs.StageUBF, obs.CtrGridCells, cells)
+		obs.Add(o, obs.StageUBF, obs.CtrUBFBoundary, marked)
+	}
+	ubfSpan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 3: Isolated Fragment Filtering by TTL-bounded flooding.
 	res.Boundary = make([]bool, n)
+	iffSpan := obs.Start(o, obs.StageIFF)
 	if cfg.IFFThreshold < 0 {
 		copy(res.Boundary, res.UBF)
 		res.FragmentSize = make([]int, n)
 	} else {
 		var counts []int
-		var messages int
+		var messages, rounds int
 		switch {
 		case cfg.Faults.Enabled():
 			iffFaults := cfg.Faults
@@ -338,18 +394,26 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 				var stats sim.Result
 				counts, stats, err = sim.ReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, plan, opt)
 				messages = stats.Messages
+				rounds = stats.Rounds
 			}
-			res.FaultStats.Add(plan.Stats())
+			phase := plan.Stats()
+			res.FaultStats.Add(phase)
+			phase.EmitObs(o, obs.StageIFF)
 		case cfg.Async:
 			var stats sim.AsyncResult
 			counts, stats, err = sim.AsyncFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed)
 			messages = stats.Messages
+			emitFaultFree(o, obs.StageIFF, messages)
 		default:
 			var stats sim.Result
 			counts, stats, err = sim.FloodCountStats(net.G, res.UBF, cfg.IFFTTL)
 			messages = stats.Messages
+			rounds = stats.Rounds
+			emitFaultFree(o, obs.StageIFF, messages)
 		}
+		obs.Add(o, obs.StageIFF, obs.CtrFloodRounds, int64(rounds))
 		if err != nil {
+			iffSpan.End()
 			return nil, fmt.Errorf("IFF flooding: %w", err)
 		}
 		res.IFFMessages = messages
@@ -358,11 +422,25 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 			res.Boundary[i] = res.UBF[i] && counts[i] >= cfg.IFFThreshold
 		}
 	}
+	if o != nil {
+		var final int64
+		for _, b := range res.Boundary {
+			if b {
+				final++
+			}
+		}
+		obs.Add(o, obs.StageIFF, obs.CtrBoundary, final)
+	}
+	iffSpan.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: grouping — boundary nodes of the same surface connect
 	// through boundary nodes only (Sec. II-B).
+	groupSpan := obs.Start(o, obs.StageGrouping)
 	var label []int
-	var groupMessages int
+	var groupMessages, groupRounds int
 	switch {
 	case cfg.Faults.Enabled():
 		groupFaults := cfg.Faults
@@ -377,24 +455,41 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 			var stats sim.Result
 			label, stats, err = sim.ReliableLabelComponents(net.G, res.Boundary, plan, opt)
 			groupMessages = stats.Messages
+			groupRounds = stats.Rounds
 		}
-		res.FaultStats.Add(plan.Stats())
+		phase := plan.Stats()
+		res.FaultStats.Add(phase)
+		phase.EmitObs(o, obs.StageGrouping)
 	case cfg.Async:
 		var stats sim.AsyncResult
 		label, stats, err = sim.AsyncLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1)
 		groupMessages = stats.Messages
+		emitFaultFree(o, obs.StageGrouping, groupMessages)
 	default:
 		var stats sim.Result
 		label, stats, err = sim.LabelComponentsStats(net.G, res.Boundary)
 		groupMessages = stats.Messages
+		groupRounds = stats.Rounds
+		emitFaultFree(o, obs.StageGrouping, groupMessages)
 	}
+	obs.Add(o, obs.StageGrouping, obs.CtrFloodRounds, int64(groupRounds))
 	if err != nil {
+		groupSpan.End()
 		return nil, fmt.Errorf("grouping: %w", err)
 	}
 	res.GroupingMessages = groupMessages
 	res.GroupLabel = label
 	res.Groups = sim.Groups(label)
+	obs.Add(o, obs.StageGrouping, obs.CtrGroups, int64(len(res.Groups)))
+	groupSpan.End()
 	return res, nil
+}
+
+// emitFaultFree records a fault-free phase's message count: every send is a
+// delivery. Faulty phases go through sim.FaultStats.EmitObs instead.
+func emitFaultFree(o obs.Observer, s obs.Stage, messages int) {
+	obs.Add(o, s, obs.CtrMsgsSent, int64(messages))
+	obs.Add(o, s, obs.CtrMsgsDelivered, int64(messages))
 }
 
 // buildFrame embeds node i's closed one-hop neighborhood from measured

@@ -62,6 +62,9 @@ type UBFNodeResult struct {
 	BallsTested int
 	// NodesChecked counts point-in-ball tests performed.
 	NodesChecked int
+	// CellsProbed counts spatial-grid cells visited by the pruned
+	// emptiness test; zero on the brute path (below the grid gate).
+	CellsProbed int
 }
 
 // FitEmptyBall runs the Unit Ball Fitting test (Algorithm 1 steps II–III)
@@ -141,6 +144,7 @@ type UBFScratch struct {
 	order []int       // candidates sorted by the try-empty-first heuristic
 	score []float64   // ordering key, indexed by coordinate index
 	scan  []int32     // membership-scan order: likeliest blockers first
+	cells int         // grid cells probed this Fit (grid path only)
 }
 
 // gridMinPoints gates the spatial index. The witness cache plus early exit
@@ -170,6 +174,7 @@ var (
 // examined).
 func (s *UBFScratch) Fit(coords []geom.Vec3, center int, candidates []int, radius float64, tol TolFunc, maxBorderline int) UBFNodeResult {
 	n := len(coords)
+	s.cells = 0
 
 	// Everything below works in the frame translated so the deciding node
 	// is the origin: ball centers come out of the pair solver relative to
@@ -371,6 +376,7 @@ func (s *UBFScratch) Fit(coords []geom.Vec3, center int, candidates []int, radiu
 				res.NodesChecked += checked
 				if empty {
 					res.Boundary = true
+					res.CellsProbed = s.cells
 					return res // no sentinel restore: occ2 is rebuilt per Fit
 				}
 			}
@@ -382,6 +388,7 @@ func (s *UBFScratch) Fit(coords []geom.Vec3, center int, candidates []int, radiu
 			occ2[j] = oj
 		}
 	}
+	res.CellsProbed = s.cells
 	return res
 }
 
@@ -459,6 +466,7 @@ func (s *UBFScratch) ballEmptyGrid(ctr geom.Vec3, radius, r2 float64, center, j,
 	px, py, pz := -1, -1, -1
 	if plo, phi, pok := s.grid.CellRange(geom.AABB{Min: ctr, Max: ctr}); pok && plo == phi {
 		px, py, pz = plo[0], plo[1], plo[2]
+		s.cells++
 		for _, ni := range s.grid.Cell(px, py, pz) {
 			n := int(ni)
 			if n == center || n == j || n == k {
@@ -486,6 +494,7 @@ func (s *UBFScratch) ballEmptyGrid(ctr geom.Vec3, radius, r2 float64, center, j,
 				if s.grid.CellMinDist2(x, y, z, ctr) > R2 {
 					continue
 				}
+				s.cells++
 				for _, ni := range s.grid.Cell(x, y, z) {
 					n := int(ni)
 					if n == center || n == j || n == k {

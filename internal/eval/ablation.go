@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 )
 
 // AblationRow is one pipeline variant's detection quality on a fixed
@@ -13,6 +15,9 @@ import (
 type AblationRow struct {
 	Variant string
 	Report  metrics.Report
+	// Observed is the variant's obs counter roll-up ("stage/counter" →
+	// total); nil unless the study ran under an observed Engine.
+	Observed map[string]int64
 }
 
 // RunAblations compares the paper's design choices on one network at one
@@ -32,21 +37,22 @@ func RunAblations(net *netgen.Network, errorFrac float64, seed int64) ([]Ablatio
 }
 
 // ablationVariant is one pipeline configuration of the ablation study.
+// run receives the study cell's context and observer.
 type ablationVariant struct {
 	name string
-	run  func() ([]bool, error)
+	run  func(ctx context.Context, o obs.Observer) ([]bool, error)
 }
 
 // ablationVariants enumerates the study's pipeline configurations over a
 // fixed network and measurement. The order defines the row order.
 func ablationVariants(net *netgen.Network, meas *netgen.Measurement) []ablationVariant {
-	detect := func(cfg core.Config, withMeas bool) func() ([]bool, error) {
-		return func() ([]bool, error) {
+	detect := func(cfg core.Config, withMeas bool) func(context.Context, obs.Observer) ([]bool, error) {
+		return func(ctx context.Context, o obs.Observer) ([]bool, error) {
 			m := meas
 			if !withMeas {
 				m = nil
 			}
-			res, err := core.Detect(net, m, cfg)
+			res, err := core.DetectContext(ctx, o, net, m, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -64,7 +70,7 @@ func ablationVariants(net *netgen.Network, meas *netgen.Measurement) []ablationV
 		{"iff-theta=10", detect(core.Config{IFFThreshold: 10}, true)},
 		{"iff-theta=40", detect(core.Config{IFFThreshold: 40}, true)},
 		{"iff-ttl=2", detect(core.Config{IFFTTL: 2}, true)},
-		{"degree-baseline", func() ([]bool, error) {
+		{"degree-baseline", func(context.Context, obs.Observer) ([]bool, error) {
 			return core.DegreeBaseline(net, core.DegreeBaselineConfig{})
 		}},
 	}

@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/ranging"
 	"repro/internal/sim"
@@ -26,6 +28,33 @@ type Engine struct {
 	// Workers bounds the number of concurrently running cells.
 	// Zero or negative means runtime.GOMAXPROCS(0).
 	Workers int
+	// Obs, when non-nil, observes every cell: a labeled StageCell span
+	// per cell (concurrent cells interleave their events), the full
+	// pipeline instrumentation inside it, and a per-cell counter roll-up
+	// attached to the cell's result row (SweepPoint.Observed and
+	// friends). A nil Obs leaves results bit-identical to the seed
+	// engine's.
+	Obs obs.Observer
+}
+
+// cellStart opens one evaluation cell: a labeled span on the engine's
+// observer plus a per-cell recorder teed into it, so the cell's counters
+// can be rolled up onto its result row. Everything is nil/inert when the
+// engine is unobserved.
+func (e Engine) cellStart(label string) (obs.Observer, *obs.Mem, obs.Span) {
+	if e.Obs == nil {
+		return nil, nil, obs.Span{}
+	}
+	mem := &obs.Mem{}
+	return obs.Tee(e.Obs, mem), mem, obs.StartLabeled(e.Obs, obs.StageCell, label)
+}
+
+// rollup flattens a cell recorder's totals; a nil recorder yields nil.
+func rollup(m *obs.Mem) map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	return m.Totals()
 }
 
 // ErrorSweep is the pooled RunErrorSweep: levels run concurrently, each
@@ -37,7 +66,9 @@ func (e Engine) ErrorSweep(net *netgen.Network, name string, levels []float64, c
 	err := par.For(len(levels), e.Workers, func(_, li int) error {
 		level := levels[li]
 		meas := net.Measure(ranging.ForFraction(level), seed+int64(li))
-		det, err := core.Detect(net, meas, cfg)
+		cellObs, mem, span := e.cellStart(fmt.Sprintf("%s/err=%g", name, level))
+		det, err := core.DetectContext(context.Background(), cellObs, net, meas, cfg)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("error level %.0f%%: %w", level*100, err)
 		}
@@ -45,7 +76,7 @@ func (e Engine) ErrorSweep(net *netgen.Network, name string, levels []float64, c
 		if err != nil {
 			return err
 		}
-		res.Points[li] = SweepPoint{ErrorFrac: level, Report: report}
+		res.Points[li] = SweepPoint{ErrorFrac: level, Report: report, Observed: rollup(mem)}
 		return nil
 	})
 	if err != nil {
@@ -93,7 +124,9 @@ func (e Engine) AggregateSweep(scenarios []Scenario, levels []float64, cfg core.
 		si, li := ci/len(levels), ci%len(levels)
 		sc, net, level := scenarios[si], nets[si], levels[li]
 		meas := net.Measure(ranging.ForFraction(level), sc.Seed*1000+int64(li))
-		det, err := core.Detect(net, meas, cfg)
+		cellObs, _, span := e.cellStart(fmt.Sprintf("%s/err=%g", sc.Name, level))
+		det, err := core.DetectContext(context.Background(), cellObs, net, meas, cfg)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("scenario %s: error level %.0f%%: %w", sc.Name, level*100, err)
 		}
@@ -138,7 +171,9 @@ func (e Engine) FaultSweep(net *netgen.Network, name string, lossRates []float64
 		if errorFrac > 0 {
 			meas = net.Measure(ranging.ForFraction(errorFrac), seed+int64(li))
 		}
-		det, err := core.Detect(net, meas, c)
+		cellObs, mem, span := e.cellStart(fmt.Sprintf("%s/loss=%g", name, loss))
+		det, err := core.DetectContext(context.Background(), cellObs, net, meas, c)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("loss level %.0f%%: %w", loss*100, err)
 		}
@@ -146,7 +181,7 @@ func (e Engine) FaultSweep(net *netgen.Network, name string, lossRates []float64
 		if err != nil {
 			return err
 		}
-		pt := FaultPoint{LossRate: loss, Report: report}
+		pt := FaultPoint{LossRate: loss, Report: report, Observed: rollup(mem)}
 		pt.Faults.Add(det.FaultStats)
 		res.Points[li] = pt
 		return nil
@@ -168,7 +203,9 @@ func (e Engine) Ablations(net *netgen.Network, errorFrac float64, seed int64) ([
 	rows := make([]AblationRow, len(variants))
 	err := par.For(len(variants), e.Workers, func(_, vi int) error {
 		v := variants[vi]
-		found, err := v.run()
+		cellObs, mem, span := e.cellStart("ablation/" + v.name)
+		found, err := v.run(context.Background(), cellObs)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("variant %s: %w", v.name, err)
 		}
@@ -176,7 +213,7 @@ func (e Engine) Ablations(net *netgen.Network, errorFrac float64, seed int64) ([
 		if err != nil {
 			return err
 		}
-		rows[vi] = AblationRow{Variant: v.name, Report: report}
+		rows[vi] = AblationRow{Variant: v.name, Report: report, Observed: rollup(mem)}
 		return nil
 	})
 	if err != nil {

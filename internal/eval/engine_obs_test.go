@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestEngineObservedStudies: an observed parallel Engine emits a labeled
+// StageCell span per cell with the full pipeline instrumentation inside it
+// (balanced even when cells interleave — run with -race), attaches a
+// per-cell counter roll-up to every result row, and changes nothing else
+// about the results.
+func TestEngineObservedStudies(t *testing.T) {
+	net, err := smallFig10().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []float64{0, 0.2, 0.5}
+	losses := []float64{0, 0.3}
+	cfg := core.Config{}
+
+	plain := Engine{Workers: 8}
+	mem := &obs.Mem{}
+	observed := Engine{Workers: 8, Obs: mem}
+
+	// ErrorSweep: one cell per level.
+	sweep, err := observed.ErrorSweep(net, "test", levels, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSweep, err := plain.ErrorSweep(net, "test", levels, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sweep.Points {
+		if sweep.Points[i].Observed == nil {
+			t.Errorf("level %g: no counter roll-up", sweep.Points[i].ErrorFrac)
+			continue
+		}
+		if sweep.Points[i].Observed["ubf/balls_tested"] == 0 {
+			t.Errorf("level %g: roll-up missing UBF work: %v",
+				sweep.Points[i].ErrorFrac, sweep.Points[i].Observed)
+		}
+		// Everything but the roll-up matches the unobserved run.
+		a, b := sweep.Points[i], plainSweep.Points[i]
+		a.Observed, b.Observed = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("level %g: observed point differs from unobserved", levels[i])
+		}
+	}
+	if got := mem.Spans(obs.StageCell); got != len(levels) {
+		t.Errorf("cell spans = %d, want %d", got, len(levels))
+	}
+	if got := mem.Spans(obs.StageDetect); got != len(levels) {
+		t.Errorf("detect spans = %d, want %d", got, len(levels))
+	}
+	// Under CoordsMDS every cell also runs the frames stage.
+	if got := mem.Spans(obs.StageFrames); got != len(levels) {
+		t.Errorf("frames spans = %d, want %d", got, len(levels))
+	}
+	if un := mem.Unbalanced(); len(un) != 0 {
+		t.Errorf("unbalanced spans after error sweep: %v", un)
+	}
+
+	// FaultSweep: faulty cells must roll up message-fault counters.
+	mem.Reset()
+	faultSweep, err := observed.FaultSweep(net, "test", losses, 0, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range faultSweep.Points {
+		if p.Observed == nil {
+			t.Errorf("loss %g: no counter roll-up", p.LossRate)
+			continue
+		}
+		dropped := p.Observed["iff/msgs_dropped"] + p.Observed["grouping/msgs_dropped"]
+		if p.LossRate > 0 && dropped == 0 {
+			t.Errorf("loss %g: no drops in roll-up %v", p.LossRate, p.Observed)
+		}
+		if p.LossRate == 0 && dropped != 0 {
+			t.Errorf("loss 0 recorded %d drops", dropped)
+		}
+		if int64(p.Faults.TotalDropped()) != dropped {
+			t.Errorf("loss %g: roll-up drops %d != fault report %d",
+				p.LossRate, dropped, p.Faults.TotalDropped())
+		}
+	}
+	if got := mem.Spans(obs.StageCell); got != len(losses) {
+		t.Errorf("cell spans = %d, want %d", got, len(losses))
+	}
+	if un := mem.Unbalanced(); len(un) != 0 {
+		t.Errorf("unbalanced spans after fault sweep: %v", un)
+	}
+
+	// Ablations: every variant gets a labeled cell; the degree baseline
+	// is the one variant that never enters the detection pipeline.
+	mem.Reset()
+	rows, err := observed.Ablations(net, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Observed == nil && r.Variant != "degree-baseline" {
+			t.Errorf("variant %s: no counter roll-up", r.Variant)
+		}
+	}
+	if got := mem.Spans(obs.StageCell); got != len(rows) {
+		t.Errorf("cell spans = %d, want %d", got, len(rows))
+	}
+	if got := mem.Spans(obs.StageDetect); got != len(rows)-1 {
+		t.Errorf("detect spans = %d, want %d (all variants minus the degree baseline)",
+			got, len(rows)-1)
+	}
+	if un := mem.Unbalanced(); len(un) != 0 {
+		t.Errorf("unbalanced spans after ablations: %v", un)
+	}
+
+	// Labels identify the cells.
+	labels := map[string]bool{}
+	for _, ev := range mem.Events() {
+		if ev.Kind == obs.KindBegin && ev.Stage == obs.StageCell {
+			labels[ev.Label] = true
+		}
+	}
+	if !labels["ablation/full-pipeline"] || !labels["ablation/degree-baseline"] {
+		t.Errorf("cell labels missing: %v", labels)
+	}
+}
+
+// TestEngineUnobservedLeavesRollupsNil: without an observer the new
+// Observed fields stay nil, keeping results byte-identical to the seed
+// engine's (the DeepEqual scheduling tests depend on this).
+func TestEngineUnobservedLeavesRollupsNil(t *testing.T) {
+	net, err := smallFig10().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := Engine{Workers: 2}.ErrorSweep(net, "test", []float64{0}, core.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Points[0].Observed != nil {
+		t.Errorf("unobserved sweep attached a roll-up: %v", sweep.Points[0].Observed)
+	}
+}

@@ -14,6 +14,9 @@ type FaultPoint struct {
 	LossRate float64
 	Report   metrics.Report
 	Faults   metrics.FaultReport
+	// Observed is the cell's obs counter roll-up ("stage/counter" →
+	// total); nil unless the sweep ran under an observed Engine.
+	Observed map[string]int64
 }
 
 // FaultSweepResult measures how detection quality degrades as the

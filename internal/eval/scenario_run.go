@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/ranging"
 	"repro/internal/routing"
 )
@@ -31,7 +33,17 @@ type ScenarioReport struct {
 // RunScenario deploys one scenario, detects its boundaries at the given
 // ranging error, reconstructs every boundary surface, and runs the greedy
 // routing experiment on the largest one.
+//
+// Deprecated: kept as a thin wrapper; new code should call
+// RunScenarioContext, which adds cancellation and observer injection.
 func RunScenario(sc Scenario, errorFrac float64, detectCfg core.Config, meshCfg mesh.Config) (*ScenarioReport, error) {
+	return RunScenarioContext(context.Background(), nil, sc, errorFrac, detectCfg, meshCfg)
+}
+
+// RunScenarioContext is RunScenario with cancellation and observation:
+// the detection pipeline and every surface construction emit their stage
+// events to o under a labeled StageCell span.
+func RunScenarioContext(ctx context.Context, o obs.Observer, sc Scenario, errorFrac float64, detectCfg core.Config, meshCfg mesh.Config) (*ScenarioReport, error) {
 	shape, err := sc.MakeShape()
 	if err != nil {
 		return nil, err
@@ -48,8 +60,10 @@ func RunScenario(sc Scenario, errorFrac float64, detectCfg core.Config, meshCfg 
 		WantGroups: shape.SurfaceComponents(),
 	}
 
+	span := obs.StartLabeled(o, obs.StageCell, fmt.Sprintf("%s/err=%g", sc.Name, errorFrac))
+	defer span.End()
 	meas := net.Measure(ranging.ForFraction(errorFrac), sc.Seed*7)
-	det, err := core.Detect(net, meas, detectCfg)
+	det, err := core.DetectContext(ctx, o, net, meas, detectCfg)
 	if err != nil {
 		return nil, fmt.Errorf("detect: %w", err)
 	}
@@ -59,7 +73,7 @@ func RunScenario(sc Scenario, errorFrac float64, detectCfg core.Config, meshCfg 
 	}
 	rep.Groups = len(det.Groups)
 
-	surfaces, err := mesh.BuildAll(net.G, det.Groups, meshCfg)
+	surfaces, err := mesh.BuildAllContext(ctx, o, net.G, det.Groups, meshCfg)
 	if err != nil {
 		return nil, fmt.Errorf("mesh: %w", err)
 	}

@@ -16,6 +16,10 @@ const MaxHops = 3
 type SweepPoint struct {
 	ErrorFrac float64
 	Report    metrics.Report
+	// Observed is the cell's obs counter roll-up ("stage/counter" →
+	// total), attached only when the sweep ran under an observed Engine;
+	// nil otherwise.
+	Observed map[string]int64
 }
 
 // SweepResult is a full error sweep over one network — the data behind

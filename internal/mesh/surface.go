@@ -1,11 +1,13 @@
 package mesh
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config parameterizes surface construction. The zero value selects the
@@ -91,23 +93,61 @@ type Surface struct {
 
 // Build constructs the triangular boundary surface of one boundary group
 // (Sec. III, steps I–V).
+//
+// Deprecated: Build is kept as a thin convenience wrapper for existing
+// callers. New code should call BuildContext, which adds cancellation and
+// observer injection; Build is exactly
+// BuildContext(context.Background(), nil, g, group, cfg).
 func Build(g *graph.Graph, group []int, cfg Config) (*Surface, error) {
+	return BuildContext(context.Background(), nil, g, group, cfg)
+}
+
+// BuildContext is Build with cancellation and observation. ctx is checked
+// between construction steps; o, when non-nil, receives a span per step
+// (surface, landmarks, cdg, cdm, and per repair round triangulate/flip)
+// plus the structural counters (landmarks elected, CDG/CDM edges, faces,
+// flips applied). A nil o adds no cost, and observation never changes the
+// constructed mesh.
+func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []int, cfg Config) (*Surface, error) {
 	cfg = cfg.withDefaults()
 	if len(group) == 0 {
 		return nil, ErrEmptyGroup
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	surfaceSpan := obs.Start(o, obs.StageSurface)
+	defer surfaceSpan.End()
+
 	inGroup := make([]bool, g.Len())
 	for _, v := range group {
 		inGroup[v] = true
 	}
 	member := graph.InSet(inGroup)
 
+	lmSpan := obs.Start(o, obs.StageLandmarks)
 	lms, err := ElectLandmarks(g, group, cfg.K)
+	lmSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	obs.Add(o, obs.StageLandmarks, obs.CtrLandmarks, int64(len(lms.IDs)))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cdgSpan := obs.Start(o, obs.StageCDG)
 	cdg := buildCDG(g, lms, member)
+	cdgSpan.End()
+	obs.Add(o, obs.StageCDG, obs.CtrEdgesCDG, int64(len(cdg)))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cdmSpan := obs.Start(o, obs.StageCDM)
 	cdm := buildCDM(g, lms, member, cdg)
+	cdmSpan.End()
+	obs.Add(o, obs.StageCDM, obs.CtrEdgesCDM, int64(len(cdm.edges)))
 
 	// Steps IV and V alternate until stable: triangulation fills
 	// polygons under the two-face budget, edge flips retire over-shared
@@ -120,8 +160,16 @@ func Build(g *graph.Graph, group []int, cfg Config) (*Surface, error) {
 	forbidden := make(map[Edge]bool)
 	flips := 0
 	for round := 0; round < cfg.MaxRepairRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		triSpan := obs.Start(o, obs.StageTriangulate)
 		added := triangulate(g, member, cdg, &cdm, edgeSet, forbidden)
+		triSpan.End()
+		flipSpan := obs.Start(o, obs.StageFlip)
 		f := flipPass(g, member, edgeSet, forbidden, cfg.MaxFlipIterations)
+		flipSpan.End()
+		obs.Add(o, obs.StageFlip, obs.CtrFlips, int64(f))
 		flips += f
 		if len(added) == 0 && f == 0 {
 			break
@@ -129,6 +177,7 @@ func Build(g *graph.Graph, group []int, cfg Config) (*Surface, error) {
 	}
 	final := edgesFromSet(edgeSet)
 	faces := enumerateFaces(final)
+	obs.Add(o, obs.StageSurface, obs.CtrFaces, int64(len(faces)))
 
 	s := &Surface{
 		Group:     append([]int(nil), group...),
@@ -145,10 +194,19 @@ func Build(g *graph.Graph, group []int, cfg Config) (*Surface, error) {
 }
 
 // BuildAll constructs one surface per boundary group.
+//
+// Deprecated: like Build, kept as a thin wrapper; new code should call
+// BuildAllContext.
 func BuildAll(g *graph.Graph, groups [][]int, cfg Config) ([]*Surface, error) {
+	return BuildAllContext(context.Background(), nil, g, groups, cfg)
+}
+
+// BuildAllContext constructs one surface per boundary group with
+// cancellation and observation (see BuildContext).
+func BuildAllContext(ctx context.Context, o obs.Observer, g *graph.Graph, groups [][]int, cfg Config) ([]*Surface, error) {
 	surfaces := make([]*Surface, 0, len(groups))
 	for gi, group := range groups {
-		s, err := Build(g, group, cfg)
+		s, err := BuildContext(ctx, o, g, group, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("group %d: %w", gi, err)
 		}

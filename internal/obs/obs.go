@@ -1,0 +1,247 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// span-style stage events (begin/end with wall time), typed counters
+// (balls tested, messages sent/dropped/retransmitted, flips applied, ...),
+// and pluggable sinks — in-memory for tests, JSONL for `cmd/experiment
+// -trace`, or nothing at all.
+//
+// The paper's claims are per-stage claims: UBF's ball tests (Sec. II-A),
+// IFF's TTL-bounded floods (Sec. II-B), and the five surface-construction
+// steps (Sec. III) each have their own cost and failure modes. This
+// package gives every stage one vocabulary for reporting that cost, so
+// `core.DetectContext`, the sim kernels, `mesh.BuildContext`, and
+// `eval.Engine` all emit comparable events.
+//
+// The no-op path is a hard requirement, not a nicety: a nil Observer must
+// add zero allocations and at most a nil check per call site, so the
+// instrumented hot paths keep their benchmarked numbers. Every helper in
+// this package (Start, Add, Span.End) is nil-safe and returns before
+// touching the clock when the observer is nil; observation never changes
+// what the pipeline computes, only what it reports.
+package obs
+
+import "time"
+
+// Stage identifies one pipeline stage in stage events and counters.
+type Stage uint8
+
+const (
+	// StageDetect spans one whole core.Detect run.
+	StageDetect Stage = iota + 1
+	// StageFrames is detection stage 1: per-node MDS frame construction.
+	StageFrames
+	// StageUBF is detection stage 2: Unit Ball Fitting (Sec. II-A).
+	StageUBF
+	// StageIFF is detection stage 3: Isolated Fragment Filtering's
+	// TTL-bounded flood (Sec. II-B).
+	StageIFF
+	// StageGrouping is detection stage 4: boundary grouping by min-label
+	// propagation (Sec. II-B).
+	StageGrouping
+	// StageSurface spans one whole mesh.Build run (Sec. III).
+	StageSurface
+	// StageLandmarks is surface step I: landmark election.
+	StageLandmarks
+	// StageCDG is surface step II: the Combinatorial Delaunay Graph.
+	StageCDG
+	// StageCDM is surface step III: the planarized CDM subgraph.
+	StageCDM
+	// StageTriangulate is surface step IV: polygon triangulation.
+	StageTriangulate
+	// StageFlip is surface step V: edge flipping.
+	StageFlip
+	// StageCell is one evaluation cell — a (scenario, level) pair or an
+	// ablation variant — in an eval.Engine study; the label names it.
+	StageCell
+	// StageExperiment spans one cmd/experiment run target.
+	StageExperiment
+
+	stageEnd // sentinel: number of stages + 1
+)
+
+var stageNames = [...]string{
+	StageDetect:      "detect",
+	StageFrames:      "frames",
+	StageUBF:         "ubf",
+	StageIFF:         "iff",
+	StageGrouping:    "grouping",
+	StageSurface:     "surface",
+	StageLandmarks:   "landmarks",
+	StageCDG:         "cdg",
+	StageCDM:         "cdm",
+	StageTriangulate: "triangulate",
+	StageFlip:        "flip",
+	StageCell:        "cell",
+	StageExperiment:  "experiment",
+}
+
+// String implements fmt.Stringer; unknown stages print as "stage?".
+func (s Stage) String() string {
+	if int(s) < len(stageNames) && stageNames[s] != "" {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// StageFromString inverts Stage.String; false when unknown.
+func StageFromString(name string) (Stage, bool) {
+	for s, n := range stageNames {
+		if n == name {
+			return Stage(s), true
+		}
+	}
+	return 0, false
+}
+
+// Counter identifies one typed counter.
+type Counter uint8
+
+const (
+	// CtrNodes counts the nodes a stage processed.
+	CtrNodes Counter = iota + 1
+	// CtrBallsTested counts UBF candidate balls examined (Theorem 1's
+	// Θ(ρ²) quantity).
+	CtrBallsTested
+	// CtrNodesChecked counts UBF point-in-ball membership tests
+	// (Theorem 1's Θ(ρ³) quantity).
+	CtrNodesChecked
+	// CtrGridCells counts spatial-grid cells probed by the pruned
+	// emptiness test (zero on the brute path).
+	CtrGridCells
+	// CtrUBFBoundary counts nodes UBF marked as boundary candidates.
+	CtrUBFBoundary
+	// CtrBoundary counts nodes surviving IFF — the final boundary set.
+	CtrBoundary
+	// CtrGroups counts distinct boundary groups.
+	CtrGroups
+	// CtrMsgsSent counts send attempts presented to the network
+	// (including retransmissions).
+	CtrMsgsSent
+	// CtrMsgsDelivered counts messages handed to protocol handlers.
+	CtrMsgsDelivered
+	// CtrMsgsDropped counts deliveries lost to random loss, crashed
+	// receivers, or partitions.
+	CtrMsgsDropped
+	// CtrMsgsDuplicated counts extra copies injected by the fault layer.
+	CtrMsgsDuplicated
+	// CtrMsgsRetransmitted counts packets re-sent after an ack timeout.
+	CtrMsgsRetransmitted
+	// CtrMsgsAcked counts acknowledgments processed.
+	CtrMsgsAcked
+	// CtrMsgsAbandoned counts packets given up on after the retransmit
+	// budget.
+	CtrMsgsAbandoned
+	// CtrFloodRounds counts synchronous kernel rounds to quiescence.
+	CtrFloodRounds
+	// CtrLandmarks counts elected landmarks (surface step I).
+	CtrLandmarks
+	// CtrEdgesCDG and CtrEdgesCDM count the step II/III edge sets.
+	CtrEdgesCDG
+	CtrEdgesCDM
+	// CtrFaces counts final mesh triangles.
+	CtrFaces
+	// CtrFlips counts step-V edge flips applied.
+	CtrFlips
+
+	counterEnd // sentinel: number of counters + 1
+)
+
+var counterNames = [...]string{
+	CtrNodes:             "nodes",
+	CtrBallsTested:       "balls_tested",
+	CtrNodesChecked:      "nodes_checked",
+	CtrGridCells:         "grid_cells_probed",
+	CtrUBFBoundary:       "ubf_boundary",
+	CtrBoundary:          "boundary_nodes",
+	CtrGroups:            "groups",
+	CtrMsgsSent:          "msgs_sent",
+	CtrMsgsDelivered:     "msgs_delivered",
+	CtrMsgsDropped:       "msgs_dropped",
+	CtrMsgsDuplicated:    "msgs_duplicated",
+	CtrMsgsRetransmitted: "msgs_retransmitted",
+	CtrMsgsAcked:         "msgs_acked",
+	CtrMsgsAbandoned:     "msgs_abandoned",
+	CtrFloodRounds:       "flood_rounds",
+	CtrLandmarks:         "landmarks",
+	CtrEdgesCDG:          "cdg_edges",
+	CtrEdgesCDM:          "cdm_edges",
+	CtrFaces:             "faces",
+	CtrFlips:             "flips_applied",
+}
+
+// String implements fmt.Stringer; unknown counters print as "counter?".
+func (c Counter) String() string {
+	if int(c) < len(counterNames) && counterNames[c] != "" {
+		return counterNames[c]
+	}
+	return "counter?"
+}
+
+// CounterFromString inverts Counter.String; false when unknown.
+func CounterFromString(name string) (Counter, bool) {
+	for c, n := range counterNames {
+		if n == name {
+			return Counter(c), true
+		}
+	}
+	return 0, false
+}
+
+// Observer receives stage events and counters. Implementations must be
+// safe for concurrent use: the pipeline emits from worker pools.
+//
+// Callers hold observers as a possibly-nil interface and go through the
+// nil-safe package helpers (Start, Add); they never call these methods on
+// a value they have not nil-checked.
+type Observer interface {
+	// StageBegin marks the start of a span. label is "" for pipeline
+	// stages and a cell identifier for StageCell spans.
+	StageBegin(s Stage, label string)
+	// StageEnd closes the innermost open span of the stage, carrying the
+	// measured wall time.
+	StageEnd(s Stage, label string, wallNS int64)
+	// Count adds delta to the stage's counter.
+	Count(s Stage, c Counter, delta int64)
+}
+
+// Span is an in-flight stage measurement. The zero value (from a nil
+// observer) is inert: End returns immediately. Spans are values — starting
+// and ending one allocates nothing.
+type Span struct {
+	o     Observer
+	s     Stage
+	label string
+	start time.Time
+}
+
+// Start begins an unlabeled span on the observer; nil-safe.
+func Start(o Observer, s Stage) Span {
+	return StartLabeled(o, s, "")
+}
+
+// StartLabeled begins a labeled span on the observer; nil-safe. The clock
+// is read only when the observer is non-nil.
+func StartLabeled(o Observer, s Stage, label string) Span {
+	if o == nil {
+		return Span{}
+	}
+	o.StageBegin(s, label)
+	return Span{o: o, s: s, label: label, start: time.Now()}
+}
+
+// End closes the span with its measured wall time; inert on the zero
+// value.
+func (sp Span) End() {
+	if sp.o == nil {
+		return
+	}
+	sp.o.StageEnd(sp.s, sp.label, time.Since(sp.start).Nanoseconds())
+}
+
+// Add emits one counter increment; nil-safe, and silent for zero deltas
+// so disabled counters never clutter a trace.
+func Add(o Observer, s Stage, c Counter, delta int64) {
+	if o == nil || delta == 0 {
+		return
+	}
+	o.Count(s, c, delta)
+}

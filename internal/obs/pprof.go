@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler captures optional CPU and heap profiles around a run — the
+// third leg of the observability layer next to spans and counters. Start
+// it before the work, Stop after; either path may be empty to skip that
+// profile. Paths get the conventional suffixes when the caller passes a
+// bare prefix via StartProfilePrefix.
+type Profiler struct {
+	cpuFile  *os.File
+	heapPath string
+}
+
+// StartProfile begins CPU profiling to cpuPath (when non-empty) and
+// remembers heapPath for a heap snapshot at Stop (when non-empty).
+func StartProfile(cpuPath, heapPath string) (*Profiler, error) {
+	p := &Profiler{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// StartProfilePrefix is StartProfile with conventional file names derived
+// from one prefix: <prefix>.cpu.pprof and <prefix>.heap.pprof.
+func StartProfilePrefix(prefix string) (*Profiler, error) {
+	if prefix == "" {
+		return &Profiler{}, nil
+	}
+	return StartProfile(prefix+".cpu.pprof", prefix+".heap.pprof")
+}
+
+// Stop ends CPU profiling and writes the heap snapshot. Safe to call on
+// a zero-configured profiler; not idempotent beyond that.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			firstErr = err
+		}
+		p.cpuFile = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			runtime.GC() // settle the heap so the snapshot reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		p.heapPath = ""
+	}
+	return firstErr
+}

@@ -1,0 +1,186 @@
+package obs
+
+import "sync"
+
+// EventKind distinguishes the three event types a sink records.
+type EventKind uint8
+
+const (
+	// KindBegin opens a span.
+	KindBegin EventKind = iota + 1
+	// KindEnd closes a span, carrying wall time.
+	KindEnd
+	// KindCount carries one counter increment.
+	KindCount
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindEnd:
+		return "end"
+	case KindCount:
+		return "count"
+	}
+	return "kind?"
+}
+
+// Event is one recorded observation, the common currency of the sinks and
+// the JSONL trace schema.
+type Event struct {
+	Kind    EventKind
+	Stage   Stage
+	Label   string  // "" except for labeled (cell) spans
+	Counter Counter // KindCount only
+	Value   int64   // counter delta (KindCount only)
+	WallNS  int64   // span wall time (KindEnd only)
+}
+
+// Mem is an in-memory sink for tests: it records every event in arrival
+// order and aggregates counters. Safe for concurrent use. The zero value
+// is ready.
+type Mem struct {
+	mu     sync.Mutex
+	events []Event
+	totals map[[2]uint8]int64 // (stage, counter) -> sum
+	spans  map[Stage]int      // completed spans per stage
+	open   map[Stage]int      // begun-but-unended spans per stage
+}
+
+// StageBegin implements Observer.
+func (m *Mem) StageBegin(s Stage, label string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{Kind: KindBegin, Stage: s, Label: label})
+	if m.open == nil {
+		m.open = make(map[Stage]int)
+	}
+	m.open[s]++
+}
+
+// StageEnd implements Observer.
+func (m *Mem) StageEnd(s Stage, label string, wallNS int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{Kind: KindEnd, Stage: s, Label: label, WallNS: wallNS})
+	if m.spans == nil {
+		m.spans = make(map[Stage]int)
+	}
+	m.spans[s]++
+	if m.open != nil {
+		m.open[s]--
+	}
+}
+
+// Count implements Observer.
+func (m *Mem) Count(s Stage, c Counter, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{Kind: KindCount, Stage: s, Counter: c, Value: delta})
+	if m.totals == nil {
+		m.totals = make(map[[2]uint8]int64)
+	}
+	m.totals[[2]uint8{uint8(s), uint8(c)}] += delta
+}
+
+// Events returns a copy of everything recorded, in arrival order.
+func (m *Mem) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Total returns the accumulated value of one stage's counter.
+func (m *Mem) Total(s Stage, c Counter) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totals[[2]uint8{uint8(s), uint8(c)}]
+}
+
+// CounterTotal sums one counter across every stage.
+func (m *Mem) CounterTotal(c Counter) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for k, v := range m.totals {
+		if k[1] == uint8(c) {
+			t += v
+		}
+	}
+	return t
+}
+
+// Spans returns how many completed (ended) spans the stage recorded.
+func (m *Mem) Spans(s Stage) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spans[s]
+}
+
+// Unbalanced reports stages with begun-but-never-ended spans — an
+// instrumentation bug the tests assert against.
+func (m *Mem) Unbalanced() []Stage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Stage
+	for s := Stage(1); s < stageEnd; s++ {
+		if m.open[s] != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Totals flattens the aggregated counters into a "stage/counter" -> value
+// map — the per-cell roll-up format eval.Engine attaches to sweep points.
+func (m *Mem) Totals() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.totals) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m.totals))
+	for k, v := range m.totals {
+		out[Stage(k[0]).String()+"/"+Counter(k[1]).String()] = v
+	}
+	return out
+}
+
+// Reset drops everything recorded.
+func (m *Mem) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events, m.totals, m.spans, m.open = nil, nil, nil, nil
+}
+
+// tee fans every event out to two observers.
+type tee struct{ a, b Observer }
+
+// Tee returns an observer forwarding to both arguments; either may be
+// nil, in which case the other is returned directly.
+func Tee(a, b Observer) Observer {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return tee{a, b}
+}
+
+func (t tee) StageBegin(s Stage, label string) {
+	t.a.StageBegin(s, label)
+	t.b.StageBegin(s, label)
+}
+
+func (t tee) StageEnd(s Stage, label string, wallNS int64) {
+	t.a.StageEnd(s, label, wallNS)
+	t.b.StageEnd(s, label, wallNS)
+}
+
+func (t tee) Count(s Stage, c Counter, delta int64) {
+	t.a.Count(s, c, delta)
+	t.b.Count(s, c, delta)
+}

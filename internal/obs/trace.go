@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceLine is the JSONL wire format: one event per line. ts_ns is the
+// time since the writer was opened, so a trace reads as a timeline
+// without trusting wall clocks across processes.
+//
+//	{"ev":"begin","stage":"ubf","ts_ns":12345}
+//	{"ev":"end","stage":"ubf","ts_ns":99999,"wall_ns":87654}
+//	{"ev":"count","stage":"iff","counter":"msgs_delivered","value":1234,"ts_ns":100000}
+type traceLine struct {
+	Ev      string `json:"ev"`
+	Stage   string `json:"stage"`
+	Label   string `json:"label,omitempty"`
+	Counter string `json:"counter,omitempty"`
+	Value   *int64 `json:"value,omitempty"`
+	WallNS  *int64 `json:"wall_ns,omitempty"`
+	TsNS    int64  `json:"ts_ns"`
+}
+
+// JSONL is an Observer writing one JSON object per event to an io.Writer
+// — the sink behind `cmd/experiment -trace`. Writes are serialized by a
+// mutex so concurrently-emitting pipeline workers produce intact lines.
+// Encoding errors are sticky and surfaced by Close/Err rather than per
+// event, so instrumented code stays error-free.
+type JSONL struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	err   error
+}
+
+// NewJSONL wraps w in a JSONL sink. The caller owns closing the
+// underlying writer; call Close (or Flush) first.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+func (j *JSONL) emit(l traceLine) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	l.TsNS = time.Since(j.start).Nanoseconds()
+	j.err = j.enc.Encode(l)
+}
+
+// StageBegin implements Observer.
+func (j *JSONL) StageBegin(s Stage, label string) {
+	j.emit(traceLine{Ev: "begin", Stage: s.String(), Label: label})
+}
+
+// StageEnd implements Observer.
+func (j *JSONL) StageEnd(s Stage, label string, wallNS int64) {
+	j.emit(traceLine{Ev: "end", Stage: s.String(), Label: label, WallNS: &wallNS})
+}
+
+// Count implements Observer.
+func (j *JSONL) Count(s Stage, c Counter, delta int64) {
+	j.emit(traceLine{Ev: "count", Stage: s.String(), Counter: c.String(), Value: &delta})
+}
+
+// Flush drains buffered lines to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Err returns the first write or encoding error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// TraceSummary aggregates a validated trace.
+type TraceSummary struct {
+	// Events is the total line count.
+	Events int
+	// Spans counts completed spans per stage.
+	Spans map[Stage]int
+	// Counters sums counter values per (stage, counter).
+	Counters map[Stage]map[Counter]int64
+}
+
+// Total returns a summed counter value for one stage; zero when absent.
+func (t TraceSummary) Total(s Stage, c Counter) int64 {
+	return t.Counters[s][c]
+}
+
+// CounterTotal sums one counter across all stages.
+func (t TraceSummary) CounterTotal(c Counter) int64 {
+	var n int64
+	for _, m := range t.Counters {
+		n += m[c]
+	}
+	return n
+}
+
+// ValidateTrace parses a JSONL trace and checks it against the schema:
+// every line a well-formed object with a known ev/stage, counter lines
+// carrying a known counter and a value, end lines carrying a non-negative
+// wall_ns, ts_ns non-decreasing per emitter's promise (not enforced —
+// concurrent emitters interleave), and begin/end balanced per stage. It
+// returns the aggregate summary on success.
+func ValidateTrace(r io.Reader) (TraceSummary, error) {
+	sum := TraceSummary{
+		Spans:    make(map[Stage]int),
+		Counters: make(map[Stage]map[Counter]int64),
+	}
+	open := make(map[Stage]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l traceLine
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&l); err != nil {
+			return sum, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		stage, ok := StageFromString(l.Stage)
+		if !ok {
+			return sum, fmt.Errorf("obs: trace line %d: unknown stage %q", lineNo, l.Stage)
+		}
+		switch l.Ev {
+		case "begin":
+			open[stage]++
+		case "end":
+			if l.WallNS == nil || *l.WallNS < 0 {
+				return sum, fmt.Errorf("obs: trace line %d: end event needs wall_ns >= 0", lineNo)
+			}
+			open[stage]--
+			sum.Spans[stage]++
+		case "count":
+			ctr, ok := CounterFromString(l.Counter)
+			if !ok {
+				return sum, fmt.Errorf("obs: trace line %d: unknown counter %q", lineNo, l.Counter)
+			}
+			if l.Value == nil {
+				return sum, fmt.Errorf("obs: trace line %d: count event needs a value", lineNo)
+			}
+			if sum.Counters[stage] == nil {
+				sum.Counters[stage] = make(map[Counter]int64)
+			}
+			sum.Counters[stage][ctr] += *l.Value
+		default:
+			return sum, fmt.Errorf("obs: trace line %d: unknown event kind %q", lineNo, l.Ev)
+		}
+		sum.Events++
+	}
+	if err := sc.Err(); err != nil {
+		return sum, fmt.Errorf("obs: trace: %w", err)
+	}
+	for s, n := range open {
+		if n != 0 {
+			return sum, fmt.Errorf("obs: trace: %d unbalanced %s span(s)", n, s)
+		}
+	}
+	return sum, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // AsyncKernel executes a protocol with per-message random delivery delays
@@ -41,6 +42,12 @@ type AsyncKernel[M any] struct {
 	// Faults injects per-delivery faults; nil means perfect delivery.
 	// The plan's "step" is the count of messages delivered so far.
 	Faults *FaultPlan
+	// Obs, when non-nil, receives the run's message accounting when Run
+	// returns (including on a budget error): messages delivered and —
+	// with a fault plan — the full fault-layer counters. ObsStage labels
+	// those events (e.g. obs.StageIFF).
+	Obs      obs.Observer
+	ObsStage obs.Stage
 
 	now  float64
 	step int
@@ -188,6 +195,7 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 	for queue.Len() > 0 {
 		if events >= maxEvents {
 			res.Faults = k.Faults.Stats()
+			k.emitObs(res)
 			return res, &QuiescenceError{
 				Base: ErrEventBudget, Steps: events,
 				InFlight: queue.Len(), Faults: res.Faults,
@@ -220,7 +228,23 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 		schedule(ev.at, res.Messages, &out)
 	}
 	res.Faults = k.Faults.Stats()
+	k.emitObs(res)
 	return res, nil
+}
+
+// emitObs mirrors the finished run's accounting onto the kernel's
+// observer; a nil Obs is free.
+func (k *AsyncKernel[M]) emitObs(res AsyncResult) {
+	if k.Obs == nil {
+		return
+	}
+	if k.Faults == nil {
+		// Perfect delivery: every send is a delivery.
+		obs.Add(k.Obs, k.ObsStage, obs.CtrMsgsSent, int64(res.Messages))
+		obs.Add(k.Obs, k.ObsStage, obs.CtrMsgsDelivered, int64(res.Messages))
+		return
+	}
+	res.Faults.EmitObs(k.Obs, k.ObsStage)
 }
 
 // AsyncFloodCount is FloodCount executed under asynchrony. The forwarding

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // FaultConfig declaratively describes a fault environment for the
@@ -126,6 +128,22 @@ func (s *FaultStats) Add(o FaultStats) {
 // TotalDropped sums every kind of lost delivery.
 func (s FaultStats) TotalDropped() int {
 	return s.Dropped + s.CrashDrops + s.PartitionDrops
+}
+
+// EmitObs mirrors the stats onto an observer as message-accounting
+// counters under the given stage — the one source of truth both the
+// kernels and core.DetectContext use. Nil-safe; zero counters stay silent.
+func (s FaultStats) EmitObs(o obs.Observer, stage obs.Stage) {
+	if o == nil {
+		return
+	}
+	obs.Add(o, stage, obs.CtrMsgsSent, int64(s.Attempts))
+	obs.Add(o, stage, obs.CtrMsgsDelivered, int64(s.Delivered))
+	obs.Add(o, stage, obs.CtrMsgsDropped, int64(s.TotalDropped()))
+	obs.Add(o, stage, obs.CtrMsgsDuplicated, int64(s.Duplicated))
+	obs.Add(o, stage, obs.CtrMsgsRetransmitted, int64(s.Retransmits))
+	obs.Add(o, stage, obs.CtrMsgsAcked, int64(s.Acks))
+	obs.Add(o, stage, obs.CtrMsgsAbandoned, int64(s.Abandoned))
 }
 
 // Starved reports whether fault losses may have kept the protocol from

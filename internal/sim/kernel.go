@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ErrNoQuiescence is returned (wrapped in a QuiescenceError carrying
@@ -111,6 +112,12 @@ type Kernel[M any] struct {
 	// Faults injects message loss, duplication, delay, crashes and
 	// partitions per delivery. Nil means perfect delivery.
 	Faults *FaultPlan
+	// Obs, when non-nil, receives the run's message accounting when Run
+	// returns (including on a quiescence error): flood rounds, messages
+	// delivered, and — with a fault plan — the full fault-layer counters.
+	// ObsStage labels those events (e.g. obs.StageIFF).
+	Obs      obs.Observer
+	ObsStage obs.Stage
 
 	g     *graph.Graph
 	round int
@@ -129,6 +136,22 @@ type Result struct {
 // Round is the round currently being executed, valid inside OnReceive,
 // OnTimer, and Init callbacks.
 func (k *Kernel[M]) Round() int { return k.round }
+
+// emitObs mirrors the finished run's accounting onto the kernel's
+// observer; a nil Obs is free.
+func (k *Kernel[M]) emitObs(res Result) {
+	if k.Obs == nil {
+		return
+	}
+	obs.Add(k.Obs, k.ObsStage, obs.CtrFloodRounds, int64(res.Rounds))
+	if k.Faults == nil {
+		// Perfect delivery: every send is a delivery.
+		obs.Add(k.Obs, k.ObsStage, obs.CtrMsgsSent, int64(res.Messages))
+		obs.Add(k.Obs, k.ObsStage, obs.CtrMsgsDelivered, int64(res.Messages))
+		return
+	}
+	res.Faults.EmitObs(k.Obs, k.ObsStage)
+}
 
 func (k *Kernel[M]) participates(i int) bool {
 	return k.Participates == nil || k.Participates(i)
@@ -210,11 +233,13 @@ func (k *Kernel[M]) Run() (Result, error) {
 		if len(futures) == 0 && len(timerAt) == 0 {
 			res.Rounds = round
 			res.Faults = k.Faults.Stats()
+			k.emitObs(res)
 			return res, nil
 		}
 		if round >= maxRounds {
 			res.Rounds = round
 			res.Faults = k.Faults.Stats()
+			k.emitObs(res)
 			inFlight := 0
 			for _, ds := range futures {
 				inFlight += len(ds)
