@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race fuzz bench benchsmoke trace-smoke check
+.PHONY: build test vet race fuzz bench benchsmoke trace-smoke trace-stat bench-diff check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFaultedDelivery -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=^$$ -fuzz=FuzzSpheresThrough3 -fuzztime=$(FUZZTIME) ./internal/geom
 	$(GO) test -run=^$$ -fuzz=FuzzCircumcenter3 -fuzztime=$(FUZZTIME) ./internal/geom
+	$(GO) test -run=^$$ -fuzz=FuzzLoadDiff -fuzztime=$(FUZZTIME) ./internal/obs/analyze
 
 # `make bench` records a machine-readable baseline (schema: internal/bench,
 # documented in EXPERIMENTS.md) named for today's date.
@@ -48,4 +49,33 @@ trace-smoke:
 	$(GO) run ./cmd/experiment -run faults -async -scale 0.15 -trace $$dir/trace.jsonl && \
 	test -s $$dir/trace.jsonl && echo "trace-smoke: OK ($$dir/trace.jsonl)"
 
-check: vet race benchsmoke trace-smoke fuzz
+# Flight-recorder analytics smoke: record a round-resolved trace, then run
+# tracestat over it (curves + anomaly scan) and over the same trace twice
+# as an identity diff, which must exit zero.
+trace-stat:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/experiment -run faults -async -scale 0.15 -trace $$dir/trace.jsonl && \
+	$(GO) run ./cmd/tracestat -trace $$dir/trace.jsonl -out $$dir/report.json && \
+	$(GO) run ./cmd/tracestat -trace $$dir/trace.jsonl -against $$dir/trace.jsonl && \
+	echo "trace-stat: OK"
+
+# Tolerances for the bench regression gate. ns/op and allocs/op regress
+# only when they *increase* beyond the fraction; the deterministic work
+# counters (balls tested, nodes checked) must match exactly.
+TOL_NS     ?= 0.25
+TOL_ALLOCS ?= 0.10
+TOL_WORK   ?= 0
+
+# Regression gate: diff the two newest committed baselines (BENCH_*.json,
+# named by date so lexical order is chronological). Fails when the newer
+# baseline regressed beyond the tolerances above; a no-op until at least
+# two baselines exist.
+bench-diff:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort); \
+	if [ $$# -lt 2 ]; then echo "bench-diff: need two BENCH_*.json baselines, have $$# — skipping"; exit 0; fi; \
+	while [ $$# -gt 2 ]; do shift; done; \
+	echo "bench-diff: $$1 -> $$2"; \
+	$(GO) run ./cmd/tracestat -baseline $$2 -against $$1 \
+		-tol-ns $(TOL_NS) -tol-allocs $(TOL_ALLOCS) -tol-work $(TOL_WORK)
+
+check: vet race benchsmoke trace-smoke trace-stat bench-diff fuzz

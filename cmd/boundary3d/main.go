@@ -13,8 +13,9 @@
 // The shared flags (-seed, -workers, -out, -trace, -pprof) follow the
 // repository-wide convention (see internal/cli): -out writes the run
 // summary as a JSON envelope (the geometry artifacts keep their own
-// -artifacts prefix), -trace records every pipeline stage event as JSONL,
-// and -pprof captures CPU/heap profiles.
+// -artifacts prefix), -trace records every pipeline stage event as JSONL
+// — including the flight recorder's round and transition events, readable
+// with cmd/tracestat — and -pprof captures CPU/heap profiles.
 package main
 
 import (

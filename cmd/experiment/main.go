@@ -21,6 +21,10 @@
 // surfaces them, UBF work counters) as a machine-readable baseline in the
 // internal/bench format — the same schema `make bench` produces from the
 // benchmark suite.
+//
+// Recorded traces carry the protocol flight recorder (per-round message
+// accounting and node transitions); analyze them — convergence curves,
+// anomaly scan, trace/baseline diffs — with cmd/tracestat.
 package main
 
 import (

@@ -8,7 +8,8 @@
 // The shared flags (-seed, -workers, -out, -trace, -pprof) follow the
 // repository-wide convention (see internal/cli): -out wraps the network
 // JSON in the common output envelope; -in accepts both an envelope and
-// the legacy raw network JSON.
+// the legacy raw network JSON; -trace records the generation as a JSONL
+// trace readable with cmd/tracestat.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/eval"
 	"repro/internal/export"
+	"repro/internal/obs"
 )
 
 // options collects one invocation's parameters: the generation selection
@@ -52,6 +54,21 @@ func run(w io.Writer, opts options) error {
 		return inspect(w, opts.In)
 	}
 
+	// Realize the shared observability options (-trace, -pprof). A Close
+	// failure — e.g. a trace that could not be flushed — must surface as
+	// this command's nonzero exit, so it is only swallowed when a run
+	// error already won.
+	sess, err := opts.Common.Start()
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			sess.Close()
+		}
+	}()
+
 	var picked *eval.Scenario
 	for _, sc := range eval.AllScenarios() {
 		if sc.Name == opts.Scenario || strings.HasPrefix(sc.Name, opts.Scenario) {
@@ -67,28 +84,31 @@ func run(w io.Writer, opts options) error {
 	if opts.Seed != 0 {
 		sc.Seed = opts.Seed
 	}
+	genSpan := obs.Start(sess.Obs, obs.StageExperiment)
 	net, err := sc.Generate()
+	genSpan.End()
 	if err != nil {
 		return err
 	}
+	obs.Add(sess.Obs, obs.StageExperiment, obs.CtrNodes, int64(net.G.Len()))
 	fmt.Fprintf(w, "%s (%s): radius=%.4f %v\n", sc.Name, sc.Figure, net.Radius, net.Stats())
-	if opts.Out == "" {
-		return nil
+	if opts.Out != "" {
+		raw, err := cli.MarshalRaw(func(buf *bytes.Buffer) error {
+			return export.WriteNetworkJSON(buf, net)
+		})
+		if err != nil {
+			return err
+		}
+		env := opts.Common.NewEnvelope("netgen", map[string]any{
+			"scenario": opts.Scenario, "scale": opts.Scale,
+		}, raw)
+		if err := cli.WriteEnvelope(opts.Out, env); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", opts.Out)
 	}
-	raw, err := cli.MarshalRaw(func(buf *bytes.Buffer) error {
-		return export.WriteNetworkJSON(buf, net)
-	})
-	if err != nil {
-		return err
-	}
-	env := opts.Common.NewEnvelope("netgen", map[string]any{
-		"scenario": opts.Scenario, "scale": opts.Scale,
-	}, raw)
-	if err := cli.WriteEnvelope(opts.Out, env); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s\n", opts.Out)
-	return nil
+	closed = true
+	return sess.Close()
 }
 
 // inspect reads a stored network — the common envelope or the legacy raw

@@ -1,0 +1,275 @@
+// Command tracestat analyzes flight-recorder traces and benchmark
+// baselines: convergence curves, anomaly detection, and tolerance-gated
+// diffs (internal/obs/analyze).
+//
+// Usage:
+//
+//	tracestat -trace run.jsonl                     # validate + curves + anomalies
+//	tracestat -trace new.jsonl -against old.jsonl  # diff two traces
+//	tracestat -baseline BENCH_A.json -against BENCH_B.json  # diff two baselines
+//	tracestat -baseline BENCH_A.json               # summarize one baseline
+//
+// Exit status: 0 when clean, 1 when the diff found a regression (or, with
+// -fail-on-anomaly, when the trace shows an anomaly), 2 on usage or I/O
+// errors. -out writes the full report as a JSON envelope (internal/cli
+// framing, tool "tracestat"). Baselines recorded on different hosts are
+// refused unless -allow-cross-host is set.
+//
+// This command reads traces, so it registers its own flags instead of the
+// shared cli.Common block (whose -trace means "write a trace").
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// options collects one invocation's parameters.
+type options struct {
+	Trace    string
+	Baseline string
+	Against  string
+	Out      string
+
+	TolCount float64
+	TolRound int
+	TolWall  float64
+
+	TolNS     float64
+	TolAllocs float64
+	TolWork   float64
+
+	AllowCrossHost bool
+	FailOnAnomaly  bool
+}
+
+func registerFlags(fs *flag.FlagSet, opts *options) {
+	fs.StringVar(&opts.Trace, "trace", "", "JSONL flight-recorder trace to analyze (input)")
+	fs.StringVar(&opts.Baseline, "baseline", "", "BENCH_*.json baseline to analyze (input)")
+	fs.StringVar(&opts.Against, "against", "", "second trace or baseline to diff against (same kind as the first input)")
+	fs.StringVar(&opts.Out, "out", "", "write the report as a JSON envelope to this path")
+	fs.Float64Var(&opts.TolCount, "tol-count", 0, "trace diff: allowed fractional drift per counter total (0 = exact)")
+	fs.IntVar(&opts.TolRound, "tol-rounds", 0, "trace diff: allowed absolute drift per stage round count")
+	fs.Float64Var(&opts.TolWall, "tol-wall", -1, "trace diff: allowed fractional wall-time drift per stage (negative = ignore wall time)")
+	fs.Float64Var(&opts.TolNS, "tol-ns", 0.25, "baseline diff: allowed fractional ns/op increase per stage")
+	fs.Float64Var(&opts.TolAllocs, "tol-allocs", 0.10, "baseline diff: allowed fractional allocs/op increase per stage")
+	fs.Float64Var(&opts.TolWork, "tol-work", 0, "baseline diff: allowed fractional drift of the deterministic work counters")
+	fs.BoolVar(&opts.AllowCrossHost, "allow-cross-host", false, "permit diffing baselines recorded on different hosts")
+	fs.BoolVar(&opts.FailOnAnomaly, "fail-on-anomaly", false, "exit nonzero when a single-trace analysis finds anomalies")
+}
+
+// errFindings marks a completed analysis whose verdict is "regressed":
+// main exits 1 instead of the usage/I/O status 2.
+var errFindings = errors.New("regression detected")
+
+func main() {
+	var opts options
+	registerFlags(flag.CommandLine, &opts)
+	flag.Parse()
+
+	err := run(os.Stdout, opts)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(2)
+	}
+}
+
+// report is the envelope payload: whichever sections the mode produced.
+type report struct {
+	Mode      string            `json:"mode"`
+	Curves    []analyze.Curve   `json:"curves,omitempty"`
+	Anomalies []analyze.Anomaly `json:"anomalies,omitempty"`
+	Findings  []analyze.Finding `json:"findings,omitempty"`
+	Stages    []bench.Stage     `json:"stages,omitempty"`
+}
+
+func run(w io.Writer, opts options) error {
+	switch {
+	case opts.Trace != "" && opts.Baseline != "":
+		return fmt.Errorf("pass -trace or -baseline, not both")
+	case opts.Trace != "" && opts.Against == "":
+		return analyzeTrace(w, opts)
+	case opts.Trace != "":
+		return diffTraces(w, opts)
+	case opts.Baseline != "" && opts.Against == "":
+		return summarizeBaseline(w, opts)
+	case opts.Baseline != "":
+		return diffBaselines(w, opts)
+	default:
+		return fmt.Errorf("nothing to do: pass -trace or -baseline (see -h)")
+	}
+}
+
+func loadTrace(path string) (*analyze.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := analyze.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// writeReport emits the optional JSON envelope.
+func writeReport(opts options, rep report) error {
+	if opts.Out == "" {
+		return nil
+	}
+	env := cli.Envelope{Tool: "tracestat", Params: map[string]any{
+		"trace": opts.Trace, "baseline": opts.Baseline, "against": opts.Against,
+	}, Data: rep}
+	return cli.WriteEnvelope(opts.Out, env)
+}
+
+// analyzeTrace is the single-trace mode: validate, print convergence
+// curves and anomalies.
+func analyzeTrace(w io.Writer, opts options) error {
+	tr, err := loadTrace(opts.Trace)
+	if err != nil {
+		return err
+	}
+	curves := analyze.Convergence(tr.Events)
+	anomalies := analyze.FindAnomalies(tr)
+
+	fmt.Fprintf(w, "%s: %d events, %d stages with rounds, %d transitions\n",
+		opts.Trace, tr.Summary.Events, len(tr.Summary.Rounds), totalTransitions(tr.Summary))
+	for _, c := range curves {
+		fmt.Fprintf(w, "\nconvergence %s (%d rounds):\n", c.Stage, len(c.Points))
+		fmt.Fprintf(w, "  %7s %9s %10s %9s %8s %8s %7s\n", "round", "sent", "delivered", "dropped", "dup", "delayed", "active")
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "  %7d %9d %10d %9d %8d %8d %7d\n", p.Round,
+				p.Stats.Sent, p.Stats.Delivered, p.Stats.Dropped,
+				p.Stats.Duplicated, p.Stats.Delayed, p.Stats.Active)
+		}
+	}
+	if len(anomalies) == 0 {
+		fmt.Fprintf(w, "\nno anomalies\n")
+	} else {
+		fmt.Fprintf(w, "\nanomalies (%d):\n", len(anomalies))
+		for _, a := range anomalies {
+			fmt.Fprintf(w, "  [%s] %s\n", a.Kind, a.Detail)
+		}
+	}
+	if err := writeReport(opts, report{Mode: "trace", Curves: curves, Anomalies: anomalies}); err != nil {
+		return err
+	}
+	if opts.FailOnAnomaly && len(anomalies) > 0 {
+		return fmt.Errorf("%w: %d anomaly(ies)", errFindings, len(anomalies))
+	}
+	return nil
+}
+
+func totalTransitions(sum obs.TraceSummary) int {
+	n := 0
+	for _, c := range sum.Transitions {
+		n += c
+	}
+	return n
+}
+
+// diffTraces compares -against (old) to -trace (new).
+func diffTraces(w io.Writer, opts options) error {
+	oldTr, err := loadTrace(opts.Against)
+	if err != nil {
+		return err
+	}
+	newTr, err := loadTrace(opts.Trace)
+	if err != nil {
+		return err
+	}
+	rep := analyze.DiffTraces(oldTr.Summary, newTr.Summary, analyze.Tolerances{
+		CounterFrac: opts.TolCount,
+		RoundSlack:  opts.TolRound,
+		WallFrac:    opts.TolWall,
+	})
+	return finishDiff(w, opts, "trace-diff", rep,
+		fmt.Sprintf("trace diff %s -> %s", opts.Against, opts.Trace))
+}
+
+// diffBaselines compares -against (old) to -baseline (new).
+func diffBaselines(w io.Writer, opts options) error {
+	oldB, err := bench.Load(opts.Against)
+	if err != nil {
+		return err
+	}
+	newB, err := bench.Load(opts.Baseline)
+	if err != nil {
+		return err
+	}
+	rep, err := analyze.DiffBaselines(oldB, newB, analyze.BenchTolerances{
+		NSFrac:         opts.TolNS,
+		AllocFrac:      opts.TolAllocs,
+		WorkFrac:       opts.TolWork,
+		AllowCrossHost: opts.AllowCrossHost,
+	})
+	if err != nil {
+		return err
+	}
+	return finishDiff(w, opts, "bench-diff", rep,
+		fmt.Sprintf("baseline diff %s (%s) -> %s (%s)", opts.Against, oldB.Name, opts.Baseline, newB.Name))
+}
+
+// finishDiff renders a diff report, writes the envelope, and converts
+// regressions into the exit-1 sentinel.
+func finishDiff(w io.Writer, opts options, mode string, rep analyze.Report, header string) error {
+	fmt.Fprintln(w, header)
+	for _, f := range rep.Findings {
+		mark := "ok  "
+		if f.Regressed {
+			mark = "FAIL"
+		}
+		line := fmt.Sprintf("  %s %-32s old=%.6g new=%.6g delta=%+.6g (allowed %.6g)",
+			mark, f.Metric, f.Old, f.New, f.Delta, f.Allowed)
+		if f.Note != "" {
+			line += " — " + f.Note
+		}
+		fmt.Fprintln(w, line)
+	}
+	regs := rep.Regressions()
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "no regressions (%d metrics compared)\n", len(rep.Findings))
+	} else {
+		fmt.Fprintf(w, "%d regression(s) out of %d metrics\n", len(regs), len(rep.Findings))
+	}
+	if err := writeReport(opts, report{Mode: mode, Findings: rep.Findings}); err != nil {
+		return err
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%w: %d metric(s) out of tolerance", errFindings, len(regs))
+	}
+	return nil
+}
+
+// summarizeBaseline prints one baseline's stages.
+func summarizeBaseline(w io.Writer, opts options) error {
+	b, err := bench.Load(opts.Baseline)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %s (%s, GOMAXPROCS=%d, host %s, scale %g)\n",
+		opts.Baseline, b.Name, b.GoVersion, b.GOMAXPROCS, b.Host, b.Scale)
+	for _, s := range b.Stages {
+		fmt.Fprintf(w, "  %-36s %12.0f ns/op  ops=%d", s.Name, s.NSPerOp, s.Ops)
+		if s.Allocs != 0 {
+			fmt.Fprintf(w, "  allocs/op=%d", s.Allocs)
+		}
+		fmt.Fprintln(w)
+	}
+	return writeReport(opts, report{Mode: "baseline", Stages: b.Stages})
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/obs"
+)
+
+// writeBaseline stores a one-stage baseline for the diff modes.
+func writeBaseline(t *testing.T, dir, name string, ns float64, host bench.Host) string {
+	t.Helper()
+	b := &bench.Baseline{
+		Name: name, CreatedAt: "2026-08-05T00:00:00Z",
+		GoVersion: "go1.22", GOMAXPROCS: 1, Host: host,
+		Stages: []bench.Stage{{Name: "ubf", WallNS: int64(ns) * 4, Ops: 4, NSPerOp: ns, BallsTested: 99}},
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeTrace records a tiny valid trace to a file.
+func writeTrace(t *testing.T, dir, name string, msgs int64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	j.RoundBegin(obs.StageIFF, 0)
+	j.RoundEnd(obs.StageIFF, 0, obs.RoundStats{Sent: msgs, Delivered: msgs, Active: 2})
+	j.Count(obs.StageIFF, obs.CtrMsgsSent, msgs)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBaselineDiffExitContract is the gate's acceptance criterion: an
+// identical baseline pair diffs clean (exit 0), an injected regression
+// returns the findings sentinel (exit 1), and a cross-host pair is
+// refused as a usage error (exit 2) unless overridden.
+func TestBaselineDiffExitContract(t *testing.T) {
+	dir := t.TempDir()
+	host := bench.Host{CPUModel: "test-cpu", NumCPU: 2, OS: "linux", Arch: "amd64"}
+	oldP := writeBaseline(t, dir, "old", 1000, host)
+	sameP := writeBaseline(t, dir, "same", 1000, host)
+	slowP := writeBaseline(t, dir, "slow", 2000, host)
+	otherHostP := writeBaseline(t, dir, "other", 1000,
+		bench.Host{CPUModel: "other-cpu", NumCPU: 8, OS: "linux", Arch: "arm64"})
+
+	base := options{TolNS: 0.25, TolAllocs: 0.10, TolWall: -1}
+
+	var out bytes.Buffer
+	opts := base
+	opts.Baseline, opts.Against = sameP, oldP
+	if err := run(&out, opts); err != nil {
+		t.Fatalf("identical pair: %v", err)
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("identical-pair report: %q", out.String())
+	}
+
+	opts = base
+	opts.Baseline, opts.Against = slowP, oldP
+	err := run(reset(&out), opts)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("injected regression: err = %v, want errFindings", err)
+	}
+
+	opts = base
+	opts.Baseline, opts.Against = otherHostP, oldP
+	err = run(reset(&out), opts)
+	if err == nil || errors.Is(err, errFindings) {
+		t.Fatalf("cross-host pair: err = %v, want a usage refusal", err)
+	}
+	opts.AllowCrossHost = true
+	if err := run(reset(&out), opts); err != nil {
+		t.Errorf("cross-host override: %v", err)
+	}
+}
+
+// reset clears and returns the buffer, keeping the call sites short.
+func reset(b *bytes.Buffer) *bytes.Buffer {
+	b.Reset()
+	return b
+}
+
+// TestTraceModesAndEnvelope covers the two trace modes: single-trace
+// analysis with a JSON report envelope, and the trace-vs-trace diff's
+// exit contract.
+func TestTraceModesAndEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.jsonl", 10)
+	same := writeTrace(t, dir, "same.jsonl", 10)
+	drifted := writeTrace(t, dir, "drifted.jsonl", 20)
+	outPath := filepath.Join(dir, "report.json")
+
+	var out bytes.Buffer
+	opts := options{Trace: a, Out: outPath, TolWall: -1}
+	if err := run(&out, opts); err != nil {
+		t.Fatalf("single-trace mode: %v", err)
+	}
+	if !strings.Contains(out.String(), "no anomalies") {
+		t.Errorf("report: %q", out.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, data, err := cli.ReadEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Tool != "tracestat" {
+		t.Errorf("envelope tool = %q", env.Tool)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "trace" || len(rep.Curves) == 0 {
+		t.Errorf("envelope payload: %+v", rep)
+	}
+
+	opts = options{Trace: same, Against: a, TolWall: -1}
+	if err := run(reset(&out), opts); err != nil {
+		t.Errorf("identical trace diff: %v", err)
+	}
+	opts = options{Trace: drifted, Against: a, TolWall: -1}
+	if err := run(reset(&out), opts); !errors.Is(err, errFindings) {
+		t.Errorf("drifted trace diff: err = %v, want errFindings", err)
+	}
+}
+
+// TestFailOnAnomaly: a non-quiescent trace passes by default and fails
+// with -fail-on-anomaly.
+func TestFailOnAnomaly(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	j.RoundBegin(obs.StageIFF, 0)
+	j.RoundEnd(obs.StageIFF, 0, obs.RoundStats{Sent: 5, Delivered: 3, Active: 2})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "stuck.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(&out, options{Trace: path, TolWall: -1}); err != nil {
+		t.Fatalf("anomalous trace without -fail-on-anomaly: %v", err)
+	}
+	if !strings.Contains(out.String(), "non_quiescence") {
+		t.Errorf("report does not surface the anomaly: %q", out.String())
+	}
+	err := run(reset(&out), options{Trace: path, TolWall: -1, FailOnAnomaly: true})
+	if !errors.Is(err, errFindings) {
+		t.Errorf("err = %v, want errFindings", err)
+	}
+}
+
+// TestUsageErrors: ambiguous or empty invocations are usage errors, never
+// the findings sentinel.
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, opts := range []options{
+		{},
+		{Trace: "x.jsonl", Baseline: "y.json"},
+		{Trace: "/nonexistent/trace.jsonl"},
+		{Baseline: "/nonexistent/BENCH.json"},
+	} {
+		err := run(&out, opts)
+		if err == nil || errors.Is(err, errFindings) {
+			t.Errorf("opts %+v: err = %v, want usage error", opts, err)
+		}
+	}
+}

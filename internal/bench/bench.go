@@ -8,13 +8,82 @@
 package bench
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 )
+
+// Host describes the machine a baseline was measured on. Wall-time and
+// allocation numbers are only comparable between runs on the same
+// hardware, so diff tooling (cmd/tracestat) refuses to compare baselines
+// whose hosts differ unless explicitly overridden. The zero value means
+// "unrecorded" (baselines written before this field existed) and is
+// never treated as a mismatch.
+type Host struct {
+	// CPUModel is the CPU's self-reported model name ("" when the
+	// platform doesn't expose one).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// NumCPU is runtime.NumCPU at measurement time.
+	NumCPU int `json:"num_cpu,omitempty"`
+	// OS and Arch are runtime.GOOS / runtime.GOARCH.
+	OS   string `json:"os,omitempty"`
+	Arch string `json:"arch,omitempty"`
+}
+
+// IsZero reports whether no host information was recorded.
+func (h Host) IsZero() bool { return h == Host{} }
+
+// Equal reports whether two recorded hosts describe the same machine.
+func (h Host) Equal(o Host) bool { return h == o }
+
+// String renders the host for diff-refusal messages.
+func (h Host) String() string {
+	if h.IsZero() {
+		return "unrecorded"
+	}
+	cpu := h.CPUModel
+	if cpu == "" {
+		cpu = "unknown cpu"
+	}
+	return fmt.Sprintf("%s × %d (%s/%s)", cpu, h.NumCPU, h.OS, h.Arch)
+}
+
+// CurrentHost describes the machine this process runs on. The CPU model
+// is read best-effort from /proc/cpuinfo (Linux); elsewhere it stays
+// empty and the remaining fields still pin the host down.
+func CurrentHost() Host {
+	return Host{
+		CPUModel: cpuModel(),
+		NumCPU:   runtime.NumCPU(),
+		OS:       runtime.GOOS,
+		Arch:     runtime.GOARCH,
+	}
+}
+
+// cpuModel extracts the first "model name" entry from /proc/cpuinfo.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "model name") {
+			continue
+		}
+		if _, val, ok := strings.Cut(line, ":"); ok {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
 
 // Stage is one timed pipeline stage or benchmark case.
 type Stage struct {
@@ -47,6 +116,9 @@ type Baseline struct {
 	// GoVersion and GOMAXPROCS describe the environment.
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Host pins the measuring machine; the zero value means a baseline
+	// written before host stamping existed.
+	Host Host `json:"host,omitempty"`
 	// Scale records the deployment scale factor the stages ran at.
 	Scale float64 `json:"scale,omitempty"`
 	// Stages is sorted by name on write for stable diffs.
@@ -60,6 +132,7 @@ func New(name, createdAt string, scale float64) *Baseline {
 		CreatedAt:  createdAt,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       CurrentHost(),
 		Scale:      scale,
 	}
 }

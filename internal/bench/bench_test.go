@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -63,5 +64,52 @@ func TestRecorderFoldsShards(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("fold mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCurrentHost(t *testing.T) {
+	h := CurrentHost()
+	if h.IsZero() {
+		t.Fatal("CurrentHost returned the zero (unrecorded) host")
+	}
+	if h.NumCPU < 1 || h.OS == "" || h.Arch == "" {
+		t.Errorf("incomplete host: %+v", h)
+	}
+	if !h.Equal(CurrentHost()) {
+		t.Error("CurrentHost is not stable within a process")
+	}
+	if h.String() == "unrecorded" {
+		t.Error("recorded host rendered as unrecorded")
+	}
+	if (Host{}).String() != "unrecorded" {
+		t.Errorf("zero host String = %q", Host{}.String())
+	}
+}
+
+func TestNewStampsHost(t *testing.T) {
+	b := New("x", "2026-08-05T12:00:00Z", 1)
+	if b.Host.IsZero() {
+		t.Fatal("New did not stamp the host")
+	}
+	if !b.Host.Equal(CurrentHost()) {
+		t.Errorf("stamped host %+v differs from CurrentHost %+v", b.Host, CurrentHost())
+	}
+}
+
+func TestLoadAcceptsHostlessBaseline(t *testing.T) {
+	// Baselines written before host stamping have no "host" key; they must
+	// load with the zero (unrecorded) host.
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	raw := `{"name":"old","created_at":"2026-01-01T00:00:00Z","go_version":"go1.22",` +
+		`"gomaxprocs":1,"stages":[{"name":"ubf","wall_ns":100,"ops":1,"ns_per_op":100}]}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Host.IsZero() {
+		t.Errorf("hostless baseline loaded host %+v", b.Host)
 	}
 }

@@ -99,8 +99,14 @@ func (s *Session) Close() error {
 	}
 	s.prof = nil
 	if s.trace != nil {
+		// Flush surfaces the sticky encoding error if one occurred; check
+		// Err separately anyway so a truncated trace can never close
+		// cleanly. A command must turn this into a nonzero exit.
 		if err := s.trace.Flush(); err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = fmt.Errorf("cli: trace flush: %w", err)
+		}
+		if err := s.trace.Err(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cli: trace write: %w", err)
 		}
 		s.trace = nil
 	}

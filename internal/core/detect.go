@@ -364,6 +364,13 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		obs.Add(o, obs.StageUBF, obs.CtrNodesChecked, checked)
 		obs.Add(o, obs.StageUBF, obs.CtrGridCells, cells)
 		obs.Add(o, obs.StageUBF, obs.CtrUBFBoundary, marked)
+		// Flight recorder: each marked node claims boundary status
+		// (Sec. II-A), in ascending ID for a deterministic trace.
+		for i, b := range res.UBF {
+			if b {
+				obs.NodeTransition(o, obs.StageUBF, obs.TransBoundaryClaim, i, 0)
+			}
+		}
 	}
 	ubfSpan.End()
 	if err != nil {
@@ -378,7 +385,11 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		res.FragmentSize = make([]int, n)
 	} else {
 		var counts []int
-		var messages, rounds int
+		var messages int
+		// The probe routes the kernels' flight-recorder events and
+		// aggregate counters (rounds, sent/delivered, fault totals)
+		// straight to the observer; nothing is re-emitted here.
+		pr := sim.Probe{Obs: o, Stage: obs.StageIFF}
 		switch {
 		case cfg.Faults.Enabled():
 			iffFaults := cfg.Faults
@@ -388,30 +399,23 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 			opt := sim.ReliableOptions{Budget: cfg.RetransmitBudget}
 			if cfg.Async {
 				var stats sim.AsyncResult
-				counts, stats, err = sim.AsyncReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed, plan, opt)
+				counts, stats, err = sim.AsyncReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed, plan, opt, pr)
 				messages = stats.Messages
 			} else {
 				var stats sim.Result
-				counts, stats, err = sim.ReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, plan, opt)
+				counts, stats, err = sim.ReliableFloodCount(net.G, res.UBF, cfg.IFFTTL, plan, opt, pr)
 				messages = stats.Messages
-				rounds = stats.Rounds
 			}
-			phase := plan.Stats()
-			res.FaultStats.Add(phase)
-			phase.EmitObs(o, obs.StageIFF)
+			res.FaultStats.Add(plan.Stats())
 		case cfg.Async:
 			var stats sim.AsyncResult
-			counts, stats, err = sim.AsyncFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed)
+			counts, stats, err = sim.AsyncFloodCount(net.G, res.UBF, cfg.IFFTTL, cfg.AsyncSeed, pr)
 			messages = stats.Messages
-			emitFaultFree(o, obs.StageIFF, messages)
 		default:
 			var stats sim.Result
-			counts, stats, err = sim.FloodCountStats(net.G, res.UBF, cfg.IFFTTL)
+			counts, stats, err = sim.FloodCountStats(net.G, res.UBF, cfg.IFFTTL, pr)
 			messages = stats.Messages
-			rounds = stats.Rounds
-			emitFaultFree(o, obs.StageIFF, messages)
 		}
-		obs.Add(o, obs.StageIFF, obs.CtrFloodRounds, int64(rounds))
 		if err != nil {
 			iffSpan.End()
 			return nil, fmt.Errorf("IFF flooding: %w", err)
@@ -420,6 +424,11 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		res.FragmentSize = counts
 		for i := range res.Boundary {
 			res.Boundary[i] = res.UBF[i] && counts[i] >= cfg.IFFThreshold
+			if res.UBF[i] && !res.Boundary[i] {
+				// Flight recorder: IFF withdraws the claim; the value is
+				// the fragment size that fell short of the threshold.
+				obs.NodeTransition(o, obs.StageIFF, obs.TransIFFRescind, i, int64(counts[i]))
+			}
 		}
 	}
 	if o != nil {
@@ -440,7 +449,8 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 	// through boundary nodes only (Sec. II-B).
 	groupSpan := obs.Start(o, obs.StageGrouping)
 	var label []int
-	var groupMessages, groupRounds int
+	var groupMessages int
+	groupPr := sim.Probe{Obs: o, Stage: obs.StageGrouping}
 	switch {
 	case cfg.Faults.Enabled():
 		groupFaults := cfg.Faults
@@ -449,30 +459,23 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		opt := sim.ReliableOptions{Budget: cfg.RetransmitBudget}
 		if cfg.Async {
 			var stats sim.AsyncResult
-			label, stats, err = sim.AsyncReliableLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1, plan, opt)
+			label, stats, err = sim.AsyncReliableLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1, plan, opt, groupPr)
 			groupMessages = stats.Messages
 		} else {
 			var stats sim.Result
-			label, stats, err = sim.ReliableLabelComponents(net.G, res.Boundary, plan, opt)
+			label, stats, err = sim.ReliableLabelComponents(net.G, res.Boundary, plan, opt, groupPr)
 			groupMessages = stats.Messages
-			groupRounds = stats.Rounds
 		}
-		phase := plan.Stats()
-		res.FaultStats.Add(phase)
-		phase.EmitObs(o, obs.StageGrouping)
+		res.FaultStats.Add(plan.Stats())
 	case cfg.Async:
 		var stats sim.AsyncResult
-		label, stats, err = sim.AsyncLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1)
+		label, stats, err = sim.AsyncLabelComponents(net.G, res.Boundary, cfg.AsyncSeed+1, groupPr)
 		groupMessages = stats.Messages
-		emitFaultFree(o, obs.StageGrouping, groupMessages)
 	default:
 		var stats sim.Result
-		label, stats, err = sim.LabelComponentsStats(net.G, res.Boundary)
+		label, stats, err = sim.LabelComponentsStats(net.G, res.Boundary, groupPr)
 		groupMessages = stats.Messages
-		groupRounds = stats.Rounds
-		emitFaultFree(o, obs.StageGrouping, groupMessages)
 	}
-	obs.Add(o, obs.StageGrouping, obs.CtrFloodRounds, int64(groupRounds))
 	if err != nil {
 		groupSpan.End()
 		return nil, fmt.Errorf("grouping: %w", err)
@@ -483,13 +486,6 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 	obs.Add(o, obs.StageGrouping, obs.CtrGroups, int64(len(res.Groups)))
 	groupSpan.End()
 	return res, nil
-}
-
-// emitFaultFree records a fault-free phase's message count: every send is a
-// delivery. Faulty phases go through sim.FaultStats.EmitObs instead.
-func emitFaultFree(o obs.Observer, s obs.Stage, messages int) {
-	obs.Add(o, s, obs.CtrMsgsSent, int64(messages))
-	obs.Add(o, s, obs.CtrMsgsDelivered, int64(messages))
 }
 
 // buildFrame embeds node i's closed one-hop neighborhood from measured

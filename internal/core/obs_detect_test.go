@@ -118,6 +118,66 @@ func TestDetectContextObservedBitIdentical(t *testing.T) {
 	}
 }
 
+// TestDetectContextRoundEvents: the flight recorder's round and
+// transition stream must agree with the pipeline's own outputs — one
+// boundary claim per UBF-positive node, one rescind per claim IFF
+// withdrew, and per-stage round accounting that conserves messages at
+// quiescence on both kernels.
+func TestDetectContextRoundEvents(t *testing.T) {
+	net, _ := fixtures(t)
+	cases := map[string]Config{
+		"sync":  {},
+		"async": {Async: true, AsyncSeed: 3},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			m := &obs.Mem{}
+			res, err := DetectContext(context.Background(), m, net, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			claims, rescinds := 0, 0
+			for i, u := range res.UBF {
+				if u {
+					claims++
+					if !res.Boundary[i] {
+						rescinds++
+					}
+				}
+			}
+			if got := m.Transitions(obs.TransBoundaryClaim); got != claims {
+				t.Errorf("boundary_claim transitions = %d, want %d", got, claims)
+			}
+			if got := m.Transitions(obs.TransIFFRescind); got != rescinds {
+				t.Errorf("iff_rescind transitions = %d, want %d", got, rescinds)
+			}
+			if m.Transitions(obs.TransLabelAdopt) == 0 {
+				t.Error("grouping recorded no label adoptions")
+			}
+
+			for _, s := range []obs.Stage{obs.StageIFF, obs.StageGrouping} {
+				if m.Rounds(s) == 0 {
+					t.Errorf("stage %s recorded no rounds", s)
+					continue
+				}
+				var total obs.RoundStats
+				for _, ev := range m.Events() {
+					if ev.Kind == obs.KindRoundEnd && ev.Stage == s {
+						total.Add(ev.Stats)
+					}
+				}
+				if left := total.Sent + total.Duplicated - total.Delivered - total.Dropped; left != 0 {
+					t.Errorf("stage %s: %d message(s) unaccounted at quiescence", s, left)
+				}
+				if total.Sent == 0 || total.Active == 0 {
+					t.Errorf("stage %s: vacuous round accounting %+v", s, total)
+				}
+			}
+		})
+	}
+}
+
 // TestDetectContextObservedMDS: under CoordsMDS the frames stage gets its
 // own balanced span, and the result still matches the unobserved run.
 func TestDetectContextObservedMDS(t *testing.T) {

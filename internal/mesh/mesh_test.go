@@ -1,9 +1,12 @@
 package mesh
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func ringGraph(n int) *graph.Graph {
@@ -312,6 +315,37 @@ func TestBuildOnRing(t *testing.T) {
 	for lm, d := range degree {
 		if d != 2 {
 			t.Errorf("landmark %d has CDG degree %d, want 2", lm, d)
+		}
+	}
+}
+
+// TestBuildContextLandmarkTransitions: the flight recorder sees one
+// landmark_elect transition per elected landmark, naming the elected
+// node, and observation does not change the build.
+func TestBuildContextLandmarkTransitions(t *testing.T) {
+	g := ringGraph(20)
+	plain, err := Build(g, seq(20), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &obs.Mem{}
+	s, err := BuildContext(context.Background(), m, g, seq(20), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, s) {
+		t.Fatal("observed build differs from unobserved build")
+	}
+	if got := m.Transitions(obs.TransLandmarkElect); got != len(s.Landmarks.IDs) {
+		t.Errorf("landmark_elect transitions = %d, want %d", got, len(s.Landmarks.IDs))
+	}
+	elected := map[int]bool{}
+	for _, id := range s.Landmarks.IDs {
+		elected[id] = true
+	}
+	for _, ev := range m.Events() {
+		if ev.Kind == obs.KindTransition && ev.Trans == obs.TransLandmarkElect && !elected[ev.Node] {
+			t.Errorf("transition names non-landmark node %d", ev.Node)
 		}
 	}
 }

@@ -132,6 +132,13 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 		return nil, err
 	}
 	obs.Add(o, obs.StageLandmarks, obs.CtrLandmarks, int64(len(lms.IDs)))
+	if o != nil {
+		// Flight recorder: each winner of the k-hop election, in
+		// election order.
+		for _, id := range lms.IDs {
+			obs.NodeTransition(o, obs.StageLandmarks, obs.TransLandmarkElect, id, 0)
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

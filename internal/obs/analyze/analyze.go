@@ -1,0 +1,434 @@
+// Package analyze turns flight-recorder traces (internal/obs JSONL) and
+// benchmark baselines (internal/bench) into convergence curves, anomaly
+// reports, and tolerance-gated diffs — the read side of the repository's
+// observability layer, behind cmd/tracestat and `make bench-diff`.
+//
+// The paper's correctness story is a convergence story: UBF claims must
+// survive IFF's TTL-bounded flood, grouping floods must quiesce, and the
+// hardened protocols must stay within their retransmit budgets. A trace
+// records those dynamics round by round; this package asks the three
+// questions that matter of it — did it converge (Convergence), did
+// anything pathological happen (FindAnomalies), and did it change since
+// last time (DiffTraces/DiffBaselines).
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// Trace is one parsed and validated JSONL trace.
+type Trace struct {
+	// Events holds every line in wire (seq) order.
+	Events []obs.TraceEvent
+	// Summary is the trace's aggregate roll-up.
+	Summary obs.TraceSummary
+}
+
+// Load parses and validates a JSONL trace.
+func Load(r io.Reader) (*Trace, error) {
+	events, sum, err := obs.ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Events: events, Summary: sum}, nil
+}
+
+// RoundPoint is one round of a convergence curve.
+type RoundPoint struct {
+	Round int            `json:"round"`
+	Stats obs.RoundStats `json:"stats"`
+}
+
+// Curve is one stage's round-resolved convergence history: frontier size
+// (Stats.Active) and message volume (Stats.Sent/Delivered) per round.
+type Curve struct {
+	Stage  string       `json:"stage"`
+	Points []RoundPoint `json:"points"`
+}
+
+// Convergence folds a trace's round events into per-stage curves. Rounds
+// recorded more than once under a stage (interleaved sweep cells, or a
+// sync and an async leg sharing an observer) are summed. Stages follow
+// the pipeline order, rounds ascend.
+func Convergence(events []obs.TraceEvent) []Curve {
+	type key struct {
+		stage obs.Stage
+		round int
+	}
+	acc := make(map[key]obs.RoundStats)
+	stages := make(map[obs.Stage]bool)
+	for _, ev := range events {
+		if ev.Kind != obs.KindRoundEnd {
+			continue
+		}
+		k := key{ev.Stage, ev.Round}
+		rs := acc[k]
+		rs.Add(ev.Stats)
+		acc[k] = rs
+		stages[ev.Stage] = true
+	}
+	var order []obs.Stage
+	for s := range stages {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	curves := make([]Curve, 0, len(order))
+	for _, s := range order {
+		var points []RoundPoint
+		for k, rs := range acc {
+			if k.stage == s {
+				points = append(points, RoundPoint{Round: k.round, Stats: rs})
+			}
+		}
+		sort.Slice(points, func(i, j int) bool { return points[i].Round < points[j].Round })
+		curves = append(curves, Curve{Stage: s.String(), Points: points})
+	}
+	return curves
+}
+
+// Anomaly kinds reported by FindAnomalies.
+const (
+	// AnomalyNonQuiescence: a stage's rounds ended with messages still in
+	// flight — sent+duplicated exceeds delivered+dropped.
+	AnomalyNonQuiescence = "non_quiescence"
+	// AnomalyRetransmitExhaustion: a hardened protocol abandoned packets
+	// after its retransmit budget.
+	AnomalyRetransmitExhaustion = "retransmit_exhaustion"
+	// AnomalyRescindOscillation: a node claimed boundary status after IFF
+	// had already rescinded it within the same detection run — the
+	// claim/rescind cycle the paper's one-pass pipeline should never
+	// produce.
+	AnomalyRescindOscillation = "rescind_oscillation"
+)
+
+// Anomaly is one detected pathology.
+type Anomaly struct {
+	Kind   string `json:"kind"`
+	Stage  string `json:"stage,omitempty"`
+	Node   int    `json:"node,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// FindAnomalies scans a validated trace for the three pathologies the
+// flight recorder exists to expose.
+func FindAnomalies(tr *Trace) []Anomaly {
+	var out []Anomaly
+
+	// Conservation per stage: at quiescence every copy presented to the
+	// network (sent + injected duplicates) was delivered or dropped.
+	inFlight := make(map[obs.Stage]obs.RoundStats)
+	var stages []obs.Stage
+	for _, ev := range tr.Events {
+		if ev.Kind != obs.KindRoundEnd {
+			continue
+		}
+		if _, seen := inFlight[ev.Stage]; !seen {
+			stages = append(stages, ev.Stage)
+		}
+		rs := inFlight[ev.Stage]
+		rs.Add(ev.Stats)
+		inFlight[ev.Stage] = rs
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i] < stages[j] })
+	for _, s := range stages {
+		rs := inFlight[s]
+		if left := rs.Sent + rs.Duplicated - rs.Delivered - rs.Dropped; left > 0 {
+			out = append(out, Anomaly{
+				Kind:  AnomalyNonQuiescence,
+				Stage: s.String(),
+				Detail: fmt.Sprintf("%d message(s) still in flight after the last recorded round (sent %d + dup %d, delivered %d, dropped %d)",
+					left, rs.Sent, rs.Duplicated, rs.Delivered, rs.Dropped),
+			})
+		}
+	}
+
+	// Budget exhaustion straight off the aggregate counters.
+	for s := obs.Stage(1); ; s++ {
+		if s.String() == "stage?" {
+			break
+		}
+		if n := tr.Summary.Total(s, obs.CtrMsgsAbandoned); n > 0 {
+			out = append(out, Anomaly{
+				Kind:   AnomalyRetransmitExhaustion,
+				Stage:  s.String(),
+				Detail: fmt.Sprintf("%d packet(s) abandoned after the retransmit budget", n),
+			})
+		}
+	}
+
+	// Claim-after-rescind per node, scoped to one detection run: a fresh
+	// StageDetect span resets the slate, so sweep traces with repeated
+	// node IDs across cells don't false-positive.
+	rescinded := make(map[int]bool)
+	for _, ev := range tr.Events {
+		switch {
+		case ev.Kind == obs.KindBegin && ev.Stage == obs.StageDetect:
+			clear(rescinded)
+		case ev.Kind != obs.KindTransition:
+		case ev.Trans == obs.TransIFFRescind:
+			rescinded[ev.Node] = true
+		case ev.Trans == obs.TransBoundaryClaim && rescinded[ev.Node]:
+			out = append(out, Anomaly{
+				Kind:   AnomalyRescindOscillation,
+				Stage:  ev.Stage.String(),
+				Node:   ev.Node,
+				Detail: fmt.Sprintf("node %d re-claimed boundary status after an IFF rescind in the same detection run", ev.Node),
+			})
+		}
+	}
+	return out
+}
+
+// Finding is one compared metric in a diff report.
+type Finding struct {
+	// Metric names what was compared ("iff/msgs_sent", "rounds/grouping",
+	// "ns_per_op/ubf", ...).
+	Metric string `json:"metric"`
+	// Old and New are the two sides' values; Delta is New-Old.
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Delta float64 `json:"delta"`
+	// Allowed is the tolerance the delta was judged against, in the
+	// metric's unit (absolute for rounds, fractional otherwise).
+	Allowed float64 `json:"allowed"`
+	// Regressed marks findings outside tolerance.
+	Regressed bool `json:"regressed"`
+	// Note carries context ("stage missing in new baseline").
+	Note string `json:"note,omitempty"`
+}
+
+// Report is a diff's full finding list, regressions and passes alike.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// Regressions filters the report to out-of-tolerance findings.
+func (r Report) Regressions() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Regressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Tolerances bounds acceptable drift between two traces.
+type Tolerances struct {
+	// CounterFrac is the allowed fractional change of every (stage,
+	// counter) total and transition tally. Zero demands exact equality.
+	CounterFrac float64
+	// RoundSlack is the allowed absolute change in per-stage round
+	// counts.
+	RoundSlack int
+	// WallFrac is the allowed fractional change of per-stage wall time.
+	// Negative disables wall comparison — the right default when the two
+	// traces come from different machines or load conditions.
+	WallFrac float64
+}
+
+// fracDelta measures a change relative to the old magnitude, with a floor
+// of 1 so a 0→small drift doesn't divide by zero.
+func fracDelta(oldV, newV float64) float64 {
+	base := math.Abs(oldV)
+	if base < 1 {
+		base = 1
+	}
+	return math.Abs(newV-oldV) / base
+}
+
+// DiffTraces compares two trace summaries metric by metric: counter
+// totals and transition tallies under CounterFrac, per-stage round counts
+// under RoundSlack, per-stage wall time under WallFrac. Any drift beyond
+// tolerance — in either direction — is a regression: the traces are
+// expected to describe the same workload.
+func DiffTraces(a, b obs.TraceSummary, tol Tolerances) Report {
+	var rep Report
+
+	counterKeys := make(map[string][2]float64) // metric -> old, new
+	var order []string
+	note := func(metric string, oldV, newV float64) {
+		if _, seen := counterKeys[metric]; !seen {
+			order = append(order, metric)
+		}
+		v := counterKeys[metric]
+		v[0] += oldV
+		v[1] += newV
+		counterKeys[metric] = v
+	}
+	for s, m := range a.Counters {
+		for c, v := range m {
+			note(s.String()+"/"+c.String(), float64(v), 0)
+		}
+	}
+	for s, m := range b.Counters {
+		for c, v := range m {
+			note(s.String()+"/"+c.String(), 0, float64(v))
+		}
+	}
+	for t, n := range a.Transitions {
+		note("trans/"+t.String(), float64(n), 0)
+	}
+	for t, n := range b.Transitions {
+		note("trans/"+t.String(), 0, float64(n))
+	}
+	sort.Strings(order)
+	for _, metric := range order {
+		v := counterKeys[metric]
+		rep.Findings = append(rep.Findings, Finding{
+			Metric: metric, Old: v[0], New: v[1], Delta: v[1] - v[0],
+			Allowed:   tol.CounterFrac,
+			Regressed: fracDelta(v[0], v[1]) > tol.CounterFrac,
+		})
+	}
+
+	roundStages := make(map[obs.Stage]bool)
+	for s := range a.Rounds {
+		roundStages[s] = true
+	}
+	for s := range b.Rounds {
+		roundStages[s] = true
+	}
+	var rs []obs.Stage
+	for s := range roundStages {
+		rs = append(rs, s)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	for _, s := range rs {
+		oldV, newV := float64(a.Rounds[s]), float64(b.Rounds[s])
+		rep.Findings = append(rep.Findings, Finding{
+			Metric: "rounds/" + s.String(), Old: oldV, New: newV, Delta: newV - oldV,
+			Allowed:   float64(tol.RoundSlack),
+			Regressed: math.Abs(newV-oldV) > float64(tol.RoundSlack),
+		})
+	}
+
+	if tol.WallFrac >= 0 {
+		wallStages := make(map[obs.Stage]bool)
+		for s := range a.Wall {
+			wallStages[s] = true
+		}
+		for s := range b.Wall {
+			wallStages[s] = true
+		}
+		var ws []obs.Stage
+		for s := range wallStages {
+			ws = append(ws, s)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for _, s := range ws {
+			oldV, newV := float64(a.Wall[s]), float64(b.Wall[s])
+			rep.Findings = append(rep.Findings, Finding{
+				Metric: "wall_ns/" + s.String(), Old: oldV, New: newV, Delta: newV - oldV,
+				Allowed:   tol.WallFrac,
+				Regressed: fracDelta(oldV, newV) > tol.WallFrac,
+			})
+		}
+	}
+	return rep
+}
+
+// BenchTolerances bounds acceptable drift between two bench baselines.
+type BenchTolerances struct {
+	// NSFrac is the allowed fractional ns/op increase per stage.
+	NSFrac float64
+	// AllocFrac is the allowed fractional allocs/op increase per stage.
+	AllocFrac float64
+	// WorkFrac is the allowed fractional change of the deterministic work
+	// counters (balls tested, nodes checked). Zero demands exactness.
+	WorkFrac float64
+	// AllowCrossHost permits comparing baselines recorded on different
+	// machines (the numbers are then only weakly meaningful).
+	AllowCrossHost bool
+}
+
+// DefaultBenchTolerances matches the `make bench-diff` gate: 25% wall
+// slack for a noisy single run, 10% alloc slack, exact work counters.
+func DefaultBenchTolerances() BenchTolerances {
+	return BenchTolerances{NSFrac: 0.25, AllocFrac: 0.10, WorkFrac: 0}
+}
+
+// ErrCrossHost is the refusal DiffBaselines returns (wrapped with both
+// host strings) when the baselines were measured on different machines.
+var ErrCrossHost = fmt.Errorf("analyze: baselines were measured on different hosts")
+
+// DiffBaselines compares two bench baselines stage by stage. Timing
+// metrics (ns/op, allocs/op) regress only when they increase beyond
+// tolerance — getting faster passes; the deterministic work counters
+// regress on any drift beyond WorkFrac. A stage present in old but
+// missing in new is a regression (coverage was lost); a brand-new stage
+// is reported but passes. Baselines recorded on different hosts are
+// refused unless AllowCrossHost is set; baselines without host metadata
+// (written before host stamping) are compared without the check.
+func DiffBaselines(oldB, newB *bench.Baseline, tol BenchTolerances) (Report, error) {
+	var rep Report
+	if !tol.AllowCrossHost && !oldB.Host.IsZero() && !newB.Host.IsZero() && !oldB.Host.Equal(newB.Host) {
+		return rep, fmt.Errorf("%w: %q (%s) vs %q (%s); rerun on one machine or pass -allow-cross-host",
+			ErrCrossHost, oldB.Name, oldB.Host, newB.Name, newB.Host)
+	}
+
+	newStages := make(map[string]bench.Stage, len(newB.Stages))
+	for _, s := range newB.Stages {
+		newStages[s.Name] = s
+	}
+	seen := make(map[string]bool, len(oldB.Stages))
+	directional := func(stage, metric string, oldV, newV, frac float64) Finding {
+		return Finding{
+			Metric: metric + "/" + stage, Old: oldV, New: newV, Delta: newV - oldV,
+			Allowed:   frac,
+			Regressed: newV > oldV && fracDelta(oldV, newV) > frac,
+		}
+	}
+	for _, o := range oldB.Stages {
+		seen[o.Name] = true
+		n, ok := newStages[o.Name]
+		if !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Metric: "stage/" + o.Name, Old: 1, New: 0, Delta: -1,
+				Regressed: true, Note: "stage missing in new baseline",
+			})
+			continue
+		}
+		rep.Findings = append(rep.Findings, directional(o.Name, "ns_per_op", o.NSPerOp, n.NSPerOp, tol.NSFrac))
+		if o.Allocs != 0 || n.Allocs != 0 {
+			rep.Findings = append(rep.Findings, directional(o.Name, "allocs_per_op", float64(o.Allocs), float64(n.Allocs), tol.AllocFrac))
+		}
+		for _, w := range []struct {
+			metric     string
+			oldV, newV int64
+		}{
+			{"balls_tested", o.BallsTested, n.BallsTested},
+			{"nodes_checked", o.NodesChecked, n.NodesChecked},
+		} {
+			if w.oldV == 0 && w.newV == 0 {
+				continue
+			}
+			oldV, newV := float64(w.oldV), float64(w.newV)
+			rep.Findings = append(rep.Findings, Finding{
+				Metric: w.metric + "/" + o.Name, Old: oldV, New: newV, Delta: newV - oldV,
+				Allowed:   tol.WorkFrac,
+				Regressed: fracDelta(oldV, newV) > tol.WorkFrac,
+			})
+		}
+	}
+	var added []string
+	for name := range newStages {
+		if !seen[name] {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		rep.Findings = append(rep.Findings, Finding{
+			Metric: "stage/" + name, Old: 0, New: 1, Delta: 1,
+			Note: "new stage (no old measurement)",
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,46 @@
+package analyze
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadDiff feeds arbitrary bytes through the trace-diff pipeline:
+// Load must reject garbage with an error, never a panic, and whatever
+// pair of traces does parse must survive every downstream analysis —
+// convergence, anomaly scan, and the diff at several tolerance settings.
+func FuzzLoadDiff(f *testing.F) {
+	f.Add([]byte(""), []byte(""))
+	f.Add(
+		[]byte(`{"ev":"round_begin","stage":"iff","round":0,"seq":0,"ts_ns":1}`+"\n"+
+			`{"ev":"round_end","stage":"iff","round":0,"stats":{"sent":2,"delivered":2,"dropped":0,"duplicated":0,"delayed":0,"active":3},"seq":1,"ts_ns":2}`+"\n"),
+		[]byte(`{"ev":"count","stage":"iff","counter":"msgs_sent","value":5,"seq":0,"ts_ns":1}`+"\n"),
+	)
+	f.Add(
+		[]byte(`{"ev":"trans","stage":"iff","trans":"iff_rescind","node":3,"value":2,"seq":0,"ts_ns":0}`+"\n"),
+		[]byte(`{"ev":"begin","stage":"detect","seq":0,"ts_ns":0}`+"\n"+
+			`{"ev":"end","stage":"detect","wall_ns":10,"seq":1,"ts_ns":9}`+"\n"),
+	)
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ta, errA := Load(bytes.NewReader(a))
+		tb, errB := Load(bytes.NewReader(b))
+		if errA != nil || errB != nil {
+			return
+		}
+		Convergence(ta.Events)
+		FindAnomalies(ta)
+		FindAnomalies(tb)
+		for _, tol := range []Tolerances{
+			{},
+			{CounterFrac: 0.5, RoundSlack: 3, WallFrac: 0.5},
+			{WallFrac: -1},
+		} {
+			rep := DiffTraces(ta.Summary, tb.Summary, tol)
+			for _, fd := range rep.Findings {
+				if fd.Metric == "" {
+					t.Fatalf("finding with empty metric: %+v", fd)
+				}
+			}
+		}
+	})
+}

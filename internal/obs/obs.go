@@ -92,6 +92,57 @@ func StageFromString(name string) (Stage, bool) {
 	return 0, false
 }
 
+// Transition identifies one kind of node state change — the closed
+// vocabulary of the protocol flight recorder. Where counters aggregate
+// and spans time, transitions pinpoint: *which* node claimed boundary
+// status, had its claim rescinded by IFF, adopted a smaller group label,
+// or won a landmark election, in exact protocol order.
+type Transition uint8
+
+const (
+	// TransBoundaryClaim is a node marking itself boundary after UBF
+	// (Sec. II-A): an empty unit ball through the node was found.
+	TransBoundaryClaim Transition = iota + 1
+	// TransIFFRescind is Isolated Fragment Filtering withdrawing a
+	// node's boundary claim (Sec. II-B): fewer than θ fellow candidates
+	// answered the TTL-T flood. The event value carries the fragment
+	// size that fell short.
+	TransIFFRescind
+	// TransLabelAdopt is a node adopting a smaller group label during
+	// boundary grouping (Sec. II-B). The event value carries the label.
+	TransLabelAdopt
+	// TransLandmarkElect is a node winning the k-hop landmark election
+	// (surface step I).
+	TransLandmarkElect
+
+	transitionEnd // sentinel: number of transitions + 1
+)
+
+var transitionNames = [...]string{
+	TransBoundaryClaim: "boundary_claim",
+	TransIFFRescind:    "iff_rescind",
+	TransLabelAdopt:    "label_adopt",
+	TransLandmarkElect: "landmark_elect",
+}
+
+// String implements fmt.Stringer; unknown transitions print as "trans?".
+func (t Transition) String() string {
+	if int(t) < len(transitionNames) && transitionNames[t] != "" {
+		return transitionNames[t]
+	}
+	return "trans?"
+}
+
+// TransitionFromString inverts Transition.String; false when unknown.
+func TransitionFromString(name string) (Transition, bool) {
+	for t, n := range transitionNames {
+		if n == name {
+			return Transition(t), true
+		}
+	}
+	return 0, false
+}
+
 // Counter identifies one typed counter.
 type Counter uint8
 
@@ -186,12 +237,57 @@ func CounterFromString(name string) (Counter, bool) {
 	return 0, false
 }
 
-// Observer receives stage events and counters. Implementations must be
-// safe for concurrent use: the pipeline emits from worker pools.
+// RoundStats is one round's message accounting, attached to RoundEnd by
+// the flight recorder: what the round's senders presented to the network
+// and what its receivers actually processed. For the synchronous kernel a
+// round is a kernel round; for the asynchronous kernel it is one MaxDelay
+// window of virtual time. Sends are attributed to the round they were
+// issued in, deliveries to the round they were handled in, so
+// sent+duplicated−delivered−dropped summed over all rounds is the number
+// of messages still in flight when the protocol stopped (zero iff it
+// quiesced).
+type RoundStats struct {
+	// Sent counts send attempts presented to the network this round
+	// (retransmissions included, injected duplicates not).
+	Sent int64 `json:"sent"`
+	// Delivered counts messages handed to protocol handlers this round.
+	Delivered int64 `json:"delivered"`
+	// Dropped counts deliveries killed this round: random loss and
+	// partition cuts at send time, crashed receivers at delivery time.
+	Dropped int64 `json:"dropped"`
+	// Duplicated counts extra copies the fault layer injected.
+	Duplicated int64 `json:"duplicated"`
+	// Delayed counts sends held back by fault-injected extra latency.
+	Delayed int64 `json:"delayed"`
+	// Active counts the nodes that processed a delivery or timer this
+	// round — the protocol's frontier size.
+	Active int64 `json:"active"`
+}
+
+// add accumulates another round's counters (used by trace analytics when
+// merging interleaved emitters).
+func (r *RoundStats) Add(o RoundStats) {
+	r.Sent += o.Sent
+	r.Delivered += o.Delivered
+	r.Dropped += o.Dropped
+	r.Duplicated += o.Duplicated
+	r.Delayed += o.Delayed
+	r.Active += o.Active
+}
+
+// InitRound is the pseudo-round number carrying a protocol's Init-time
+// sends: they happen before round 0 executes, so the flight recorder
+// reports them as round −1.
+const InitRound = -1
+
+// Observer receives stage events, counters, and the flight recorder's
+// round and node-transition events. Implementations must be safe for
+// concurrent use: the pipeline emits from worker pools.
 //
 // Callers hold observers as a possibly-nil interface and go through the
-// nil-safe package helpers (Start, Add); they never call these methods on
-// a value they have not nil-checked.
+// nil-safe package helpers (Start, Add, RoundBegin, RoundEnd,
+// NodeTransition); they never call these methods on a value they have
+// not nil-checked.
 type Observer interface {
 	// StageBegin marks the start of a span. label is "" for pipeline
 	// stages and a cell identifier for StageCell spans.
@@ -201,6 +297,15 @@ type Observer interface {
 	StageEnd(s Stage, label string, wallNS int64)
 	// Count adds delta to the stage's counter.
 	Count(s Stage, c Counter, delta int64)
+	// RoundBegin marks the start of one protocol round (InitRound for
+	// the Init phase) under the stage.
+	RoundBegin(s Stage, round int)
+	// RoundEnd closes the round, carrying its message accounting.
+	RoundEnd(s Stage, round int, rs RoundStats)
+	// NodeTransition records one node state change. value carries the
+	// transition's payload (the adopted label, the failing fragment
+	// size); zero when the kind needs none.
+	NodeTransition(s Stage, t Transition, node int, value int64)
 }
 
 // Span is an in-flight stage measurement. The zero value (from a nil
@@ -244,4 +349,29 @@ func Add(o Observer, s Stage, c Counter, delta int64) {
 		return
 	}
 	o.Count(s, c, delta)
+}
+
+// RoundBegin emits the start of one protocol round; nil-safe.
+func RoundBegin(o Observer, s Stage, round int) {
+	if o == nil {
+		return
+	}
+	o.RoundBegin(s, round)
+}
+
+// RoundEnd emits the end of one protocol round with its message
+// accounting; nil-safe.
+func RoundEnd(o Observer, s Stage, round int, rs RoundStats) {
+	if o == nil {
+		return
+	}
+	o.RoundEnd(s, round, rs)
+}
+
+// NodeTransition emits one node state change; nil-safe.
+func NodeTransition(o Observer, s Stage, t Transition, node int, value int64) {
+	if o == nil {
+		return
+	}
+	o.NodeTransition(s, t, node, value)
 }

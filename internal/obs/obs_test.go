@@ -50,6 +50,9 @@ func TestNilObserverZeroAllocs(t *testing.T) {
 		span := Start(nil, StageUBF)
 		Add(nil, StageUBF, CtrBallsTested, 7)
 		Add(nil, StageUBF, CtrNodesChecked, 0)
+		RoundBegin(nil, StageIFF, 0)
+		RoundEnd(nil, StageIFF, 0, RoundStats{Sent: 1})
+		NodeTransition(nil, StageIFF, TransIFFRescind, 3, 1)
 		inner := StartLabeled(nil, StageCell, "cell-label")
 		inner.End()
 		span.End()
@@ -208,14 +211,29 @@ func TestJSONLValidateRoundTrip(t *testing.T) {
 // unknown vocabulary, and unbalanced spans.
 func TestValidateTraceRejects(t *testing.T) {
 	cases := map[string]string{
-		"unknown stage":   `{"ev":"begin","stage":"warp","ts_ns":1}`,
-		"unknown ev":      `{"ev":"poke","stage":"ubf","ts_ns":1}`,
-		"unknown counter": `{"ev":"count","stage":"ubf","counter":"wat","value":1,"ts_ns":1}`,
-		"missing value":   `{"ev":"count","stage":"ubf","counter":"balls_tested","ts_ns":1}`,
-		"missing wall_ns": `{"ev":"end","stage":"ubf","ts_ns":1}`,
-		"unknown field":   `{"ev":"begin","stage":"ubf","ts_ns":1,"extra":true}`,
+		"unknown stage":   `{"ev":"begin","stage":"warp","seq":0,"ts_ns":1}`,
+		"unknown ev":      `{"ev":"poke","stage":"ubf","seq":0,"ts_ns":1}`,
+		"unknown counter": `{"ev":"count","stage":"ubf","counter":"wat","value":1,"seq":0,"ts_ns":1}`,
+		"missing value":   `{"ev":"count","stage":"ubf","counter":"balls_tested","seq":0,"ts_ns":1}`,
+		"missing wall_ns": `{"ev":"end","stage":"ubf","seq":0,"ts_ns":1}`,
+		"unknown field":   `{"ev":"begin","stage":"ubf","seq":0,"ts_ns":1,"extra":true}`,
 		"not json":        `begin ubf`,
-		"unbalanced span": `{"ev":"begin","stage":"ubf","ts_ns":1}` + "\n",
+		"unbalanced span": `{"ev":"begin","stage":"ubf","seq":0,"ts_ns":1}` + "\n",
+		"missing seq":     `{"ev":"begin","stage":"ubf","ts_ns":1}`,
+		"seq gap": `{"ev":"begin","stage":"ubf","seq":0,"ts_ns":1}` + "\n" +
+			`{"ev":"end","stage":"ubf","wall_ns":5,"seq":2,"ts_ns":2}`,
+		"seq not from zero": `{"ev":"begin","stage":"ubf","seq":1,"ts_ns":1}`,
+		"ts regression": `{"ev":"begin","stage":"ubf","seq":0,"ts_ns":9}` + "\n" +
+			`{"ev":"end","stage":"ubf","wall_ns":5,"seq":1,"ts_ns":3}`,
+		"label mismatch": `{"ev":"begin","stage":"cell","label":"a","seq":0,"ts_ns":1}` + "\n" +
+			`{"ev":"end","stage":"cell","label":"b","wall_ns":5,"seq":1,"ts_ns":2}`,
+		"unbalanced round":   `{"ev":"round_begin","stage":"iff","round":0,"seq":0,"ts_ns":1}`,
+		"round_end no stats": `{"ev":"round_end","stage":"iff","round":0,"seq":0,"ts_ns":1}`,
+		"round below init": `{"ev":"round_begin","stage":"iff","round":-2,"seq":0,"ts_ns":1}`,
+		"negative round stats": `{"ev":"round_begin","stage":"iff","round":0,"seq":0,"ts_ns":1}` + "\n" +
+			`{"ev":"round_end","stage":"iff","round":0,"stats":{"sent":-1,"delivered":0,"dropped":0,"duplicated":0,"delayed":0,"active":0},"seq":1,"ts_ns":2}`,
+		"unknown trans": `{"ev":"trans","stage":"iff","trans":"warp","node":1,"value":0,"seq":0,"ts_ns":1}`,
+		"trans no node": `{"ev":"trans","stage":"iff","trans":"iff_rescind","value":0,"seq":0,"ts_ns":1}`,
 	}
 	for name, trace := range cases {
 		if _, err := ValidateTrace(strings.NewReader(trace)); err == nil {
@@ -223,9 +241,78 @@ func TestValidateTraceRejects(t *testing.T) {
 		}
 	}
 	// Balanced input with blank lines is fine.
-	ok := "{\"ev\":\"begin\",\"stage\":\"ubf\",\"ts_ns\":1}\n\n{\"ev\":\"end\",\"stage\":\"ubf\",\"wall_ns\":5,\"ts_ns\":9}\n"
+	ok := "{\"ev\":\"begin\",\"stage\":\"ubf\",\"seq\":0,\"ts_ns\":1}\n\n{\"ev\":\"end\",\"stage\":\"ubf\",\"wall_ns\":5,\"seq\":1,\"ts_ns\":9}\n"
 	if _, err := ValidateTrace(strings.NewReader(ok)); err != nil {
 		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+// TestReadTraceRoundTrip: flight-recorder events written by JSONL parse
+// back as the same events with consecutive seq and aggregate rounds,
+// transitions, and wall times.
+func TestReadTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	span := Start(j, StageIFF)
+	RoundBegin(j, StageIFF, InitRound)
+	RoundEnd(j, StageIFF, InitRound, RoundStats{Sent: 4, Active: 4})
+	RoundBegin(j, StageIFF, 0)
+	NodeTransition(j, StageIFF, TransIFFRescind, 7, 2)
+	RoundEnd(j, StageIFF, 0, RoundStats{Sent: 10, Delivered: 4, Dropped: 6, Active: 4})
+	span.End()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, sum, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round-trip trace invalid: %v\n%s", err, buf.String())
+	}
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if sum.Rounds[StageIFF] != 2 {
+		t.Errorf("Rounds[iff] = %d, want 2", sum.Rounds[StageIFF])
+	}
+	if sum.Transitions[TransIFFRescind] != 1 {
+		t.Errorf("Transitions[iff_rescind] = %v, want 1", sum.Transitions)
+	}
+	if sum.Wall[StageIFF] <= 0 {
+		t.Errorf("Wall[iff] = %d, want > 0", sum.Wall[StageIFF])
+	}
+	last := events[5]
+	if last.Kind != KindRoundEnd || last.Round != 0 || last.Stats.Dropped != 6 {
+		t.Errorf("round_end event mangled: %+v", last)
+	}
+	tr := events[4]
+	if tr.Kind != KindTransition || tr.Trans != TransIFFRescind || tr.Node != 7 || tr.Value != 2 {
+		t.Errorf("trans event mangled: %+v", tr)
+	}
+}
+
+// TestTransitionStringRoundTrip: the transition vocabulary survives the
+// String/FromString round trip.
+func TestTransitionStringRoundTrip(t *testing.T) {
+	for tr := Transition(1); tr < transitionEnd; tr++ {
+		name := tr.String()
+		if name == "trans?" {
+			t.Fatalf("transition %d has no name", tr)
+		}
+		back, ok := TransitionFromString(name)
+		if !ok || back != tr {
+			t.Errorf("transition %d -> %q -> (%d, %v)", tr, name, back, ok)
+		}
+	}
+	if _, ok := TransitionFromString("bogus"); ok {
+		t.Error("bogus transition accepted")
+	}
+	if Transition(200).String() != "trans?" {
+		t.Error("unknown transition must print as placeholder")
 	}
 }
 

@@ -2,7 +2,7 @@ package obs
 
 import "sync"
 
-// EventKind distinguishes the three event types a sink records.
+// EventKind distinguishes the event types a sink records.
 type EventKind uint8
 
 const (
@@ -12,6 +12,12 @@ const (
 	KindEnd
 	// KindCount carries one counter increment.
 	KindCount
+	// KindRoundBegin opens one protocol round of the flight recorder.
+	KindRoundBegin
+	// KindRoundEnd closes a round, carrying its RoundStats.
+	KindRoundEnd
+	// KindTransition records one node state change.
+	KindTransition
 )
 
 // String implements fmt.Stringer.
@@ -23,6 +29,12 @@ func (k EventKind) String() string {
 		return "end"
 	case KindCount:
 		return "count"
+	case KindRoundBegin:
+		return "round_begin"
+	case KindRoundEnd:
+		return "round_end"
+	case KindTransition:
+		return "trans"
 	}
 	return "kind?"
 }
@@ -32,10 +44,14 @@ func (k EventKind) String() string {
 type Event struct {
 	Kind    EventKind
 	Stage   Stage
-	Label   string  // "" except for labeled (cell) spans
-	Counter Counter // KindCount only
-	Value   int64   // counter delta (KindCount only)
-	WallNS  int64   // span wall time (KindEnd only)
+	Label   string     // "" except for labeled (cell) spans
+	Counter Counter    // KindCount only
+	Value   int64      // counter delta (KindCount); transition payload (KindTransition)
+	WallNS  int64      // span wall time (KindEnd only)
+	Round   int        // KindRoundBegin/KindRoundEnd only
+	Stats   RoundStats // KindRoundEnd only
+	Trans   Transition // KindTransition only
+	Node    int        // KindTransition only
 }
 
 // Mem is an in-memory sink for tests: it records every event in arrival
@@ -47,6 +63,8 @@ type Mem struct {
 	totals map[[2]uint8]int64 // (stage, counter) -> sum
 	spans  map[Stage]int      // completed spans per stage
 	open   map[Stage]int      // begun-but-unended spans per stage
+	rounds map[Stage]int      // completed rounds per stage
+	trans  map[Transition]int // node transitions per kind
 }
 
 // StageBegin implements Observer.
@@ -83,6 +101,49 @@ func (m *Mem) Count(s Stage, c Counter, delta int64) {
 		m.totals = make(map[[2]uint8]int64)
 	}
 	m.totals[[2]uint8{uint8(s), uint8(c)}] += delta
+}
+
+// RoundBegin implements Observer.
+func (m *Mem) RoundBegin(s Stage, round int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{Kind: KindRoundBegin, Stage: s, Round: round})
+}
+
+// RoundEnd implements Observer.
+func (m *Mem) RoundEnd(s Stage, round int, rs RoundStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{Kind: KindRoundEnd, Stage: s, Round: round, Stats: rs})
+	if m.rounds == nil {
+		m.rounds = make(map[Stage]int)
+	}
+	m.rounds[s]++
+}
+
+// NodeTransition implements Observer.
+func (m *Mem) NodeTransition(s Stage, t Transition, node int, value int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, Event{Kind: KindTransition, Stage: s, Trans: t, Node: node, Value: value})
+	if m.trans == nil {
+		m.trans = make(map[Transition]int)
+	}
+	m.trans[t]++
+}
+
+// Rounds returns how many completed rounds the stage recorded.
+func (m *Mem) Rounds(s Stage) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rounds[s]
+}
+
+// Transitions returns how many state changes of the kind were recorded.
+func (m *Mem) Transitions(t Transition) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trans[t]
 }
 
 // Events returns a copy of everything recorded, in arrival order.
@@ -153,6 +214,7 @@ func (m *Mem) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.events, m.totals, m.spans, m.open = nil, nil, nil, nil
+	m.rounds, m.trans = nil, nil
 }
 
 // tee fans every event out to two observers.
@@ -183,4 +245,19 @@ func (t tee) StageEnd(s Stage, label string, wallNS int64) {
 func (t tee) Count(s Stage, c Counter, delta int64) {
 	t.a.Count(s, c, delta)
 	t.b.Count(s, c, delta)
+}
+
+func (t tee) RoundBegin(s Stage, round int) {
+	t.a.RoundBegin(s, round)
+	t.b.RoundBegin(s, round)
+}
+
+func (t tee) RoundEnd(s Stage, round int, rs RoundStats) {
+	t.a.RoundEnd(s, round, rs)
+	t.b.RoundEnd(s, round, rs)
+}
+
+func (t tee) NodeTransition(s Stage, tr Transition, node int, value int64) {
+	t.a.NodeTransition(s, tr, node, value)
+	t.b.NodeTransition(s, tr, node, value)
 }

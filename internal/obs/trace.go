@@ -12,19 +12,29 @@ import (
 
 // traceLine is the JSONL wire format: one event per line. ts_ns is the
 // time since the writer was opened, so a trace reads as a timeline
-// without trusting wall clocks across processes.
+// without trusting wall clocks across processes. seq is a per-writer
+// monotonic line number assigned under the sink's mutex, so events from
+// concurrent sweep cells stay totally ordered even when ts_ns ties.
 //
-//	{"ev":"begin","stage":"ubf","ts_ns":12345}
-//	{"ev":"end","stage":"ubf","ts_ns":99999,"wall_ns":87654}
-//	{"ev":"count","stage":"iff","counter":"msgs_delivered","value":1234,"ts_ns":100000}
+//	{"ev":"begin","stage":"ubf","seq":0,"ts_ns":12345}
+//	{"ev":"end","stage":"ubf","seq":1,"ts_ns":99999,"wall_ns":87654}
+//	{"ev":"count","stage":"iff","counter":"msgs_delivered","value":1234,"seq":2,"ts_ns":100000}
+//	{"ev":"round_begin","stage":"iff","round":0,"seq":3,"ts_ns":100100}
+//	{"ev":"round_end","stage":"iff","round":0,"stats":{...},"seq":4,"ts_ns":100200}
+//	{"ev":"trans","stage":"grouping","trans":"label_adopt","node":17,"value":3,"seq":5,"ts_ns":100300}
 type traceLine struct {
-	Ev      string `json:"ev"`
-	Stage   string `json:"stage"`
-	Label   string `json:"label,omitempty"`
-	Counter string `json:"counter,omitempty"`
-	Value   *int64 `json:"value,omitempty"`
-	WallNS  *int64 `json:"wall_ns,omitempty"`
-	TsNS    int64  `json:"ts_ns"`
+	Ev      string      `json:"ev"`
+	Stage   string      `json:"stage"`
+	Label   string      `json:"label,omitempty"`
+	Counter string      `json:"counter,omitempty"`
+	Value   *int64      `json:"value,omitempty"`
+	WallNS  *int64      `json:"wall_ns,omitempty"`
+	Round   *int        `json:"round,omitempty"`
+	Stats   *RoundStats `json:"stats,omitempty"`
+	Trans   string      `json:"trans,omitempty"`
+	Node    *int        `json:"node,omitempty"`
+	Seq     *int64      `json:"seq"`
+	TsNS    int64       `json:"ts_ns"`
 }
 
 // JSONL is an Observer writing one JSON object per event to an io.Writer
@@ -37,6 +47,7 @@ type JSONL struct {
 	w     *bufio.Writer
 	enc   *json.Encoder
 	start time.Time
+	seq   int64
 	err   error
 }
 
@@ -53,6 +64,9 @@ func (j *JSONL) emit(l traceLine) {
 	if j.err != nil {
 		return
 	}
+	seq := j.seq
+	j.seq++
+	l.Seq = &seq
 	l.TsNS = time.Since(j.start).Nanoseconds()
 	j.err = j.enc.Encode(l)
 }
@@ -72,6 +86,21 @@ func (j *JSONL) Count(s Stage, c Counter, delta int64) {
 	j.emit(traceLine{Ev: "count", Stage: s.String(), Counter: c.String(), Value: &delta})
 }
 
+// RoundBegin implements Observer.
+func (j *JSONL) RoundBegin(s Stage, round int) {
+	j.emit(traceLine{Ev: "round_begin", Stage: s.String(), Round: &round})
+}
+
+// RoundEnd implements Observer.
+func (j *JSONL) RoundEnd(s Stage, round int, rs RoundStats) {
+	j.emit(traceLine{Ev: "round_end", Stage: s.String(), Round: &round, Stats: &rs})
+}
+
+// NodeTransition implements Observer.
+func (j *JSONL) NodeTransition(s Stage, t Transition, node int, value int64) {
+	j.emit(traceLine{Ev: "trans", Stage: s.String(), Trans: t.String(), Node: &node, Value: &value})
+}
+
 // Flush drains buffered lines to the underlying writer.
 func (j *JSONL) Flush() error {
 	j.mu.Lock()
@@ -89,6 +118,16 @@ func (j *JSONL) Err() error {
 	return j.err
 }
 
+// TraceEvent is one parsed trace line: the in-memory Event plus its wire
+// ordering metadata.
+type TraceEvent struct {
+	Event
+	// Seq is the writer-assigned monotonic line number.
+	Seq int64
+	// TsNS is the line's timestamp relative to the writer's start.
+	TsNS int64
+}
+
 // TraceSummary aggregates a validated trace.
 type TraceSummary struct {
 	// Events is the total line count.
@@ -97,6 +136,12 @@ type TraceSummary struct {
 	Spans map[Stage]int
 	// Counters sums counter values per (stage, counter).
 	Counters map[Stage]map[Counter]int64
+	// Rounds counts completed protocol rounds per stage.
+	Rounds map[Stage]int
+	// Transitions counts node state changes per kind.
+	Transitions map[Transition]int
+	// Wall sums completed-span wall time per stage.
+	Wall map[Stage]int64
 }
 
 // Total returns a summed counter value for one stage; zero when absent.
@@ -113,21 +158,41 @@ func (t TraceSummary) CounterTotal(c Counter) int64 {
 	return n
 }
 
-// ValidateTrace parses a JSONL trace and checks it against the schema:
-// every line a well-formed object with a known ev/stage, counter lines
-// carrying a known counter and a value, end lines carrying a non-negative
-// wall_ns, ts_ns non-decreasing per emitter's promise (not enforced —
-// concurrent emitters interleave), and begin/end balanced per stage. It
-// returns the aggregate summary on success.
-func ValidateTrace(r io.Reader) (TraceSummary, error) {
+// spanKey scopes begin/end balance to (stage, label), so a labeled cell
+// span cannot be closed by an unlabeled end of the same stage.
+type spanKey struct {
+	stage Stage
+	label string
+}
+
+// roundKey scopes round balance to (stage, round).
+type roundKey struct {
+	stage Stage
+	round int
+}
+
+// ReadTrace parses and validates a JSONL trace, returning every event in
+// wire order plus the aggregate summary. Validation enforces the schema
+// (known ev/stage/counter/trans vocabulary, no unknown fields, required
+// payloads present), seq consecutive from 0, ts_ns non-decreasing (the
+// writer serializes under one mutex, so the timeline is total), begin/end
+// balance per (stage, label), round begin/end balance per (stage, round)
+// with rounds ≥ InitRound, non-negative round stats, and nodes ≥ 0.
+func ReadTrace(r io.Reader) ([]TraceEvent, TraceSummary, error) {
 	sum := TraceSummary{
-		Spans:    make(map[Stage]int),
-		Counters: make(map[Stage]map[Counter]int64),
+		Spans:       make(map[Stage]int),
+		Counters:    make(map[Stage]map[Counter]int64),
+		Rounds:      make(map[Stage]int),
+		Transitions: make(map[Transition]int),
+		Wall:        make(map[Stage]int64),
 	}
-	open := make(map[Stage]int)
+	var events []TraceEvent
+	openSpans := make(map[spanKey]int)
+	openRounds := make(map[roundKey]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
+	var wantSeq, lastTs int64
 	for sc.Scan() {
 		lineNo++
 		raw := sc.Bytes()
@@ -138,45 +203,117 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&l); err != nil {
-			return sum, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			return events, sum, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
 		}
+		if l.Seq == nil {
+			return events, sum, fmt.Errorf("obs: trace line %d: missing seq", lineNo)
+		}
+		if *l.Seq != wantSeq {
+			return events, sum, fmt.Errorf("obs: trace line %d: seq %d, want %d (gap or reorder)", lineNo, *l.Seq, wantSeq)
+		}
+		wantSeq++
+		if l.TsNS < lastTs {
+			return events, sum, fmt.Errorf("obs: trace line %d: ts_ns %d precedes previous %d", lineNo, l.TsNS, lastTs)
+		}
+		lastTs = l.TsNS
 		stage, ok := StageFromString(l.Stage)
 		if !ok {
-			return sum, fmt.Errorf("obs: trace line %d: unknown stage %q", lineNo, l.Stage)
+			return events, sum, fmt.Errorf("obs: trace line %d: unknown stage %q", lineNo, l.Stage)
 		}
+		ev := TraceEvent{Event: Event{Stage: stage, Label: l.Label}, Seq: *l.Seq, TsNS: l.TsNS}
 		switch l.Ev {
 		case "begin":
-			open[stage]++
+			ev.Kind = KindBegin
+			openSpans[spanKey{stage, l.Label}]++
 		case "end":
 			if l.WallNS == nil || *l.WallNS < 0 {
-				return sum, fmt.Errorf("obs: trace line %d: end event needs wall_ns >= 0", lineNo)
+				return events, sum, fmt.Errorf("obs: trace line %d: end event needs wall_ns >= 0", lineNo)
 			}
-			open[stage]--
+			ev.Kind = KindEnd
+			ev.WallNS = *l.WallNS
+			openSpans[spanKey{stage, l.Label}]--
 			sum.Spans[stage]++
+			sum.Wall[stage] += *l.WallNS
 		case "count":
 			ctr, ok := CounterFromString(l.Counter)
 			if !ok {
-				return sum, fmt.Errorf("obs: trace line %d: unknown counter %q", lineNo, l.Counter)
+				return events, sum, fmt.Errorf("obs: trace line %d: unknown counter %q", lineNo, l.Counter)
 			}
 			if l.Value == nil {
-				return sum, fmt.Errorf("obs: trace line %d: count event needs a value", lineNo)
+				return events, sum, fmt.Errorf("obs: trace line %d: count event needs a value", lineNo)
 			}
+			ev.Kind = KindCount
+			ev.Counter = ctr
+			ev.Value = *l.Value
 			if sum.Counters[stage] == nil {
 				sum.Counters[stage] = make(map[Counter]int64)
 			}
 			sum.Counters[stage][ctr] += *l.Value
+		case "round_begin":
+			if l.Round == nil || *l.Round < InitRound {
+				return events, sum, fmt.Errorf("obs: trace line %d: round_begin needs round >= %d", lineNo, InitRound)
+			}
+			ev.Kind = KindRoundBegin
+			ev.Round = *l.Round
+			openRounds[roundKey{stage, *l.Round}]++
+		case "round_end":
+			if l.Round == nil || *l.Round < InitRound {
+				return events, sum, fmt.Errorf("obs: trace line %d: round_end needs round >= %d", lineNo, InitRound)
+			}
+			if l.Stats == nil {
+				return events, sum, fmt.Errorf("obs: trace line %d: round_end needs stats", lineNo)
+			}
+			rs := *l.Stats
+			if rs.Sent < 0 || rs.Delivered < 0 || rs.Dropped < 0 || rs.Duplicated < 0 || rs.Delayed < 0 || rs.Active < 0 {
+				return events, sum, fmt.Errorf("obs: trace line %d: negative round stats", lineNo)
+			}
+			ev.Kind = KindRoundEnd
+			ev.Round = *l.Round
+			ev.Stats = rs
+			openRounds[roundKey{stage, *l.Round}]--
+			sum.Rounds[stage]++
+		case "trans":
+			tr, ok := TransitionFromString(l.Trans)
+			if !ok {
+				return events, sum, fmt.Errorf("obs: trace line %d: unknown transition %q", lineNo, l.Trans)
+			}
+			if l.Node == nil || *l.Node < 0 {
+				return events, sum, fmt.Errorf("obs: trace line %d: trans event needs node >= 0", lineNo)
+			}
+			if l.Value == nil {
+				return events, sum, fmt.Errorf("obs: trace line %d: trans event needs a value", lineNo)
+			}
+			ev.Kind = KindTransition
+			ev.Trans = tr
+			ev.Node = *l.Node
+			ev.Value = *l.Value
+			sum.Transitions[tr]++
 		default:
-			return sum, fmt.Errorf("obs: trace line %d: unknown event kind %q", lineNo, l.Ev)
+			return events, sum, fmt.Errorf("obs: trace line %d: unknown event kind %q", lineNo, l.Ev)
 		}
+		events = append(events, ev)
 		sum.Events++
 	}
 	if err := sc.Err(); err != nil {
-		return sum, fmt.Errorf("obs: trace: %w", err)
+		return events, sum, fmt.Errorf("obs: trace: %w", err)
 	}
-	for s, n := range open {
+	for k, n := range openSpans {
 		if n != 0 {
-			return sum, fmt.Errorf("obs: trace: %d unbalanced %s span(s)", n, s)
+			return events, sum, fmt.Errorf("obs: trace: %d unbalanced %s span(s) (label %q)", n, k.stage, k.label)
 		}
 	}
-	return sum, nil
+	for k, n := range openRounds {
+		if n != 0 {
+			return events, sum, fmt.Errorf("obs: trace: %d unbalanced %s round %d", n, k.stage, k.round)
+		}
+	}
+	return events, sum, nil
+}
+
+// ValidateTrace parses a JSONL trace, checks it against the schema and
+// ordering invariants (see ReadTrace), and returns the aggregate summary
+// on success.
+func ValidateTrace(r io.Reader) (TraceSummary, error) {
+	_, sum, err := ReadTrace(r)
+	return sum, err
 }

@@ -133,6 +133,30 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 	events := 0
 	var res AsyncResult
 
+	// Flight recorder: the async notion of a round is one MaxDelay window
+	// of virtual time, int(at/MaxDelay) — every in-order delivery of a
+	// round-r send lands in window r+0..1, so the curves line up with the
+	// synchronous kernel's. Windows open lazily on their first event and
+	// Active counts distinct nodes per window via the seenRound stamp.
+	recObs := k.Obs != nil
+	var cur obs.RoundStats
+	curRound := obs.InitRound
+	roundOpen := false
+	var seenRound []int
+	if recObs {
+		seenRound = make([]int, k.G.Len())
+		for i := range seenRound {
+			seenRound[i] = obs.InitRound - 1
+		}
+	}
+	closeRound := func() {
+		if recObs && roundOpen {
+			k.Obs.RoundEnd(k.ObsStage, curRound, cur)
+			cur = obs.RoundStats{}
+			roundOpen = false
+		}
+	}
+
 	outboxFor := func(i int) Outbox[M] {
 		return Outbox[M]{
 			from:         i,
@@ -145,6 +169,23 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 		for _, d := range out.pending {
 			seq++
 			fate := k.Faults.Deliver(d.env.From, d.to, seq, step)
+			if recObs {
+				cur.Sent++
+				switch {
+				case fate.Drop:
+					cur.Dropped++
+				default:
+					if fate.ExtraDelay > 0 {
+						cur.Delayed++
+					}
+					if fate.Duplicate {
+						cur.Duplicated++
+						if fate.DupExtraDelay > 0 {
+							cur.Delayed++
+						}
+					}
+				}
+			}
 			if fate.Drop {
 				continue
 			}
@@ -181,9 +222,16 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 	}
 
 	if k.Init != nil {
+		if recObs {
+			k.Obs.RoundBegin(k.ObsStage, obs.InitRound)
+			roundOpen = true
+		}
 		for i := 0; i < k.G.Len(); i++ {
 			if !participates(i) {
 				continue
+			}
+			if recObs {
+				cur.Active++
 			}
 			out := outboxFor(i)
 			k.Init(i, &out)
@@ -194,6 +242,7 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 
 	for queue.Len() > 0 {
 		if events >= maxEvents {
+			closeRound()
 			res.Faults = k.Faults.Stats()
 			k.emitObs(res)
 			return res, &QuiescenceError{
@@ -202,15 +251,29 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 			}
 		}
 		ev := heap.Pop(&queue).(event[M])
+		if recObs {
+			if w := int(ev.at / maxDelay); !roundOpen || w != curRound {
+				closeRound()
+				k.Obs.RoundBegin(k.ObsStage, w)
+				curRound, roundOpen = w, true
+			}
+		}
 		if k.Faults.CrashedAt(ev.to, res.Messages) {
 			if !ev.timer {
 				k.Faults.noteCrashDrop()
+				if recObs {
+					cur.Dropped++
+				}
 			}
 			continue
 		}
 		events++
 		k.now = ev.at
 		k.step = res.Messages
+		if recObs && seenRound[ev.to] != curRound {
+			seenRound[ev.to] = curRound
+			cur.Active++
+		}
 		if ev.timer {
 			if k.OnTimer == nil {
 				continue
@@ -223,10 +286,14 @@ func (k *AsyncKernel[M]) Run() (AsyncResult, error) {
 		res.Messages++
 		res.VirtualTime = ev.at
 		k.Faults.noteDelivered(1)
+		if recObs {
+			cur.Delivered++
+		}
 		out := outboxFor(ev.to)
 		k.OnMessage(ev.to, ev.env, &out)
 		schedule(ev.at, res.Messages, &out)
 	}
+	closeRound()
 	res.Faults = k.Faults.Stats()
 	k.emitObs(res)
 	return res, nil
@@ -253,7 +320,7 @@ func (k *AsyncKernel[M]) emitObs(res AsyncResult) {
 // forwarded before (under rounds the first copy always carries the maximal
 // TTL, so the rules coincide). With that rule the counts are
 // delay-independent and equal the synchronous ones.
-func AsyncFloodCount(g *graph.Graph, member []bool, ttl int, seed int64) ([]int, AsyncResult, error) {
+func AsyncFloodCount(g *graph.Graph, member []bool, ttl int, seed int64, pr Probe) ([]int, AsyncResult, error) {
 	n := g.Len()
 	// bestTTL[node][origin] = largest remaining TTL forwarded so far.
 	bestTTL := make([]map[int]int, n)
@@ -263,6 +330,8 @@ func AsyncFloodCount(g *graph.Graph, member []bool, ttl int, seed int64) ([]int,
 		G:            g,
 		Participates: participates,
 		Seed:         seed,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init: func(id int, out *Outbox[floodMsg]) {
 			bestTTL[id] = map[int]int{id: ttl}
 			if ttl > 0 {
@@ -294,7 +363,7 @@ func AsyncFloodCount(g *graph.Graph, member []bool, ttl int, seed int64) ([]int,
 // AsyncLabelComponents is LabelComponents executed under asynchrony.
 // Min-label propagation is monotone, so it converges to the same labels
 // regardless of delivery order.
-func AsyncLabelComponents(g *graph.Graph, member []bool, seed int64) ([]int, AsyncResult, error) {
+func AsyncLabelComponents(g *graph.Graph, member []bool, seed int64, pr Probe) ([]int, AsyncResult, error) {
 	n := g.Len()
 	label := make([]int, n)
 	for i := range label {
@@ -304,6 +373,8 @@ func AsyncLabelComponents(g *graph.Graph, member []bool, seed int64) ([]int, Asy
 		G:            g,
 		Participates: graph.InSet(member),
 		Seed:         seed,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init: func(id int, out *Outbox[int]) {
 			label[id] = id
 			out.Broadcast(id)
@@ -311,6 +382,7 @@ func AsyncLabelComponents(g *graph.Graph, member []bool, seed int64) ([]int, Asy
 		OnMessage: func(id int, env Envelope[int], out *Outbox[int]) {
 			if env.Msg < label[id] {
 				label[id] = env.Msg
+				obs.NodeTransition(pr.Obs, pr.Stage, obs.TransLabelAdopt, id, int64(env.Msg))
 				out.Broadcast(env.Msg)
 			}
 		},

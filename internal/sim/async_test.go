@@ -93,7 +93,7 @@ func TestAsyncMatchesSyncOnRandomGraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		asyncCounts, _, err := AsyncFloodCount(g, member, ttl, int64(trial))
+		asyncCounts, _, err := AsyncFloodCount(g, member, ttl, int64(trial), Probe{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestAsyncMatchesSyncOnRandomGraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		asyncLabels, _, err := AsyncLabelComponents(g, member, int64(trial)*31)
+		asyncLabels, _, err := AsyncLabelComponents(g, member, int64(trial)*31, Probe{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +124,7 @@ func TestAsyncMatchesSyncOnRandomGraphs(t *testing.T) {
 func TestAsyncVirtualTimeAdvances(t *testing.T) {
 	g := pathGraph(10)
 	member := allTrue(10)
-	_, res, err := AsyncFloodCount(g, member, 3, 1)
+	_, res, err := AsyncFloodCount(g, member, 3, 1, Probe{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ func TestZeroFaultPlanMatchesSeedBehavior(t *testing.T) {
 	g := pathGraph(9)
 	member := allTrue(9)
 
-	plain, plainRes, err := FloodCountStats(g, member, 3)
+	plain, plainRes, err := FloodCountStats(g, member, 3, Probe{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestZeroFaultPlanMatchesSeedBehavior(t *testing.T) {
 	}
 
 	// Async: a zero plan must not perturb the delay stream either.
-	base, baseRes, err := AsyncFloodCount(g, member, 3, 11)
+	base, baseRes, err := AsyncFloodCount(g, member, 3, 11, Probe{})
 	if err != nil {
 		t.Fatal(err)
 	}

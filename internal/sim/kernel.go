@@ -123,6 +123,15 @@ type Kernel[M any] struct {
 	round int
 }
 
+// Probe routes one protocol run's flight-recorder events — per-round
+// message accounting and node transitions — to an observer under a stage
+// label. The zero value records nothing, so unobserved callers pass
+// Probe{} and keep the nil-observer fast path.
+type Probe struct {
+	Obs   obs.Observer
+	Stage obs.Stage
+}
+
 // Result reports execution statistics.
 type Result struct {
 	Rounds   int
@@ -182,6 +191,14 @@ func (k *Kernel[M]) Run() (Result, error) {
 	timerAt := make(map[int][]int)         // fire round -> node IDs
 	seq := 0
 
+	// Flight recorder: when observed, every executed round is bracketed by
+	// RoundBegin/RoundEnd carrying cur's accounting. Sends land in the
+	// round that issued them, deliveries in the round that handled them,
+	// so summed rounds conserve: sent+duplicated = delivered+dropped once
+	// the protocol quiesces. recObs false costs one bool test per site.
+	recObs := k.Obs != nil
+	var cur obs.RoundStats
+
 	outboxFor := func(i int) Outbox[M] {
 		return Outbox[M]{
 			from:         i,
@@ -196,6 +213,23 @@ func (k *Kernel[M]) Run() (Result, error) {
 		for _, d := range out.pending {
 			seq++
 			fate := k.Faults.Deliver(d.env.From, d.to, seq, sendRound)
+			if recObs {
+				cur.Sent++
+				switch {
+				case fate.Drop:
+					cur.Dropped++
+				default:
+					if fate.ExtraDelay > 0 {
+						cur.Delayed++
+					}
+					if fate.Duplicate {
+						cur.Duplicated++
+						if fate.DupExtraDelay > 0 {
+							cur.Delayed++
+						}
+					}
+				}
+			}
 			if fate.Drop {
 				continue
 			}
@@ -218,13 +252,23 @@ func (k *Kernel[M]) Run() (Result, error) {
 	}
 
 	if k.Init != nil {
+		if recObs {
+			k.Obs.RoundBegin(k.ObsStage, obs.InitRound)
+		}
 		for i := 0; i < n; i++ {
 			if !k.participates(i) {
 				continue
 			}
+			if recObs {
+				cur.Active++
+			}
 			out := outboxFor(i)
 			k.Init(i, &out)
 			collect(i, -1, &out)
+		}
+		if recObs {
+			k.Obs.RoundEnd(k.ObsStage, obs.InitRound, cur)
+			cur = obs.RoundStats{}
 		}
 	}
 
@@ -255,10 +299,16 @@ func (k *Kernel[M]) Run() (Result, error) {
 			}
 		}
 
+		if recObs {
+			k.Obs.RoundBegin(k.ObsStage, round)
+		}
 		inboxes := make(map[int][]Envelope[M])
 		for _, d := range futures[round] {
 			if k.Faults.CrashedAt(d.to, round) {
 				k.Faults.noteCrashDrop()
+				if recObs {
+					cur.Dropped++
+				}
 				continue
 			}
 			inboxes[d.to] = append(inboxes[d.to], d.env)
@@ -301,12 +351,20 @@ func (k *Kernel[M]) Run() (Result, error) {
 			if len(inbox) > 0 {
 				res.Messages += len(inbox)
 				k.Faults.noteDelivered(len(inbox))
+				if recObs {
+					cur.Delivered += int64(len(inbox))
+				}
 				k.OnReceive(i, inbox, &out)
 			}
 			if timerDue[i] && k.OnTimer != nil {
 				k.OnTimer(i, &out)
 			}
 			collect(i, round, &out)
+		}
+		if recObs {
+			cur.Active = int64(len(active))
+			k.Obs.RoundEnd(k.ObsStage, round, cur)
+			cur = obs.RoundStats{}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // floodMsg carries one origin's flood with its remaining hop budget.
@@ -19,13 +20,14 @@ type floodMsg struct {
 // This is exactly the "local flooding packet with a TTL of T, forwarded by
 // other boundary nodes but not non-boundary nodes" of Sec. II-B.
 func FloodCount(g *graph.Graph, member []bool, ttl int) ([]int, error) {
-	counts, _, err := FloodCountStats(g, member, ttl)
+	counts, _, err := FloodCountStats(g, member, ttl, Probe{})
 	return counts, err
 }
 
 // FloodCountStats is FloodCount with the kernel's execution statistics
-// (rounds, total messages) — the communication cost of one IFF pass.
-func FloodCountStats(g *graph.Graph, member []bool, ttl int) ([]int, Result, error) {
+// (rounds, total messages) — the communication cost of one IFF pass — and
+// a flight-recorder probe for round-resolved accounting.
+func FloodCountStats(g *graph.Graph, member []bool, ttl int, pr Probe) ([]int, Result, error) {
 	n := g.Len()
 	seen := make([]map[int]bool, n)
 	participates := graph.InSet(member)
@@ -34,6 +36,8 @@ func FloodCountStats(g *graph.Graph, member []bool, ttl int) ([]int, Result, err
 		G:            g,
 		Participates: participates,
 		MaxRounds:    ttl + 1,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init: func(id int, out *Outbox[floodMsg]) {
 			seen[id] = map[int]bool{id: true}
 			if ttl > 0 {
@@ -72,13 +76,15 @@ const NoGroup = -1
 // their component) because boundary nodes are connected through boundary
 // nodes only. It returns each node's group label, NoGroup for non-members.
 func LabelComponents(g *graph.Graph, member []bool) ([]int, error) {
-	label, _, err := LabelComponentsStats(g, member)
+	label, _, err := LabelComponentsStats(g, member, Probe{})
 	return label, err
 }
 
 // LabelComponentsStats is LabelComponents with the kernel's execution
-// statistics — the communication cost of one grouping pass.
-func LabelComponentsStats(g *graph.Graph, member []bool) ([]int, Result, error) {
+// statistics — the communication cost of one grouping pass — and a
+// flight-recorder probe; every label adoption is reported as a
+// TransLabelAdopt transition.
+func LabelComponentsStats(g *graph.Graph, member []bool, pr Probe) ([]int, Result, error) {
 	n := g.Len()
 	label := make([]int, n)
 	for i := range label {
@@ -88,6 +94,8 @@ func LabelComponentsStats(g *graph.Graph, member []bool) ([]int, Result, error) 
 	k := Kernel[int]{
 		G:            g,
 		Participates: graph.InSet(member),
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init: func(id int, out *Outbox[int]) {
 			label[id] = id
 			out.Broadcast(id)
@@ -101,6 +109,7 @@ func LabelComponentsStats(g *graph.Graph, member []bool) ([]int, Result, error) 
 			}
 			if best < label[id] {
 				label[id] = best
+				obs.NodeTransition(pr.Obs, pr.Stage, obs.TransLabelAdopt, id, int64(best))
 				out.Broadcast(best)
 			}
 		},

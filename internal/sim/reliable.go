@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ReliableOptions tunes the hardened protocol variants.
@@ -73,6 +74,7 @@ type retxKey struct{ to, origin int }
 type retxState struct {
 	opt     ReliableOptions
 	plan    *FaultPlan
+	pr      Probe          // flight-recorder probe for node transitions
 	now     func() float64 // current step in timer units
 	pending []map[retxKey]*retxEntry
 	armed   []bool
@@ -259,9 +261,10 @@ func relFloodMaxRounds(n, ttl int, opt ReliableOptions) int {
 // an acknowledged (but lossless) flood with the same counts as
 // FloodCount. Retransmit/ack/abandon counters accumulate into the plan
 // and are reported in Result.Faults.
-func ReliableFloodCount(g *graph.Graph, member []bool, ttl int, plan *FaultPlan, opt ReliableOptions) ([]int, Result, error) {
+func ReliableFloodCount(g *graph.Graph, member []bool, ttl int, plan *FaultPlan, opt ReliableOptions, pr Probe) ([]int, Result, error) {
 	opt = opt.withDefaults(plan)
 	s := newRelFlood(g.Len(), ttl, plan, opt)
+	s.pr = pr
 	maxRounds := opt.MaxSteps
 	if maxRounds == 0 {
 		maxRounds = relFloodMaxRounds(g.Len(), ttl, opt)
@@ -271,6 +274,8 @@ func ReliableFloodCount(g *graph.Graph, member []bool, ttl int, plan *FaultPlan,
 		Participates: graph.InSet(member),
 		Faults:       plan,
 		MaxRounds:    maxRounds,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init:         s.init,
 		OnReceive: func(id int, inbox []Envelope[relFloodMsg], out *Outbox[relFloodMsg]) {
 			for _, env := range inbox {
@@ -289,9 +294,10 @@ func ReliableFloodCount(g *graph.Graph, member []bool, ttl int, plan *FaultPlan,
 
 // AsyncReliableFloodCount is ReliableFloodCount on the asynchronous
 // kernel (per-message random delays seeded by seed).
-func AsyncReliableFloodCount(g *graph.Graph, member []bool, ttl int, seed int64, plan *FaultPlan, opt ReliableOptions) ([]int, AsyncResult, error) {
+func AsyncReliableFloodCount(g *graph.Graph, member []bool, ttl int, seed int64, plan *FaultPlan, opt ReliableOptions, pr Probe) ([]int, AsyncResult, error) {
 	opt = opt.withDefaults(plan)
 	s := newRelFlood(g.Len(), ttl, plan, opt)
+	s.pr = pr
 	maxEvents := opt.MaxSteps
 	if maxEvents == 0 {
 		maxEvents = 4000 * g.Len() * (opt.Budget + 2)
@@ -302,6 +308,8 @@ func AsyncReliableFloodCount(g *graph.Graph, member []bool, ttl int, seed int64,
 		Seed:         seed,
 		Faults:       plan,
 		MaxEvents:    maxEvents,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init:         s.init,
 		OnMessage:    s.onMsg,
 		OnTimer:      s.timer,
@@ -368,6 +376,7 @@ func (s *relLabel) onMsg(id int, env Envelope[relLabelMsg], out *Outbox[relLabel
 	}
 	if m.label < s.label[id] {
 		s.label[id] = m.label
+		obs.NodeTransition(s.pr.Obs, s.pr.Stage, obs.TransLabelAdopt, id, int64(m.label))
 		s.spread(id, out)
 	}
 	out.Send(env.From, relLabelMsg{ack: true, label: s.label[id]})
@@ -383,10 +392,11 @@ func (s *relLabel) timer(id int, out *Outbox[relLabelMsg]) {
 // plan: min-label propagation with per-packet acknowledgment and bounded
 // retransmission on the synchronous kernel. Idempotent by construction —
 // duplicated or stale offers never move a label upward.
-func ReliableLabelComponents(g *graph.Graph, member []bool, plan *FaultPlan, opt ReliableOptions) ([]int, Result, error) {
+func ReliableLabelComponents(g *graph.Graph, member []bool, plan *FaultPlan, opt ReliableOptions, pr Probe) ([]int, Result, error) {
 	opt = opt.withDefaults(plan)
 	n := g.Len()
 	s := newRelLabel(n, plan, opt)
+	s.pr = pr
 	maxRounds := opt.MaxSteps
 	if maxRounds == 0 {
 		maxRounds = (n + 4) * (opt.Budget + 2) * (opt.ResendAfter + 2)
@@ -396,6 +406,8 @@ func ReliableLabelComponents(g *graph.Graph, member []bool, plan *FaultPlan, opt
 		Participates: graph.InSet(member),
 		Faults:       plan,
 		MaxRounds:    maxRounds,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init:         s.init,
 		OnReceive: func(id int, inbox []Envelope[relLabelMsg], out *Outbox[relLabelMsg]) {
 			for _, env := range inbox {
@@ -414,9 +426,10 @@ func ReliableLabelComponents(g *graph.Graph, member []bool, plan *FaultPlan, opt
 
 // AsyncReliableLabelComponents is ReliableLabelComponents on the
 // asynchronous kernel.
-func AsyncReliableLabelComponents(g *graph.Graph, member []bool, seed int64, plan *FaultPlan, opt ReliableOptions) ([]int, AsyncResult, error) {
+func AsyncReliableLabelComponents(g *graph.Graph, member []bool, seed int64, plan *FaultPlan, opt ReliableOptions, pr Probe) ([]int, AsyncResult, error) {
 	opt = opt.withDefaults(plan)
 	s := newRelLabel(g.Len(), plan, opt)
+	s.pr = pr
 	maxEvents := opt.MaxSteps
 	if maxEvents == 0 {
 		maxEvents = 4000 * g.Len() * (opt.Budget + 2)
@@ -427,6 +440,8 @@ func AsyncReliableLabelComponents(g *graph.Graph, member []bool, seed int64, pla
 		Seed:         seed,
 		Faults:       plan,
 		MaxEvents:    maxEvents,
+		Obs:          pr.Obs,
+		ObsStage:     pr.Stage,
 		Init:         s.init,
 		OnMessage:    s.onMsg,
 		OnTimer:      s.timer,

@@ -46,7 +46,7 @@ func TestReliableFloodLosslessMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, res, err := ReliableFloodCount(g, member, 2, nil, ReliableOptions{})
+	got, res, err := ReliableFloodCount(g, member, 2, nil, ReliableOptions{}, Probe{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestReliableFloodSurvivesBoundedLoss(t *testing.T) {
 
 		opt := ReliableOptions{Budget: 4}
 		syncPlan := lossyPlan(int64(trial)*17+1, n)
-		got, res, err := ReliableFloodCount(g, member, ttl, syncPlan, opt)
+		got, res, err := ReliableFloodCount(g, member, ttl, syncPlan, opt, Probe{})
 		if err != nil {
 			t.Fatalf("trial %d sync: %v", trial, err)
 		}
@@ -95,7 +95,7 @@ func TestReliableFloodSurvivesBoundedLoss(t *testing.T) {
 		}
 
 		asyncPlan := lossyPlan(int64(trial)*17+1, n)
-		agot, ares, err := AsyncReliableFloodCount(g, member, ttl, int64(trial), asyncPlan, opt)
+		agot, ares, err := AsyncReliableFloodCount(g, member, ttl, int64(trial), asyncPlan, opt, Probe{})
 		if err != nil {
 			t.Fatalf("trial %d async: %v", trial, err)
 		}
@@ -125,7 +125,7 @@ func TestReliableLabelsSurviveBoundedLoss(t *testing.T) {
 		}
 
 		opt := ReliableOptions{Budget: 4}
-		got, _, err := ReliableLabelComponents(g, member, lossyPlan(int64(trial)*13+5, n), opt)
+		got, _, err := ReliableLabelComponents(g, member, lossyPlan(int64(trial)*13+5, n), opt, Probe{})
 		if err != nil {
 			t.Fatalf("trial %d sync: %v", trial, err)
 		}
@@ -135,7 +135,7 @@ func TestReliableLabelsSurviveBoundedLoss(t *testing.T) {
 			}
 		}
 
-		agot, _, err := AsyncReliableLabelComponents(g, member, int64(trial)*3, lossyPlan(int64(trial)*13+5, n), opt)
+		agot, _, err := AsyncReliableLabelComponents(g, member, int64(trial)*3, lossyPlan(int64(trial)*13+5, n), opt, Probe{})
 		if err != nil {
 			t.Fatalf("trial %d async: %v", trial, err)
 		}
@@ -154,7 +154,7 @@ func TestReliableFloodAbandonsUnderUnboundedLoss(t *testing.T) {
 	g := pathGraph(10)
 	member := allTrue(10)
 	plan := NewFaultPlan(FaultConfig{Seed: 8, DropRate: 0.9}, 10)
-	counts, res, err := ReliableFloodCount(g, member, 3, plan, ReliableOptions{Budget: 1})
+	counts, res, err := ReliableFloodCount(g, member, 3, plan, ReliableOptions{Budget: 1}, Probe{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestReliableFloodSurvivesCrashesGracefully(t *testing.T) {
 	g := pathGraph(12)
 	member := allTrue(12)
 	plan := NewFaultPlan(FaultConfig{Seed: 5, CrashRate: 0.25, CrashSpan: 4}, 12)
-	counts, res, err := ReliableFloodCount(g, member, 2, plan, ReliableOptions{Budget: 2})
+	counts, res, err := ReliableFloodCount(g, member, 2, plan, ReliableOptions{Budget: 2}, Probe{})
 	if err != nil {
 		t.Fatalf("crashes must not prevent quiescence: %v", err)
 	}
