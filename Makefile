@@ -26,6 +26,7 @@ race:
 # `go test -fuzz` accepts a single package per invocation, so each fuzz
 # target gets its own run.
 fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCSRFromEdges -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run=^$$ -fuzz=FuzzFaultedDelivery -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=^$$ -fuzz=FuzzSpheresThrough3 -fuzztime=$(FUZZTIME) ./internal/geom
 	$(GO) test -run=^$$ -fuzz=FuzzCircumcenter3 -fuzztime=$(FUZZTIME) ./internal/geom
@@ -60,11 +61,18 @@ trace-stat:
 	echo "trace-stat: OK"
 
 # Tolerances for the bench regression gate. ns/op and allocs/op regress
-# only when they *increase* beyond the fraction; the deterministic work
-# counters (balls tested, nodes checked) must match exactly.
-TOL_NS     ?= 0.25
+# only when they *increase* beyond the fraction; the per-op work counters
+# (balls tested, nodes checked) may drift either way by TOL_WORK — the
+# instance-pool benchmarks average over i%16 pre-generated inputs, so the
+# per-op mean shifts slightly whenever the harness picks an iteration
+# count that is not a pool multiple. TOL_NS matches the measured noise
+# ceiling of the reference VM (10–40%, see EXPERIMENTS.md): interleaved
+# A/B of identical binaries shows the nanosecond-scale stages drifting
+# ~30% between recording sessions, so a tighter wall-time gate fails on
+# host state rather than code.
+TOL_NS     ?= 0.40
 TOL_ALLOCS ?= 0.10
-TOL_WORK   ?= 0
+TOL_WORK   ?= 0.02
 
 # Regression gate: diff the two newest committed baselines (BENCH_*.json,
 # named by date so lexical order is chronological). Fails when the newer

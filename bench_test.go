@@ -416,6 +416,96 @@ func BenchmarkSurfaceConstruction(b *testing.B) {
 	}
 }
 
+var (
+	sphereOnce    sync.Once
+	sphereNet     *netgen.Network
+	sphereGroup   []int
+	sphereSurface *mesh.Surface
+	sphereErr     error
+)
+
+// sphereFixtures builds the Fig. 10 sphere boundary at bench scale — the
+// largest surface the benchmarks extract, and the deployment the tentpole
+// perf targets are measured on.
+func sphereFixtures(b *testing.B) (*netgen.Network, []int, *mesh.Surface) {
+	b.Helper()
+	sphereOnce.Do(func() {
+		sc := eval.Fig10().Scaled(benchScale)
+		sphereNet, sphereErr = sc.Generate()
+		if sphereErr != nil {
+			return
+		}
+		var det *core.Result
+		det, sphereErr = core.Detect(sphereNet, nil, core.Config{})
+		if sphereErr != nil {
+			return
+		}
+		sphereGroup = det.Groups[0]
+		for _, g := range det.Groups {
+			if len(g) > len(sphereGroup) {
+				sphereGroup = g
+			}
+		}
+		sphereSurface, sphereErr = mesh.Build(sphereNet.G, sphereGroup, mesh.Config{K: 3})
+	})
+	if sphereErr != nil {
+		b.Fatal(sphereErr)
+	}
+	return sphereNet, sphereGroup, sphereSurface
+}
+
+// BenchmarkMeshSurface measures full surface extraction (landmarks → CDG →
+// CDM → triangulation → flips) on the Fig. 10 sphere boundary — the stage
+// the CSR/SPT kernel accelerates.
+func BenchmarkMeshSurface(b *testing.B) {
+	net, group, _ := sphereFixtures(b)
+	record(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mesh.Build(net.G, group, mesh.Config{K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCDMPaths measures landmark-pair path extraction from the cached
+// shortest-path trees: every CDM edge of the sphere surface realized via
+// SPT.PathTo — the O(path length) query that replaced a full BFS per edge.
+func BenchmarkCDMPaths(b *testing.B) {
+	net, group, surf := sphereFixtures(b)
+	csr := graph.NewCSR(net.G)
+	member := make([]bool, net.Len())
+	for _, v := range group {
+		member[v] = true
+	}
+	allowed := graph.NodeSetOf(member)
+	lms := surf.Landmarks.IDs
+	trees, _, err := graph.BuildSPTs(csr, lms, allowed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	treeOf := make(map[int]*graph.SPT, len(lms))
+	for i, lm := range lms {
+		treeOf[lm] = trees[i]
+	}
+	if len(surf.CDM) == 0 {
+		b.Skip("no CDM edges on bench surface")
+	}
+	var buf []int
+	record(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range surf.CDM {
+			buf = treeOf[e[0]].PathTo(e[1], buf[:0])
+			if len(buf) == 0 {
+				b.Fatalf("no path for CDM edge %v", e)
+			}
+		}
+	}
+}
+
 // BenchmarkGreedyRouting measures the motivated application: greedy
 // forwarding over the reconstructed surface overlay.
 func BenchmarkGreedyRouting(b *testing.B) {

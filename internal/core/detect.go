@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/mds"
@@ -522,6 +521,27 @@ type assembleScratch struct {
 	spreads    []float64
 	stamp      []int32 // stamp[u] == epoch ⟺ u already collected
 	epoch      int32
+
+	// Two-hop stitching state (CoordsMDS + ScopeTwoHop only): the collected
+	// node order, a node-ID→slot map valid under the current epoch, the flat
+	// estimate list with its per-slot bucket bounds, and the registration
+	// point-pair buffers. Replaces the per-node map[int][]geom.Vec3 the
+	// stitcher used to allocate, which dominated the UBF stage's allocation
+	// profile.
+	order   []int
+	slotOf  []int32
+	ests    []stitchEst
+	bucket  []int32
+	estBuf  []geom.Vec3
+	d2      []float64
+	src     []geom.Vec3
+	dst     []geom.Vec3
+}
+
+// stitchEst is one position estimate for the node occupying a stitch slot.
+type stitchEst struct {
+	slot int32
+	pos  geom.Vec3
 }
 
 // visited returns the stamp array sized for n nodes under a fresh epoch, so
@@ -578,7 +598,7 @@ func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int, a
 		as.spreads = spreads
 		return own.coords, candidates, spreads
 	}
-	coords, spreads = stitchTwoHop(net, cfg, frames, i)
+	coords, spreads = stitchTwoHop(net, cfg, frames, i, as)
 	return coords, candidates, spreads
 }
 
@@ -619,25 +639,42 @@ func extendTwoHop(net *netgen.Network, i int, members []int, as *assembleScratch
 //
 // Neighbors whose overlap is too small to register are skipped, as in a
 // real deployment where a patch fails to align.
-func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int) ([]geom.Vec3, []float64) {
+func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int, as *assembleScratch) ([]geom.Vec3, []float64) {
 	own := frames[i]
-	ownIdx := own.index
 
-	// estimates[id] collects candidate positions in i's frame.
-	order := append([]int(nil), own.members...)
-	estimates := make(map[int][]geom.Vec3, 4*len(own.members))
-	for k, m := range own.members {
-		estimates[m] = append(estimates[m], own.coords[k])
+	// Collect every estimate as a (slot, position) pair into one flat list;
+	// slots are assigned in first-appearance order (own members first, then
+	// two-hop nodes as registered frames surface them), so the slot order is
+	// exactly the node order the map-based stitcher produced. The epoch
+	// stamp marks which nodes hold a valid slot.
+	stamp := as.visited(net.Len())
+	e := as.epoch
+	if len(as.slotOf) < net.Len() {
+		as.slotOf = make([]int32, net.Len())
 	}
+	slotOf := as.slotOf
+	order := as.order[:0]
+	ests := as.ests[:0]
+	for k, m := range own.members {
+		stamp[m] = e
+		slotOf[m] = int32(len(order))
+		order = append(order, m)
+		ests = append(ests, stitchEst{slot: slotOf[m], pos: own.coords[k]})
+	}
+	nOwn := int32(len(own.members))
 	for _, j := range net.G.Adj[i] {
 		fj := frames[j]
-		var src, dst []geom.Vec3
+		src, dst := as.src[:0], as.dst[:0]
 		for k, m := range fj.members {
-			if idx, ok := ownIdx[m]; ok {
+			// m is one of i's own members iff it is stamped with a slot in
+			// the own-member range: two-hop nodes added by earlier
+			// neighbors sit at slots >= nOwn.
+			if stamp[m] == e && slotOf[m] < nOwn {
 				src = append(src, fj.coords[k])
-				dst = append(dst, own.coords[idx])
+				dst = append(dst, own.coords[slotOf[m]])
 			}
 		}
+		as.src, as.dst = src, dst
 		if len(src) < cfg.MinSharedForStitch {
 			continue
 		}
@@ -646,26 +683,65 @@ func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int) ([]geo
 			continue
 		}
 		for k, m := range fj.members {
-			if _, seen := estimates[m]; !seen {
+			if stamp[m] != e {
+				stamp[m] = e
+				slotOf[m] = int32(len(order))
 				order = append(order, m)
 			}
-			estimates[m] = append(estimates[m], tr.Apply(fj.coords[k]))
+			ests = append(ests, stitchEst{slot: slotOf[m], pos: tr.Apply(fj.coords[k])})
 		}
 	}
+	as.order, as.ests = order, ests
 
-	coords := make([]geom.Vec3, len(order))
-	spreads := make([]float64, len(order))
-	for idx, m := range order {
-		ests := estimates[m]
+	// Stable counting sort of the estimates by slot: per-slot buckets in
+	// arrival order, identical to the per-node append lists they replace.
+	nSlots := len(order)
+	if cap(as.bucket) < nSlots+1 {
+		as.bucket = make([]int32, nSlots+1)
+	}
+	cnt := as.bucket[:nSlots+1]
+	for k := range cnt {
+		cnt[k] = 0
+	}
+	for _, es := range ests {
+		cnt[es.slot+1]++
+	}
+	for s := 1; s <= nSlots; s++ {
+		cnt[s] += cnt[s-1]
+	}
+	if cap(as.estBuf) < len(ests) {
+		as.estBuf = make([]geom.Vec3, len(ests))
+	}
+	estBuf := as.estBuf[:len(ests)]
+	for _, es := range ests {
+		estBuf[cnt[es.slot]] = es.pos
+		cnt[es.slot]++
+	}
+	// After the scatter cnt[s] is the end of bucket s.
+
+	if cap(as.coords) < nSlots {
+		as.coords = make([]geom.Vec3, nSlots)
+	}
+	if cap(as.spreads) < nSlots {
+		as.spreads = make([]float64, nSlots)
+	}
+	coords := as.coords[:nSlots]
+	spreads := as.spreads[:nSlots]
+	lo := int32(0)
+	for s := 0; s < nSlots; s++ {
+		hi := cnt[s]
+		bucket := estBuf[lo:hi]
+		lo = hi
 		// Fuse by medoid, not centroid: when a member sits in a
 		// zero-stress reflection in one frame, its estimates form a
 		// correct-majority cluster plus flipped outliers; the medoid
 		// snaps to the majority (repairing the position), whereas a
 		// centroid would land uselessly in between.
-		center := medoid(ests)
-		coords[idx] = center
-		spreads[idx] = clusterSpread(ests, center, own.residual)
+		center := medoid(bucket)
+		coords[s] = center
+		spreads[s] = clusterSpread(bucket, center, own.residual, &as.d2)
 	}
+	as.coords, as.spreads = coords, spreads
 	return coords, spreads
 }
 
@@ -693,15 +769,22 @@ func medoid(ests []geom.Vec3) geom.Vec3 {
 // deviation of the nearer half of the estimates (the majority cluster),
 // so that a single flipped outlier does not drown the signal; with no
 // cross-check available it falls back to the frame residual.
-func clusterSpread(ests []geom.Vec3, center geom.Vec3, fallback float64) float64 {
+func clusterSpread(ests []geom.Vec3, center geom.Vec3, fallback float64, buf *[]float64) float64 {
 	if len(ests) <= 1 {
 		return fallback
 	}
-	d2 := make([]float64, 0, len(ests))
+	d2 := (*buf)[:0]
 	for _, e := range ests {
 		d2 = append(d2, e.Dist2(center))
 	}
-	sort.Float64s(d2)
+	*buf = d2
+	// Insertion sort: the estimate count is bounded by the node degree, and
+	// sorting in place on the reused buffer keeps the call allocation-free.
+	for i := 1; i < len(d2); i++ {
+		for j := i; j > 0 && d2[j] < d2[j-1]; j-- {
+			d2[j], d2[j-1] = d2[j-1], d2[j]
+		}
+	}
 	// Majority cluster: the nearest ceil(m/2) co-estimates (excluding
 	// the zero self-distance at d2[0]).
 	keep := (len(d2) + 1) / 2

@@ -43,17 +43,18 @@ func TestClusterSpread(t *testing.T) {
 		geom.V(0, 0.01, 0),
 		geom.V(9, 9, 9),
 	}
-	s := clusterSpread(ests, center, 0.5)
+	var buf []float64
+	s := clusterSpread(ests, center, 0.5, &buf)
 	if s > 0.02 {
 		t.Errorf("spread %v dominated by outlier", s)
 	}
 	// No cross-check: fall back.
-	if got := clusterSpread([]geom.Vec3{center}, center, 0.42); got != 0.42 {
+	if got := clusterSpread([]geom.Vec3{center}, center, 0.42, &buf); got != 0.42 {
 		t.Errorf("fallback spread = %v", got)
 	}
 	// Two estimates: spread equals their distance.
 	two := []geom.Vec3{center, geom.V(0.3, 0, 0)}
-	if got := clusterSpread(two, center, 1); math.Abs(got-0.3) > 1e-12 {
+	if got := clusterSpread(two, center, 1, &buf); math.Abs(got-0.3) > 1e-12 {
 		t.Errorf("two-estimate spread = %v", got)
 	}
 }

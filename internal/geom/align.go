@@ -113,17 +113,24 @@ func alignRMSD(t RigidTransform, a, b []Vec3) float64 {
 // hornRotation returns the rotation maximizing trace(R·S) via the largest
 // eigenvector of Horn's symmetric 4x4 quaternion matrix.
 func hornRotation(s [3][3]float64) ([3][3]float64, error) {
-	n := [][]float64{
+	n := [4][4]float64{
 		{s[0][0] + s[1][1] + s[2][2], s[1][2] - s[2][1], s[2][0] - s[0][2], s[0][1] - s[1][0]},
 		{s[1][2] - s[2][1], s[0][0] - s[1][1] - s[2][2], s[0][1] + s[1][0], s[2][0] + s[0][2]},
 		{s[2][0] - s[0][2], s[0][1] + s[1][0], -s[0][0] + s[1][1] - s[2][2], s[1][2] + s[2][1]},
 		{s[0][1] - s[1][0], s[2][0] + s[0][2], s[1][2] + s[2][1], -s[0][0] - s[1][1] + s[2][2]},
 	}
-	_, vecs, err := SymmetricEigen(n)
-	if err != nil {
-		return [3][3]float64{}, err
+	q, ok := symmetricEigenTop4(&n)
+	if !ok {
+		// QL failed to converge — route through the general engine, whose
+		// Jacobi fallback covers this case.
+		rows := [][]float64{n[0][:], n[1][:], n[2][:], n[3][:]}
+		_, vecs, err := SymmetricEigen(rows)
+		if err != nil {
+			return [3][3]float64{}, err
+		}
+		copy(q[:], vecs[0])
 	}
-	q := vecs[0] // quaternion (w, x, y, z) for the largest eigenvalue
+	// q is the quaternion (w, x, y, z) for the largest eigenvalue.
 	w, x, y, z := q[0], q[1], q[2], q[3]
 	return [3][3]float64{
 		{w*w + x*x - y*y - z*z, 2 * (x*y - w*z), 2 * (x*z + w*y)},

@@ -159,3 +159,19 @@ func TestAlignRigidRotationOrthonormal(t *testing.T) {
 		}
 	}
 }
+
+// AlignRigid sits on the two-hop stitching hot path (one call per
+// registered frame pair); with the stack-allocated Horn eigensolver it must
+// not allocate at all.
+func TestAlignRigidAllocsZero(t *testing.T) {
+	a := []Vec3{V(0, 0, 0), V(1, 0, 0), V(0, 1, 0), V(0, 0, 1), V(1, 1, 0)}
+	b := []Vec3{V(1, 2, 3), V(1, 3, 3), V(0, 2, 3), V(1, 2, 4), V(0, 3, 3)}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := AlignRigid(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AlignRigid allocates %v objects per call, want 0", allocs)
+	}
+}

@@ -150,6 +150,96 @@ func TestSymmetricEigenRandomSpectrumProperty(t *testing.T) {
 	}
 }
 
+// TestSymmetricEigenMatchesJacobiOracle cross-checks the tred2/tql2 engine
+// against the retained cyclic-Jacobi implementation — two iterations with
+// no shared code path. Eigenvalues must agree to machine precision;
+// eigenvectors up to sign (both engines emit arbitrary signs).
+func TestSymmetricEigenMatchesJacobiOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20)
+		m, _ := randomSymmetric(rng, n)
+		vals, vecs, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatalf("trial %d: ql: %v", trial, err)
+		}
+		jvals, jvecs, err := symmetricEigenJacobi(m)
+		if err != nil {
+			t.Fatalf("trial %d: jacobi: %v", trial, err)
+		}
+		var scale float64
+		for _, v := range jvals {
+			scale = math.Max(scale, math.Abs(v))
+		}
+		for k := range vals {
+			if !almostEqual(vals[k], jvals[k], 1e-9*(1+scale)) {
+				t.Fatalf("trial %d: eigenvalue %d: ql %v, jacobi %v", trial, k, vals[k], jvals[k])
+			}
+		}
+		for k := range vecs {
+			// Skip (near-)degenerate eigenvalues, where individual
+			// eigenvectors are not unique — only the spanned subspace is.
+			degenerate := (k > 0 && math.Abs(jvals[k]-jvals[k-1]) < 1e-6*(1+scale)) ||
+				(k+1 < n && math.Abs(jvals[k+1]-jvals[k]) < 1e-6*(1+scale))
+			if degenerate {
+				continue
+			}
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += vecs[k][i] * jvecs[k][i]
+			}
+			if !almostEqual(math.Abs(dot), 1, 1e-7) {
+				t.Fatalf("trial %d: eigenvector %d disagrees: |dot| = %v", trial, k, math.Abs(dot))
+			}
+		}
+	}
+}
+
+// TestSymmetricEigenTop4MatchesGeneral: the stack-allocated 4×4 fast path
+// must return bit-for-bit the same leading eigenvector as the general
+// engine — same recurrences, same storage order, same tie-break.
+func TestSymmetricEigenTop4MatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		m, _ := randomSymmetric(rng, 4)
+		var a [4][4]float64
+		for i := 0; i < 4; i++ {
+			copy(a[i][:], m[i])
+		}
+		vec, ok := symmetricEigenTop4(&a)
+		if !ok {
+			t.Fatalf("trial %d: QL failed to converge", trial)
+		}
+		_, vecs, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 4; i++ {
+			if vec[i] != vecs[0][i] {
+				t.Fatalf("trial %d: component %d: fast %v, general %v",
+					trial, i, vec[i], vecs[0][i])
+			}
+		}
+	}
+}
+
+func TestSymmetricEigenTop4AllocsZero(t *testing.T) {
+	a := [4][4]float64{
+		{4, 1, 0, 0},
+		{1, 3, 1, 0},
+		{0, 1, 2, 1},
+		{0, 0, 1, 1},
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := symmetricEigenTop4(&a); !ok {
+			t.Fatal("did not converge")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("symmetricEigenTop4 allocates %v objects per call, want 0", allocs)
+	}
+}
+
 func TestSymmetricEigenInputNotModified(t *testing.T) {
 	a := [][]float64{{2, 1}, {1, 2}}
 	if _, _, err := SymmetricEigen(a); err != nil {

@@ -1,0 +1,512 @@
+package graph
+
+// This file is the graph package's hot-path kernel: a compressed-sparse-row
+// snapshot of a Graph (CSR), bitset node filters (NodeSet) replacing
+// func(int) bool closures, reusable breadth-first-search scratch (Scratch)
+// with epoch-stamped visited marks, and cached shortest-path trees (SPT)
+// from which any root-to-node path extracts in O(path length).
+//
+// Everything here preserves the deterministic expansion rule of
+// Graph.ShortestPath — FIFO frontier, neighbors scanned in stored adjacency
+// order — so paths extracted from a CSR traversal or a cached SPT are
+// bit-identical to the slice-adjacency implementation. The CDM construction
+// (internal/mesh) relies on all nodes agreeing on "the" shortest path, and
+// the differential tests rely on exact equality across representations.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// CSR is a compressed-sparse-row snapshot of a graph: every adjacency list
+// packed into one backing array. Neighbor order is preserved exactly as in
+// the source, because the deterministic-path guarantee depends on the scan
+// order. A CSR is immutable once built and safe for concurrent traversals
+// (each with its own Scratch).
+type CSR struct {
+	rowPtr []int32
+	col    []int32
+}
+
+// NewCSR snapshots g. Adjacency order is copied verbatim.
+func NewCSR(g *Graph) *CSR {
+	n := len(g.Adj)
+	c := &CSR{rowPtr: make([]int32, n+1)}
+	total := 0
+	for i, nbrs := range g.Adj {
+		c.rowPtr[i] = int32(total)
+		total += len(nbrs)
+	}
+	c.rowPtr[n] = int32(total)
+	c.col = make([]int32, total)
+	k := 0
+	for _, nbrs := range g.Adj {
+		for _, v := range nbrs {
+			c.col[k] = int32(v)
+			k++
+		}
+	}
+	return c
+}
+
+// ErrEdgeOutOfRange is returned by NewCSRFromEdges for an endpoint outside
+// [0, n).
+var ErrEdgeOutOfRange = errors.New("graph: edge endpoint out of range")
+
+// NewCSRFromEdges builds a normalized CSR over n nodes from an arbitrary
+// undirected edge list: duplicate edges collapse, self-loops are dropped,
+// and every adjacency row comes out sorted ascending. Endpoints outside
+// [0, n) are an error. Unlike NewCSR this does not mirror a Graph's stored
+// order — it defines one (the sorted order every builder in this repo
+// uses).
+func NewCSRFromEdges(n int, edges [][2]int) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative node count %d", ErrEdgeOutOfRange, n)
+	}
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrEdgeOutOfRange, e[0], e[1], n)
+		}
+		if e[0] == e[1] {
+			continue
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	c := &CSR{rowPtr: make([]int32, n+1)}
+	var total int32
+	for i := 0; i < n; i++ {
+		c.rowPtr[i] = total
+		total += deg[i]
+	}
+	c.rowPtr[n] = total
+	c.col = make([]int32, total)
+	fill := make([]int32, n)
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		c.col[c.rowPtr[e[0]]+fill[e[0]]] = int32(e[1])
+		fill[e[0]]++
+		c.col[c.rowPtr[e[1]]+fill[e[1]]] = int32(e[0])
+		fill[e[1]]++
+	}
+	// Sort each row, then compact duplicates in place.
+	w := int32(0)
+	for i := 0; i < n; i++ {
+		row := c.col[c.rowPtr[i]:c.rowPtr[i+1]]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		start := w
+		for k, v := range row {
+			if k > 0 && v == row[k-1] {
+				continue
+			}
+			c.col[w] = v
+			w++
+		}
+		c.rowPtr[i] = start
+	}
+	c.rowPtr[n] = w
+	c.col = c.col[:w]
+	return c, nil
+}
+
+// Len returns the number of nodes.
+func (c *CSR) Len() int { return len(c.rowPtr) - 1 }
+
+// NumEdges returns the number of stored directed arcs halved — the
+// undirected edge count for a symmetric CSR.
+func (c *CSR) NumEdges() int { return len(c.col) / 2 }
+
+// Neighbors returns node u's adjacency row. Callers must not mutate it.
+func (c *CSR) Neighbors(u int) []int32 { return c.col[c.rowPtr[u]:c.rowPtr[u+1]] }
+
+// Degree returns the degree of node u.
+func (c *CSR) Degree(u int) int { return int(c.rowPtr[u+1] - c.rowPtr[u]) }
+
+// NodeSet is a bitset node filter — the hot-path replacement for the
+// func(int) bool closures of BFSHops and friends. The zero value is an
+// empty set. A nil *NodeSet passed to a traversal admits every node.
+type NodeSet struct {
+	words []uint64
+}
+
+// NewNodeSet returns an empty set with capacity for nodes [0, n).
+func NewNodeSet(n int) *NodeSet {
+	return &NodeSet{words: make([]uint64, (n+63)/64)}
+}
+
+// NodeSetOf builds a set holding exactly the indices marked true.
+func NodeSetOf(member []bool) *NodeSet {
+	s := NewNodeSet(len(member))
+	for i, b := range member {
+		if b {
+			s.words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return s
+}
+
+// Reset clears the set and re-sizes it for nodes [0, n), reusing the
+// backing array when possible.
+func (s *NodeSet) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+		return
+	}
+	s.words = s.words[:w]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Add inserts u; out-of-capacity or negative indices are ignored.
+func (s *NodeSet) Add(u int) {
+	if u >= 0 && u>>6 < len(s.words) {
+		s.words[u>>6] |= 1 << (uint(u) & 63)
+	}
+}
+
+// Has reports membership; indices outside the set's capacity are out.
+func (s *NodeSet) Has(u int) bool {
+	return u >= 0 && u>>6 < len(s.words) && s.words[u>>6]&(1<<(uint(u)&63)) != 0
+}
+
+// Count returns the number of members.
+func (s *NodeSet) Count() int {
+	total := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// Func adapts the set to the closure-filter signature of the slice-backed
+// traversals, for call sites bridging the two APIs.
+func (s *NodeSet) Func() func(int) bool {
+	if s == nil {
+		return All
+	}
+	return s.Has
+}
+
+// Scratch is the reusable state of one traversal stream: distance and
+// parent arrays, the FIFO frontier, and epoch-stamped visited marks, so a
+// steady-state BFS allocates nothing (mirroring the UBFScratch pattern of
+// internal/core). A Scratch serves one goroutine; traversals on the same
+// CSR from different goroutines each need their own.
+//
+// Runs and Visited accumulate across calls — the substrate's work
+// counters, exported by the mesh pipeline as the bfs_runs and
+// bfs_nodes_visited observability counters.
+type Scratch struct {
+	dist   []int32
+	parent []int32
+	order  []int32 // visited nodes in expansion order; doubles as the queue
+	mark   []uint32
+	epoch  uint32
+
+	// Runs counts traversals started, Visited the nodes they reached.
+	Runs    int64
+	Visited int64
+}
+
+// begin sizes the buffers for n nodes and opens a fresh epoch.
+func (s *Scratch) begin(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.dist = make([]int32, n)
+		s.parent = make([]int32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear once and restart
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.order = s.order[:0]
+	s.Runs++
+}
+
+func (s *Scratch) seen(u int) bool { return s.mark[u] == s.epoch }
+
+func (s *Scratch) visit(u int, d, parent int32) {
+	s.mark[u] = s.epoch
+	s.dist[u] = d
+	s.parent[u] = parent
+	s.order = append(s.order, int32(u))
+}
+
+// Dist returns u's hop distance from the last traversal's sources, or
+// Unreachable when the traversal did not reach u (or u is out of range).
+func (s *Scratch) Dist(u int) int {
+	if u < 0 || u >= len(s.mark) || s.mark[u] != s.epoch {
+		return Unreachable
+	}
+	return int(s.dist[u])
+}
+
+// Reached lists the nodes the last traversal visited, in deterministic
+// expansion order. The slice aliases the scratch and is valid until the
+// next traversal.
+func (s *Scratch) Reached() []int32 { return s.order }
+
+// BFSHops runs a multi-source breadth-first search from sources over the
+// subgraph induced by allowed (nil admits every node), out to at most
+// maxHops (negative means unlimited). Results land in s: Reached lists the
+// visited nodes in expansion order, Dist their hop distances. Sources
+// rejected by allowed are ignored. The expansion is deterministic: FIFO
+// frontier, neighbors in stored adjacency order.
+func (c *CSR) BFSHops(s *Scratch, sources []int, allowed *NodeSet, maxHops int) {
+	n := c.Len()
+	s.begin(n)
+	for _, src := range sources {
+		if src < 0 || src >= n || s.seen(src) {
+			continue
+		}
+		if allowed != nil && !allowed.Has(src) {
+			continue
+		}
+		s.visit(src, 0, Unreachable)
+	}
+	c.expand(s, allowed, maxHops, -1)
+	s.Visited += int64(len(s.order))
+}
+
+// expand drains the frontier; stopAt >= 0 halts as soon as that node is
+// discovered (its distance and parent are already final — BFS assigns both
+// at discovery time, so an early exit cannot change the extracted path).
+func (c *CSR) expand(s *Scratch, allowed *NodeSet, maxHops int, stopAt int) {
+	for head := 0; head < len(s.order); head++ {
+		u := s.order[head]
+		du := s.dist[u]
+		if maxHops >= 0 && int(du) >= maxHops {
+			continue
+		}
+		for _, v := range c.col[c.rowPtr[u]:c.rowPtr[u+1]] {
+			if s.seen(int(v)) {
+				continue
+			}
+			if allowed != nil && !allowed.Has(int(v)) {
+				continue
+			}
+			s.visit(int(v), du+1, int32(u))
+			if int(v) == stopAt {
+				return
+			}
+		}
+	}
+}
+
+// ShortestPath appends to out one shortest path (by hop count) from u to v
+// through the subgraph induced by allowed, inclusive of both endpoints,
+// and returns the extended slice — nil when no path exists. The result is
+// bit-identical to Graph.ShortestPath on the graph the CSR was built from:
+// same FIFO expansion, same adjacency scan order, same lowest-ID parent
+// tie-break.
+func (c *CSR) ShortestPath(s *Scratch, u, v int, allowed *NodeSet, out []int) []int {
+	n := c.Len()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil
+	}
+	if allowed != nil && (!allowed.Has(u) || !allowed.Has(v)) {
+		return nil
+	}
+	if u == v {
+		return append(out, u)
+	}
+	s.begin(n)
+	s.visit(u, 0, Unreachable)
+	c.expand(s, allowed, -1, v)
+	s.Visited += int64(len(s.order))
+	if !s.seen(v) {
+		return nil
+	}
+	return appendPath(s.parent, u, v, out)
+}
+
+// HopDistance returns the hop distance between u and v through the
+// subgraph induced by allowed, or Unreachable when disconnected.
+func (c *CSR) HopDistance(s *Scratch, u, v int, allowed *NodeSet) int {
+	n := c.Len()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return Unreachable
+	}
+	if allowed != nil && (!allowed.Has(u) || !allowed.Has(v)) {
+		return Unreachable
+	}
+	if u == v {
+		return 0
+	}
+	s.begin(n)
+	s.visit(u, 0, Unreachable)
+	c.expand(s, allowed, -1, v)
+	s.Visited += int64(len(s.order))
+	if !s.seen(v) {
+		return Unreachable
+	}
+	return int(s.dist[v])
+}
+
+// appendPath reconstructs root..v from parent pointers, appending to out.
+func appendPath(parent []int32, root, v int, out []int) []int {
+	start := len(out)
+	out = append(out, v)
+	for cur := v; cur != root; {
+		cur = int(parent[cur])
+		out = append(out, cur)
+	}
+	for i, j := start, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// SPT is one root's complete shortest-path tree over an induced subgraph:
+// the frozen result of the deterministic BFS, from which any root-to-node
+// path extracts in O(path length) with no further traversal. Trees are
+// immutable once built and safe for concurrent readers.
+type SPT struct {
+	// Root is the tree's source node.
+	Root int
+
+	dist   []int32 // full length; Unreachable where the BFS did not reach
+	parent []int32
+	order  []int32 // reached nodes in expansion order
+}
+
+// DistTo returns v's hop distance from the root, or Unreachable.
+func (t *SPT) DistTo(v int) int {
+	if v < 0 || v >= len(t.dist) {
+		return Unreachable
+	}
+	return int(t.dist[v])
+}
+
+// PathTo appends the root→v path to out and returns the extended slice,
+// nil when v is unreachable. The path is bit-identical to
+// Graph.ShortestPath(root, v, allowed): the tree stores exactly the parent
+// pointers that truncated search would have assigned, because BFS parents
+// are fixed at discovery time and discovery order does not depend on when
+// the search stops.
+func (t *SPT) PathTo(v int, out []int) []int {
+	if v < 0 || v >= len(t.dist) || t.dist[v] == int32(Unreachable) {
+		return nil
+	}
+	if v == t.Root {
+		return append(out, v)
+	}
+	return appendPath(t.parent, t.Root, v, out)
+}
+
+// Reached lists the nodes the tree spans, in expansion order.
+func (t *SPT) Reached() []int32 { return t.order }
+
+// SPTStats reports the traversal work a BuildSPTs call performed.
+type SPTStats struct {
+	// Runs counts BFS traversals (one per root).
+	Runs int64
+	// Visited counts nodes reached, summed over the trees.
+	Visited int64
+}
+
+// BuildSPTs computes one shortest-path tree per root over the subgraph
+// induced by allowed, in parallel on the given worker count (<= 0 means
+// GOMAXPROCS). Roots outside the graph or the filter yield empty trees
+// (every node Unreachable). The output depends only on the inputs, never
+// on scheduling: each tree is an independent deterministic BFS.
+func BuildSPTs(c *CSR, roots []int, allowed *NodeSet, workers int) ([]*SPT, SPTStats, error) {
+	n := c.Len()
+	trees := make([]*SPT, len(roots))
+	visited := make([]int64, len(roots))
+	err := par.For(len(roots), workers, func(_, i int) error {
+		t := &SPT{Root: roots[i], dist: make([]int32, n), parent: make([]int32, n)}
+		for j := range t.dist {
+			t.dist[j] = int32(Unreachable)
+			t.parent[j] = int32(Unreachable)
+		}
+		root := roots[i]
+		if root >= 0 && root < n && (allowed == nil || allowed.Has(root)) {
+			t.dist[root] = 0
+			t.order = append(make([]int32, 0, 16), int32(root))
+			for head := 0; head < len(t.order); head++ {
+				u := t.order[head]
+				du := t.dist[u]
+				for _, v := range c.col[c.rowPtr[u]:c.rowPtr[u+1]] {
+					if t.dist[v] != int32(Unreachable) {
+						continue
+					}
+					if allowed != nil && !allowed.Has(int(v)) {
+						continue
+					}
+					t.dist[v] = du + 1
+					t.parent[v] = int32(u)
+					t.order = append(t.order, v)
+				}
+			}
+		}
+		visited[i] = int64(len(t.order))
+		trees[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, SPTStats{}, err
+	}
+	st := SPTStats{Runs: int64(len(roots))}
+	for _, v := range visited {
+		st.Visited += v
+	}
+	return trees, st, nil
+}
+
+// Validate checks CSR structural invariants — monotone row pointers in
+// range, neighbor indices in range — and, for normalized CSRs (built by
+// NewCSRFromEdges), sorted duplicate-free self-loop-free rows plus
+// symmetry. It exists for the construction fuzz target.
+func (c *CSR) Validate(normalized bool) error {
+	n := c.Len()
+	if n < 0 || c.rowPtr[0] != 0 || int(c.rowPtr[n]) != len(c.col) {
+		return fmt.Errorf("graph: CSR row pointers corrupt")
+	}
+	for i := 0; i < n; i++ {
+		if c.rowPtr[i] > c.rowPtr[i+1] {
+			return fmt.Errorf("graph: CSR row %d has negative length", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := c.Neighbors(i)
+		for k, v := range row {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("graph: CSR row %d neighbor %d out of range", i, v)
+			}
+			if !normalized {
+				continue
+			}
+			if int(v) == i {
+				return fmt.Errorf("graph: CSR row %d keeps a self-loop", i)
+			}
+			if k > 0 && row[k-1] >= v {
+				return fmt.Errorf("graph: CSR row %d not strictly sorted", i)
+			}
+			nb := c.Neighbors(int(v))
+			at := sort.Search(len(nb), func(j int) bool { return nb[j] >= int32(i) })
+			if at == len(nb) || nb[at] != int32(i) {
+				return fmt.Errorf("graph: CSR edge (%d,%d) not symmetric", i, v)
+			}
+		}
+	}
+	if len(c.col) > math.MaxInt32 {
+		return fmt.Errorf("graph: CSR arc count overflows int32")
+	}
+	return nil
+}

@@ -75,9 +75,11 @@ func (g *Graph) BFSHops(sources []int, allowed func(int) bool, maxHops int) []in
 		dist[s] = 0
 		queue = append(queue, s)
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	// Head-index dequeue: reslicing the front off the queue would keep
+	// the consumed prefix live in the backing array while every append
+	// still re-grows it, so the queue churns one grown array per call.
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		if maxHops >= 0 && dist[u] >= maxHops {
 			continue
 		}
@@ -90,6 +92,35 @@ func (g *Graph) BFSHops(sources []int, allowed func(int) bool, maxHops int) []in
 		}
 	}
 	return dist
+}
+
+// BFSHopsScratch is BFSHops with caller-owned scratch state: the
+// distance, queue, and visited-mark buffers live in s and are reused
+// across calls, so the steady-state cost allocates nothing. After it
+// returns, s.Reached() lists the visited nodes in expansion order and
+// s.Dist is valid for exactly those nodes (Unreachable elsewhere).
+func (g *Graph) BFSHopsScratch(s *Scratch, sources []int, allowed func(int) bool, maxHops int) {
+	s.begin(len(g.Adj))
+	for _, src := range sources {
+		if src < 0 || src >= len(g.Adj) || !allowed(src) || s.seen(src) {
+			continue
+		}
+		s.visit(src, 0, Unreachable)
+	}
+	for head := 0; head < len(s.order); head++ {
+		u := int(s.order[head])
+		du := s.dist[u]
+		if maxHops >= 0 && int(du) >= maxHops {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if s.seen(v) || !allowed(v) {
+				continue
+			}
+			s.visit(v, du+1, int32(u))
+		}
+	}
+	s.Visited += int64(len(s.order))
 }
 
 // ConnectedComponents returns the connected components of the subgraph
@@ -136,10 +167,10 @@ func (g *Graph) ShortestPath(u, v int, allowed func(int) bool) []int {
 		dist[i] = Unreachable
 	}
 	dist[u] = 0
-	queue := []int{u}
-	for len(queue) > 0 && dist[v] == Unreachable {
-		cur := queue[0]
-		queue = queue[1:]
+	queue := make([]int, 1, 16)
+	queue[0] = u
+	for head := 0; head < len(queue) && dist[v] == Unreachable; head++ {
+		cur := queue[head]
 		// Deterministic expansion: visit neighbors in ascending ID so
 		// the parent of each node is the lowest-ID predecessor at its
 		// BFS depth. Adjacency lists are sorted by the builders in

@@ -142,14 +142,35 @@ func stressAgainst(coords []geom.Vec3, d [][]float64, observed [][]bool) float64
 	return sum
 }
 
+// matrix carves an n×n float matrix's rows out of one flat backing array —
+// two allocations instead of n+1. Localization runs once per node with
+// several matrices per run, so row-slice churn dominated the allocation
+// profile of whole-network sweeps.
+func matrix(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*n : (i+1)*n]
+	}
+	return rows
+}
+
+// boolMatrix is matrix for masks.
+func boolMatrix(n int) [][]bool {
+	backing := make([]bool, n*n)
+	rows := make([][]bool, n)
+	for i := range rows {
+		rows[i] = backing[i*n : (i+1)*n]
+	}
+	return rows
+}
+
 // buildMatrix assembles the symmetric distance matrix with +Inf for
 // unmeasured pairs, alongside an observation mask.
 func buildMatrix(n int, dist DistFunc) ([][]float64, [][]bool) {
-	d := make([][]float64, n)
-	observed := make([][]bool, n)
+	d := matrix(n)
+	observed := boolMatrix(n)
 	for i := 0; i < n; i++ {
-		d[i] = make([]float64, n)
-		observed[i] = make([]bool, n)
 		for j := 0; j < n; j++ {
 			if i != j {
 				d[i][j] = math.Inf(1)
@@ -200,25 +221,23 @@ func completeShortestPaths(d [][]float64) error {
 func classical(d [][]float64, dims int) ([]geom.Vec3, error) {
 	n := len(d)
 	// B = -1/2 · J·D²·J with J = I - 11ᵀ/n, computed via row/column/grand
-	// means of the squared distances.
-	sq := make([][]float64, n)
+	// means of the squared distances. b holds D² first, then is centered
+	// in place.
+	b := matrix(n)
 	rowMean := make([]float64, n)
 	var grand float64
 	for i := 0; i < n; i++ {
-		sq[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			sq[i][j] = d[i][j] * d[i][j]
-			rowMean[i] += sq[i][j]
+			b[i][j] = d[i][j] * d[i][j]
+			rowMean[i] += b[i][j]
 		}
 		rowMean[i] /= float64(n)
 		grand += rowMean[i]
 	}
 	grand /= float64(n)
-	b := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		b[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			b[i][j] = -0.5 * (sq[i][j] - rowMean[i] - rowMean[j] + grand)
+			b[i][j] = -0.5 * (b[i][j] - rowMean[i] - rowMean[j] + grand)
 		}
 	}
 	vals, vecs, err := geom.SymmetricEigen(b)
@@ -254,75 +273,149 @@ func classical(d [][]float64, dims int) ([]geom.Vec3, error) {
 // monotonically under this update.
 func smacof(coords []geom.Vec3, d [][]float64, observed [][]bool, opts Options) {
 	n := len(coords)
-	// V = Laplacian of the observation weights (w_ab ∈ {0,1}).
-	v := make([][]float64, n)
-	anyObserved := false
+	// Collect the measured pairs once: B(X)'s off-diagonal support is
+	// exactly these pairs, so each majorization sweep costs
+	// O(pairs + n²) instead of three dense n² passes over mostly-zero
+	// entries.
+	var pairs []obsPair
+	deg := make([]float64, n)
 	for a := 0; a < n; a++ {
-		v[a] = make([]float64, n)
-		for b := 0; b < n; b++ {
-			if a != b && observed[a][b] {
-				v[a][b] = -1
-				v[a][a]++
-				anyObserved = true
+		for c := a + 1; c < n; c++ {
+			if observed[a][c] {
+				pairs = append(pairs, obsPair{a: a, c: c, d: d[a][c]})
+				deg[a]++
+				deg[c]++
 			}
 		}
 	}
-	if !anyObserved {
+	if len(pairs) == 0 {
 		return
 	}
-	vPinv, err := pseudoInverse(v)
-	if err != nil {
-		return // leave the classical-MDS solution in place
+	vPinv, ok := laplacianPinv(deg, pairs, n)
+	if !ok {
+		// Disconnected observation graph: the Cholesky shortcut does not
+		// apply; fall back to the eigendecomposition pseudo-inverse of
+		// the explicit Laplacian.
+		v := matrix(n)
+		for _, p := range pairs {
+			v[p.a][p.c], v[p.c][p.a] = -1, -1
+		}
+		for a := 0; a < n; a++ {
+			v[a][a] = deg[a]
+		}
+		var err error
+		vPinv, err = pseudoInverse(v)
+		if err != nil {
+			return // leave the classical-MDS solution in place
+		}
 	}
 
-	b := make([][]float64, n)
-	for a := range b {
-		b[a] = make([]float64, n)
-	}
 	y := make([]geom.Vec3, n)
 	for iter := 0; iter < opts.SmacofIterations; iter++ {
-		// B(X): b_ab = -w_ab·d_ab/ρ_ab off-diagonal, rows sum to zero.
-		for a := 0; a < n; a++ {
-			b[a][a] = 0
-			for c := 0; c < n; c++ {
-				if c == a || !observed[a][c] {
-					if c != a {
-						b[a][c] = 0
-					}
-					continue
-				}
-				rho := coords[a].Dist(coords[c])
-				if rho < opts.MinRho {
-					rho = opts.MinRho
-				}
-				b[a][c] = -d[a][c] / rho
-			}
+		// Y = B(X)·X: pair (a,c) contributes s·(x_a − x_c) to row a and
+		// its negation to row c, with s = d_ac / max(ρ_ac, MinRho) — the
+		// pair-local form of the Guttman transform's B matrix.
+		for a := range y {
+			y[a] = geom.Vec3{}
 		}
-		for a := 0; a < n; a++ {
-			var diag float64
-			for c := 0; c < n; c++ {
-				if c != a {
-					diag -= b[a][c]
-				}
+		for _, p := range pairs {
+			rho := coords[p.a].Dist(coords[p.c])
+			if rho < opts.MinRho {
+				rho = opts.MinRho
 			}
-			b[a][a] = diag
+			t := coords[p.a].Sub(coords[p.c]).Scale(p.d / rho)
+			y[p.a] = y[p.a].Add(t)
+			y[p.c] = y[p.c].Sub(t)
 		}
-		// Y = B·X, then X⁺ = V⁺·Y.
+		// X⁺ = V⁺·Y.
 		for a := 0; a < n; a++ {
 			var acc geom.Vec3
+			row := vPinv[a]
 			for c := 0; c < n; c++ {
-				acc = acc.Add(coords[c].Scale(b[a][c]))
-			}
-			y[a] = acc
-		}
-		for a := 0; a < n; a++ {
-			var acc geom.Vec3
-			for c := 0; c < n; c++ {
-				acc = acc.Add(y[c].Scale(vPinv[a][c]))
+				acc = acc.Add(y[c].Scale(row[c]))
 			}
 			coords[a] = acc
 		}
 	}
+}
+
+// obsPair is one measured distance (a < c) — the sparse support SMACOF
+// iterates over.
+type obsPair struct {
+	a, c int
+	d    float64
+}
+
+// laplacianPinv computes the pseudo-inverse of the observation-weight
+// Laplacian V through the identity (V + 11ᵀ/n)⁻¹ = V⁺ + 11ᵀ/n, valid when
+// the observation graph is connected (null(V) = span(1)). The SMACOF
+// update only ever applies the result to Y = B(X)·X, whose rows sum to
+// zero (each pair contributes ±t), so the extra 11ᵀ/n term annihilates and
+// (V + 11ᵀ/n)⁻¹ substitutes for V⁺ exactly. The shifted matrix is
+// symmetric positive definite, so a Cholesky inversion does the job in a
+// fraction of the eigendecomposition's operations. ok=false reports a
+// failed pivot — a disconnected observation graph — and the caller falls
+// back to the eigen route.
+func laplacianPinv(deg []float64, pairs []obsPair, n int) ([][]float64, bool) {
+	a := matrix(n)
+	shift := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := a[i]
+		for j := 0; j < n; j++ {
+			row[j] = shift
+		}
+		row[i] += deg[i]
+	}
+	for _, p := range pairs {
+		a[p.a][p.c]--
+		a[p.c][p.a]--
+	}
+	// Cholesky A = L·Lᵀ, L accumulating in the lower triangle.
+	for j := 0; j < n; j++ {
+		sum := a[j][j]
+		for k := 0; k < j; k++ {
+			sum -= a[j][k] * a[j][k]
+		}
+		if sum <= 1e-9 {
+			return nil, false
+		}
+		ljj := math.Sqrt(sum)
+		a[j][j] = ljj
+		for i := j + 1; i < n; i++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= a[i][k] * a[j][k]
+			}
+			a[i][j] = s / ljj
+		}
+	}
+	// A⁻¹ column by column: forward-substitute L·w = eₑ, then
+	// back-substitute Lᵀ·x = w.
+	out := matrix(n)
+	col := make([]float64, n)
+	for e := 0; e < n; e++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			if i == e {
+				s = 1
+			}
+			for k := 0; k < i; k++ {
+				s -= a[i][k] * col[k]
+			}
+			col[i] = s / a[i][i]
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := col[i]
+			for k := i + 1; k < n; k++ {
+				s -= a[k][i] * col[k]
+			}
+			col[i] = s / a[i][i]
+		}
+		for i := 0; i < n; i++ {
+			out[i][e] = col[i]
+		}
+	}
+	return out, true
 }
 
 // pseudoInverse computes the Moore–Penrose pseudo-inverse of a symmetric
@@ -341,10 +434,7 @@ func pseudoInverse(m [][]float64) ([][]float64, error) {
 		}
 	}
 	cutoff := 1e-10 * (maxAbs + 1)
-	inv := make([][]float64, n)
-	for i := range inv {
-		inv[i] = make([]float64, n)
-	}
+	inv := matrix(n)
 	for k, v := range vals {
 		if math.Abs(v) <= cutoff {
 			continue

@@ -2,8 +2,6 @@ package mesh
 
 import (
 	"sort"
-
-	"repro/internal/graph"
 )
 
 // Edge is an undirected landmark pair, stored with Edge[0] < Edge[1].
@@ -20,15 +18,16 @@ func mkEdge(a, b int) Edge {
 // buildCDG computes the Combinatorial Delaunay Graph: landmarks are
 // adjacent when some boundary node of one Voronoi cell has a one-hop
 // neighbor in the other's cell (step II). Edges are returned sorted.
-func buildCDG(g *graph.Graph, lms *Landmarks, member func(int) bool) []Edge {
+func buildCDG(kn *surfKernel, lms *Landmarks) []Edge {
 	seen := make(map[Edge]bool)
 	var edges []Edge
-	for u := range g.Adj {
-		if !member(u) || lms.Assoc[u] == NoLandmark {
+	for u := 0; u < kn.csr.Len(); u++ {
+		if !kn.member.Has(u) || lms.Assoc[u] == NoLandmark {
 			continue
 		}
-		for _, v := range g.Adj[u] {
-			if !member(v) || lms.Assoc[v] == NoLandmark {
+		for _, v32 := range kn.csr.Neighbors(u) {
+			v := int(v32)
+			if !kn.member.Has(v) || lms.Assoc[v] == NoLandmark {
 				continue
 			}
 			if lms.Assoc[u] == lms.Assoc[v] {
@@ -67,10 +66,13 @@ type cdmResult struct {
 	paths map[Edge][]int
 }
 
-// claim records that edge e's path runs through every node of path.
+// claim records that edge e's path runs through every node of path. The
+// path is copied: accepted realizations outlive the kernel's reusable
+// extraction buffer.
 func (r *cdmResult) claim(e Edge, path []int) {
-	r.paths[e] = path
-	for _, u := range path {
+	owned := append([]int(nil), path...)
+	r.paths[e] = owned
+	for _, u := range owned {
 		r.pathEdges[u] = append(r.pathEdges[u], e)
 	}
 }
@@ -91,13 +93,13 @@ func (r *cdmResult) blocks(u, i, j int) bool {
 // them visits only nodes associated with the two landmarks, first all of
 // one's, then all of the other's, with no interleaving. The resulting
 // Combinatorial Delaunay Map is planar on the boundary surface.
-func buildCDM(g *graph.Graph, lms *Landmarks, member func(int) bool, cdg []Edge) cdmResult {
+func buildCDM(kn *surfKernel, lms *Landmarks, cdg []Edge) cdmResult {
 	res := cdmResult{
 		pathEdges: make(map[int][]Edge),
 		paths:     make(map[Edge][]int),
 	}
 	for _, e := range cdg {
-		path := g.ShortestPath(e[0], e[1], member)
+		path := kn.path(e)
 		if path == nil || !pathNonInterleaved(path, lms.Assoc, e[0], e[1]) {
 			continue
 		}
@@ -133,6 +135,58 @@ func pathNonInterleaved(path []int, assoc []int, i, j int) bool {
 	return true
 }
 
+// overlay is the growing virtual-edge graph of the triangulation pass,
+// kept as sorted adjacency slices maintained incrementally — the fixpoint
+// loop below used to rebuild and re-sort the full vertex and neighbor
+// lists every round, which dominated the pass on dense meshes.
+type overlay struct {
+	verts []int         // sorted vertex list
+	nbrs  map[int][]int // sorted neighbor lists
+}
+
+// insertSorted inserts v into sorted slice s if absent.
+func insertSorted(s []int, v int) []int {
+	at := sort.SearchInts(s, v)
+	if at < len(s) && s[at] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[at+1:], s[at:])
+	s[at] = v
+	return s
+}
+
+func (o *overlay) link(e Edge) {
+	if _, ok := o.nbrs[e[0]]; !ok {
+		o.verts = insertSorted(o.verts, e[0])
+	}
+	if _, ok := o.nbrs[e[1]]; !ok {
+		o.verts = insertSorted(o.verts, e[1])
+	}
+	o.nbrs[e[0]] = insertSorted(o.nbrs[e[0]], e[1])
+	o.nbrs[e[1]] = insertSorted(o.nbrs[e[1]], e[0])
+}
+
+// common intersects two sorted neighbor lists, appending into out
+// (ascending — the deterministic corner order the fill relies on).
+func (o *overlay) common(a, b int, out []int) []int {
+	na, nb := o.nbrs[a], o.nbrs[b]
+	i, j := 0, 0
+	for i < len(na) && j < len(nb) {
+		switch {
+		case na[i] < nb[j]:
+			i++
+		case na[i] > nb[j]:
+			j++
+		default:
+			out = append(out, na[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 // triangulate performs step IV: route a connection packet along the
 // shortest boundary path for every not-yet-connected nearby landmark pair;
 // the packet is dropped at any intermediate node already carrying a virtual
@@ -146,41 +200,26 @@ func pathNonInterleaved(path []int, assoc []int, i, j int) bool {
 // could never split those polygons into triangles. Candidates are processed
 // shortest-realization first, ties broken lexicographically, making the
 // greedy fill deterministic.
-func triangulate(g *graph.Graph, member func(int) bool, cdg []Edge, cdm *cdmResult, edgeSet, forbidden map[Edge]bool) []Edge {
-	adj := make(map[int]map[int]bool)
-	link := func(e Edge) {
-		edgeSet[e] = true
-		if adj[e[0]] == nil {
-			adj[e[0]] = make(map[int]bool)
-		}
-		if adj[e[1]] == nil {
-			adj[e[1]] = make(map[int]bool)
-		}
-		adj[e[0]][e[1]] = true
-		adj[e[1]][e[0]] = true
-	}
+func triangulate(kn *surfKernel, cdg []Edge, cdm *cdmResult, edgeSet, forbidden map[Edge]bool) []Edge {
+	ov := overlay{nbrs: make(map[int][]int)}
+	seed := make([]Edge, 0, len(edgeSet))
 	for e := range edgeSet {
-		link(e)
+		seed = append(seed, e)
+	}
+	sortEdges(seed)
+	for _, e := range seed {
+		ov.link(e)
 	}
 	// faceCount tracks how many triangles each connected edge borders;
 	// the fill below never pushes any edge past two.
 	faceCount := make(map[Edge]int)
-	for _, f := range enumerateFaces(edgesFromSet(edgeSet)) {
+	for _, f := range enumerateFaces(seed) {
 		faceCount[mkEdge(f[0], f[1])]++
 		faceCount[mkEdge(f[0], f[2])]++
 		faceCount[mkEdge(f[1], f[2])]++
 	}
 
-	commonNbrs := func(a, b int) []int {
-		var out []int
-		for c := range adj[a] {
-			if adj[b][c] {
-				out = append(out, c)
-			}
-		}
-		sort.Ints(out)
-		return out
-	}
+	var cornerBuf []int
 
 	// tryAdd accepts a candidate edge when it was never retired by a
 	// flip, its realization is not blocked by a crossing path, and every
@@ -190,7 +229,8 @@ func triangulate(g *graph.Graph, member func(int) bool, cdg []Edge, cdm *cdmResu
 		if edgeSet[e] || forbidden[e] {
 			return false
 		}
-		corners := commonNbrs(e[0], e[1])
+		corners := ov.common(e[0], e[1], cornerBuf[:0])
+		cornerBuf = corners
 		if len(corners) == 0 || len(corners) > 2 {
 			return false
 		}
@@ -199,7 +239,7 @@ func triangulate(g *graph.Graph, member func(int) bool, cdg []Edge, cdm *cdmResu
 				return false
 			}
 		}
-		path := g.ShortestPath(e[0], e[1], member)
+		path := kn.path(e)
 		if path == nil {
 			return false
 		}
@@ -208,7 +248,8 @@ func triangulate(g *graph.Graph, member func(int) bool, cdg []Edge, cdm *cdmResu
 				return false
 			}
 		}
-		link(e)
+		edgeSet[e] = true
+		ov.link(e)
 		for _, c := range corners {
 			faceCount[e]++
 			faceCount[mkEdge(e[0], c)]++
@@ -230,23 +271,19 @@ func triangulate(g *graph.Graph, member func(int) bool, cdg []Edge, cdm *cdmResu
 	// current overlay — the polygon diagonals. When four or more Voronoi
 	// cells meet around a corner the CDM leaves a polygon whose
 	// diagonals connect cells that are not edge-adjacent, so CDG pairs
-	// alone can never finish the triangulation.
+	// alone can never finish the triangulation. Each round snapshots the
+	// vertex list once and each visited vertex's neighbor list at visit
+	// time (edges added mid-round join the scan next round, exactly as
+	// the rebuild-from-scratch version behaved).
+	var verts, nbrsSnap []int
 	for {
 		progress := false
-		var verts []int
-		for v := range adj {
-			verts = append(verts, v)
-		}
-		sort.Ints(verts)
+		verts = append(verts[:0], ov.verts...)
 		for _, mid := range verts {
-			var nbrs []int
-			for u := range adj[mid] {
-				nbrs = append(nbrs, u)
-			}
-			sort.Ints(nbrs)
-			for x := 0; x < len(nbrs); x++ {
-				for y := x + 1; y < len(nbrs); y++ {
-					e := mkEdge(nbrs[x], nbrs[y])
+			nbrsSnap = append(nbrsSnap[:0], ov.nbrs[mid]...)
+			for x := 0; x < len(nbrsSnap); x++ {
+				for y := x + 1; y < len(nbrsSnap); y++ {
+					e := mkEdge(nbrsSnap[x], nbrsSnap[y])
 					if tryAdd(e) {
 						added = append(added, e)
 						progress = true

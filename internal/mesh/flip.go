@@ -88,15 +88,19 @@ func flipEdges(g *graph.Graph, member func(int) bool, edges []Edge, maxIter int)
 	for _, e := range edges {
 		edgeSet[e] = true
 	}
-	flips := flipPass(g, member, edgeSet, make(map[Edge]bool), maxIter)
+	dist := func(a, b int) int { return g.HopDistance(a, b, member) }
+	flips := flipPass(dist, edgeSet, make(map[Edge]bool), maxIter)
 	return edgesFromSet(edgeSet), flips
 }
 
 // flipPass mutates edgeSet in place, marking every retired edge in removed.
 // Monotonicity — an edge in removed is never re-added, here or by later
 // triangulation passes — guarantees termination and prevents the
-// oscillation a naive flip loop exhibits.
-func flipPass(g *graph.Graph, member func(int) bool, edgeSet, removed map[Edge]bool, maxIter int) int {
+// oscillation a naive flip loop exhibits. dist measures landmark hop
+// distance through the boundary subgraph (the surface pipeline answers it
+// from the SPT cache in O(1); the exported flipEdges wrapper falls back to
+// a fresh BFS per pair).
+func flipPass(dist func(a, b int) int, edgeSet, removed map[Edge]bool, maxIter int) int {
 	flips := 0
 	for iter := 0; iter < maxIter; iter++ {
 		cur := edgesFromSet(edgeSet)
@@ -119,7 +123,7 @@ func flipPass(g *graph.Graph, member func(int) bool, edgeSet, removed map[Edge]b
 		// Connect the far corners by their hop-distance MST.
 		cs := append([]int(nil), corners[*bad]...)
 		sort.Ints(cs)
-		for _, e := range cornerMST(g, member, cs) {
+		for _, e := range cornerMST(dist, cs) {
 			if !removed[e] {
 				edgeSet[e] = true
 			}
@@ -140,14 +144,14 @@ func edgesFromSet(set map[Edge]bool) []Edge {
 // cornerMST returns the minimum-spanning-tree edges over the given corner
 // landmarks, weighted by hop distance through the boundary subgraph
 // (unreachable pairs get a large finite weight so the tree still spans).
-func cornerMST(g *graph.Graph, member func(int) bool, corners []int) []Edge {
+func cornerMST(dist func(a, b int) int, corners []int) []Edge {
 	n := len(corners)
 	if n < 2 {
 		return nil
 	}
 	const unreachableWeight = 1 << 30
 	weight := func(a, b int) int {
-		d := g.HopDistance(corners[a], corners[b], member)
+		d := dist(corners[a], corners[b])
 		if d == graph.Unreachable {
 			return unreachableWeight
 		}

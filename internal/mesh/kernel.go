@@ -1,0 +1,107 @@
+package mesh
+
+import (
+	"repro/internal/graph"
+)
+
+// surfKernel is the traversal substrate one surface construction runs on: a
+// CSR snapshot of the network graph, the boundary-group membership bitset,
+// one reusable BFS scratch, and — once the landmarks are known — a cache of
+// per-landmark shortest-path trees. Every hop-distance and shortest-path
+// query of steps I–V goes through it.
+//
+// All mesh path queries are landmark-pair queries with the lower landmark
+// ID as the source (mkEdge normalizes every candidate edge, and face
+// corners are landmarks), so one deterministic BFS tree per landmark covers
+// buildCDM, triangulate, and the flip pass's corner MST. Paths extracted
+// from the trees are bit-identical to graph.ShortestPath: the trees
+// replicate its FIFO, adjacency-order expansion, and BFS parents are fixed
+// at discovery time, so a full tree and a truncated search agree along
+// every root-to-node path. The noSPT knob disables the cache (every query
+// falls back to a fresh scratch BFS) so tests can prove that equivalence on
+// whole surfaces.
+type surfKernel struct {
+	csr     *graph.CSR
+	member  *graph.NodeSet
+	scratch graph.Scratch
+
+	trees   []*graph.SPT // indexed by landmark node ID; nil = not cached
+	sptRuns int64        // traversal work done by BuildSPTs
+	sptVisited int64
+	hits    int64 // queries answered from a cached tree
+
+	pathBuf []int // reusable extraction buffer; accepted paths are copied out
+	noSPT   bool
+}
+
+func newSurfKernel(g *graph.Graph, inGroup []bool, noSPT bool) *surfKernel {
+	return &surfKernel{
+		csr:    graph.NewCSR(g),
+		member: graph.NodeSetOf(inGroup),
+		noSPT:  noSPT,
+	}
+}
+
+// cacheSPTs builds one shortest-path tree per landmark, in parallel.
+func (k *surfKernel) cacheSPTs(landmarks []int, workers int) error {
+	if k.noSPT {
+		return nil
+	}
+	trees, st, err := graph.BuildSPTs(k.csr, landmarks, k.member, workers)
+	if err != nil {
+		return err
+	}
+	k.trees = make([]*graph.SPT, k.csr.Len())
+	for i, lm := range landmarks {
+		k.trees[lm] = trees[i]
+	}
+	k.sptRuns += st.Runs
+	k.sptVisited += st.Visited
+	return nil
+}
+
+// tree returns the cached SPT rooted at landmark lm, nil when uncached.
+func (k *surfKernel) tree(lm int) *graph.SPT {
+	if k.trees == nil || lm < 0 || lm >= len(k.trees) {
+		return nil
+	}
+	return k.trees[lm]
+}
+
+// path returns the deterministic shortest boundary path realizing edge e,
+// nil when the landmarks are disconnected. The returned slice aliases the
+// kernel's reusable buffer — valid only until the next path call; callers
+// keep an accepted path with claimPath, which copies.
+func (k *surfKernel) path(e Edge) []int {
+	if t := k.tree(e[0]); t != nil {
+		k.hits++
+		k.pathBuf = t.PathTo(e[1], k.pathBuf[:0])
+		if len(k.pathBuf) == 0 {
+			return nil
+		}
+		return k.pathBuf
+	}
+	k.pathBuf = k.csr.ShortestPath(&k.scratch, e[0], e[1], k.member, k.pathBuf[:0])
+	if len(k.pathBuf) == 0 {
+		return nil
+	}
+	return k.pathBuf
+}
+
+// dist returns the hop distance between landmarks a and b through the
+// boundary subgraph, graph.Unreachable when disconnected.
+func (k *surfKernel) dist(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if t := k.tree(a); t != nil {
+		k.hits++
+		return t.DistTo(b)
+	}
+	return k.csr.HopDistance(&k.scratch, a, b, k.member)
+}
+
+// runs and visited total the traversal work the kernel performed, cached
+// tree builds included.
+func (k *surfKernel) runs() int64    { return k.scratch.Runs + k.sptRuns }
+func (k *surfKernel) visited() int64 { return k.scratch.Visited + k.sptVisited }

@@ -60,28 +60,38 @@ func ElectLandmarks(g *graph.Graph, group []int, k int) (*Landmarks, error) {
 	for _, v := range group {
 		inGroup[v] = true
 	}
-	member := graph.InSet(inGroup)
+	return electLandmarks(newSurfKernel(g, inGroup, true), group, k)
+}
 
+// electLandmarks is the CSR-backed election the surface pipeline uses; the
+// kernel's scratch is reused across the per-candidate and per-landmark
+// traversals, and only reached nodes are scanned (the allocating slice
+// path scanned the full distance array after every BFS).
+func electLandmarks(kn *surfKernel, group []int, k int) (*Landmarks, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	n := kn.csr.Len()
 	sorted := append([]int(nil), group...)
 	sort.Ints(sorted)
 
-	covered := make([]bool, g.Len())
+	covered := make([]bool, n)
 	var ids []int
+	src := make([]int, 1)
 	for _, v := range sorted {
 		if covered[v] {
 			continue
 		}
 		ids = append(ids, v)
-		dist := g.BFSHops([]int{v}, member, k)
-		for u, d := range dist {
-			if d != graph.Unreachable {
-				covered[u] = true
-			}
+		src[0] = v
+		kn.csr.BFSHops(&kn.scratch, src, kn.member, k)
+		for _, u := range kn.scratch.Reached() {
+			covered[u] = true
 		}
 	}
 
-	assoc := make([]int, g.Len())
-	hops := make([]int, g.Len())
+	assoc := make([]int, n)
+	hops := make([]int, n)
 	for i := range assoc {
 		assoc[i] = NoLandmark
 		hops[i] = graph.Unreachable
@@ -90,11 +100,10 @@ func ElectLandmarks(g *graph.Graph, group []int, k int) (*Landmarks, error) {
 	// each landmark in ascending ID order, claiming strictly closer
 	// nodes only.
 	for _, lm := range ids {
-		dist := g.BFSHops([]int{lm}, member, -1)
-		for u, d := range dist {
-			if d == graph.Unreachable {
-				continue
-			}
+		src[0] = lm
+		kn.csr.BFSHops(&kn.scratch, src, kn.member, -1)
+		for _, u := range kn.scratch.Reached() {
+			d := kn.scratch.Dist(int(u))
 			if hops[u] == graph.Unreachable || d < hops[u] {
 				hops[u] = d
 				assoc[u] = lm

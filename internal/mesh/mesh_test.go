@@ -250,7 +250,8 @@ func TestFlipEdgesFig5(t *testing.T) {
 
 func TestCornerMST(t *testing.T) {
 	g := pathGraph(6) // hop distance = index distance
-	mst := cornerMST(g, graph.All, []int{0, 2, 5})
+	dist := func(a, b int) int { return g.HopDistance(a, b, graph.All) }
+	mst := cornerMST(dist, []int{0, 2, 5})
 	// Pairwise hops: (0,2)=2, (2,5)=3, (0,5)=5 → MST = {0-2, 2-5}.
 	if len(mst) != 2 {
 		t.Fatalf("mst = %v", mst)
@@ -261,7 +262,7 @@ func TestCornerMST(t *testing.T) {
 			t.Errorf("unexpected MST edge %v", e)
 		}
 	}
-	if got := cornerMST(g, graph.All, []int{3}); got != nil {
+	if got := cornerMST(dist, []int{3}); got != nil {
 		t.Errorf("single corner MST = %v", got)
 	}
 }

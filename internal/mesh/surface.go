@@ -21,6 +21,15 @@ type Config struct {
 	// MaxRepairRounds bounds the fill↔flip alternation: each flip can
 	// open a polygon hole that another fill pass closes. Zero means 8.
 	MaxRepairRounds int
+	// Workers bounds the parallelism of the per-landmark shortest-path
+	// tree builds. Zero or negative means GOMAXPROCS.
+	Workers int
+
+	// noSPT disables the shortest-path-tree cache so every path and
+	// distance query runs a fresh BFS — the slow reference mode the
+	// differential tests compare against. The constructed surface is
+	// bit-identical either way.
+	noSPT bool
 }
 
 func (c Config) withDefaults() Config {
@@ -123,10 +132,10 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 	for _, v := range group {
 		inGroup[v] = true
 	}
-	member := graph.InSet(inGroup)
+	kn := newSurfKernel(g, inGroup, cfg.noSPT)
 
 	lmSpan := obs.Start(o, obs.StageLandmarks)
-	lms, err := ElectLandmarks(g, group, cfg.K)
+	lms, err := electLandmarks(kn, group, cfg.K)
 	lmSpan.End()
 	if err != nil {
 		return nil, err
@@ -144,15 +153,22 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 	}
 
 	cdgSpan := obs.Start(o, obs.StageCDG)
-	cdg := buildCDG(g, lms, member)
+	cdg := buildCDG(kn, lms)
 	cdgSpan.End()
 	obs.Add(o, obs.StageCDG, obs.CtrEdgesCDG, int64(len(cdg)))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	// Cache one shortest-path tree per landmark (in parallel): steps
+	// III–V only ever query landmark-pair paths and distances, which the
+	// trees answer in O(path length) instead of O(V+E) per query.
+	if err := kn.cacheSPTs(lms.IDs, cfg.Workers); err != nil {
+		return nil, err
+	}
+
 	cdmSpan := obs.Start(o, obs.StageCDM)
-	cdm := buildCDM(g, lms, member, cdg)
+	cdm := buildCDM(kn, lms, cdg)
 	cdmSpan.End()
 	obs.Add(o, obs.StageCDM, obs.CtrEdgesCDM, int64(len(cdm.edges)))
 
@@ -171,10 +187,10 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 			return nil, err
 		}
 		triSpan := obs.Start(o, obs.StageTriangulate)
-		added := triangulate(g, member, cdg, &cdm, edgeSet, forbidden)
+		added := triangulate(kn, cdg, &cdm, edgeSet, forbidden)
 		triSpan.End()
 		flipSpan := obs.Start(o, obs.StageFlip)
-		f := flipPass(g, member, edgeSet, forbidden, cfg.MaxFlipIterations)
+		f := flipPass(kn.dist, edgeSet, forbidden, cfg.MaxFlipIterations)
 		flipSpan.End()
 		obs.Add(o, obs.StageFlip, obs.CtrFlips, int64(f))
 		flips += f
@@ -185,6 +201,9 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 	final := edgesFromSet(edgeSet)
 	faces := enumerateFaces(final)
 	obs.Add(o, obs.StageSurface, obs.CtrFaces, int64(len(faces)))
+	obs.Add(o, obs.StageSurface, obs.CtrBFSRuns, kn.runs())
+	obs.Add(o, obs.StageSurface, obs.CtrBFSNodesVisited, kn.visited())
+	obs.Add(o, obs.StageSurface, obs.CtrSPTCacheHits, kn.hits)
 
 	s := &Surface{
 		Group:     append([]int(nil), group...),

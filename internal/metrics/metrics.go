@@ -8,9 +8,21 @@ package metrics
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 )
+
+// evalScratch pools the BFS state and source buffer of the hop-histogram
+// measurements: evaluation sweeps (Fig. 11) call them once per scenario per
+// error level, and the fresh distance-slice-per-call version made the
+// metrics pass show up in sweep profiles.
+type evalScratch struct {
+	bfs  graph.Scratch
+	srcs []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
 
 // ErrLengthMismatch is returned when masks have different lengths.
 var ErrLengthMismatch = errors.New("metrics: masks must have equal length")
@@ -86,16 +98,18 @@ func (c Classification) String() string {
 // unreachable. hist[0] counts distance-1 nodes. Query nodes that are
 // themselves anchors count at distance 0 and are reported separately.
 func HopHistogram(g *graph.Graph, query []int, anchors []bool, maxHops int) (hist []int, atZero, beyond int) {
-	var sources []int
+	es := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(es)
+	es.srcs = es.srcs[:0]
 	for i, a := range anchors {
 		if a {
-			sources = append(sources, i)
+			es.srcs = append(es.srcs, i)
 		}
 	}
-	dist := g.BFSHops(sources, graph.All, -1)
+	g.BFSHopsScratch(&es.bfs, es.srcs, graph.All, -1)
 	hist = make([]int, maxHops)
 	for _, q := range query {
-		d := dist[q]
+		d := es.bfs.Dist(q)
 		switch {
 		case d == 0:
 			atZero++

@@ -349,9 +349,13 @@ type BenchTolerances struct {
 }
 
 // DefaultBenchTolerances matches the `make bench-diff` gate: 25% wall
-// slack for a noisy single run, 10% alloc slack, exact work counters.
+// slack for a noisy single run, 10% alloc slack, and 2% per-op drift on
+// the work counters (cases that average over a pool of pre-generated
+// instances see a different instance mix when the iteration count is not
+// a pool multiple, and numeric-substrate changes move the counters at
+// rounding level).
 func DefaultBenchTolerances() BenchTolerances {
-	return BenchTolerances{NSFrac: 0.25, AllocFrac: 0.10, WorkFrac: 0}
+	return BenchTolerances{NSFrac: 0.25, AllocFrac: 0.10, WorkFrac: 0.02}
 }
 
 // ErrCrossHost is the refusal DiffBaselines returns (wrapped with both
@@ -409,7 +413,16 @@ func DiffBaselines(oldB, newB *bench.Baseline, tol BenchTolerances) (Report, err
 			if w.oldV == 0 && w.newV == 0 {
 				continue
 			}
+			// Work counters are totals accumulated over every timed
+			// iteration, and the two recordings rarely agree on the
+			// iteration count — compare per-op averages, not raw sums.
 			oldV, newV := float64(w.oldV), float64(w.newV)
+			if o.Ops > 0 {
+				oldV /= float64(o.Ops)
+			}
+			if n.Ops > 0 {
+				newV /= float64(n.Ops)
+			}
 			rep.Findings = append(rep.Findings, Finding{
 				Metric: w.metric + "/" + o.Name, Old: oldV, New: newV, Delta: newV - oldV,
 				Allowed:   tol.WorkFrac,

@@ -235,8 +235,9 @@ func TestDiffBaselinesImprovementPasses(t *testing.T) {
 }
 
 func TestDiffBaselinesWorkCounterDrift(t *testing.T) {
-	// The work counters are deterministic, so any drift at zero tolerance
-	// — even downward — is a regression.
+	// Work-counter drift beyond the (tight) default tolerance — even
+	// downward — is a regression: the counters are deterministic up to the
+	// benchmark's instance mix.
 	rep, err := DiffBaselines(baselineWith("a", 1000, 5, 42), baselineWith("b", 1000, 5, 41), DefaultBenchTolerances())
 	if err != nil {
 		t.Fatal(err)
@@ -244,6 +245,23 @@ func TestDiffBaselinesWorkCounterDrift(t *testing.T) {
 	regs := rep.Regressions()
 	if len(regs) != 1 || regs[0].Metric != "balls_tested/ubf" {
 		t.Fatalf("regressions = %+v, want balls_tested/ubf only", regs)
+	}
+}
+
+func TestDiffBaselinesWorkCountersPerOp(t *testing.T) {
+	// Counters are totals over all timed iterations; two recordings with
+	// different iteration counts but identical per-op work must compare
+	// equal — even at zero tolerance.
+	oldB := baselineWith("a", 1000, 5, 42) // 10 ops, 4.2 balls/op
+	newB := baselineWith("b", 1000, 5, 42)
+	newB.Stages[0].Ops = 30
+	newB.Stages[0].BallsTested = 126 // same 4.2 balls/op
+	rep, err := DiffBaselines(oldB, newB, BenchTolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("equal per-op work regressed: %+v", regs)
 	}
 }
 
@@ -298,7 +316,7 @@ func TestDiffBaselinesCrossHostRefusal(t *testing.T) {
 
 func TestDefaultBenchTolerances(t *testing.T) {
 	tol := DefaultBenchTolerances()
-	if tol.NSFrac != 0.25 || tol.AllocFrac != 0.10 || tol.WorkFrac != 0 || tol.AllowCrossHost {
+	if tol.NSFrac != 0.25 || tol.AllocFrac != 0.10 || tol.WorkFrac != 0.02 || tol.AllowCrossHost {
 		t.Errorf("defaults = %+v", tol)
 	}
 }

@@ -192,6 +192,16 @@ const (
 	CtrFaces
 	// CtrFlips counts step-V edge flips applied.
 	CtrFlips
+	// CtrBFSRuns counts graph traversals started by the surface pipeline
+	// (landmark election, association, SPT builds, and any uncached path
+	// queries).
+	CtrBFSRuns
+	// CtrBFSNodesVisited counts the nodes those traversals reached — the
+	// substrate work the SPT cache exists to shrink.
+	CtrBFSNodesVisited
+	// CtrSPTCacheHits counts path/distance queries answered from a cached
+	// shortest-path tree instead of a fresh BFS.
+	CtrSPTCacheHits
 
 	counterEnd // sentinel: number of counters + 1
 )
@@ -217,6 +227,9 @@ var counterNames = [...]string{
 	CtrEdgesCDM:          "cdm_edges",
 	CtrFaces:             "faces",
 	CtrFlips:             "flips_applied",
+	CtrBFSRuns:           "bfs_runs",
+	CtrBFSNodesVisited:   "bfs_nodes_visited",
+	CtrSPTCacheHits:      "spt_cache_hits",
 }
 
 // String implements fmt.Stringer; unknown counters print as "counter?".

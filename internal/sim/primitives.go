@@ -29,27 +29,57 @@ func FloodCount(g *graph.Graph, member []bool, ttl int) ([]int, error) {
 // a flight-recorder probe for round-resolved accounting.
 func FloodCountStats(g *graph.Graph, member []bool, ttl int, pr Probe) ([]int, Result, error) {
 	n := g.Len()
-	seen := make([]map[int]bool, n)
-	participates := graph.InSet(member)
+	// Compact member indexing: origins and receivers are both members, so
+	// the seen sets form an m×m bit matrix stored flat — two allocations
+	// total, where the per-node map[int]bool version allocated a growing
+	// hash table per member node.
+	idx := make([]int32, n)
+	m := 0
+	for i := range idx {
+		if i < len(member) && member[i] {
+			idx[i] = int32(m)
+			m++
+		} else {
+			idx[i] = -1
+		}
+	}
+	stride := (m + 63) / 64
+	bits := make([]uint64, m*stride)
+	counts := make([]int, n)
+	// seenMark records origin at node and reports whether it was new,
+	// maintaining counts incrementally.
+	seenMark := func(node, origin int) bool {
+		row, col := idx[node], idx[origin]
+		if row < 0 || col < 0 {
+			return false
+		}
+		w := int(row)*stride + int(col>>6)
+		bit := uint64(1) << (uint(col) & 63)
+		if bits[w]&bit != 0 {
+			return false
+		}
+		bits[w] |= bit
+		counts[node]++
+		return true
+	}
 
 	k := Kernel[floodMsg]{
 		G:            g,
-		Participates: participates,
+		Participates: graph.InSet(member),
 		MaxRounds:    ttl + 1,
 		Obs:          pr.Obs,
 		ObsStage:     pr.Stage,
 		Init: func(id int, out *Outbox[floodMsg]) {
-			seen[id] = map[int]bool{id: true}
+			seenMark(id, id)
 			if ttl > 0 {
 				out.Broadcast(floodMsg{origin: id, ttl: ttl - 1})
 			}
 		},
 		OnReceive: func(id int, inbox []Envelope[floodMsg], out *Outbox[floodMsg]) {
 			for _, env := range inbox {
-				if seen[id][env.Msg.origin] {
+				if !seenMark(id, env.Msg.origin) {
 					continue
 				}
-				seen[id][env.Msg.origin] = true
 				if env.Msg.ttl > 0 {
 					out.Broadcast(floodMsg{origin: env.Msg.origin, ttl: env.Msg.ttl - 1})
 				}
@@ -59,10 +89,6 @@ func FloodCountStats(g *graph.Graph, member []bool, ttl int, pr Probe) ([]int, R
 	res, err := k.Run()
 	if err != nil {
 		return nil, Result{}, err
-	}
-	counts := make([]int, n)
-	for i, s := range seen {
-		counts[i] = len(s)
 	}
 	return counts, res, nil
 }
