@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race fuzz bench benchsmoke trace-smoke trace-stat bench-diff check
+.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat bench-diff check ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the sharded detection engine: the differential
+# matrix and the shard/halo suites exercise the shard-parallel loops at
+# several worker widths, so this is the densest data-race surface in the
+# repo. (The blanket `race` target covers these too; this target is the
+# quick iteration loop for shard work.)
+race-shard:
+	$(GO) test -race -count=1 -run 'Shard' ./internal/core ./internal/partition/shard ./internal/graph
+
 # `go test -fuzz` accepts a single package per invocation, so each fuzz
 # target gets its own run.
 fuzz:
@@ -31,6 +39,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzSpheresThrough3 -fuzztime=$(FUZZTIME) ./internal/geom
 	$(GO) test -run=^$$ -fuzz=FuzzCircumcenter3 -fuzztime=$(FUZZTIME) ./internal/geom
 	$(GO) test -run=^$$ -fuzz=FuzzLoadDiff -fuzztime=$(FUZZTIME) ./internal/obs/analyze
+	$(GO) test -run=^$$ -fuzz=FuzzShardPartition -fuzztime=$(FUZZTIME) ./internal/partition/shard
 
 # `make bench` records a machine-readable baseline (schema: internal/bench,
 # documented in EXPERIMENTS.md) named for today's date.
@@ -86,4 +95,11 @@ bench-diff:
 	$(GO) run ./cmd/tracestat -baseline $$2 -against $$1 \
 		-tol-ns $(TOL_NS) -tol-allocs $(TOL_ALLOCS) -tol-work $(TOL_WORK)
 
-check: vet race benchsmoke trace-smoke trace-stat bench-diff fuzz
+check: vet race race-shard benchsmoke trace-smoke trace-stat bench-diff fuzz
+
+# The cache-defeating correctness gate for CI and pre-merge runs: static
+# analysis plus the full test suite with result caching off, so every
+# package really re-executes.
+ci:
+	$(GO) vet ./...
+	$(GO) test -count=1 ./...

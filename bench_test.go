@@ -14,10 +14,12 @@ package repro_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/ranging"
 	"repro/internal/routing"
+	"repro/internal/shapes"
 	"repro/internal/sim"
 )
 
@@ -589,5 +592,75 @@ func TestBenchFixtureSanity(t *testing.T) {
 				t.Fatalf("BFS Lipschitz violated on bench network at (%d,%d)", u, v)
 			}
 		}
+	}
+}
+
+// Sharded-detection scaling fixture: a ball deployment at 100k nodes
+// (override with BENCH_SHARD_NODES, e.g. 1000000 for the EXPERIMENTS.md
+// scaling run). The radio range is set analytically to the target average
+// degree — r = R·(d/n)^(1/3) gives expected interior degree d — so the
+// fixture skips the 48-pass binary search of netgen's radius auto-tuning,
+// which at this scale would dwarf the measurement.
+var (
+	shardBenchOnce sync.Once
+	shardBenchNet  *netgen.Network
+	shardBenchErr  error
+)
+
+func shardBenchFixture(b *testing.B) *netgen.Network {
+	b.Helper()
+	shardBenchOnce.Do(func() {
+		n := 100_000
+		if s := os.Getenv("BENCH_SHARD_NODES"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		const bigR = 20.0
+		const degree = 14.0
+		surface := n / 5
+		shardBenchNet, shardBenchErr = netgen.Generate(netgen.Config{
+			Shape:         shapes.NewBall(geom.Zero, bigR),
+			SurfaceNodes:  surface,
+			InteriorNodes: n - surface,
+			Radius:        bigR * math.Cbrt(degree/float64(n)),
+			Seed:          2026,
+		})
+	})
+	if shardBenchErr != nil {
+		b.Fatal(shardBenchErr)
+	}
+	return shardBenchNet
+}
+
+// BenchmarkDetectSharded measures the sharded detection engine at scale:
+// the unsharded pipeline against spatial sharding at one and four workers.
+// On a multi-core host the worker sub-cases expose the thread scaling of
+// the shard loop; on the single-core reference VM they bound its
+// orchestration overhead instead (see EXPERIMENTS.md).
+func BenchmarkDetectSharded(b *testing.B) {
+	net := shardBenchFixture(b)
+	cases := []struct {
+		name    string
+		shards  int
+		workers int
+	}{
+		{"unsharded", 0, 1},
+		{"shards=16/workers=1", 16, 1},
+		{"shards=16/workers=4", 16, 4},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			st := record(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det, err := core.Detect(net, nil, core.Config{Shards: bc.shards, Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.BallsTested += sumInts(det.BallsTested)
+				st.NodesChecked += sumInts(det.NodesChecked)
+			}
+		})
 	}
 }

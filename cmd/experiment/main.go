@@ -116,7 +116,7 @@ func run(w io.Writer, opts options) error {
 	}
 
 	eng := eval.Engine{Workers: opts.Workers, Obs: sess.Obs}
-	detectCfg := core.Config{Async: opts.Async, Workers: opts.Workers}
+	detectCfg := core.Config{Async: opts.Async, Workers: opts.Workers, Shards: opts.Shards}
 	// seed applies the shared -seed override on top of a scenario default.
 	seed := func(def int64) int64 {
 		if opts.Seed != 0 {

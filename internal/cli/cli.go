@@ -1,7 +1,8 @@
 // Package cli unifies the flag surface and output conventions of the
 // repository's commands (boundary3d, experiment, netgen): one Common
-// options block registering the shared -seed, -workers, -out, -trace and
-// -pprof flags; one Session wiring those options into the obs layer
+// options block registering the shared -seed, -workers, -shards, -out,
+// -trace and -pprof flags; one Session wiring those options into the obs
+// layer
 // (JSONL trace writer, pprof capture); and one JSON output envelope so
 // every command's -out file has the same machine-readable framing.
 package cli
@@ -26,6 +27,11 @@ type Common struct {
 	// Workers bounds worker-pool parallelism (sweep engine and pipeline).
 	// 0 means one worker per CPU; results are identical at any width.
 	Workers int
+	// Shards selects the sharded detection engine: above 1 the node set
+	// is cut into that many spatial shards detected in parallel, with
+	// results bit-identical to the unsharded pipeline. 0 or 1 keeps the
+	// ordinary single-shard path.
+	Shards int
 	// Out is the path of the command's JSON envelope output ("" = none).
 	Out string
 	// Trace is the path of the JSONL observability trace ("" = none).
@@ -39,6 +45,7 @@ type Common struct {
 func (c *Common) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&c.Seed, "seed", 0, "base RNG seed override (0 = scenario defaults)")
 	fs.IntVar(&c.Workers, "workers", 0, "worker-pool width (0 = one per CPU; any width gives identical results)")
+	fs.IntVar(&c.Shards, "shards", 0, "spatial shard count for detection (<= 1 = unsharded; any count gives identical results)")
 	fs.StringVar(&c.Out, "out", "", "write the run's results as a JSON envelope to this path")
 	fs.StringVar(&c.Trace, "trace", "", "write an observability trace (JSONL stage events and counters) to this path")
 	fs.StringVar(&c.Pprof, "pprof", "", "capture CPU and heap profiles under this path prefix")
@@ -139,13 +146,14 @@ type Envelope struct {
 	Tool    string         `json:"tool"`
 	Seed    int64          `json:"seed,omitempty"`
 	Workers int            `json:"workers,omitempty"`
+	Shards  int            `json:"shards,omitempty"`
 	Params  map[string]any `json:"params,omitempty"`
 	Data    any            `json:"data"`
 }
 
 // NewEnvelope frames a payload with the session's shared options.
 func (c Common) NewEnvelope(tool string, params map[string]any, data any) Envelope {
-	return Envelope{Tool: tool, Seed: c.Seed, Workers: c.Workers, Params: params, Data: data}
+	return Envelope{Tool: tool, Seed: c.Seed, Workers: c.Workers, Shards: c.Shards, Params: params, Data: data}
 }
 
 // WriteEnvelope writes the envelope as indented JSON to path.
@@ -171,6 +179,7 @@ func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
 		Tool    string          `json:"tool"`
 		Seed    int64           `json:"seed"`
 		Workers int             `json:"workers"`
+		Shards  int             `json:"shards"`
 		Params  map[string]any  `json:"params"`
 		Data    json.RawMessage `json:"data"`
 	}
@@ -182,7 +191,8 @@ func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
 		return Envelope{}, nil, fmt.Errorf("cli: not an output envelope (missing tool/data)")
 	}
 	return Envelope{
-		Tool: probe.Tool, Seed: probe.Seed, Workers: probe.Workers, Params: probe.Params,
+		Tool: probe.Tool, Seed: probe.Seed, Workers: probe.Workers, Shards: probe.Shards,
+		Params: probe.Params,
 	}, probe.Data, nil
 }
 

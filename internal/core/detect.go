@@ -133,6 +133,17 @@ type Config struct {
 	// Workers bounds pipeline parallelism. Zero means GOMAXPROCS. The
 	// result is independent of the worker count.
 	Workers int
+
+	// Shards, when above 1, runs the sharded detection engine: the node
+	// set is cut into that many spatial shards, each shard detects over
+	// its owned nodes plus a bounded ghost halo, and the per-shard results
+	// are stitched back together. The outcome is bit-identical to the
+	// unsharded pipeline for every shard and worker count. The sharded
+	// engine evaluates the flooding phases by direct bounded traversal
+	// rather than message passing, so Async and Faults are ignored and the
+	// message/fault counters of the Result stay zero. Zero or 1 selects
+	// the ordinary single-shard pipeline.
+	Shards int
 }
 
 func (c Config) withDefaults(haveMeasurement bool) Config {
@@ -268,18 +279,22 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		return detectSharded(ctx, o, net, meas, cfg)
+	}
 
 	detectSpan := obs.Start(o, obs.StageDetect)
 	defer detectSpan.End()
 
-	n := net.Len()
+	tab := NewNodeTable(net, meas)
+	n := tab.Len()
 	obs.Add(o, obs.StageDetect, obs.CtrNodes, int64(n))
 	res := &Result{
 		UBF:          make([]bool, n),
 		BallsTested:  make([]int, n),
 		NodesChecked: make([]int, n),
 	}
-	radius := cfg.BallRadiusFactor * (1 + cfg.Epsilon) * net.Radius
+	radius := cfg.BallRadiusFactor * (1 + cfg.Epsilon) * tab.Radius
 	tol := cfg.InteriorTolerance * radius
 
 	// Stage 1 (CoordsMDS only): every node builds its one-hop MDS frame.
@@ -292,14 +307,14 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			f, err := buildFrame(net, meas, cfg, i)
+			f, err := buildFrame(tab, cfg, i)
 			if err != nil {
 				return fmt.Errorf("node %d frame: %w", i, err)
 			}
 			frames[i] = f
 			truth := make([]geom.Vec3, len(f.members))
 			for k, m := range f.members {
-				truth[k] = net.Nodes[m].Pos
+				truth[k] = tab.Pos[m]
 			}
 			if _, rmsd, aerr := geom.AlignRigid(f.coords, truth); aerr == nil {
 				res.CoordError[i] = rmsd
@@ -323,7 +338,7 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		coords, candidates, spreads := assembleKnowledge(net, cfg, frames, i, &asm[w])
+		coords, candidates, spreads := assembleKnowledge(tab, cfg, frames, i, &asm[w])
 		// Per-point tolerance: every known position is discounted by its
 		// own locally observable uncertainty — the spread of the
 		// independent estimates the consensus stitching collected for
@@ -489,10 +504,10 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 
 // buildFrame embeds node i's closed one-hop neighborhood from measured
 // distances.
-func buildFrame(net *netgen.Network, meas *netgen.Measurement, cfg Config, i int) (frame, error) {
-	members := closedNeighborhood(net, i)
+func buildFrame(tab *NodeTable, cfg Config, i int) (frame, error) {
+	members := closedNeighborhood(tab, i)
 	dist := func(a, b int) (float64, bool) {
-		return meas.Lookup(members[a], members[b])
+		return tab.MeasLookup(members[a], members[b])
 	}
 	coords, err := mds.Localize(len(members), dist, cfg.MDS)
 	if err != nil {
@@ -528,14 +543,14 @@ type assembleScratch struct {
 	// point-pair buffers. Replaces the per-node map[int][]geom.Vec3 the
 	// stitcher used to allocate, which dominated the UBF stage's allocation
 	// profile.
-	order   []int
-	slotOf  []int32
-	ests    []stitchEst
-	bucket  []int32
-	estBuf  []geom.Vec3
-	d2      []float64
-	src     []geom.Vec3
-	dst     []geom.Vec3
+	order  []int
+	slotOf []int32
+	ests   []stitchEst
+	bucket []int32
+	estBuf []geom.Vec3
+	d2     []float64
+	src    []geom.Vec3
+	dst    []geom.Vec3
 }
 
 // stitchEst is one position estimate for the node occupying a stitch slot.
@@ -566,8 +581,8 @@ func (as *assembleScratch) visited(n int) []int32 {
 // coordinate's uncertainty estimate (nil under CoordsTrue, meaning exact).
 // Returned slices may alias as and are only valid until the next call with
 // the same scratch.
-func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int, as *assembleScratch) (coords []geom.Vec3, candidates []int, spreads []float64) {
-	oneHop := net.G.Adj[i]
+func assembleKnowledge(tab *NodeTable, cfg Config, frames []frame, i int, as *assembleScratch) (coords []geom.Vec3, candidates []int, spreads []float64) {
+	oneHop := tab.Neighbors(i)
 	candidates = as.candidates[:0]
 	for k := range oneHop {
 		candidates = append(candidates, k+1) // coords layout: i, then its one-hop neighbors
@@ -576,14 +591,16 @@ func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int, a
 
 	if cfg.Coords == CoordsTrue {
 		members := append(as.members[:0], i)
-		members = append(members, oneHop...)
+		for _, v := range oneHop {
+			members = append(members, int(v))
+		}
 		if cfg.Scope == ScopeTwoHop {
-			members = extendTwoHop(net, i, members, as)
+			members = extendTwoHop(tab, i, members, as)
 		}
 		as.members = members
 		coords = as.coords[:0]
 		for _, m := range members {
-			coords = append(coords, net.Nodes[m].Pos)
+			coords = append(coords, tab.Pos[m])
 		}
 		as.coords = coords
 		return coords, candidates, nil
@@ -598,23 +615,23 @@ func assembleKnowledge(net *netgen.Network, cfg Config, frames []frame, i int, a
 		as.spreads = spreads
 		return own.coords, candidates, spreads
 	}
-	coords, spreads = stitchTwoHop(net, cfg, frames, i, as)
+	coords, spreads = stitchTwoHop(tab, cfg, frames, i, as)
 	return coords, candidates, spreads
 }
 
 // extendTwoHop appends the two-hop neighbors of i to members (which already
 // holds i and its one-hop neighbors), preserving order and uniqueness.
-func extendTwoHop(net *netgen.Network, i int, members []int, as *assembleScratch) []int {
-	stamp := as.visited(net.Len())
+func extendTwoHop(tab *NodeTable, i int, members []int, as *assembleScratch) []int {
+	stamp := as.visited(tab.Len())
 	e := as.epoch
 	for _, m := range members {
 		stamp[m] = e
 	}
-	for _, j := range net.G.Adj[i] {
-		for _, u := range net.G.Adj[j] {
+	for _, j := range tab.Neighbors(i) {
+		for _, u := range tab.Neighbors(int(j)) {
 			if stamp[u] != e {
 				stamp[u] = e
-				members = append(members, u)
+				members = append(members, int(u))
 			}
 		}
 	}
@@ -639,7 +656,7 @@ func extendTwoHop(net *netgen.Network, i int, members []int, as *assembleScratch
 //
 // Neighbors whose overlap is too small to register are skipped, as in a
 // real deployment where a patch fails to align.
-func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int, as *assembleScratch) ([]geom.Vec3, []float64) {
+func stitchTwoHop(tab *NodeTable, cfg Config, frames []frame, i int, as *assembleScratch) ([]geom.Vec3, []float64) {
 	own := frames[i]
 
 	// Collect every estimate as a (slot, position) pair into one flat list;
@@ -647,10 +664,10 @@ func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int, as *as
 	// two-hop nodes as registered frames surface them), so the slot order is
 	// exactly the node order the map-based stitcher produced. The epoch
 	// stamp marks which nodes hold a valid slot.
-	stamp := as.visited(net.Len())
+	stamp := as.visited(tab.Len())
 	e := as.epoch
-	if len(as.slotOf) < net.Len() {
-		as.slotOf = make([]int32, net.Len())
+	if len(as.slotOf) < tab.Len() {
+		as.slotOf = make([]int32, tab.Len())
 	}
 	slotOf := as.slotOf
 	order := as.order[:0]
@@ -662,7 +679,7 @@ func stitchTwoHop(net *netgen.Network, cfg Config, frames []frame, i int, as *as
 		ests = append(ests, stitchEst{slot: slotOf[m], pos: own.coords[k]})
 	}
 	nOwn := int32(len(own.members))
-	for _, j := range net.G.Adj[i] {
+	for _, j := range tab.Neighbors(i) {
 		fj := frames[j]
 		src, dst := as.src[:0], as.dst[:0]
 		for k, m := range fj.members {
@@ -806,9 +823,12 @@ func clusterSpread(ests []geom.Vec3, center geom.Vec3, fallback float64, buf *[]
 
 // closedNeighborhood returns node i followed by its one-hop neighbors —
 // the set Γ_i of Algorithm 1.
-func closedNeighborhood(net *netgen.Network, i int) []int {
-	members := make([]int, 0, len(net.G.Adj[i])+1)
+func closedNeighborhood(tab *NodeTable, i int) []int {
+	nbrs := tab.Neighbors(i)
+	members := make([]int, 0, len(nbrs)+1)
 	members = append(members, i)
-	members = append(members, net.G.Adj[i]...)
+	for _, v := range nbrs {
+		members = append(members, int(v))
+	}
 	return members
 }

@@ -1,0 +1,282 @@
+package core
+
+// Differential battery for the sharded detection engine: sharded runs must
+// be bit-identical to the unsharded pipeline — same verdict bits, same
+// work counters, same float values — on every world, shard count, worker
+// count, and fault plan. The suite mirrors internal/mesh's refimpl
+// differential style: one trusted baseline per world, a matrix of
+// configurations diffed against it.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/ranging"
+	"repro/internal/shapes"
+	"repro/internal/sim"
+)
+
+// shardWorld is one deployment plus its unsharded baseline result.
+type shardWorld struct {
+	name string
+	net  *netgen.Network
+	base *Result
+}
+
+var (
+	shardWorldsOnce sync.Once
+	shardWorldsVal  []shardWorld
+	shardWorldsErr  error
+)
+
+// shardWorlds builds the seeded sphere/cube/torus deployments (the worlds
+// of internal/mesh's differential suite) with their unsharded CoordsTrue
+// baselines, once per test binary.
+func shardWorlds(t *testing.T) []shardWorld {
+	t.Helper()
+	shardWorldsOnce.Do(func() {
+		box, err := shapes.NewBoxWithHoles(geom.V(0, 0, 0), geom.V(7, 7, 7), nil)
+		if err != nil {
+			shardWorldsErr = err
+			return
+		}
+		tor, err := shapes.NewTorus(5.5, 2.2)
+		if err != nil {
+			shardWorldsErr = err
+			return
+		}
+		specs := []struct {
+			name     string
+			shape    shapes.Shape
+			surf, in int
+			seed     int64
+		}{
+			{"sphere", shapes.NewBall(geom.Zero, 4), 400, 900, 60},
+			{"cube", box, 450, 950, 61},
+			{"torus", tor, 700, 1100, 3},
+		}
+		for _, sp := range specs {
+			net, err := netgen.Generate(netgen.Config{
+				Shape:           sp.shape,
+				SurfaceNodes:    sp.surf,
+				InteriorNodes:   sp.in,
+				TargetAvgDegree: 18,
+				Seed:            sp.seed,
+			})
+			if err != nil {
+				shardWorldsErr = fmt.Errorf("%s: %w", sp.name, err)
+				return
+			}
+			base, err := Detect(net, nil, Config{})
+			if err != nil {
+				shardWorldsErr = fmt.Errorf("%s baseline: %w", sp.name, err)
+				return
+			}
+			shardWorldsVal = append(shardWorldsVal, shardWorld{name: sp.name, net: net, base: base})
+		}
+	})
+	if shardWorldsErr != nil {
+		t.Fatal(shardWorldsErr)
+	}
+	return shardWorldsVal
+}
+
+// msgMode selects how diffResults treats the message counters.
+type msgMode int
+
+const (
+	// msgEqual requires identical traffic (unsharded clean runs).
+	msgEqual msgMode = iota
+	// msgSkip ignores traffic (unsharded faulty runs: retransmissions
+	// change costs, never verdicts).
+	msgSkip
+	// msgZero requires zero traffic and zero fault stats (sharded runs
+	// perform no message passing).
+	msgZero
+)
+
+// diffResults fails the test unless got matches want bit for bit on every
+// outcome field; message counters are handled per mode.
+func diffResults(t *testing.T, label string, want, got *Result, mode msgMode) {
+	t.Helper()
+	if len(got.UBF) != len(want.UBF) {
+		t.Fatalf("%s: node count %d != %d", label, len(got.UBF), len(want.UBF))
+	}
+	for i := range want.UBF {
+		if got.UBF[i] != want.UBF[i] {
+			t.Fatalf("%s: UBF[%d] = %v, want %v", label, i, got.UBF[i], want.UBF[i])
+		}
+		if got.Boundary[i] != want.Boundary[i] {
+			t.Fatalf("%s: Boundary[%d] = %v, want %v", label, i, got.Boundary[i], want.Boundary[i])
+		}
+		if got.FragmentSize[i] != want.FragmentSize[i] {
+			t.Fatalf("%s: FragmentSize[%d] = %d, want %d", label, i, got.FragmentSize[i], want.FragmentSize[i])
+		}
+		if got.GroupLabel[i] != want.GroupLabel[i] {
+			t.Fatalf("%s: GroupLabel[%d] = %d, want %d", label, i, got.GroupLabel[i], want.GroupLabel[i])
+		}
+		if got.BallsTested[i] != want.BallsTested[i] {
+			t.Fatalf("%s: BallsTested[%d] = %d, want %d", label, i, got.BallsTested[i], want.BallsTested[i])
+		}
+		if got.NodesChecked[i] != want.NodesChecked[i] {
+			t.Fatalf("%s: NodesChecked[%d] = %d, want %d", label, i, got.NodesChecked[i], want.NodesChecked[i])
+		}
+	}
+	if (got.CoordError == nil) != (want.CoordError == nil) {
+		t.Fatalf("%s: CoordError presence %v != %v", label, got.CoordError != nil, want.CoordError != nil)
+	}
+	for i := range want.CoordError {
+		// Bit-identity, not approximation: the sharded frames see the same
+		// inputs in the same order, so the floats must match exactly.
+		if math.Float64bits(got.CoordError[i]) != math.Float64bits(want.CoordError[i]) {
+			t.Fatalf("%s: CoordError[%d] = %v, want %v", label, i, got.CoordError[i], want.CoordError[i])
+		}
+	}
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got.Groups), len(want.Groups))
+	}
+	for gi := range want.Groups {
+		if len(got.Groups[gi]) != len(want.Groups[gi]) {
+			t.Fatalf("%s: group %d size %d, want %d", label, gi, len(got.Groups[gi]), len(want.Groups[gi]))
+		}
+		for k := range want.Groups[gi] {
+			if got.Groups[gi][k] != want.Groups[gi][k] {
+				t.Fatalf("%s: group %d member %d = %d, want %d", label, gi, k, got.Groups[gi][k], want.Groups[gi][k])
+			}
+		}
+	}
+	switch mode {
+	case msgEqual:
+		if got.IFFMessages != want.IFFMessages || got.GroupingMessages != want.GroupingMessages {
+			t.Fatalf("%s: messages (%d,%d), want (%d,%d)", label,
+				got.IFFMessages, got.GroupingMessages, want.IFFMessages, want.GroupingMessages)
+		}
+	case msgZero:
+		if got.IFFMessages != 0 || got.GroupingMessages != 0 || got.FaultStats != (sim.FaultStats{}) {
+			t.Fatalf("%s: sharded run reports message traffic (%d,%d) or fault stats %+v",
+				label, got.IFFMessages, got.GroupingMessages, got.FaultStats)
+		}
+	}
+}
+
+// TestShardedDifferentialMatrix diffs the sharded engine against the
+// unsharded baseline over worlds × shard counts × worker counts × fault
+// plans. Fault injection perturbs only the unsharded engine's message
+// schedule — provably not its outcome — so every cell must produce the
+// baseline bits.
+func TestShardedDifferentialMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is long")
+	}
+	// The faulty plan stays in the outcome-preserving regime: bounded
+	// per-link loss within the retransmit budget, plus duplicates and
+	// delays (harmless by idempotence). Crash faults are excluded — a
+	// crashed node genuinely changes the flood counts, and the sharded
+	// engine, which does no message passing, models the crash-free
+	// protocol.
+	faultPlans := []struct {
+		name   string
+		faults sim.FaultConfig
+	}{
+		{"clean", sim.FaultConfig{}},
+		{"faulty", sim.FaultConfig{Seed: 7, DropRate: 0.05, MaxDropsPerLink: 2, DuplicateRate: 0.02, DelayRate: 0.05}},
+	}
+	for _, w := range shardWorlds(t) {
+		for _, shards := range []int{1, 2, 4, 7} {
+			for _, workers := range []int{1, 4} {
+				for _, fp := range faultPlans {
+					label := fmt.Sprintf("%s/shards=%d/workers=%d/%s", w.name, shards, workers, fp.name)
+					got, err := Detect(w.net, nil, Config{
+						Shards:  shards,
+						Workers: workers,
+						Faults:  fp.faults,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					// Unsharded cells (shards=1) run the message-passing
+					// protocols and must reproduce the baseline's costs
+					// too, except under injected faults (retransmissions
+					// change traffic, not verdicts).
+					mode := msgZero
+					if shards <= 1 {
+						mode = msgEqual
+						if fp.faults.Enabled() {
+							mode = msgSkip
+						}
+					}
+					diffResults(t, label, w.base, got, mode)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDifferentialMDS runs the stitched-coordinates path (CoordsMDS
+// + ScopeTwoHop) sharded and unsharded on a smaller sphere: frames, fused
+// two-hop estimates and adaptive tolerances must all reproduce exactly,
+// including the per-node CoordError floats.
+func TestShardedDifferentialMDS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MDS differential is long")
+	}
+	net, err := netgen.Generate(netgen.Config{
+		Shape:           shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:    150,
+		InteriorNodes:   350,
+		TargetAvgDegree: 16,
+		Seed:            29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := net.Measure(ranging.ForFraction(0.2), 41)
+	base, err := Detect(net, meas, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 5} {
+		got, err := Detect(net, meas, Config{Shards: shards, Workers: 3})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		diffResults(t, fmt.Sprintf("mds/shards=%d", shards), base, got, msgZero)
+	}
+}
+
+// TestShardedScopeAndIFFVariants covers the remaining configuration axes
+// on one world: one-hop scope (halo depth driven by the IFF TTL), IFF
+// disabled (halo depth driven by the scope), and a nondefault TTL.
+func TestShardedScopeAndIFFVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant differential is long")
+	}
+	w := shardWorlds(t)[0]
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"one-hop", Config{Scope: ScopeOneHop}},
+		{"iff-off", Config{IFFThreshold: -1}},
+		{"ttl-1", Config{IFFTTL: 1}},
+		{"theta-8-ttl-5", Config{IFFThreshold: 8, IFFTTL: 5}},
+	}
+	for _, v := range variants {
+		base, err := Detect(w.net, nil, v.cfg)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", v.name, err)
+		}
+		cfg := v.cfg
+		cfg.Shards = 3
+		cfg.Workers = 2
+		got, err := Detect(w.net, nil, cfg)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", v.name, err)
+		}
+		diffResults(t, v.name, base, got, msgZero)
+	}
+}

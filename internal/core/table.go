@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/netgen"
+)
+
+// NodeTable is the detection pipeline's struct-of-arrays view of a network:
+// adjacency as a CSR, positions in one flat slice, and measured link
+// distances in one flat slice parallel to the CSR's arc array. Every
+// pipeline stage streams these tables instead of chasing the per-node
+// slices of netgen.Network, which keeps a spatial shard's working set
+// contiguous in memory. A NodeTable is immutable once built and safe for
+// concurrent readers.
+//
+// The adjacency rows keep netgen's ascending neighbor order, so every
+// iteration the pipeline performs over a NodeTable visits nodes in exactly
+// the order the slice-of-structs code did — the bit-identity of results
+// across the two layouts (and across sharded views, which are themselves
+// NodeTables) depends on it.
+type NodeTable struct {
+	// CSR is the adjacency structure; rows are ascending.
+	CSR *graph.CSR
+	// Pos holds each node's position (true coordinates).
+	Pos []geom.Vec3
+	// Meas holds the measured distance of every directed arc, parallel to
+	// the CSR arc array; nil when no measurement was supplied (CoordsTrue).
+	Meas []float64
+	// Radius is the radio range the table was built under.
+	Radius float64
+}
+
+// NewNodeTable flattens a network (and optionally a measurement) into the
+// struct-of-arrays layout. meas may be nil.
+func NewNodeTable(net *netgen.Network, meas *netgen.Measurement) *NodeTable {
+	t := &NodeTable{
+		CSR:    graph.NewCSR(net.G),
+		Pos:    net.Positions(),
+		Radius: net.Radius,
+	}
+	if meas != nil {
+		flat := make([]float64, 0, 2*net.G.NumEdges())
+		for i := range meas.Dist {
+			flat = append(flat, meas.Dist[i]...)
+		}
+		t.Meas = flat
+	}
+	return t
+}
+
+// Len returns the number of nodes.
+func (t *NodeTable) Len() int { return t.CSR.Len() }
+
+// Neighbors returns node i's adjacency row, ascending. Callers must not
+// mutate it.
+func (t *NodeTable) Neighbors(i int) []int32 { return t.CSR.Neighbors(i) }
+
+// MeasRow returns the measured distances of node i's arcs, parallel to
+// Neighbors(i); nil when the table carries no measurement.
+func (t *NodeTable) MeasRow(i int) []float64 {
+	if t.Meas == nil {
+		return nil
+	}
+	off := t.CSR.RowOffset(i)
+	return t.Meas[off : off+t.CSR.Degree(i)]
+}
+
+// MeasLookup returns the measured distance between nodes i and j, which
+// must be radio neighbors (or equal — a node is at distance zero from
+// itself); ok is false otherwise or when the table carries no measurement.
+// Exactly the semantics of netgen.Measurement.Lookup on the flat layout.
+func (t *NodeTable) MeasLookup(i, j int) (float64, bool) {
+	if i == j {
+		return 0, true
+	}
+	if t.Meas == nil {
+		return 0, false
+	}
+	if k, ok := t.CSR.ArcIndex(i, j); ok {
+		return t.Meas[k], true
+	}
+	return 0, false
+}

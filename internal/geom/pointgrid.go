@@ -165,6 +165,17 @@ func (g *PointGrid) Cell(x, y, z int) []int32 {
 	return g.items[g.starts[c]:g.starts[c+1]]
 }
 
+// WalkCells calls fn for every grid cell in flat index order (x-major,
+// then y, then z — so consecutive calls are pencils of spatially adjacent
+// cells) with the cell's bucketed point indices, ascending. Empty cells
+// are visited too; the order and contents depend only on the Build inputs.
+func (g *PointGrid) WalkCells(fn func(members []int32)) {
+	ncells := g.nx * g.ny * g.nz
+	for c := 0; c < ncells; c++ {
+		fn(g.items[g.starts[c]:g.starts[c+1]])
+	}
+}
+
 // CellMinDist2 returns the squared distance from p to the closest point
 // of cell (x, y, z)'s cube, zero when p is inside it. Callers use it to
 // cull cells that cannot intersect a query ball.

@@ -116,6 +116,33 @@ func NewCSRFromEdges(n int, edges [][2]int) (*CSR, error) {
 	return c, nil
 }
 
+// NewCSRFromParts adopts prebuilt row-pointer and column arrays as a CSR —
+// the constructor for callers (the sharded detection engine) that assemble
+// compacted subgraph views arc by arc and cannot afford the edge-list
+// round-trip of NewCSRFromEdges. rowPtr must be monotone with rowPtr[0]==0
+// and rowPtr[len-1]==len(col); col entries must lie in [0, len(rowPtr)-1).
+// The slices are aliased, not copied; callers must not mutate them after.
+func NewCSRFromParts(rowPtr, col []int32) (*CSR, error) {
+	if len(rowPtr) == 0 {
+		return nil, fmt.Errorf("graph: CSR needs at least one row pointer")
+	}
+	n := len(rowPtr) - 1
+	if rowPtr[0] != 0 || int(rowPtr[n]) != len(col) {
+		return nil, fmt.Errorf("graph: CSR row pointers do not frame the column array")
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("graph: CSR row %d has negative length", i)
+		}
+	}
+	for _, v := range col {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: CSR neighbor %d out of range [0,%d)", v, n)
+		}
+	}
+	return &CSR{rowPtr: rowPtr, col: col}, nil
+}
+
 // Len returns the number of nodes.
 func (c *CSR) Len() int { return len(c.rowPtr) - 1 }
 
@@ -128,6 +155,24 @@ func (c *CSR) Neighbors(u int) []int32 { return c.col[c.rowPtr[u]:c.rowPtr[u+1]]
 
 // Degree returns the degree of node u.
 func (c *CSR) Degree(u int) int { return int(c.rowPtr[u+1] - c.rowPtr[u]) }
+
+// RowOffset returns the position in the flat arc (column) array where node
+// u's adjacency row begins: Neighbors(u)[k] is arc RowOffset(u)+k.
+func (c *CSR) RowOffset(u int) int { return int(c.rowPtr[u]) }
+
+// ArcIndex returns the position of arc u→v in the flat arc (column) array
+// and whether the arc exists, by binary search — rows must be ascending
+// (true for every builder in this repo). The index is stable for the CSR's
+// lifetime, so callers can address arc-parallel payload arrays with it
+// (the flat measured-distance table of internal/core).
+func (c *CSR) ArcIndex(u, v int) (int, bool) {
+	row := c.col[c.rowPtr[u]:c.rowPtr[u+1]]
+	k := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	if k < len(row) && row[k] == int32(v) {
+		return int(c.rowPtr[u]) + k, true
+	}
+	return 0, false
+}
 
 // NodeSet is a bitset node filter — the hot-path replacement for the
 // func(int) bool closures of BFSHops and friends. The zero value is an

@@ -1,0 +1,131 @@
+package graph
+
+// Tests for the adopt-constructor (NewCSRFromParts), the arc addressing
+// helpers (RowOffset/ArcIndex), and Scratch reuse across CSRs of different
+// sizes — the access pattern of the sharded detection engine, which walks
+// one Scratch over per-shard views of varying node counts.
+
+import "testing"
+
+func TestNewCSRFromParts(t *testing.T) {
+	// A valid 3-node path graph, rows ascending.
+	rowPtr := []int32{0, 1, 3, 4}
+	col := []int32{1, 0, 2, 1}
+	c, err := NewCSRFromParts(rowPtr, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || c.Degree(1) != 2 {
+		t.Fatalf("Len=%d Degree(1)=%d", c.Len(), c.Degree(1))
+	}
+	if err := c.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// The empty graph: one row pointer, no arcs.
+	if e, err := NewCSRFromParts([]int32{0}, nil); err != nil || e.Len() != 0 {
+		t.Fatalf("empty graph: %v", err)
+	}
+
+	bad := []struct {
+		name   string
+		rowPtr []int32
+		col    []int32
+	}{
+		{"no row pointers", nil, nil},
+		{"first pointer nonzero", []int32{1, 2}, []int32{0, 0}},
+		{"last pointer misframes", []int32{0, 1}, []int32{0, 0}},
+		{"negative row length", []int32{0, 2, 1, 4}, []int32{1, 2, 0, 0}},
+		{"neighbor out of range", []int32{0, 1, 2}, []int32{1, 2}},
+		{"negative neighbor", []int32{0, 1, 2}, []int32{1, -1}},
+	}
+	for _, tc := range bad {
+		if _, err := NewCSRFromParts(tc.rowPtr, tc.col); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestRowOffsetArcIndex(t *testing.T) {
+	c, err := NewCSRFromEdges(6, [][2]int{{0, 1}, {0, 3}, {0, 5}, {1, 2}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < c.Len(); u++ {
+		row := c.Neighbors(u)
+		off := c.RowOffset(u)
+		for k, v := range row {
+			idx, ok := c.ArcIndex(u, int(v))
+			if !ok || idx != off+k {
+				t.Fatalf("ArcIndex(%d,%d) = (%d,%v), want (%d,true)", u, v, idx, ok, off+k)
+			}
+		}
+		// Non-neighbors (including u itself) must miss.
+		for v := 0; v < c.Len(); v++ {
+			if _, ok := c.ArcIndex(u, v); ok != contains(row, int32(v)) {
+				t.Fatalf("ArcIndex(%d,%d) existence = %v", u, v, ok)
+			}
+		}
+	}
+}
+
+func contains(row []int32, v int32) bool {
+	for _, x := range row {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScratchCrossSizeReuse drives one Scratch across CSRs of different
+// node counts, the sharded engine's pattern. Shrinking then growing again
+// must not resurrect stale marks: begin() reallocates only when the mark
+// array is too small, so marks written for a big graph survive while a
+// small graph is served and must still be dead when the big graph returns.
+func TestScratchCrossSizeReuse(t *testing.T) {
+	big := NewCSR(gridGraph(12, 12))   // 144 nodes
+	small := NewCSR(pathGraph(5))      // 5 nodes
+	other := NewCSR(gridGraph(10, 10)) // 100 nodes
+
+	var s Scratch
+	big.BFSHops(&s, []int{0}, nil, -1)
+	if s.Dist(143) < 0 {
+		t.Fatal("big grid not fully reached")
+	}
+	small.BFSHops(&s, []int{4}, nil, 1)
+	if s.Dist(4) != 0 || s.Dist(2) != Unreachable {
+		t.Fatalf("small graph dists wrong: %d %d", s.Dist(4), s.Dist(2))
+	}
+	// Back to a big graph: nodes beyond the small graph's range carry marks
+	// from two epochs ago and must read as unreached until visited anew.
+	other.BFSHops(&s, []int{99}, nil, 0)
+	if s.Dist(99) != 0 {
+		t.Fatalf("dist(99) = %d, want 0", s.Dist(99))
+	}
+	for _, u := range []int{0, 50, 98} {
+		if s.Dist(u) != Unreachable {
+			t.Fatalf("stale mark leaked after cross-size reuse: dist(%d) = %d", u, s.Dist(u))
+		}
+	}
+	if got := len(s.Reached()); got != 1 {
+		t.Fatalf("reached %d nodes, want 1", got)
+	}
+}
+
+// TestScratchCrossSizeAllocsZero pins the steady-state allocation count of
+// the cross-size pattern: once the scratch has served the largest view,
+// alternating between views of different sizes allocates nothing.
+func TestScratchCrossSizeAllocsZero(t *testing.T) {
+	big := NewCSR(gridGraph(12, 12))
+	small := NewCSR(pathGraph(5))
+	var s Scratch
+	big.BFSHops(&s, []int{0}, nil, -1) // size for the largest view
+	srcsBig, srcsSmall := []int{0}, []int{0}
+	allocs := testing.AllocsPerRun(100, func() {
+		small.BFSHops(&s, srcsSmall, nil, -1)
+		big.BFSHops(&s, srcsBig, nil, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("cross-size warm BFS allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -54,6 +54,9 @@ const (
 	StageCell
 	// StageExperiment spans one cmd/experiment run target.
 	StageExperiment
+	// StagePartition is the sharded engine's setup phase: spatial shard
+	// assignment plus per-shard view (owned + ghost halo) construction.
+	StagePartition
 
 	stageEnd // sentinel: number of stages + 1
 )
@@ -72,6 +75,7 @@ var stageNames = [...]string{
 	StageFlip:        "flip",
 	StageCell:        "cell",
 	StageExperiment:  "experiment",
+	StagePartition:   "partition",
 }
 
 // String implements fmt.Stringer; unknown stages print as "stage?".
@@ -202,6 +206,11 @@ const (
 	// CtrSPTCacheHits counts path/distance queries answered from a cached
 	// shortest-path tree instead of a fresh BFS.
 	CtrSPTCacheHits
+	// CtrShards counts the spatial shards a sharded detection ran on.
+	CtrShards
+	// CtrHaloNodes counts ghost nodes replicated into shard views — the
+	// sharded engine's halo-exchange volume, summed over shards.
+	CtrHaloNodes
 
 	counterEnd // sentinel: number of counters + 1
 )
@@ -230,6 +239,8 @@ var counterNames = [...]string{
 	CtrBFSRuns:           "bfs_runs",
 	CtrBFSNodesVisited:   "bfs_nodes_visited",
 	CtrSPTCacheHits:      "spt_cache_hits",
+	CtrShards:            "shards",
+	CtrHaloNodes:         "halo_nodes",
 }
 
 // String implements fmt.Stringer; unknown counters print as "counter?".

@@ -1,0 +1,297 @@
+package shard
+
+// Invariant, property, and differential tests for spatial sharding. The
+// halo property test is the load-bearing one: the sharded detection
+// engine's bit-identity argument (internal/core/shard.go) assumes that a
+// view at depth d contains every node within d hops of the owned set and
+// that owned nodes therefore see their complete bounded-hop neighborhood.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+// testNetwork builds one seeded deployment for the suite.
+func testNetwork(t testing.TB, surf, in int, seed int64) *netgen.Network {
+	t.Helper()
+	net, err := netgen.Generate(netgen.Config{
+		Shape:           shapes.NewBall(geom.Zero, 4),
+		SurfaceNodes:    surf,
+		InteriorNodes:   in,
+		TargetAvgDegree: 14,
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// checkShardingInvariants verifies the structural contract of a Sharding
+// over n nodes: Owner in range, Owned ascending, and Owner/Owned mutually
+// consistent (every node in exactly one shard).
+func checkShardingInvariants(t testing.TB, s *Sharding, n, k int) {
+	t.Helper()
+	if s.K != k || len(s.Owner) != n || len(s.Owned) != k {
+		t.Fatalf("shape: K=%d len(Owner)=%d len(Owned)=%d, want %d/%d/%d", s.K, len(s.Owner), len(s.Owned), k, n, k)
+	}
+	total := 0
+	for sh, owned := range s.Owned {
+		if s.OwnedCount(sh) != len(owned) {
+			t.Fatalf("OwnedCount(%d) = %d, want %d", sh, s.OwnedCount(sh), len(owned))
+		}
+		for i, v := range owned {
+			if v < 0 || v >= n {
+				t.Fatalf("shard %d owns out-of-range node %d", sh, v)
+			}
+			if i > 0 && owned[i-1] >= v {
+				t.Fatalf("shard %d owned list not ascending at %d", sh, i)
+			}
+			if int(s.Owner[v]) != sh {
+				t.Fatalf("node %d in Owned[%d] but Owner says %d", v, sh, s.Owner[v])
+			}
+		}
+		total += len(owned)
+	}
+	if total != n {
+		t.Fatalf("shards own %d nodes, want %d", total, n)
+	}
+	for i, o := range s.Owner {
+		if o < 0 || int(o) >= k {
+			t.Fatalf("Owner[%d] = %d out of [0,%d)", i, o, k)
+		}
+	}
+}
+
+func TestSpatialInvariants(t *testing.T) {
+	net := testNetwork(t, 250, 550, 17)
+	pos := net.Positions()
+	for _, k := range []int{1, 2, 3, 4, 7, 16, 50} {
+		s, err := Spatial(pos, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		checkShardingInvariants(t, s, len(pos), k)
+		// Determinism: a second build is identical.
+		again, err := Spatial(pos, k)
+		if err != nil {
+			t.Fatalf("k=%d rebuild: %v", k, err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("k=%d: Spatial is not deterministic", k)
+		}
+	}
+}
+
+func TestSpatialEdgeCases(t *testing.T) {
+	if _, err := Spatial(nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Spatial(nil, -3); err == nil {
+		t.Fatal("k=-3 accepted")
+	}
+	// Empty position set: valid, all shards empty.
+	s, err := Spatial(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShardingInvariants(t, s, 0, 4)
+	// More shards than nodes: every node still owned exactly once.
+	few := []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 2, 0)}
+	s, err = Spatial(few, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShardingInvariants(t, s, len(few), 9)
+	// All positions coincident: degenerate bounding box must not divide by
+	// zero; one cell holds everything.
+	same := []geom.Vec3{geom.V(1, 1, 1), geom.V(1, 1, 1), geom.V(1, 1, 1), geom.V(1, 1, 1)}
+	s, err = Spatial(same, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShardingInvariants(t, s, len(same), 3)
+}
+
+// TestSpatialBalance checks the load-imbalance factor of the cut on a
+// uniform deployment: the balanced prefix rule should keep the largest
+// shard within a small factor of the mean.
+func TestSpatialBalance(t *testing.T) {
+	net := testNetwork(t, 300, 900, 5)
+	pos := net.Positions()
+	for _, k := range []int{2, 4, 8} {
+		s, err := Spatial(pos, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := s.Balance(); b > 1.6 {
+			t.Errorf("k=%d: imbalance factor %.2f > 1.6", k, b)
+		}
+	}
+}
+
+// bruteHops computes hop distances from a source set by an independent
+// queue-based BFS over the allowed-induced subgraph — the reference for
+// ViewNodes.
+func bruteHops(c *graph.CSR, sources []int, allowed *graph.NodeSet, depth int) map[int32]int8 {
+	dist := make(map[int32]int8)
+	var q []int32
+	for _, s := range sources {
+		if allowed != nil && !allowed.Has(s) {
+			continue
+		}
+		if _, ok := dist[int32(s)]; !ok {
+			dist[int32(s)] = 0
+			q = append(q, int32(s))
+		}
+	}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		if int(dist[u]) >= depth {
+			continue
+		}
+		for _, v := range c.Neighbors(int(u)) {
+			if allowed != nil && !allowed.Has(int(v)) {
+				continue
+			}
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestViewNodesMatchesBruteForce(t *testing.T) {
+	net := testNetwork(t, 200, 400, 23)
+	c := graph.NewCSR(net.G)
+	pos := net.Positions()
+	s, err := Spatial(pos, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc graph.Scratch
+	for _, depth := range []int{1, 2, 3} {
+		for sh := 0; sh < s.K; sh++ {
+			nodes, dist := s.ViewNodes(c, sh, depth, nil, &sc)
+			want := bruteHops(c, s.Owned[sh], nil, depth)
+			if len(nodes) != len(want) {
+				t.Fatalf("shard %d depth %d: view has %d nodes, brute force %d", sh, depth, len(nodes), len(want))
+			}
+			for i, v := range nodes {
+				if i > 0 && nodes[i-1] >= v {
+					t.Fatalf("shard %d depth %d: view not ascending at %d", sh, depth, i)
+				}
+				wd, ok := want[v]
+				if !ok {
+					t.Fatalf("shard %d depth %d: view node %d not reached by brute force", sh, depth, v)
+				}
+				if dist[i] != wd {
+					t.Fatalf("shard %d depth %d: node %d dist %d, want %d", sh, depth, v, dist[i], wd)
+				}
+			}
+			// Halo = view minus owned.
+			ghosts := s.Halo(c, sh, depth, nil, &sc)
+			wantGhosts := 0
+			for v, d := range want {
+				if d > 0 {
+					wantGhosts++
+					_ = v
+				}
+			}
+			if len(ghosts) != wantGhosts {
+				t.Fatalf("shard %d depth %d: %d ghosts, want %d", sh, depth, len(ghosts), wantGhosts)
+			}
+			for _, g := range ghosts {
+				if int(s.Owner[g]) == sh {
+					t.Fatalf("shard %d: halo contains owned node %d", sh, g)
+				}
+			}
+		}
+	}
+}
+
+// TestHaloCoversNeighborhoods quick-checks the locality property the
+// sharded engine depends on: in a depth-d view, every owned node's full
+// d-hop neighborhood is present, so any computation reading at most d hops
+// around an owned node sees exactly what the global run sees.
+func TestHaloCoversNeighborhoods(t *testing.T) {
+	for _, seed := range []int64{1, 9, 42} {
+		net := testNetwork(t, 150, 350, seed)
+		c := graph.NewCSR(net.G)
+		s, err := Spatial(net.Positions(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc graph.Scratch
+		for _, depth := range []int{1, 2} {
+			for sh := 0; sh < s.K; sh++ {
+				nodes, _ := s.ViewNodes(c, sh, depth, nil, &sc)
+				inView := make(map[int32]bool, len(nodes))
+				for _, v := range nodes {
+					inView[v] = true
+				}
+				for _, u := range s.Owned[sh] {
+					for _, v := range c.Neighbors(u) {
+						if !inView[v] {
+							t.Fatalf("seed %d shard %d depth %d: neighbor %d of owned %d missing from view", seed, sh, depth, v, u)
+						}
+						if depth < 2 {
+							continue
+						}
+						for _, w := range c.Neighbors(int(v)) {
+							if !inView[w] {
+								t.Fatalf("seed %d shard %d depth 2: two-hop %d of owned %d missing from view", seed, sh, w, u)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzShardPartition throws arbitrary position clouds and shard counts at
+// Spatial and checks the structural invariants plus determinism.
+func FuzzShardPartition(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 200, 100, 50}, 3)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{7, 7, 7, 7, 7, 7}, 5)
+	rng := rand.New(rand.NewSource(11))
+	blob := make([]byte, 300)
+	rng.Read(blob)
+	f.Add(blob, 8)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if k < 1 || k > 64 {
+			t.Skip()
+		}
+		n := len(data) / 3
+		if n > 2000 {
+			t.Skip()
+		}
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			pos[i] = geom.V(float64(data[3*i]), float64(data[3*i+1]), float64(data[3*i+2]))
+		}
+		s, err := Spatial(pos, k)
+		if err != nil {
+			t.Fatalf("Spatial(%d nodes, k=%d): %v", n, k, err)
+		}
+		checkShardingInvariants(t, s, n, k)
+		again, err := Spatial(pos, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatal("Spatial is not deterministic")
+		}
+	})
+}
