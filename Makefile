@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat bench-diff check ci
+.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke bench-diff check ci
 
 build:
 	$(GO) build ./...
@@ -23,13 +23,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Focused race pass over the sharded detection engine: the differential
-# matrix and the shard/halo suites exercise the shard-parallel loops at
-# several worker widths, so this is the densest data-race surface in the
-# repo. (The blanket `race` target covers these too; this target is the
-# quick iteration loop for shard work.)
+# Focused race pass over the concurrent surfaces: the sharded detection
+# engine's differential matrix and shard/halo suites (shard-parallel loops
+# at several worker widths), the incremental engine's repair workers, and
+# boundaryd's concurrent session registry. (The blanket `race` target
+# covers these too; this target is the quick iteration loop.)
 race-shard:
-	$(GO) test -race -count=1 -run 'Shard' ./internal/core ./internal/partition/shard ./internal/graph
+	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve
 
 # `go test -fuzz` accepts a single package per invocation, so each fuzz
 # target gets its own run.
@@ -69,6 +69,14 @@ trace-stat:
 	$(GO) run ./cmd/tracestat -trace $$dir/trace.jsonl -against $$dir/trace.jsonl && \
 	echo "trace-stat: OK"
 
+# Boundary-server smoke: boundaryd's -smoke mode starts the server on an
+# ephemeral port, POSTs a generated network over real HTTP, streams
+# scripted delta batches, and diffs every served boundary-group result
+# against a from-scratch detection of the same active node set. Nonzero
+# exit on any divergence, HTTP failure, or trace schema violation.
+serve-smoke:
+	$(GO) run ./cmd/boundaryd -smoke
+
 # Tolerances for the bench regression gate. ns/op and allocs/op regress
 # only when they *increase* beyond the fraction; the per-op work counters
 # (balls tested, nodes checked) may drift either way by TOL_WORK — the
@@ -95,11 +103,12 @@ bench-diff:
 	$(GO) run ./cmd/tracestat -baseline $$2 -against $$1 \
 		-tol-ns $(TOL_NS) -tol-allocs $(TOL_ALLOCS) -tol-work $(TOL_WORK)
 
-check: vet race race-shard benchsmoke trace-smoke trace-stat bench-diff fuzz
+check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke bench-diff fuzz
 
 # The cache-defeating correctness gate for CI and pre-merge runs: static
 # analysis plus the full test suite with result caching off, so every
-# package really re-executes.
+# package really re-executes, then the end-to-end server smoke.
 ci:
 	$(GO) vet ./...
 	$(GO) test -count=1 ./...
+	$(MAKE) serve-smoke

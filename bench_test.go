@@ -13,12 +13,18 @@ package repro_test
 // BENCH_<date>.json.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +34,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/export"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/mds"
@@ -36,6 +43,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/ranging"
 	"repro/internal/routing"
+	"repro/internal/serve"
 	"repro/internal/shapes"
 	"repro/internal/sim"
 )
@@ -631,6 +639,67 @@ func shardBenchFixture(b *testing.B) *netgen.Network {
 		b.Fatal(shardBenchErr)
 	}
 	return shardBenchNet
+}
+
+// BenchmarkServeDeltas is the boundaryd load smoke: a session held by the
+// HTTP server absorbs a sustained stream of single-delta batches (moves
+// over the fig1 bench network) through a real TCP listener. Beyond the
+// folded mean, the run records the observed p50 and p99 request latencies
+// as their own baseline stages (Ops=1, so ns_per_op IS the quantile),
+// putting tail-latency regressions of the incremental engine under the
+// bench-diff gate.
+func BenchmarkServeDeltas(b *testing.B) {
+	net, _, _, _ := benchFixtures(b)
+	ts := httptest.NewServer(serve.New(serve.Options{}).Handler())
+	defer ts.Close()
+	var netBuf bytes.Buffer
+	if err := export.WriteNetworkJSON(&netBuf, net); err != nil {
+		b.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/v1/sessions", "application/json", &netBuf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var created struct {
+		Session string `json:"session"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&created)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusCreated {
+		b.Fatalf("create session: status %d err %v", res.StatusCode, err)
+	}
+	deltasURL := ts.URL + "/v1/sessions/" + created.Session + "/deltas"
+
+	rng := rand.New(rand.NewSource(17))
+	pos := net.Positions()
+	step := net.Radius * 0.3
+	lat := make([]time.Duration, 0, b.N)
+	record(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % len(pos)
+		p := pos[id].Add(geom.V(
+			(rng.Float64()-0.5)*step, (rng.Float64()-0.5)*step, (rng.Float64()-0.5)*step))
+		pos[id] = p
+		body := fmt.Sprintf(
+			`{"deltas": [{"op": "move", "node": %d, "pos": {"x": %g, "y": %g, "z": %g}}]}`,
+			id, p.X, p.Y, p.Z)
+		t0 := time.Now()
+		res, err := http.Post(deltasURL, "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			b.Fatalf("delta %d: status %s", i, res.Status)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	benchRecorder.Record(bench.Stage{Name: "ServeDeltaP50", WallNS: lat[len(lat)/2].Nanoseconds(), Ops: 1})
+	benchRecorder.Record(bench.Stage{Name: "ServeDeltaP99", WallNS: lat[len(lat)*99/100].Nanoseconds(), Ops: 1})
 }
 
 // BenchmarkDetectSharded measures the sharded detection engine at scale:

@@ -1,0 +1,400 @@
+// Command boundaryd is the boundary-detection server: it holds loaded
+// networks as sessions and recomputes boundaries incrementally as clients
+// stream join/leave/move/crash deltas.
+//
+// Usage:
+//
+//	boundaryd -addr 127.0.0.1:8338            # serve until SIGINT/SIGTERM
+//	boundaryd -smoke                          # self-check and exit
+//
+// The API is documented in internal/serve. The shared flags (-seed,
+// -workers, -shards, -trace, -pprof) follow the repository-wide
+// convention; -workers and -shards set the per-session defaults, and
+// -trace records every request span, session counter and incremental
+// dirty-region counter as a JSONL trace readable with cmd/tracestat.
+//
+// -smoke runs the serve smoke harness instead of listening forever: it
+// starts the server on an ephemeral port, POSTs a generated network over
+// real HTTP, streams scripted delta batches, and after every batch diffs
+// the served boundary groups against a from-scratch detection of the same
+// active node set. Any divergence, HTTP failure, or (with -trace) trace
+// schema violation exits nonzero — `make serve-smoke` wires this into CI.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/serve"
+)
+
+type options struct {
+	Addr        string
+	MaxSessions int
+	Smoke       bool
+	SmokeScale  float64
+	SmokeDeltas int
+	cli.Common
+
+	// shutdown, when non-nil, substitutes for the process signals so
+	// tests can stop a serving run deterministically.
+	shutdown <-chan struct{}
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.Addr, "addr", "127.0.0.1:8338", "listen address")
+	flag.IntVar(&opts.MaxSessions, "max-sessions", 0, "concurrent session cap (0 = 64)")
+	flag.BoolVar(&opts.Smoke, "smoke", false, "run the serve smoke harness and exit")
+	flag.Float64Var(&opts.SmokeScale, "smoke-scale", 0.08, "node-count scale of the smoke network")
+	flag.IntVar(&opts.SmokeDeltas, "smoke-deltas", 30, "deltas the smoke harness streams")
+	opts.Common.Register(flag.CommandLine)
+	flag.Parse()
+
+	if err := run(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "boundaryd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, opts options) error {
+	// Realize the shared observability options. A Close failure — a trace
+	// that failed schema validation — must surface as a nonzero exit even
+	// when serving succeeded, so it is only swallowed when a run error
+	// already won.
+	sess, err := opts.Common.Start()
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			sess.Close()
+		}
+	}()
+
+	srv := serve.New(serve.Options{
+		Obs:         sess.Obs,
+		Workers:     opts.Workers,
+		Shards:      opts.Shards,
+		MaxSessions: opts.MaxSessions,
+	})
+
+	if opts.Smoke {
+		if err := smoke(w, srv, opts); err != nil {
+			return err
+		}
+		closed = true
+		return sess.Close()
+	}
+
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(w, "boundaryd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	if opts.shutdown == nil {
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+	}
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(w, "boundaryd: %v, shutting down\n", sig)
+	case <-opts.shutdown:
+		fmt.Fprintln(w, "boundaryd: shutdown requested")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	closed = true
+	return sess.Close()
+}
+
+// smoke drives the server end to end over real HTTP and diffs every
+// served result against a from-scratch recompute.
+func smoke(w io.Writer, srv *serve.Server, opts options) error {
+	sc := eval.Fig10().Scaled(opts.SmokeScale)
+	if opts.Seed != 0 {
+		sc.Seed = opts.Seed
+	}
+	network, err := sc.Generate()
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// POST the network wrapped in the shared envelope, as netgen -out
+	// writes it.
+	raw, err := cli.MarshalRaw(func(buf *bytes.Buffer) error {
+		return export.WriteNetworkJSON(buf, network)
+	})
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(opts.Common.NewEnvelope("netgen", nil, raw))
+	if err != nil {
+		return err
+	}
+	var created serve.Summary
+	if err := postJSON(base+"/v1/sessions", body, http.StatusCreated, &created); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	fmt.Fprintf(w, "smoke: session %s nodes=%d boundary=%d groups=%d\n",
+		created.Session, created.Nodes, created.BoundaryCount, created.GroupCount)
+
+	// Mirror of the session's stable-ID state for the reference
+	// recomputes and the delta script.
+	pos := network.Positions()
+	active := make([]bool, len(pos))
+	for i := range active {
+		active[i] = true
+	}
+	activeCount := len(pos)
+	bounds := boundsOf(pos)
+	cfg := core.Config{Workers: opts.Workers, Shards: opts.Shards}
+
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	batch := 5
+	var latencies []time.Duration
+	applied := 0
+	for applied < opts.SmokeDeltas {
+		n := batch
+		if rest := opts.SmokeDeltas - applied; rest < n {
+			n = rest
+		}
+		var wire []map[string]any
+		var joins []int
+		for k := 0; k < n; k++ {
+			switch op := rng.Intn(4); {
+			case op == 0: // join
+				p := geom.V(
+					bounds[0].X+rng.Float64()*(bounds[1].X-bounds[0].X),
+					bounds[0].Y+rng.Float64()*(bounds[1].Y-bounds[0].Y),
+					bounds[0].Z+rng.Float64()*(bounds[1].Z-bounds[0].Z),
+				)
+				joins = append(joins, len(pos))
+				pos = append(pos, p)
+				active = append(active, true)
+				activeCount++
+				wire = append(wire, map[string]any{"op": "join", "pos": vec(p)})
+			case op == 1: // move
+				id := pickActive(rng, active)
+				p := pos[id].Add(geom.V(
+					(rng.Float64()-0.5)*network.Radius,
+					(rng.Float64()-0.5)*network.Radius,
+					(rng.Float64()-0.5)*network.Radius,
+				))
+				pos[id] = p
+				wire = append(wire, map[string]any{"op": "move", "node": id, "pos": vec(p)})
+			case activeCount > 50: // leave or crash
+				id := pickActive(rng, active)
+				active[id] = false
+				activeCount--
+				kind := "leave"
+				if op == 3 {
+					kind = "crash"
+				}
+				wire = append(wire, map[string]any{"op": kind, "node": id})
+			default: // too few nodes left: join instead
+				p := bounds[0].Add(bounds[1]).Scale(0.5)
+				joins = append(joins, len(pos))
+				pos = append(pos, p)
+				active = append(active, true)
+				activeCount++
+				wire = append(wire, map[string]any{"op": "join", "pos": vec(p)})
+			}
+		}
+		body, err := json.Marshal(map[string]any{"deltas": wire})
+		if err != nil {
+			return err
+		}
+		var resp struct {
+			Applied int   `json:"applied"`
+			Joined  []int `json:"joined"`
+		}
+		t0 := time.Now()
+		if err := postJSON(base+"/v1/sessions/"+created.Session+"/deltas", body, http.StatusOK, &resp); err != nil {
+			return fmt.Errorf("delta batch at %d: %w", applied, err)
+		}
+		latencies = append(latencies, time.Since(t0))
+		if resp.Applied != n {
+			return fmt.Errorf("batch applied %d of %d deltas", resp.Applied, n)
+		}
+		for k, id := range resp.Joined {
+			if k >= len(joins) || joins[k] != id {
+				return fmt.Errorf("join assigned ID %d, mirror predicted %v", id, joins)
+			}
+		}
+		applied += n
+
+		if err := diffAgainstFull(base, created.Session, pos, active, network.Radius, cfg); err != nil {
+			return fmt.Errorf("after %d deltas: %w", applied, err)
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+created.Session, nil)
+	if err != nil {
+		return err
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("delete session: status %s", res.Status)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[len(latencies)/2]
+	p99 := latencies[(len(latencies)*99)/100]
+	fmt.Fprintf(w, "serve-smoke: OK (%d deltas, batch p50=%v p99=%v)\n", applied, p50, p99)
+	return nil
+}
+
+// diffAgainstFull fetches the session detail and compares boundary and
+// groups against a from-scratch detection of the mirrored active set.
+func diffAgainstFull(base, id string, pos []geom.Vec3, active []bool, radius float64, cfg core.Config) error {
+	var det serve.Detail
+	res, err := http.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("get session: status %s", res.Status)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&det); err != nil {
+		return err
+	}
+
+	var nodes []netgen.Node
+	var stable []int
+	for i, a := range active {
+		if a {
+			stable = append(stable, i)
+			nodes = append(nodes, netgen.Node{Pos: pos[i]})
+		}
+	}
+	network, err := netgen.Assemble(nodes, radius)
+	if err != nil {
+		return err
+	}
+	full, err := core.Detect(network, nil, cfg)
+	if err != nil {
+		return err
+	}
+	var wantBoundary []int
+	for k, b := range full.Boundary {
+		if b {
+			wantBoundary = append(wantBoundary, stable[k])
+		}
+	}
+	if !equalInts(det.Boundary, wantBoundary) {
+		return fmt.Errorf("boundary diverged: served %d nodes, recompute %d", len(det.Boundary), len(wantBoundary))
+	}
+	if len(det.Groups) != len(full.Groups) {
+		return fmt.Errorf("group count diverged: served %d, recompute %d", len(det.Groups), len(full.Groups))
+	}
+	for g := range full.Groups {
+		want := make([]int, len(full.Groups[g]))
+		for k, m := range full.Groups[g] {
+			want[k] = stable[m]
+		}
+		if !equalInts(det.Groups[g], want) {
+			return fmt.Errorf("group %d diverged", g)
+		}
+	}
+	return nil
+}
+
+func postJSON(url string, body []byte, wantStatus int, out any) error {
+	res, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return fmt.Errorf("status %s: %s", res.Status, msg)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+func vec(p geom.Vec3) map[string]float64 {
+	return map[string]float64{"x": p.X, "y": p.Y, "z": p.Z}
+}
+
+func boundsOf(pos []geom.Vec3) [2]geom.Vec3 {
+	lo, hi := pos[0], pos[0]
+	for _, p := range pos {
+		lo = geom.V(min(lo.X, p.X), min(lo.Y, p.Y), min(lo.Z, p.Z))
+		hi = geom.V(max(hi.X, p.X), max(hi.Y, p.Y), max(hi.Z, p.Z))
+	}
+	return [2]geom.Vec3{lo, hi}
+}
+
+func pickActive(rng *rand.Rand, active []bool) int {
+	for {
+		id := rng.Intn(len(active))
+		if active[id] {
+			return id
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSmokeMode: the self-check harness passes against the in-tree
+// engine — every batch's served boundary groups match a full recompute.
+func TestSmokeMode(t *testing.T) {
+	var buf bytes.Buffer
+	o := options{Smoke: true, SmokeScale: 0.05, SmokeDeltas: 12}
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("smoke failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "serve-smoke: OK") {
+		t.Errorf("missing OK line:\n%s", buf.String())
+	}
+}
+
+// TestSmokeWritesTrace: under -trace the smoke run records serve spans
+// and incremental dirty-region counters, and Close validates the file.
+func TestSmokeWritesTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	o := options{Smoke: true, SmokeScale: 0.05, SmokeDeltas: 8}
+	o.Trace = trace
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("smoke with trace failed: %v\n%s", err, buf.String())
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"serve"`, `"incremental"`, `"sessions"`, `"deltas_applied"`, `"dirty_ubf_nodes"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+// TestRejectsNegativeFlags: the shared config seam rejects negative
+// -workers/-shards before the server starts.
+func TestRejectsNegativeFlags(t *testing.T) {
+	var buf bytes.Buffer
+	o := options{Smoke: true}
+	o.Workers = -1
+	if err := run(&buf, o); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative -workers: %v", err)
+	}
+	o = options{Smoke: true}
+	o.Shards = -2
+	if err := run(&buf, o); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("negative -shards: %v", err)
+	}
+}
+
+// lockedWriter lets the serving goroutine and the test share the output
+// buffer.
+type lockedWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeAndShutdown: the serving path binds, answers, and drains
+// cleanly when asked to stop.
+func TestServeAndShutdown(t *testing.T) {
+	stop := make(chan struct{})
+	var out lockedWriter
+	o := options{Addr: "127.0.0.1:0", shutdown: stop}
+	done := make(chan error, 1)
+	go func() { done <- run(&out, o) }()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "listening on http://") {
+			line := s[strings.Index(s, "http://")+len("http://"):]
+			base = "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	res, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", res.Status)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutdown requested") {
+		t.Errorf("missing shutdown line:\n%s", out.String())
+	}
+}

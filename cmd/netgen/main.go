@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,14 +51,13 @@ func main() {
 }
 
 func run(w io.Writer, opts options) error {
-	if opts.In != "" {
-		return inspect(w, opts.In)
-	}
-
-	// Realize the shared observability options (-trace, -pprof). A Close
-	// failure — e.g. a trace that could not be flushed — must surface as
-	// this command's nonzero exit, so it is only swallowed when a run
-	// error already won.
+	// Realize the shared observability options (-trace, -pprof) for both
+	// paths. The inspect path used to return before the session existed,
+	// so `-in net.json -trace t.jsonl` silently produced no trace and
+	// skipped flag validation entirely. A Close failure — e.g. a trace
+	// that could not be flushed or failed schema validation — must
+	// surface as this command's nonzero exit, so it is only swallowed
+	// when a run error already won.
 	sess, err := opts.Common.Start()
 	if err != nil {
 		return err
@@ -68,6 +68,14 @@ func run(w io.Writer, opts options) error {
 			sess.Close()
 		}
 	}()
+
+	if opts.In != "" {
+		if err := inspect(w, sess.Obs, opts.In); err != nil {
+			return err
+		}
+		closed = true
+		return sess.Close()
+	}
 
 	var picked *eval.Scenario
 	for _, sc := range eval.AllScenarios() {
@@ -112,23 +120,34 @@ func run(w io.Writer, opts options) error {
 }
 
 // inspect reads a stored network — the common envelope or the legacy raw
-// network JSON — and prints its stats.
-func inspect(w io.Writer, path string) error {
+// network JSON — and prints its stats. Only ErrNotEnvelope falls back to
+// the legacy format: an envelope from another tool, or a file with
+// trailing data after the envelope document, is an error, not a payload.
+func inspect(w io.Writer, o obs.Observer, path string) error {
+	span := obs.StartLabeled(o, obs.StageExperiment, "inspect")
+	defer span.End()
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	payload := raw
-	if env, data, err := cli.ReadEnvelope(raw); err == nil {
+	env, data, err := cli.ReadEnvelope(raw)
+	switch {
+	case err == nil:
 		if env.Tool != "netgen" {
 			return fmt.Errorf("%s: envelope from %q, not netgen", path, env.Tool)
 		}
 		payload = data
+	case errors.Is(err, cli.ErrNotEnvelope):
+		// Legacy raw network JSON: decode it as-is below.
+	default:
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	net, err := export.ReadNetworkJSON(bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
+	obs.Add(o, obs.StageExperiment, obs.CtrNodes, int64(net.G.Len()))
 	fmt.Fprintf(w, "%s: radius=%.4f %v\n", path, net.Radius, net.Stats())
 	return nil
 }

@@ -81,3 +81,113 @@ func TestInspectMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// genEnvelope produces one generated-network envelope file for the
+// inspect-path tests.
+func genEnvelope(t *testing.T) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "net.json")
+	var buf bytes.Buffer
+	o := options{Scenario: "fig10", Scale: 0.1}
+	o.Out = out
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestInspectWritesTrace pins the session fix: `-in net.json -trace
+// t.jsonl` used to return before the session was even started, silently
+// producing no trace. The inspect path must now record a validated trace
+// and propagate Close's verdict.
+func TestInspectWritesTrace(t *testing.T) {
+	net := genEnvelope(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	o := options{In: net}
+	o.Trace = trace
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("inspect with -trace wrote no trace: %v", err)
+	}
+	if !strings.Contains(string(raw), "\"experiment\"") || !strings.Contains(string(raw), "\"nodes\"") {
+		t.Errorf("trace missing the inspect span or node counter:\n%.300s", raw)
+	}
+}
+
+// TestInspectRejectsNegativeFlags pins the config-seam fix on the inspect
+// path, which used to skip flag validation entirely.
+func TestInspectRejectsNegativeFlags(t *testing.T) {
+	net := genEnvelope(t)
+	var buf bytes.Buffer
+	o := options{In: net}
+	o.Workers = -1
+	if err := run(&buf, o); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative -workers on inspect path: %v", err)
+	}
+}
+
+// TestInspectRejectsTrailingData pins the envelope fix: a concatenated
+// -out file used to be inspected as its first document; now it is a hard
+// error, not a legacy-format fallback.
+func TestInspectRejectsTrailingData(t *testing.T) {
+	net := genEnvelope(t)
+	raw, err := os.ReadFile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := filepath.Join(t.TempDir(), "doubled.json")
+	if err := os.WriteFile(doubled, append(append([]byte{}, raw...), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run(&buf, options{In: doubled})
+	if err == nil {
+		t.Fatal("concatenated envelope file accepted")
+	}
+	if !strings.Contains(err.Error(), "trailing data") {
+		t.Errorf("error does not name trailing data: %v", err)
+	}
+}
+
+// TestInspectRejectsForeignEnvelope: an envelope from another tool is an
+// error, never reinterpreted as a legacy payload.
+func TestInspectRejectsForeignEnvelope(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "foreign.json")
+	if err := os.WriteFile(path, []byte(`{"tool": "experiment", "data": {"radius": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, options{In: path}); err == nil || !strings.Contains(err.Error(), "not netgen") {
+		t.Fatalf("foreign envelope: %v", err)
+	}
+}
+
+// TestEnvelopeCarriesShards: -shards lands in the written envelope's
+// framing, so downstream consumers can reproduce the run configuration.
+func TestEnvelopeCarriesShards(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "net.json")
+	var buf bytes.Buffer
+	o := options{Scenario: "fig10", Scale: 0.1}
+	o.Out = out
+	o.Shards = 4
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Shards != 4 {
+		t.Errorf("envelope shards = %d, want 4", env.Shards)
+	}
+}

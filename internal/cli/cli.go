@@ -10,8 +10,10 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/obs"
@@ -51,6 +53,21 @@ func (c *Common) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Pprof, "pprof", "", "capture CPU and heap profiles under this path prefix")
 }
 
+// Validate rejects option values no command can honor. Negative -workers
+// and -shards used to flow unchecked into the worker pool and the spatial
+// partitioner, where they were silently clamped (or, for a long-lived
+// server, rejected per-request far from the flag that caused them); every
+// command now fails fast at startup instead.
+func (c Common) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("cli: -workers must be >= 0 (0 = one per CPU), got %d", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cli: -shards must be >= 0 (<= 1 = unsharded), got %d", c.Shards)
+	}
+	return nil
+}
+
 // Session realizes a Common's observability options for one run: the
 // trace sink behind Obs and an optional profiler. Always Close it —
 // Close stops the profiles, flushes the trace, and validates the written
@@ -72,6 +89,9 @@ type Session struct {
 // Start opens the session: creates the trace file and starts profiling,
 // as requested by the options.
 func (c Common) Start() (*Session, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	s := &Session{tracePath: c.Trace}
 	if c.Trace != "" {
 		f, err := os.Create(c.Trace)
@@ -171,9 +191,19 @@ func WriteEnvelope(path string, env Envelope) error {
 	return f.Close()
 }
 
+// ErrNotEnvelope marks input that parses as JSON but is not an output
+// envelope (no "tool"/"data" framing). Callers with a legacy payload
+// format should fall back exactly when errors.Is(err, ErrNotEnvelope);
+// any other ReadEnvelope error means the input claims to be an envelope
+// (or is not JSON at all) and must not be reinterpreted.
+var ErrNotEnvelope = errors.New("cli: not an output envelope (missing tool/data)")
+
 // ReadEnvelope parses an envelope, leaving Data raw for the caller to
-// decode. It fails on JSON that is not an envelope (no "tool" key), so
-// callers can fall back to a legacy payload format.
+// decode. It fails with ErrNotEnvelope on JSON that is not an envelope
+// (no "tool" key), so callers can fall back to a legacy payload format,
+// and rejects input with trailing data after the envelope document — a
+// truncated-then-concatenated -out file used to parse "successfully" as
+// its first document.
 func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
 	var probe struct {
 		Tool    string          `json:"tool"`
@@ -187,8 +217,11 @@ func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
 	if err := dec.Decode(&probe); err != nil {
 		return Envelope{}, nil, err
 	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return Envelope{}, nil, fmt.Errorf("cli: trailing data after envelope at offset %d (token %v)", dec.InputOffset(), tok)
+	}
 	if probe.Tool == "" || probe.Data == nil {
-		return Envelope{}, nil, fmt.Errorf("cli: not an output envelope (missing tool/data)")
+		return Envelope{}, nil, ErrNotEnvelope
 	}
 	return Envelope{
 		Tool: probe.Tool, Seed: probe.Seed, Workers: probe.Workers, Shards: probe.Shards,

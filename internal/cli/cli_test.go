@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -33,6 +34,32 @@ func TestCommonRegisterDefaults(t *testing.T) {
 	}
 	if c.Seed != 42 || c.Workers != 3 || c.Out != "o.json" || c.Trace != "t.jsonl" || c.Pprof != "p" {
 		t.Errorf("parsed values wrong: %+v", c)
+	}
+}
+
+// TestCommonValidateRejectsNegative pins the config-seam fix: negative
+// -workers and -shards used to sail through Start into the worker pool
+// and partitioner, where they were silently clamped; now every command
+// fails fast at the flag seam.
+func TestCommonValidateRejectsNegative(t *testing.T) {
+	for name, c := range map[string]Common{
+		"workers": {Workers: -1},
+		"shards":  {Shards: -2},
+		"both":    {Workers: -4, Shards: -4},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, c)
+		}
+		if s, err := c.Start(); err == nil {
+			s.Close()
+			t.Errorf("%s: Start accepted %+v", name, c)
+		}
+	}
+	if err := (Common{Workers: 0, Shards: 0}).Validate(); err != nil {
+		t.Errorf("zero values rejected: %v", err)
+	}
+	if err := (Common{Workers: 8, Shards: 4}).Validate(); err != nil {
+		t.Errorf("positive values rejected: %v", err)
 	}
 }
 
@@ -84,6 +111,38 @@ func TestSessionZeroOptions(t *testing.T) {
 	}
 }
 
+// TestSessionCloseInvalidTrace: Close re-validates the written trace and
+// must fail when the file does not conform to the schema, so a command
+// propagating Close's error exits nonzero on a corrupt trace. The session
+// writes no events of its own (nothing buffered to flush over the
+// injected garbage), and a second handle appends a non-JSONL line before
+// Close runs validation.
+func TestSessionCloseInvalidTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	c := Common{Trace: trace}
+	s, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(trace, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("this is not a trace event\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Close()
+	if err == nil {
+		t.Fatal("Close accepted a trace that fails schema validation")
+	}
+	if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("Close error does not name schema validation: %v", err)
+	}
+}
+
 // TestSessionPprof: the -pprof prefix produces both profile files.
 func TestSessionPprof(t *testing.T) {
 	prefix := filepath.Join(t.TempDir(), "prof")
@@ -105,7 +164,7 @@ func TestSessionPprof(t *testing.T) {
 // fields intact and the payload raw.
 func TestEnvelopeRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
-	c := Common{Seed: 7, Workers: 2}
+	c := Common{Seed: 7, Workers: 2, Shards: 4}
 	env := c.NewEnvelope("testtool", map[string]any{"k": 3.0}, map[string]string{"hello": "world"})
 	if err := WriteEnvelope(path, env); err != nil {
 		t.Fatal(err)
@@ -118,7 +177,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Tool != "testtool" || got.Seed != 7 || got.Workers != 2 || got.Params["k"] != 3.0 {
+	if got.Tool != "testtool" || got.Seed != 7 || got.Workers != 2 || got.Shards != 4 || got.Params["k"] != 3.0 {
 		t.Errorf("envelope framing wrong: %+v", got)
 	}
 	var payload map[string]string
@@ -130,17 +189,59 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	}
 }
 
-// TestReadEnvelopeRejectsLegacy: non-envelope JSON fails, so callers can
-// fall back to their legacy formats.
+// TestReadEnvelopeRejectsLegacy: non-envelope JSON fails with
+// ErrNotEnvelope specifically, so callers can fall back to their legacy
+// formats on exactly that error and no other.
 func TestReadEnvelopeRejectsLegacy(t *testing.T) {
 	for name, raw := range map[string]string{
-		"bare object": `{"nodes": [1, 2, 3]}`,
-		"no data":     `{"tool": "x"}`,
-		"not json":    `nope`,
+		"bare object":          `{"nodes": [1, 2, 3]}`,
+		"no data":              `{"tool": "x"}`,
+		"no tool":              `{"data": {"nodes": []}}`,
+		"trailing whitespace":  `{"nodes": [1]}` + "\n\t \n",
+		"legacy network shape": `{"radius": 1.5, "nodes": [{"x": 0, "y": 0, "z": 0}]}`,
 	} {
-		if _, _, err := ReadEnvelope([]byte(raw)); err == nil {
-			t.Errorf("%s accepted as envelope", name)
+		if _, _, err := ReadEnvelope([]byte(raw)); !errors.Is(err, ErrNotEnvelope) {
+			t.Errorf("%s: got %v, want ErrNotEnvelope", name, err)
 		}
+	}
+}
+
+// TestReadEnvelopeMalformed pins the trailing-data fix: a concatenated or
+// garbage-suffixed file used to parse "successfully" as its first JSON
+// document. These must all hard-fail, and never with ErrNotEnvelope — a
+// caller must not reinterpret them as a legacy payload.
+func TestReadEnvelopeMalformed(t *testing.T) {
+	envelope := `{"tool": "netgen", "data": {"radius": 1}}`
+	cases := map[string]struct {
+		raw  string
+		want string // substring the error must mention ("" = any)
+	}{
+		"two concatenated envelopes": {envelope + "\n" + envelope, "trailing data"},
+		"envelope plus garbage":      {envelope + " trailing-garbage", "trailing data"},
+		"legacy plus second doc":     {`{"radius": 1}{"radius": 2}`, "trailing data"},
+		"truncated envelope":         {envelope[:len(envelope)-5], ""},
+		"empty input":                {"", ""},
+		"top-level array":            {`[1, 2, 3]`, ""},
+		"not json":                   {`nope`, ""},
+	}
+	for name, tc := range cases {
+		_, _, err := ReadEnvelope([]byte(tc.raw))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if errors.Is(err, ErrNotEnvelope) && tc.want != "" {
+			t.Errorf("%s: classified as legacy fallback: %v", name, err)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", name, err, tc.want)
+		}
+	}
+
+	// A well-formed envelope with the conventional trailing newline (as
+	// WriteEnvelope emits) must still parse.
+	if _, _, err := ReadEnvelope([]byte(envelope + "\n")); err != nil {
+		t.Errorf("trailing newline rejected: %v", err)
 	}
 }
 

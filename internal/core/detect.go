@@ -233,6 +233,16 @@ var ErrNoNetwork = errors.New("core: network is required")
 // measurement.
 var ErrNeedMeasurement = errors.New("core: CoordsMDS requires a measurement")
 
+// ErrNegativeWorkers and ErrNegativeShards reject configurations that
+// used to be clamped silently (negative Workers became GOMAXPROCS deep in
+// the worker pool; negative Shards fell through to the unsharded path).
+// A caller asking for a negative width is a caller with a bug — fail
+// loudly at the config seam instead.
+var (
+	ErrNegativeWorkers = errors.New("core: Config.Workers must be >= 0 (0 = one per CPU)")
+	ErrNegativeShards  = errors.New("core: Config.Shards must be >= 0 (<= 1 = unsharded)")
+)
+
 // frame is one node's local coordinate chart: its closed one-hop
 // neighborhood (node first) embedded by MDS.
 type frame struct {
@@ -265,6 +275,12 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result, error) {
 	if net == nil {
 		return nil, ErrNoNetwork
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w, got %d", ErrNegativeWorkers, cfg.Workers)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w, got %d", ErrNegativeShards, cfg.Shards)
 	}
 	cfg = cfg.withDefaults(meas != nil)
 	if cfg.Coords == CoordsMDS && meas == nil {

@@ -57,6 +57,12 @@ const (
 	// StagePartition is the sharded engine's setup phase: spatial shard
 	// assignment plus per-shard view (owned + ghost halo) construction.
 	StagePartition
+	// StageIncremental spans one core.Incremental.Apply: a single
+	// join/leave/move/crash delta's dirty-region recomputation.
+	StageIncremental
+	// StageServe spans one boundaryd HTTP request; the label names the
+	// route (e.g. "POST /v1/sessions/{id}/deltas").
+	StageServe
 
 	stageEnd // sentinel: number of stages + 1
 )
@@ -76,6 +82,8 @@ var stageNames = [...]string{
 	StageCell:        "cell",
 	StageExperiment:  "experiment",
 	StagePartition:   "partition",
+	StageIncremental: "incremental",
+	StageServe:       "serve",
 }
 
 // String implements fmt.Stringer; unknown stages print as "stage?".
@@ -211,6 +219,18 @@ const (
 	// CtrHaloNodes counts ghost nodes replicated into shard views — the
 	// sharded engine's halo-exchange volume, summed over shards.
 	CtrHaloNodes
+	// CtrSessions tracks live boundaryd sessions: +1 on create, −1 on
+	// delete, so the trace total is the number still open at exit.
+	CtrSessions
+	// CtrDeltas counts join/leave/move/crash deltas applied across all
+	// sessions.
+	CtrDeltas
+	// CtrDirtyUBF counts the nodes whose UBF verdict the incremental
+	// engine re-evaluated — the dirty region a delta actually touched.
+	CtrDirtyUBF
+	// CtrDirtyIFF counts the boundary candidates whose IFF flood count
+	// the incremental engine re-evaluated.
+	CtrDirtyIFF
 
 	counterEnd // sentinel: number of counters + 1
 )
@@ -241,6 +261,10 @@ var counterNames = [...]string{
 	CtrSPTCacheHits:      "spt_cache_hits",
 	CtrShards:            "shards",
 	CtrHaloNodes:         "halo_nodes",
+	CtrSessions:          "sessions",
+	CtrDeltas:            "deltas_applied",
+	CtrDirtyUBF:          "dirty_ubf_nodes",
+	CtrDirtyIFF:          "dirty_iff_nodes",
 }
 
 // String implements fmt.Stringer; unknown counters print as "counter?".

@@ -1,0 +1,415 @@
+// Package serve implements boundaryd's HTTP/JSON API: a session registry
+// where clients POST a network once (the shared cli.Envelope framing or
+// the legacy raw network JSON of internal/export), then stream
+// join/leave/move/crash deltas and read back the updated boundary groups.
+// Each session wraps one core.Incremental engine, so a delta recomputes
+// only the dirty region around the change.
+//
+// Routes:
+//
+//	GET    /healthz                   liveness + session count
+//	POST   /v1/sessions               create a session from a network
+//	GET    /v1/sessions               list session summaries
+//	GET    /v1/sessions/{id}          session detail (boundary + groups)
+//	POST   /v1/sessions/{id}/deltas   apply an ordered batch of deltas
+//	DELETE /v1/sessions/{id}          drop a session
+//
+// Session creation accepts per-session detection parameters as query
+// parameters: workers, shards, theta (IFF threshold; -1 disables IFF) and
+// ttl (IFF flood hop budget). Omitted parameters fall back to the server's
+// defaults, then to the library's paper defaults.
+//
+// Concurrency: the registry is guarded by an RWMutex; each session has its
+// own mutex serializing deltas against reads, so distinct sessions make
+// progress in parallel. Every request runs under a StageServe span labeled
+// with its route, and the registry maintains the sessions/deltas counters.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; a million-node network JSON is
+// ~60 MB, so this admits the scales the sharded engine targets without
+// letting a client exhaust memory outright.
+const maxBodyBytes = 256 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Obs receives request spans, session counters and the incremental
+	// engines' dirty-region telemetry; nil disables observation.
+	Obs obs.Observer
+	// Workers and Shards are the per-session defaults when a create
+	// request does not override them.
+	Workers int
+	Shards  int
+	// MaxSessions caps concurrently held sessions; 0 means 64. Creation
+	// beyond the cap fails with 429.
+	MaxSessions int
+}
+
+// Server is the session registry behind the HTTP API.
+type Server struct {
+	opts Options
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	nextID   int
+}
+
+// session is one loaded network and its incremental engine. mu serializes
+// deltas against snapshot reads.
+type session struct {
+	mu     sync.Mutex
+	id     string
+	inc    *core.Incremental
+	deltas int64
+}
+
+// New builds a Server; call Handler to mount it.
+func New(opts Options) *Server {
+	if opts.MaxSessions == 0 {
+		opts.MaxSessions = 64
+	}
+	return &Server{opts: opts, sessions: make(map[string]*session)}
+}
+
+// Handler mounts the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.traced("GET /healthz", s.handleHealth))
+	mux.HandleFunc("POST /v1/sessions", s.traced("POST /v1/sessions", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.traced("GET /v1/sessions", s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.traced("GET /v1/sessions/{id}", s.handleGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.traced("DELETE /v1/sessions/{id}", s.handleDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/deltas", s.traced("POST /v1/sessions/{id}/deltas", s.handleDeltas))
+	return mux
+}
+
+// traced wraps a handler in a StageServe span labeled with the route.
+func (s *Server) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		span := obs.StartLabeled(s.opts.Obs, obs.StageServe, route)
+		defer span.End()
+		fn(w, r)
+	}
+}
+
+// Summary is one session's wire summary.
+type Summary struct {
+	Session string `json:"session"`
+	// Nodes is the stable ID space size (departed nodes included);
+	// Active is the currently deployed count.
+	Nodes         int   `json:"nodes"`
+	Active        int   `json:"active"`
+	BoundaryCount int   `json:"boundary_count"`
+	GroupCount    int   `json:"group_count"`
+	DeltasApplied int64 `json:"deltas_applied"`
+}
+
+// Detail is a session's full wire state: the summary plus the boundary
+// node IDs and the per-group member lists (stable IDs, ascending).
+type Detail struct {
+	Summary
+	Radius   float64 `json:"radius"`
+	Boundary []int   `json:"boundary"`
+	Groups   [][]int `json:"groups"`
+}
+
+// wireDelta is one delta on the wire.
+type wireDelta struct {
+	Op   string    `json:"op"`
+	Node int       `json:"node"`
+	Pos  *wireVec3 `json:"pos,omitempty"`
+}
+
+type wireVec3 struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+// deltasRequest is the body of POST .../deltas: an ordered batch.
+type deltasRequest struct {
+	Deltas []wireDelta `json:"deltas"`
+}
+
+// deltasResponse reports a batch's outcome. Deltas apply in order;
+// Applied counts the prefix that succeeded, and Joined lists the stable
+// IDs assigned to join deltas in request order.
+type deltasResponse struct {
+	Applied int     `json:"applied"`
+	Joined  []int   `json:"joined,omitempty"`
+	Summary Summary `json:"summary"`
+}
+
+type errorResponse struct {
+	Error   string `json:"error"`
+	Applied int    `json:"applied,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": n})
+}
+
+// sessionConfig resolves a create request's detection parameters.
+func (s *Server) sessionConfig(r *http.Request) (core.Config, error) {
+	cfg := core.Config{Workers: s.opts.Workers, Shards: s.opts.Shards}
+	q := r.URL.Query()
+	intParam := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("parameter %s=%q is not an integer", name, v)
+		}
+		*dst = n
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"workers": &cfg.Workers,
+		"shards":  &cfg.Shards,
+		"theta":   &cfg.IFFThreshold,
+		"ttl":     &cfg.IFFTTL,
+	} {
+		if err := intParam(name, dst); err != nil {
+			return core.Config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	payload := body
+	if env, data, err := cli.ReadEnvelope(body); err == nil {
+		if env.Tool != "netgen" {
+			writeErr(w, http.StatusBadRequest, "envelope from %q, want a netgen network", env.Tool)
+			return
+		}
+		payload = data
+	} else if !errors.Is(err, cli.ErrNotEnvelope) {
+		// Malformed envelope (trailing data, truncated JSON): refuse
+		// rather than reinterpret as a legacy payload.
+		writeErr(w, http.StatusBadRequest, "malformed envelope: %v", err)
+		return
+	}
+	net, err := export.ReadNetworkJSON(bytes.NewReader(payload))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "network payload: %v", err)
+		return
+	}
+	cfg, err := s.sessionConfig(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	inc, err := core.NewIncrementalContext(r.Context(), s.opts.Obs, net, cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "detection: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, "session limit %d reached", s.opts.MaxSessions)
+		return
+	}
+	s.nextID++
+	sess := &session{id: fmt.Sprintf("s%d", s.nextID), inc: inc}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrSessions, 1)
+
+	sess.mu.Lock()
+	sum := sess.summaryLocked()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sum)
+}
+
+func (s *Server) lookup(id string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[id]
+}
+
+// summaryLocked reads the session's summary; callers hold sess.mu.
+func (sess *session) summaryLocked() Summary {
+	return Summary{
+		Session:       sess.id,
+		Nodes:         sess.inc.Len(),
+		Active:        sess.inc.ActiveCount(),
+		BoundaryCount: sess.inc.BoundaryCount(),
+		GroupCount:    len(sess.inc.Groups()),
+		DeltasApplied: sess.deltas,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.RUnlock()
+	out := make([]Summary, 0, len(all))
+	for _, sess := range all {
+		sess.mu.Lock()
+		out = append(out, sess.summaryLocked())
+		sess.mu.Unlock()
+	}
+	// Deterministic listing order: session IDs are "s<n>", so sort by
+	// creation number.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && sessionNum(out[j-1].Session) > sessionNum(out[j].Session); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func sessionNum(id string) int {
+	n, _ := strconv.Atoi(id[1:])
+	return n
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	sess.mu.Lock()
+	snap := sess.inc.Snapshot()
+	det := Detail{
+		Summary: sess.summaryLocked(),
+		Radius:  sess.inc.Radius(),
+		Groups:  snap.Groups,
+	}
+	sess.mu.Unlock()
+	det.Boundary = make([]int, 0, 64)
+	for i, b := range snap.Boundary {
+		if b {
+			det.Boundary = append(det.Boundary, i)
+		}
+	}
+	det.GroupCount = len(det.Groups)
+	writeJSON(w, http.StatusOK, det)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrSessions, -1)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req deltasRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "deltas body: %v", err)
+		return
+	}
+	if len(req.Deltas) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty delta batch")
+		return
+	}
+
+	deltas := make([]core.Delta, len(req.Deltas))
+	for i, wd := range req.Deltas {
+		op, ok := core.DeltaOpFromString(wd.Op)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "delta %d: unknown op %q", i, wd.Op)
+			return
+		}
+		d := core.Delta{Op: op, Node: wd.Node}
+		if op == core.DeltaJoin || op == core.DeltaMove {
+			if wd.Pos == nil {
+				writeErr(w, http.StatusBadRequest, "delta %d: op %q needs a pos", i, wd.Op)
+				return
+			}
+			d.Pos = geom.V(wd.Pos.X, wd.Pos.Y, wd.Pos.Z)
+		}
+		deltas[i] = d
+	}
+
+	sess.mu.Lock()
+	resp := deltasResponse{}
+	for i, d := range deltas {
+		id, err := sess.inc.ApplyContext(r.Context(), s.opts.Obs, d)
+		if err != nil {
+			// Per-delta validation happens before mutation, so the prefix
+			// [0, i) is applied and the session stays consistent.
+			sess.deltas += int64(i)
+			sess.mu.Unlock()
+			obs.Add(s.opts.Obs, obs.StageServe, obs.CtrDeltas, int64(i))
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error:   fmt.Sprintf("delta %d (%s): %v", i, d.Op, err),
+				Applied: i,
+			})
+			return
+		}
+		if d.Op == core.DeltaJoin {
+			resp.Joined = append(resp.Joined, id)
+		}
+	}
+	sess.deltas += int64(len(deltas))
+	resp.Applied = len(deltas)
+	resp.Summary = sess.summaryLocked()
+	sess.mu.Unlock()
+	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrDeltas, int64(len(deltas)))
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/obs"
+	"repro/internal/shapes"
+)
+
+// testNetwork builds a small seeded ball deployment once per binary.
+var (
+	testNetOnce sync.Once
+	testNetVal  *netgen.Network
+	testNetErr  error
+)
+
+func testNetwork(t *testing.T) *netgen.Network {
+	t.Helper()
+	testNetOnce.Do(func() {
+		testNetVal, testNetErr = netgen.Generate(netgen.Config{
+			Shape:           shapes.NewBall(geom.Zero, 4),
+			SurfaceNodes:    90,
+			InteriorNodes:   160,
+			TargetAvgDegree: 15,
+			Seed:            71,
+		})
+	})
+	if testNetErr != nil {
+		t.Fatal(testNetErr)
+	}
+	return testNetVal
+}
+
+// envelopeBody frames the network as netgen's -out envelope.
+func envelopeBody(t *testing.T, net *netgen.Network) []byte {
+	t.Helper()
+	raw, err := cli.MarshalRaw(func(buf *bytes.Buffer) error {
+		return export.WriteNetworkJSON(buf, net)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(cli.Envelope{Tool: "netgen", Data: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// legacyBody is the raw network JSON without the envelope framing.
+func legacyBody(t *testing.T, net *netgen.Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := export.WriteNetworkJSON(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, wantStatus int, out any) string {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(res.Body)
+	if res.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %s, want %d; body %s", method, url, res.Status, wantStatus, buf.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode response: %v (%s)", method, url, err, buf.String())
+		}
+	}
+	return buf.String()
+}
+
+// diffServed compares the session detail against a from-scratch detection
+// of the mirrored active node set (stable-ID renaming applied).
+func diffServed(t *testing.T, base, id string, pos []geom.Vec3, active []bool, radius float64, cfg core.Config) {
+	t.Helper()
+	var det Detail
+	doJSON(t, http.MethodGet, base+"/v1/sessions/"+id, nil, http.StatusOK, &det)
+
+	var nodes []netgen.Node
+	var stable []int
+	for i, a := range active {
+		if a {
+			stable = append(stable, i)
+			nodes = append(nodes, netgen.Node{Pos: pos[i]})
+		}
+	}
+	net, err := netgen.Assemble(nodes, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Detect(net, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBoundary []int
+	for k, b := range full.Boundary {
+		if b {
+			wantBoundary = append(wantBoundary, stable[k])
+		}
+	}
+	if fmt.Sprint(det.Boundary) != fmt.Sprint(wantBoundary) {
+		t.Fatalf("boundary diverged: served %v, full %v", det.Boundary, wantBoundary)
+	}
+	if len(det.Groups) != len(full.Groups) {
+		t.Fatalf("group count diverged: served %d, full %d", len(det.Groups), len(full.Groups))
+	}
+	for g := range full.Groups {
+		want := make([]int, len(full.Groups[g]))
+		for k, m := range full.Groups[g] {
+			want[k] = stable[m]
+		}
+		if fmt.Sprint(det.Groups[g]) != fmt.Sprint(want) {
+			t.Fatalf("group %d diverged: served %v, full %v", g, det.Groups[g], want)
+		}
+	}
+	if det.BoundaryCount != len(det.Boundary) || det.GroupCount != len(det.Groups) {
+		t.Fatalf("summary counts inconsistent with detail: %+v", det.Summary)
+	}
+}
+
+// TestServeSessionLifecycle drives the full API end to end: create from
+// an envelope, stream delta batches, diff the served result against a
+// full recompute after every batch, list, delete.
+func TestServeSessionLifecycle(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	var sum Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, &sum)
+	if sum.Session == "" || sum.Nodes != net.Len() || sum.Active != net.Len() {
+		t.Fatalf("create summary wrong: %+v", sum)
+	}
+
+	pos := net.Positions()
+	active := make([]bool, len(pos))
+	for i := range active {
+		active[i] = true
+	}
+	cfg := core.Config{}
+	diffServed(t, ts.URL, sum.Session, pos, active, net.Radius, cfg)
+
+	rng := rand.New(rand.NewSource(9))
+	applied := int64(0)
+	for batch := 0; batch < 4; batch++ {
+		var wire []map[string]any
+		for k := 0; k < 4; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				p := geom.V(rng.Float64()*8-4, rng.Float64()*8-4, rng.Float64()*8-4)
+				pos = append(pos, p)
+				active = append(active, true)
+				wire = append(wire, map[string]any{"op": "join", "pos": map[string]float64{"x": p.X, "y": p.Y, "z": p.Z}})
+			case 1:
+				id := rng.Intn(len(active))
+				for !active[id] {
+					id = rng.Intn(len(active))
+				}
+				p := pos[id].Add(geom.V(rng.Float64()-0.5, rng.Float64()-0.5, rng.Float64()-0.5))
+				pos[id] = p
+				wire = append(wire, map[string]any{"op": "move", "node": id, "pos": map[string]float64{"x": p.X, "y": p.Y, "z": p.Z}})
+			default:
+				id := rng.Intn(len(active))
+				for !active[id] {
+					id = rng.Intn(len(active))
+				}
+				active[id] = false
+				wire = append(wire, map[string]any{"op": "leave", "node": id})
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"deltas": wire})
+		var resp deltasResponse
+		doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+sum.Session+"/deltas", body, http.StatusOK, &resp)
+		applied += int64(len(wire))
+		if resp.Applied != len(wire) || resp.Summary.DeltasApplied != applied {
+			t.Fatalf("batch %d: applied %d/%d, total %d want %d", batch, resp.Applied, len(wire), resp.Summary.DeltasApplied, applied)
+		}
+		diffServed(t, ts.URL, sum.Session, pos, active, net.Radius, cfg)
+	}
+
+	var list struct {
+		Sessions []Summary `json:"sessions"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 1 || list.Sessions[0].Session != sum.Session {
+		t.Fatalf("list wrong: %+v", list)
+	}
+
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+sum.Session, nil, http.StatusOK, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+sum.Session, nil, http.StatusNotFound, nil)
+
+	var health struct {
+		OK       bool `json:"ok"`
+		Sessions int  `json:"sessions"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if !health.OK || health.Sessions != 0 {
+		t.Fatalf("health wrong: %+v", health)
+	}
+}
+
+// TestServeLegacyPayload: creation accepts the raw network JSON the
+// pre-envelope exports used.
+func TestServeLegacyPayload(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	var sum Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", legacyBody(t, net), http.StatusCreated, &sum)
+	if sum.Nodes != net.Len() {
+		t.Fatalf("legacy create summary wrong: %+v", sum)
+	}
+}
+
+// TestServeCreateRejects covers the creation error seams, including the
+// trailing-data envelope fix and the negative-parameter config fix — both
+// surfaced as 400s at the API boundary instead of deep library behavior.
+func TestServeCreateRejects(t *testing.T) {
+	net := testNetwork(t)
+	env := envelopeBody(t, net)
+	wrongTool, _ := json.Marshal(cli.Envelope{Tool: "experiment", Data: json.RawMessage(`{}`)})
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		url  string
+		body []byte
+		want string
+	}{
+		{"concatenated envelopes", "/v1/sessions", append(append([]byte{}, env...), env...), "malformed envelope"},
+		{"trailing garbage", "/v1/sessions", append(append([]byte{}, env...), []byte("garbage")...), "malformed envelope"},
+		{"wrong tool", "/v1/sessions", wrongTool, "envelope from"},
+		{"not a network", "/v1/sessions", []byte(`{"tool": "netgen", "data": {"radius": 0}}`), "network payload"},
+		{"negative workers", "/v1/sessions?workers=-1", env, "Workers"},
+		{"negative shards", "/v1/sessions?shards=-2", env, "Shards"},
+		{"non-integer theta", "/v1/sessions?theta=hot", env, "theta"},
+	} {
+		body := doJSON(t, http.MethodPost, ts.URL+tc.url, tc.body, http.StatusBadRequest, nil)
+		if !strings.Contains(body, tc.want) {
+			t.Errorf("%s: response %q does not mention %q", tc.name, body, tc.want)
+		}
+	}
+}
+
+// TestServeDeltaRejects covers the delta error seams: validation failures
+// report the applied prefix and leave the session consistent.
+func TestServeDeltaRejects(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	var sum Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, &sum)
+	deltasURL := ts.URL + "/v1/sessions/" + sum.Session + "/deltas"
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want string
+	}{
+		{"empty batch", `{"deltas": []}`, "empty delta batch"},
+		{"unknown field", `{"deltas": [], "flush": true}`, "flush"},
+		{"unknown op", `{"deltas": [{"op": "explode", "node": 1}]}`, "unknown op"},
+		{"join without pos", `{"deltas": [{"op": "join"}]}`, "needs a pos"},
+		{"move without pos", `{"deltas": [{"op": "move", "node": 1}]}`, "needs a pos"},
+		{"no such node", `{"deltas": [{"op": "leave", "node": 999999}]}`, "no active node"},
+		{"non-finite pos", `{"deltas": [{"op": "join", "pos": {"x": 1e999, "y": 0, "z": 0}}]}`, ""},
+		{"not json", `deltas!`, "deltas body"},
+	} {
+		body := doJSON(t, http.MethodPost, deltasURL, []byte(tc.body), http.StatusBadRequest, nil)
+		if tc.want != "" && !strings.Contains(body, tc.want) {
+			t.Errorf("%s: response %q does not mention %q", tc.name, body, tc.want)
+		}
+	}
+
+	// Unknown session: both delta and detail routes 404.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/nope/deltas", []byte(`{"deltas": [{"op": "leave", "node": 1}]}`), http.StatusNotFound, nil)
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/nope", nil, http.StatusNotFound, nil)
+
+	// Mid-batch failure: the valid prefix applies, the response reports
+	// it, and the session still matches a full recompute.
+	var fail errorResponse
+	doJSON(t, http.MethodPost, deltasURL,
+		[]byte(`{"deltas": [{"op": "leave", "node": 3}, {"op": "leave", "node": 3}, {"op": "leave", "node": 4}]}`),
+		http.StatusBadRequest, &fail)
+	if fail.Applied != 1 || !strings.Contains(fail.Error, "delta 1") {
+		t.Fatalf("partial batch: %+v", fail)
+	}
+	pos := net.Positions()
+	active := make([]bool, len(pos))
+	for i := range active {
+		active[i] = true
+	}
+	active[3] = false // only the prefix landed
+	diffServed(t, ts.URL, sum.Session, pos, active, net.Radius, core.Config{})
+	var det Detail
+	doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+sum.Session, nil, http.StatusOK, &det)
+	if det.DeltasApplied != 1 {
+		t.Fatalf("deltas_applied = %d, want the applied prefix 1", det.DeltasApplied)
+	}
+}
+
+// TestServeSessionParams: per-session query parameters reach the engine
+// (theta=-1 disables IFF, so the boundary grows to the raw UBF verdict).
+func TestServeSessionParams(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	var plain, noIFF Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, &plain)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions?theta=-1&workers=2", envelopeBody(t, net), http.StatusCreated, &noIFF)
+	if noIFF.BoundaryCount < plain.BoundaryCount {
+		t.Fatalf("IFF-disabled boundary %d smaller than filtered %d", noIFF.BoundaryCount, plain.BoundaryCount)
+	}
+	full, err := core.Detect(net, nil, core.Config{IFFThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, b := range full.Boundary {
+		if b {
+			want++
+		}
+	}
+	if noIFF.BoundaryCount != want {
+		t.Fatalf("theta=-1 boundary count %d, library %d", noIFF.BoundaryCount, want)
+	}
+}
+
+// TestServeMaxSessions: the registry cap turns creation into 429 until a
+// session is deleted.
+func TestServeMaxSessions(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{MaxSessions: 2}).Handler())
+	defer ts.Close()
+	var first Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, &first)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusTooManyRequests, nil)
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+first.Session, nil, http.StatusOK, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, nil)
+}
+
+// TestServeConcurrentSessions hammers the registry and distinct sessions
+// from parallel clients — the race-detector target for the concurrent
+// session map (`make race-shard` runs this under -race).
+func TestServeConcurrentSessions(t *testing.T) {
+	net := testNetwork(t)
+	o := &obs.Mem{}
+	ts := httptest.NewServer(New(Options{Obs: o}).Handler())
+	defer ts.Close()
+	env := envelopeBody(t, net)
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("client %d: %s", c, fmt.Sprintf(format, args...))
+			}
+			res, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(env))
+			if err != nil {
+				fail("create: %v", err)
+				return
+			}
+			var sum Summary
+			err = json.NewDecoder(res.Body).Decode(&sum)
+			res.Body.Close()
+			if err != nil || res.StatusCode != http.StatusCreated {
+				fail("create: status %d err %v", res.StatusCode, err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			for step := 0; step < 6; step++ {
+				p := geom.V(rng.Float64()*8-4, rng.Float64()*8-4, rng.Float64()*8-4)
+				body, _ := json.Marshal(map[string]any{"deltas": []map[string]any{
+					{"op": "join", "pos": map[string]float64{"x": p.X, "y": p.Y, "z": p.Z}},
+				}})
+				res, err := http.Post(ts.URL+"/v1/sessions/"+sum.Session+"/deltas", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fail("deltas: %v", err)
+					return
+				}
+				res.Body.Close()
+				if res.StatusCode != http.StatusOK {
+					fail("deltas: status %d", res.StatusCode)
+					return
+				}
+				res, err = http.Get(ts.URL + "/v1/sessions")
+				if err != nil {
+					fail("list: %v", err)
+					return
+				}
+				res.Body.Close()
+			}
+			res2, err := http.Get(ts.URL + "/v1/sessions/" + sum.Session)
+			if err != nil {
+				fail("get: %v", err)
+				return
+			}
+			res2.Body.Close()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The session counter saw every creation; nothing was deleted.
+	if got := o.Total(obs.StageServe, obs.CtrSessions); got != clients {
+		t.Errorf("sessions counter = %d, want %d", got, clients)
+	}
+}
