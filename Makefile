@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke bench-diff check ci
+.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke detector-matrix bench-diff check ci
 
 build:
 	$(GO) build ./...
@@ -25,11 +25,13 @@ race:
 
 # Focused race pass over the concurrent surfaces: the sharded detection
 # engine's differential matrix and shard/halo suites (shard-parallel loops
-# at several worker widths), the incremental engine's repair workers, and
-# boundaryd's concurrent session registry. (The blanket `race` target
-# covers these too; this target is the quick iteration loop.)
+# at several worker widths), the incremental engine's repair workers,
+# boundaryd's concurrent session registry, and the detector zoo's
+# metamorphic/vocabulary suites (every registered detector's parallel
+# candidate loops). (The blanket `race` target covers these too; this
+# target is the quick iteration loop.)
 race-shard:
-	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve
+	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve|Detector' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve
 
 # `go test -fuzz` accepts a single package per invocation, so each fuzz
 # target gets its own run.
@@ -72,10 +74,18 @@ trace-stat:
 # Boundary-server smoke: boundaryd's -smoke mode starts the server on an
 # ephemeral port, POSTs a generated network over real HTTP, streams
 # scripted delta batches, and diffs every served boundary-group result
-# against a from-scratch detection of the same active node set. Nonzero
-# exit on any divergence, HTTP failure, or trace schema violation.
+# against a from-scratch detection of the same active node set — then
+# re-exercises the deprecated unprefixed routes and a non-incremental
+# detector session. Nonzero exit on any divergence, HTTP failure, or
+# trace schema violation.
 serve-smoke:
 	$(GO) run ./cmd/boundaryd -smoke
+
+# Cross-detector comparison smoke: every registered detector over the
+# reduced standard fixtures, printing the precision/recall/cost table.
+# Proves the -run detectors path and the whole registry stay runnable.
+detector-matrix:
+	$(GO) run ./cmd/experiment -run detectors -scale 0.15
 
 # Tolerances for the bench regression gate. ns/op and allocs/op regress
 # only when they *increase* beyond the fraction; the per-op work counters
@@ -103,12 +113,14 @@ bench-diff:
 	$(GO) run ./cmd/tracestat -baseline $$2 -against $$1 \
 		-tol-ns $(TOL_NS) -tol-allocs $(TOL_ALLOCS) -tol-work $(TOL_WORK)
 
-check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke bench-diff fuzz
+check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke detector-matrix bench-diff fuzz
 
 # The cache-defeating correctness gate for CI and pre-merge runs: static
 # analysis plus the full test suite with result caching off, so every
-# package really re-executes, then the end-to-end server smoke.
+# package really re-executes, then the end-to-end server and detector
+# smokes.
 ci:
 	$(GO) vet ./...
 	$(GO) test -count=1 ./...
 	$(MAKE) serve-smoke
+	$(MAKE) detector-matrix

@@ -127,7 +127,7 @@ func run(w io.Writer, opts options) error {
 	fmt.Fprintf(w, "network: %v\n", net.Stats())
 
 	ctx := context.Background()
-	cfg := core.Config{Workers: opts.Workers, Shards: opts.Shards}
+	cfg := opts.Common.DetectConfig()
 	var det *core.Result
 	if opts.TrueCoords {
 		cfg.Coords = core.CoordsTrue

@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -95,6 +96,7 @@ func run(w io.Writer, opts options) error {
 		Obs:         sess.Obs,
 		Workers:     opts.Workers,
 		Shards:      opts.Shards,
+		Detector:    opts.Detector,
 		MaxSessions: opts.MaxSessions,
 	})
 
@@ -192,7 +194,7 @@ func smoke(w io.Writer, srv *serve.Server, opts options) error {
 	}
 	activeCount := len(pos)
 	bounds := boundsOf(pos)
-	cfg := core.Config{Workers: opts.Workers, Shards: opts.Shards}
+	cfg := opts.Common.DetectConfig()
 
 	rng := rand.New(rand.NewSource(sc.Seed + 1))
 	batch := 5
@@ -286,10 +288,83 @@ func smoke(w io.Writer, srv *serve.Server, opts options) error {
 		return fmt.Errorf("delete session: status %s", res.Status)
 	}
 
+	if err := smokeCompat(w, base, body, network, opts); err != nil {
+		return fmt.Errorf("compat: %w", err)
+	}
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	p50 := latencies[len(latencies)/2]
 	p99 := latencies[(len(latencies)*99)/100]
 	fmt.Fprintf(w, "serve-smoke: OK (%d deltas, batch p50=%v p99=%v)\n", applied, p50, p99)
+	return nil
+}
+
+// smokeCompat exercises the deprecated unprefixed route family and a
+// non-paper detector session: the legacy list route must answer like /v1
+// while flagging its deprecation, and a session created through the
+// legacy create route with ?detector=sv-contour must serve that
+// detector's boundary, diffed against a from-scratch recompute after a
+// delta.
+func smokeCompat(w io.Writer, base string, envBody []byte, network *netgen.Network, opts options) error {
+	res, err := http.Get(base + "/sessions")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("legacy list: status %s", res.Status)
+	}
+	if dep := res.Header.Get("Deprecation"); dep != "true" {
+		return fmt.Errorf("legacy list: Deprecation header %q, want %q", dep, "true")
+	}
+	if link := res.Header.Get("Link"); !strings.Contains(link, "/v1/sessions") {
+		return fmt.Errorf("legacy list: Link header %q lacks the /v1 successor", link)
+	}
+
+	const detector = "sv-contour"
+	var created serve.Summary
+	if err := postJSON(base+"/sessions?detector="+detector, envBody, http.StatusCreated, &created); err != nil {
+		return fmt.Errorf("legacy create: %w", err)
+	}
+	if created.Detector != detector {
+		return fmt.Errorf("session detector %q, want %q", created.Detector, detector)
+	}
+
+	pos := network.Positions()
+	active := make([]bool, len(pos))
+	for i := range active {
+		active[i] = true
+	}
+	pos[0] = pos[0].Add(geom.V(network.Radius/3, 0, 0))
+	body, err := json.Marshal(map[string]any{"deltas": []map[string]any{
+		{"op": "move", "node": 0, "pos": vec(pos[0])},
+	}})
+	if err != nil {
+		return err
+	}
+	if err := postJSON(base+"/v1/sessions/"+created.Session+"/deltas", body, http.StatusOK, nil); err != nil {
+		return fmt.Errorf("%s delta: %w", detector, err)
+	}
+	cfg := opts.Common.DetectConfig()
+	cfg.Detector = detector
+	if err := diffAgainstFull(base, created.Session, pos, active, network.Radius, cfg); err != nil {
+		return fmt.Errorf("%s session: %w", detector, err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+created.Session, nil)
+	if err != nil {
+		return err
+	}
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusOK {
+		return fmt.Errorf("delete %s session: status %s", detector, del.Status)
+	}
+	fmt.Fprintf(w, "smoke: legacy aliases deprecated, %s session OK\n", detector)
 	return nil
 }
 

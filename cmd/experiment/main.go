@@ -10,6 +10,8 @@
 //	experiment -run all -scale 0.25  # everything, at reduced size
 //	experiment -run all -workers 4 -bench BENCH_run.json
 //	experiment -run faults -async -trace trace.jsonl -pprof prof
+//	experiment -run detectors -scale 0.25  # cross-detector comparison table
+//	experiment -run fig1g -detector sv-enclosure
 //
 // The shared flags (-seed, -workers, -out, -trace, -pprof) follow the
 // repository-wide convention (see internal/cli): -workers widens the sweep
@@ -43,6 +45,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/export"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/obs"
 	"repro/internal/shapes"
@@ -66,7 +69,7 @@ type options struct {
 func main() {
 	var opts options
 	flag.StringVar(&opts.Run, "run", "all",
-		"experiment to run: fig1g|fig1h|fig1i|fig1jkl|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|fig11c|thm1|ablation|apps|mds|faults|all")
+		"experiment to run: fig1g|fig1h|fig1i|fig1jkl|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|fig11c|thm1|ablation|apps|mds|faults|detectors|all")
 	flag.Float64Var(&opts.Scale, "scale", 1.0, "node-count scale factor (1.0 = paper size)")
 	flag.IntVar(&opts.K, "k", 3, "landmark spacing for mesh construction")
 	flag.StringVar(&opts.CSV, "csv", "", "directory to also write tables as CSV (optional)")
@@ -116,7 +119,8 @@ func run(w io.Writer, opts options) error {
 	}
 
 	eng := eval.Engine{Workers: opts.Workers, Obs: sess.Obs}
-	detectCfg := core.Config{Async: opts.Async, Workers: opts.Workers, Shards: opts.Shards}
+	detectCfg := opts.Common.DetectConfig()
+	detectCfg.Async = opts.Async
 	// seed applies the shared -seed override on top of a scenario default.
 	seed := func(def int64) int64 {
 		if opts.Seed != 0 {
@@ -156,7 +160,7 @@ func run(w io.Writer, opts options) error {
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"fig11a": true, "fig11b": true, "fig11c": true,
 		"thm1": true, "ablation": true, "apps": true, "mds": true,
-		"faults": true, "all": true,
+		"faults": true, "detectors": true, "all": true,
 	}
 	if !known[opts.Run] {
 		return fmt.Errorf("unknown experiment %q", opts.Run)
@@ -377,6 +381,30 @@ func run(w io.Writer, opts options) error {
 			}
 			h, rows := eval.FaultSweepRows(sweep)
 			add("faults", "Robustness: detection quality vs. message loss ("+sc.Name+", exact ranging)", h, rows)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Cross-detector comparison: every registered detector over the three
+	// standard fixtures, classified against ground truth with
+	// vocabulary-derived message/round/work totals.
+	if want("detectors") {
+		err := timed("detector-matrix", func() error {
+			scenarios := eval.StandardFixtures()
+			for i := range scenarios {
+				scenarios[i] = scenarios[i].Scaled(opts.Scale)
+			}
+			names := core.DetectorNames()
+			fmt.Fprintf(w, "running %d detectors over %d fixtures...\n", len(names), len(scenarios))
+			cells, err := eng.DetectorMatrix(scenarios, names, detectCfg)
+			if err != nil {
+				return err
+			}
+			h, rows := metrics.DetectorComparisonRows(cells)
+			add("detectors", "Cross-detector comparison vs. ground-truth boundary (true coordinates)", h, rows)
 			return nil
 		})
 		if err != nil {

@@ -1,8 +1,8 @@
 // Package cli unifies the flag surface and output conventions of the
 // repository's commands (boundary3d, experiment, netgen): one Common
-// options block registering the shared -seed, -workers, -shards, -out,
-// -trace and -pprof flags; one Session wiring those options into the obs
-// layer
+// options block registering the shared -seed, -workers, -shards,
+// -detector, -out, -trace and -pprof flags; one Session wiring those
+// options into the obs layer
 // (JSONL trace writer, pprof capture); and one JSON output envelope so
 // every command's -out file has the same machine-readable framing.
 package cli
@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -34,6 +36,9 @@ type Common struct {
 	// results bit-identical to the unsharded pipeline. 0 or 1 keeps the
 	// ordinary single-shard path.
 	Shards int
+	// Detector names the boundary-detection algorithm from the core
+	// registry ("" = the paper's UBF/IFF pipeline).
+	Detector string
 	// Out is the path of the command's JSON envelope output ("" = none).
 	Out string
 	// Trace is the path of the JSONL observability trace ("" = none).
@@ -48,24 +53,36 @@ func (c *Common) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&c.Seed, "seed", 0, "base RNG seed override (0 = scenario defaults)")
 	fs.IntVar(&c.Workers, "workers", 0, "worker-pool width (0 = one per CPU; any width gives identical results)")
 	fs.IntVar(&c.Shards, "shards", 0, "spatial shard count for detection (<= 1 = unsharded; any count gives identical results)")
+	fs.StringVar(&c.Detector, "detector", "", "boundary detector to run: "+strings.Join(core.DetectorNames(), ", ")+" (\"\" = paper)")
 	fs.StringVar(&c.Out, "out", "", "write the run's results as a JSON envelope to this path")
 	fs.StringVar(&c.Trace, "trace", "", "write an observability trace (JSONL stage events and counters) to this path")
 	fs.StringVar(&c.Pprof, "pprof", "", "capture CPU and heap profiles under this path prefix")
 }
 
-// Validate rejects option values no command can honor. Negative -workers
-// and -shards used to flow unchecked into the worker pool and the spatial
-// partitioner, where they were silently clamped (or, for a long-lived
-// server, rejected per-request far from the flag that caused them); every
-// command now fails fast at startup instead.
+// Validate rejects option values no command can honor, by delegating to
+// core.Config.Validate — the single validation choke point shared with
+// the serving layer — and prefixing the offending flag's spelling, so a
+// bad -workers, -shards or -detector fails fast at startup with the same
+// diagnostic everywhere.
 func (c Common) Validate() error {
-	if c.Workers < 0 {
-		return fmt.Errorf("cli: -workers must be >= 0 (0 = one per CPU), got %d", c.Workers)
+	err := c.DetectConfig().Validate()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrNegativeWorkers):
+		return fmt.Errorf("cli: -workers: %w", err)
+	case errors.Is(err, core.ErrNegativeShards):
+		return fmt.Errorf("cli: -shards: %w", err)
+	case errors.Is(err, core.ErrUnknownDetector):
+		return fmt.Errorf("cli: -detector: %w", err)
 	}
-	if c.Shards < 0 {
-		return fmt.Errorf("cli: -shards must be >= 0 (<= 1 = unsharded), got %d", c.Shards)
-	}
-	return nil
+	return fmt.Errorf("cli: %w", err)
+}
+
+// DetectConfig projects the shared options onto a detection config; the
+// command layers its own scenario-specific fields on top.
+func (c Common) DetectConfig() core.Config {
+	return core.Config{Workers: c.Workers, Shards: c.Shards, Detector: c.Detector}
 }
 
 // Session realizes a Common's observability options for one run: the
@@ -163,17 +180,18 @@ func (s *Session) Close() error {
 // producing tool, the run's shared options, free-form parameters, and the
 // tool-specific payload.
 type Envelope struct {
-	Tool    string         `json:"tool"`
-	Seed    int64          `json:"seed,omitempty"`
-	Workers int            `json:"workers,omitempty"`
-	Shards  int            `json:"shards,omitempty"`
-	Params  map[string]any `json:"params,omitempty"`
-	Data    any            `json:"data"`
+	Tool     string         `json:"tool"`
+	Seed     int64          `json:"seed,omitempty"`
+	Workers  int            `json:"workers,omitempty"`
+	Shards   int            `json:"shards,omitempty"`
+	Detector string         `json:"detector,omitempty"`
+	Params   map[string]any `json:"params,omitempty"`
+	Data     any            `json:"data"`
 }
 
 // NewEnvelope frames a payload with the session's shared options.
 func (c Common) NewEnvelope(tool string, params map[string]any, data any) Envelope {
-	return Envelope{Tool: tool, Seed: c.Seed, Workers: c.Workers, Shards: c.Shards, Params: params, Data: data}
+	return Envelope{Tool: tool, Seed: c.Seed, Workers: c.Workers, Shards: c.Shards, Detector: c.Detector, Params: params, Data: data}
 }
 
 // WriteEnvelope writes the envelope as indented JSON to path.
@@ -206,12 +224,13 @@ var ErrNotEnvelope = errors.New("cli: not an output envelope (missing tool/data)
 // its first document.
 func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
 	var probe struct {
-		Tool    string          `json:"tool"`
-		Seed    int64           `json:"seed"`
-		Workers int             `json:"workers"`
-		Shards  int             `json:"shards"`
-		Params  map[string]any  `json:"params"`
-		Data    json.RawMessage `json:"data"`
+		Tool     string          `json:"tool"`
+		Seed     int64           `json:"seed"`
+		Workers  int             `json:"workers"`
+		Shards   int             `json:"shards"`
+		Detector string          `json:"detector"`
+		Params   map[string]any  `json:"params"`
+		Data     json.RawMessage `json:"data"`
 	}
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	if err := dec.Decode(&probe); err != nil {
@@ -223,9 +242,15 @@ func ReadEnvelope(raw []byte) (Envelope, json.RawMessage, error) {
 	if probe.Tool == "" || probe.Data == nil {
 		return Envelope{}, nil, ErrNotEnvelope
 	}
+	if probe.Detector != "" {
+		if _, ok := core.LookupDetector(probe.Detector); !ok {
+			return Envelope{}, nil, fmt.Errorf("cli: envelope names unknown detector %q (valid: %s)",
+				probe.Detector, strings.Join(core.DetectorNames(), ", "))
+		}
+	}
 	return Envelope{
 		Tool: probe.Tool, Seed: probe.Seed, Workers: probe.Workers, Shards: probe.Shards,
-		Params: probe.Params,
+		Detector: probe.Detector, Params: probe.Params,
 	}, probe.Data, nil
 }
 

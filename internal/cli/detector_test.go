@@ -1,0 +1,78 @@
+package cli_test
+
+import (
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+)
+
+// TestDetectorEnvelopeRoundTrip pins the detector field's strict
+// round-trip: a valid registry name written by NewEnvelope comes back
+// verbatim from ReadEnvelope, and an envelope naming an unregistered
+// detector is rejected with the registry's valid-name list in the error.
+func TestDetectorEnvelopeRoundTrip(t *testing.T) {
+	c := cli.Common{Seed: 7, Workers: 2, Detector: "sv-contour"}
+	env := c.NewEnvelope("test", nil, map[string]int{"n": 1})
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := cli.ReadEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Detector != "sv-contour" {
+		t.Fatalf("detector round-tripped as %q, want %q", back.Detector, "sv-contour")
+	}
+
+	// "" (paper default) is omitted from the JSON and reads back empty.
+	c.Detector = ""
+	raw, err = json.Marshal(c.NewEnvelope("test", nil, map[string]int{"n": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "detector") {
+		t.Fatalf("empty detector must be omitted from the envelope: %s", raw)
+	}
+	if back, _, err = cli.ReadEnvelope(raw); err != nil || back.Detector != "" {
+		t.Fatalf("default-detector envelope read back as %q, %v", back.Detector, err)
+	}
+
+	// Unknown names are rejected at read time with the valid spellings.
+	bad := strings.Replace(string(raw), `"tool"`, `"detector":"nope","tool"`, 1)
+	if _, _, err := cli.ReadEnvelope([]byte(bad)); err == nil ||
+		!strings.Contains(err.Error(), `"nope"`) ||
+		!strings.Contains(err.Error(), core.DefaultDetector) {
+		t.Fatalf("unknown detector must fail with the valid-name list, got %v", err)
+	}
+}
+
+// TestDetectorFlagValidation pins the shared -detector flag: it is
+// registered by Common.Register, and Common.Validate routes bad names
+// through core.Config.Validate's single choke point.
+func TestDetectorFlagValidation(t *testing.T) {
+	var c cli.Common
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-detector", "degree-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid detector rejected: %v", err)
+	}
+	if c.DetectConfig().Detector != "degree-stats" {
+		t.Fatalf("DetectConfig dropped the detector, got %q", c.DetectConfig().Detector)
+	}
+
+	if err := fs.Parse([]string{"-detector", "no-such"}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown detector") {
+		t.Fatalf("unknown detector must fail Validate, got %v", err)
+	}
+}

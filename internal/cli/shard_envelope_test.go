@@ -1,0 +1,55 @@
+package cli_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+// TestShardedEnvelopeDeterministicAcrossGOMAXPROCS is the end-to-end
+// determinism regression: the same sharded detection serialized into the
+// shared CLI envelope must produce byte-identical JSON at GOMAXPROCS 1, 2
+// and 4 (Workers=0 sizes the pool per CPU, so the parallel schedule truly
+// differs between runs). It lives here rather than in internal/core
+// because cli imports core for detector validation.
+func TestShardedEnvelopeDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	net, err := netgen.Generate(netgen.Config{
+		Shape:           shapes.NewBall(geom.Zero, 3),
+		SurfaceNodes:    200,
+		InteriorNodes:   400,
+		TargetAvgDegree: 14,
+		Seed:            13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cli.Common{Shards: 4}
+	var want []byte
+	for _, procs := range []int{1, 2, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		res, err := core.Detect(net, nil, core.Config{Shards: opts.Shards, Workers: opts.Workers})
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		env := opts.NewEnvelope("shard-determinism-test", map[string]any{"nodes": net.G.Len()}, res)
+		raw, err := json.MarshalIndent(env, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = raw
+			continue
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("GOMAXPROCS=%d: envelope differs from GOMAXPROCS=1 baseline", procs)
+		}
+	}
+}

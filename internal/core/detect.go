@@ -142,8 +142,24 @@ type Config struct {
 	// engine evaluates the flooding phases by direct bounded traversal
 	// rather than message passing, so Async and Faults are ignored and the
 	// message/fault counters of the Result stay zero. Zero or 1 selects
-	// the ordinary single-shard pipeline.
+	// the ordinary single-shard pipeline. Requires a CapSharded detector.
 	Shards int
+
+	// Detector selects the registered detection algorithm by name; ""
+	// selects DefaultDetector (the paper's UBF/IFF pipeline). See
+	// RegisterDetector and DetectorNames for the registry.
+	Detector string
+
+	// EnclosureMargin parameterizes the sv-enclosure competitor: a node
+	// is a boundary candidate when some direction's half-space, pushed
+	// EnclosureMargin·R inward, contains none of its known neighbors.
+	// Zero means 0.2; other detectors ignore it.
+	EnclosureMargin float64
+	// DegreeFraction parameterizes the degree-stats competitor: node i
+	// is a candidate when deg(i) < DegreeFraction · (mean degree over
+	// its two-hop neighborhood). Zero means 0.75; other detectors
+	// ignore it.
+	DegreeFraction float64
 }
 
 func (c Config) withDefaults(haveMeasurement bool) Config {
@@ -190,7 +206,32 @@ func (c Config) withDefaults(haveMeasurement bool) Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.EnclosureMargin == 0 {
+		c.EnclosureMargin = 0.2
+	}
+	if c.DegreeFraction == 0 {
+		c.DegreeFraction = 0.75
+	}
 	return c
+}
+
+// Validate is the single validation choke point for detection configs:
+// every CLI (via cli.Common), the boundaryd session API, and
+// DetectContext itself call it, so a bad width or detector name fails
+// identically at every seam. It checks only the fields whose invalid
+// values used to be clamped or rejected far from their source; the
+// remaining fields are defaulted and checked by the selected detector.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("%w, got %d", ErrNegativeWorkers, c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w, got %d", ErrNegativeShards, c.Shards)
+	}
+	if _, ok := LookupDetector(c.Detector); !ok {
+		return fmt.Errorf("%w %q (valid: %s)", ErrUnknownDetector, c.Detector, detectorNameList())
+	}
+	return nil
 }
 
 // Result is the full outcome of boundary detection on a network.
@@ -221,6 +262,11 @@ type Result struct {
 	// (UBF itself sends nothing beyond the initial beacon exchanges).
 	IFFMessages      int
 	GroupingMessages int
+	// CandidateMessages counts packets exchanged by a competitor
+	// detector's candidate-selection phase (e.g. the sv-contour floods);
+	// always zero for the paper pipeline, whose UBF phase sends nothing
+	// beyond the beacon exchange.
+	CandidateMessages int
 	// FaultStats aggregates the fault layer's counters across both
 	// flooding phases; zero when Config.Faults is disabled.
 	FaultStats sim.FaultStats
@@ -272,16 +318,28 @@ func Detect(net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result,
 // delivered/dropped/retransmitted, ...); a nil o adds no allocations and no
 // measurable cost. Observation never changes the result: verdicts are
 // bit-identical with tracing on or off.
+//
+// DetectContext is the detector dispatcher: cfg.Detector selects the
+// registered algorithm ("" = the paper pipeline), and the call is a thin
+// compatibility wrapper around Detector.DetectContext — for the paper
+// detector its output is bit-identical to the pre-registry pipeline.
 func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result, error) {
 	if net == nil {
 		return nil, ErrNoNetwork
 	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("%w, got %d", ErrNegativeWorkers, cfg.Workers)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Shards < 0 {
-		return nil, fmt.Errorf("%w, got %d", ErrNegativeShards, cfg.Shards)
+	det, _ := LookupDetector(cfg.Detector) // Validate vouched for the name
+	if cfg.Shards > 1 && !det.Caps().Has(CapSharded) {
+		return nil, fmt.Errorf("core: detector %q does not support sharding (Config.Shards = %d)", det.Name(), cfg.Shards)
 	}
+	return det.DetectContext(ctx, o, net, meas, cfg)
+}
+
+// paperDetect is the paper's UBF/IFF pipeline — the pre-registry
+// DetectContext body, unchanged. PaperDetector delegates here.
+func paperDetect(ctx context.Context, o obs.Observer, net *netgen.Network, meas *netgen.Measurement, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(meas != nil)
 	if cfg.Coords == CoordsMDS && meas == nil {
 		return nil, ErrNeedMeasurement
@@ -316,29 +374,8 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 	// Stage 1 (CoordsMDS only): every node builds its one-hop MDS frame.
 	var frames []frame
 	if cfg.Coords == CoordsMDS {
-		framesSpan := obs.Start(o, obs.StageFrames)
-		res.CoordError = make([]float64, n)
-		frames = make([]frame, n)
-		err := par.For(n, cfg.Workers, func(_, i int) error {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			f, err := buildFrame(tab, cfg, i)
-			if err != nil {
-				return fmt.Errorf("node %d frame: %w", i, err)
-			}
-			frames[i] = f
-			truth := make([]geom.Vec3, len(f.members))
-			for k, m := range f.members {
-				truth[k] = tab.Pos[m]
-			}
-			if _, rmsd, aerr := geom.AlignRigid(f.coords, truth); aerr == nil {
-				res.CoordError[i] = rmsd
-			}
-			return nil
-		})
-		framesSpan.End()
-		if err != nil {
+		var err error
+		if frames, err = buildAllFrames(ctx, o, tab, cfg, res); err != nil {
 			return nil, err
 		}
 	}
@@ -407,6 +444,24 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		return nil, err
 	}
 
+	if err := filterAndGroup(ctx, o, net, cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// filterAndGroup runs detection stages 3 and 4 — Isolated Fragment
+// Filtering and boundary grouping — on the candidate set in res.UBF,
+// filling Boundary, FragmentSize, GroupLabel, Groups and the message and
+// fault counters. It is shared verbatim between the paper pipeline and
+// the competitor detectors (their candidate phases replace UBF, the
+// refinement tail is common), which is what keeps the paper path
+// bit-identical and gives every detector the hardened fault/async
+// protocol variants for free. cfg must already carry defaults.
+func filterAndGroup(ctx context.Context, o obs.Observer, net *netgen.Network, cfg Config, res *Result) error {
+	n := len(res.UBF)
+	var err error
+
 	// Stage 3: Isolated Fragment Filtering by TTL-bounded flooding.
 	res.Boundary = make([]bool, n)
 	iffSpan := obs.Start(o, obs.StageIFF)
@@ -448,7 +503,7 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 		}
 		if err != nil {
 			iffSpan.End()
-			return nil, fmt.Errorf("IFF flooding: %w", err)
+			return fmt.Errorf("IFF flooding: %w", err)
 		}
 		res.IFFMessages = messages
 		res.FragmentSize = counts
@@ -472,7 +527,7 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 	}
 	iffSpan.End()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Stage 4: grouping — boundary nodes of the same surface connect
@@ -508,14 +563,48 @@ func DetectContext(ctx context.Context, o obs.Observer, net *netgen.Network, mea
 	}
 	if err != nil {
 		groupSpan.End()
-		return nil, fmt.Errorf("grouping: %w", err)
+		return fmt.Errorf("grouping: %w", err)
 	}
 	res.GroupingMessages = groupMessages
 	res.GroupLabel = label
 	res.Groups = sim.Groups(label)
 	obs.Add(o, obs.StageGrouping, obs.CtrGroups, int64(len(res.Groups)))
 	groupSpan.End()
-	return res, nil
+	return nil
+}
+
+// buildAllFrames is detection stage 1, shared by the paper pipeline and
+// the enclosure competitor: every node builds its one-hop MDS frame in
+// parallel, and res.CoordError records each frame's RMSD against true
+// positions. cfg must carry defaults.
+func buildAllFrames(ctx context.Context, o obs.Observer, tab *NodeTable, cfg Config, res *Result) ([]frame, error) {
+	n := tab.Len()
+	framesSpan := obs.Start(o, obs.StageFrames)
+	res.CoordError = make([]float64, n)
+	frames := make([]frame, n)
+	err := par.For(n, cfg.Workers, func(_, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := buildFrame(tab, cfg, i)
+		if err != nil {
+			return fmt.Errorf("node %d frame: %w", i, err)
+		}
+		frames[i] = f
+		truth := make([]geom.Vec3, len(f.members))
+		for k, m := range f.members {
+			truth[k] = tab.Pos[m]
+		}
+		if _, rmsd, aerr := geom.AlignRigid(f.coords, truth); aerr == nil {
+			res.CoordError[i] = rmsd
+		}
+		return nil
+	})
+	framesSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	return frames, nil
 }
 
 // buildFrame embeds node i's closed one-hop neighborhood from measured

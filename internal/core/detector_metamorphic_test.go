@@ -1,0 +1,193 @@
+// Cross-detector metamorphic suite: properties every registered detector
+// must satisfy, run over the three standard world shapes (sphere, cube
+// with a hole, torus) under true coordinates. The properties are the
+// Detector contract's testable half:
+//
+//   - determinism: identical *Result at any worker count;
+//   - wrapper equivalence: Detect and DetectContext agree bit for bit;
+//   - relabeling invariance: permuting node IDs permutes the verdict —
+//     the boundary set maps through the permutation and the group
+//     structure matches after canonicalization (labels are ID-derived,
+//     so only the partition is comparable).
+//
+// A detector added to the registry is picked up automatically; there is
+// no per-detector test list to keep in sync.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/shapes"
+)
+
+// metamorphicWorld is one deployment shared by the whole suite.
+type metamorphicWorld struct {
+	name string
+	net  *netgen.Network
+}
+
+var (
+	metaWorldsOnce sync.Once
+	metaWorldsVal  []metamorphicWorld
+	metaWorldsErr  error
+)
+
+// metamorphicWorlds builds scaled-down versions of the standard
+// sphere/cube-with-hole/torus fixtures, once per test binary (the suite
+// runs every registered detector several times per world, and under
+// -race).
+func metamorphicWorlds(t *testing.T) []metamorphicWorld {
+	t.Helper()
+	metaWorldsOnce.Do(func() {
+		box, err := shapes.NewBoxWithHoles(geom.V(0, 0, 0), geom.V(8, 8, 8),
+			[]geom.Sphere{{Center: geom.V(4, 4, 4), Radius: 1.4}})
+		if err != nil {
+			metaWorldsErr = err
+			return
+		}
+		tor, err := shapes.NewTorus(4.5, 1.8)
+		if err != nil {
+			metaWorldsErr = err
+			return
+		}
+		specs := []struct {
+			name     string
+			shape    shapes.Shape
+			surf, in int
+			seed     int64
+		}{
+			{"sphere", shapes.NewBall(geom.Zero, 3), 150, 300, 60},
+			{"cube-hole", box, 200, 380, 61},
+			{"torus", tor, 220, 400, 3},
+		}
+		for _, sp := range specs {
+			net, err := netgen.Generate(netgen.Config{
+				Shape:           sp.shape,
+				SurfaceNodes:    sp.surf,
+				InteriorNodes:   sp.in,
+				TargetAvgDegree: 16,
+				Seed:            sp.seed,
+			})
+			if err != nil {
+				metaWorldsErr = fmt.Errorf("%s: %w", sp.name, err)
+				return
+			}
+			metaWorldsVal = append(metaWorldsVal, metamorphicWorld{name: sp.name, net: net})
+		}
+	})
+	if metaWorldsErr != nil {
+		t.Fatal(metaWorldsErr)
+	}
+	return metaWorldsVal
+}
+
+// metaCfg is the suite's shared configuration: true coordinates (MDS
+// frames are numerically order-sensitive, so relabeling invariance only
+// holds for the geometric verdict), detector and workers per call.
+func metaCfg(detector string, workers int) Config {
+	return Config{Detector: detector, Workers: workers, Coords: CoordsTrue}
+}
+
+// canonicalGroups maps every group member through toOld and returns the
+// partition in canonical form: members ascending within a group, groups
+// ordered by smallest member. A nil toOld is the identity.
+func canonicalGroups(groups [][]int, toOld []int) [][]int {
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		cg := make([]int, len(g))
+		for i, m := range g {
+			if toOld != nil {
+				cg[i] = toOld[m]
+			} else {
+				cg[i] = m
+			}
+		}
+		sort.Ints(cg)
+		out = append(out, cg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// TestDetectorMetamorphicSuite drives every registered detector through
+// the three properties on all three worlds.
+func TestDetectorMetamorphicSuite(t *testing.T) {
+	worlds := metamorphicWorlds(t)
+	for _, name := range DetectorNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, w := range worlds {
+				w := w
+				t.Run(w.name, func(t *testing.T) {
+					base, err := DetectContext(context.Background(), nil, w.net, nil, metaCfg(name, 1))
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					// Determinism across worker counts: the whole Result,
+					// work counters included, must be bit-identical.
+					par, err := DetectContext(context.Background(), nil, w.net, nil, metaCfg(name, 4))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(base, par) {
+						t.Fatal("workers=4 result differs from workers=1")
+					}
+
+					// Wrapper equivalence: the convenience Detect wrapper
+					// dispatches identically.
+					viaDetect, err := Detect(w.net, nil, metaCfg(name, 1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(base, viaDetect) {
+						t.Fatal("Detect result differs from DetectContext")
+					}
+
+					// Relabeling invariance on the verdict: candidate set,
+					// boundary set, and group partition all map through the
+					// permutation. Work counters may differ (neighbor
+					// enumeration order changes early exits), so only the
+					// verdict fields are compared.
+					n := w.net.Len()
+					perm := rand.New(rand.NewSource(42)).Perm(n) // perm[new] = old
+					nodes := make([]netgen.Node, n)
+					for newID, oldID := range perm {
+						nodes[newID] = w.net.Nodes[oldID]
+					}
+					pnet, err := netgen.Assemble(nodes, w.net.Radius)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pres, err := DetectContext(context.Background(), nil, pnet, nil, metaCfg(name, 1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for newID, oldID := range perm {
+						if pres.UBF[newID] != base.UBF[oldID] {
+							t.Fatalf("node %d (relabeled %d): UBF %v != %v under permutation",
+								oldID, newID, pres.UBF[newID], base.UBF[oldID])
+						}
+						if pres.Boundary[newID] != base.Boundary[oldID] {
+							t.Fatalf("node %d (relabeled %d): Boundary %v != %v under permutation",
+								oldID, newID, pres.Boundary[newID], base.Boundary[oldID])
+						}
+					}
+					want := canonicalGroups(base.Groups, nil)
+					got := canonicalGroups(pres.Groups, perm)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("group partition changed under permutation: %d groups -> %d", len(want), len(got))
+					}
+				})
+			}
+		})
+	}
+}

@@ -195,6 +195,9 @@ func NewIncrementalContext(ctx context.Context, o obs.Observer, net *netgen.Netw
 	if full.Coords != CoordsTrue {
 		return nil, ErrIncrementalCoords
 	}
+	if det, ok := LookupDetector(cfg.Detector); ok && !det.Caps().Has(CapIncremental) {
+		return nil, fmt.Errorf("core: detector %q does not support incremental repair", det.Name())
+	}
 	res, err := DetectContext(ctx, o, net, nil, cfg)
 	if err != nil {
 		return nil, err

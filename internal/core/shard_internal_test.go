@@ -2,16 +2,13 @@ package core
 
 // White-box tests of the sharded engine's internals: steady-state
 // allocation behavior of the per-shard IFF traversal loop, halo-depth
-// selection, the deep-TTL fallback, and byte-identical JSON envelopes
-// across GOMAXPROCS settings.
+// selection, and the deep-TTL fallback. (The byte-identical envelope
+// determinism test lives in internal/cli — cli imports core for detector
+// validation, so core's tests cannot import cli back.)
 
 import (
-	"bytes"
-	"encoding/json"
-	"runtime"
 	"testing"
 
-	"repro/internal/cli"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/netgen"
@@ -136,36 +133,5 @@ func TestShardedIFFSteadyStateAllocs(t *testing.T) {
 	iffPass() // warm every buffer to the largest view
 	if allocs := testing.AllocsPerRun(20, iffPass); allocs != 0 {
 		t.Errorf("steady-state sharded IFF pass allocates %.1f per run, want 0", allocs)
-	}
-}
-
-// TestShardedEnvelopeDeterministicAcrossGOMAXPROCS is the end-to-end
-// determinism regression: the same sharded detection serialized into the
-// shared CLI envelope must produce byte-identical JSON at GOMAXPROCS 1, 2
-// and 4 (Workers=0 sizes the pool per CPU, so the parallel schedule truly
-// differs between runs).
-func TestShardedEnvelopeDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	net := shardTestNet(t)
-	opts := cli.Common{Shards: 4}
-	var want []byte
-	for _, procs := range []int{1, 2, 4} {
-		prev := runtime.GOMAXPROCS(procs)
-		res, err := Detect(net, nil, Config{Shards: opts.Shards, Workers: opts.Workers})
-		runtime.GOMAXPROCS(prev)
-		if err != nil {
-			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
-		}
-		env := opts.NewEnvelope("shard-determinism-test", map[string]any{"nodes": net.G.Len()}, res)
-		raw, err := json.MarshalIndent(env, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if want == nil {
-			want = raw
-			continue
-		}
-		if !bytes.Equal(raw, want) {
-			t.Fatalf("GOMAXPROCS=%d: envelope differs from GOMAXPROCS=1 baseline", procs)
-		}
 	}
 }

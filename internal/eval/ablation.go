@@ -43,10 +43,31 @@ type ablationVariant struct {
 	run  func(ctx context.Context, o obs.Observer) ([]bool, error)
 }
 
-// ablationVariants enumerates the study's pipeline configurations over a
-// fixed network and measurement. The order defines the row order.
+// ablationVariants enumerates the paper pipeline's study configurations
+// over a fixed network and measurement. The order defines the row order.
 func ablationVariants(net *netgen.Network, meas *netgen.Measurement) []ablationVariant {
-	detect := func(cfg core.Config, withMeas bool) func(context.Context, obs.Observer) ([]bool, error) {
+	return ablationVariantsFor(net, meas, core.Config{})
+}
+
+// ablationVariantsFor derives the variant list from the configured
+// detector's capability bitmask and obs vocabulary instead of assuming
+// the paper pipeline: the paper detector keeps the historical 11-variant
+// study, while other detectors get the subset that is meaningful for
+// them — the shared refinement (IFF) knobs always, the coordinate-source
+// variants only when the detector declares CapMeasurement (a detector
+// that ignores ranging has no "true-coords" ablation to run), and the
+// degree-threshold reference row always. base carries the shared knobs
+// (Workers, Detector) into every variant.
+func ablationVariantsFor(net *netgen.Network, meas *netgen.Measurement, base core.Config) []ablationVariant {
+	det, ok := core.LookupDetector(base.Detector)
+	if !ok {
+		det, _ = core.LookupDetector("")
+	}
+	detect := func(mut func(c *core.Config), withMeas bool) func(context.Context, obs.Observer) ([]bool, error) {
+		cfg := base
+		if mut != nil {
+			mut(&cfg)
+		}
 		return func(ctx context.Context, o obs.Observer) ([]bool, error) {
 			m := meas
 			if !withMeas {
@@ -59,21 +80,37 @@ func ablationVariants(net *netgen.Network, meas *netgen.Measurement) []ablationV
 			return res.Boundary, nil
 		}
 	}
-	return []ablationVariant{
-		{"full-pipeline", detect(core.Config{}, true)},
-		{"no-iff", detect(core.Config{IFFThreshold: -1}, true)},
-		{"one-hop-scope", detect(core.Config{Scope: core.ScopeOneHop}, true)},
-		{"one-hop-no-iff", detect(core.Config{Scope: core.ScopeOneHop, IFFThreshold: -1}, true)},
-		{"true-coords", detect(core.Config{Coords: core.CoordsTrue}, false)},
-		{"r=1.5", detect(core.Config{BallRadiusFactor: 1.5}, true)},
-		{"r=2.0", detect(core.Config{BallRadiusFactor: 2.0}, true)},
-		{"iff-theta=10", detect(core.Config{IFFThreshold: 10}, true)},
-		{"iff-theta=40", detect(core.Config{IFFThreshold: 40}, true)},
-		{"iff-ttl=2", detect(core.Config{IFFTTL: 2}, true)},
-		{"degree-baseline", func(context.Context, obs.Observer) ([]bool, error) {
-			return core.DegreeBaseline(net, core.DegreeBaselineConfig{})
-		}},
+	degreeBaseline := ablationVariant{"degree-baseline", func(context.Context, obs.Observer) ([]bool, error) {
+		return core.DegreeBaseline(net, core.DegreeBaselineConfig{})
+	}}
+	if det.Name() == core.DefaultDetector {
+		return []ablationVariant{
+			{"full-pipeline", detect(nil, true)},
+			{"no-iff", detect(func(c *core.Config) { c.IFFThreshold = -1 }, true)},
+			{"one-hop-scope", detect(func(c *core.Config) { c.Scope = core.ScopeOneHop }, true)},
+			{"one-hop-no-iff", detect(func(c *core.Config) { c.Scope = core.ScopeOneHop; c.IFFThreshold = -1 }, true)},
+			{"true-coords", detect(func(c *core.Config) { c.Coords = core.CoordsTrue }, false)},
+			{"r=1.5", detect(func(c *core.Config) { c.BallRadiusFactor = 1.5 }, true)},
+			{"r=2.0", detect(func(c *core.Config) { c.BallRadiusFactor = 2.0 }, true)},
+			{"iff-theta=10", detect(func(c *core.Config) { c.IFFThreshold = 10 }, true)},
+			{"iff-theta=40", detect(func(c *core.Config) { c.IFFThreshold = 40 }, true)},
+			{"iff-ttl=2", detect(func(c *core.Config) { c.IFFTTL = 2 }, true)},
+			degreeBaseline,
+		}
 	}
+	hasMeas := det.Caps().Has(core.CapMeasurement)
+	variants := []ablationVariant{
+		{"full-pipeline", detect(nil, hasMeas)},
+		{"no-refine", detect(func(c *core.Config) { c.IFFThreshold = -1 }, hasMeas)},
+		{"refine-theta=10", detect(func(c *core.Config) { c.IFFThreshold = 10 }, hasMeas)},
+		{"refine-ttl=2", detect(func(c *core.Config) { c.IFFTTL = 2 }, hasMeas)},
+	}
+	if hasMeas {
+		variants = append(variants, ablationVariant{
+			"true-coords", detect(func(c *core.Config) { c.Coords = core.CoordsTrue }, false),
+		})
+	}
+	return append(variants, degreeBaseline)
 }
 
 // AblationRows renders the ablation study as a table.

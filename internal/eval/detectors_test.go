@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ranging"
+)
+
+// TestDetectorMatrixCells pins the cross-detector comparison shape: one
+// cell per (fixture, detector) in fixture-major order, every cell
+// classified and carrying vocabulary-derived cost totals.
+func TestDetectorMatrixCells(t *testing.T) {
+	scenarios := StandardFixtures()
+	for i := range scenarios {
+		scenarios[i] = scenarios[i].Scaled(0.1)
+	}
+	names := core.DetectorNames()
+	cells, err := Engine{}.DetectorMatrix(scenarios, names, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(scenarios)*len(names) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(scenarios)*len(names))
+	}
+	for ci, cell := range cells {
+		si, di := ci/len(names), ci%len(names)
+		if cell.Fixture != scenarios[si].Name || cell.Detector != names[di] {
+			t.Fatalf("cell %d is (%s, %s), want (%s, %s)",
+				ci, cell.Fixture, cell.Detector, scenarios[si].Name, names[di])
+		}
+		if cell.Found != cell.Correct+cell.Mistaken {
+			t.Fatalf("cell %d: Found %d != Correct+Mistaken %d",
+				ci, cell.Found, cell.Correct+cell.Mistaken)
+		}
+		// Every registered detector declares work keys, and every fixture
+		// is big enough that the work total must be positive.
+		if cell.Work <= 0 {
+			t.Fatalf("cell %d (%s/%s): vocabulary work total is %d",
+				ci, cell.Fixture, cell.Detector, cell.Work)
+		}
+	}
+	h, rows := metrics.DetectorComparisonRows(cells)
+	if len(rows) != len(cells) || len(h) == 0 {
+		t.Fatalf("comparison table: %d rows from %d cells", len(rows), len(cells))
+	}
+}
+
+// TestDetectorAblationVocabulary pins satellite behavior of the
+// capability-derived ablation lists: the paper detector keeps its
+// historical 11-row study, a coordinate-free detector gets no
+// true-coords row, and a measurement-capable competitor does.
+func TestDetectorAblationVocabulary(t *testing.T) {
+	sc := StandardFixtures()[0].Scaled(0.1)
+	net, err := sc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := net.Measure(ranging.ForFraction(0.1), sc.Seed)
+
+	rowNames := func(detector string) []string {
+		variants := ablationVariantsFor(net, meas, core.Config{Detector: detector})
+		names := make([]string, len(variants))
+		for i, v := range variants {
+			names[i] = v.name
+		}
+		return names
+	}
+	has := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	paper := rowNames("")
+	if len(paper) != 11 || paper[0] != "full-pipeline" || paper[len(paper)-1] != "degree-baseline" {
+		t.Fatalf("paper ablation list changed: %v", paper)
+	}
+
+	contour := rowNames("sv-contour") // CapFaults only: no coordinates
+	if has(contour, "true-coords") {
+		t.Fatalf("coordinate-free detector must not get a true-coords row: %v", contour)
+	}
+	if !has(contour, "no-refine") || !has(contour, "degree-baseline") {
+		t.Fatalf("competitor ablations missing shared rows: %v", contour)
+	}
+
+	enclosure := rowNames("sv-enclosure") // CapMeasurement: coords matter
+	if !has(enclosure, "true-coords") {
+		t.Fatalf("measurement-capable detector must get a true-coords row: %v", enclosure)
+	}
+}

@@ -196,9 +196,17 @@ func (e Engine) FaultSweep(net *netgen.Network, name string, lossRates []float64
 // concurrently on the shared network and measurement; rows keep the fixed
 // variant order.
 func (e Engine) Ablations(net *netgen.Network, errorFrac float64, seed int64) ([]AblationRow, error) {
+	return e.AblationsCfg(net, errorFrac, seed, core.Config{})
+}
+
+// AblationsCfg is Ablations with an explicit base config: cfg.Detector
+// selects whose variant list runs (derived from the detector's
+// capabilities, see ablationVariantsFor), and the remaining fields ride
+// into every variant.
+func (e Engine) AblationsCfg(net *netgen.Network, errorFrac float64, seed int64, cfg core.Config) ([]AblationRow, error) {
 	truth := net.TrueBoundary()
 	meas := net.Measure(ranging.ForFraction(errorFrac), seed)
-	variants := ablationVariants(net, meas)
+	variants := ablationVariantsFor(net, meas, cfg)
 
 	rows := make([]AblationRow, len(variants))
 	err := par.For(len(variants), e.Workers, func(_, vi int) error {

@@ -1,0 +1,41 @@
+package metrics
+
+import "fmt"
+
+// DetectorCell is one (detector, fixture) cell of the cross-detector
+// comparison study: detection quality against the ground-truth boundary
+// plus the protocol cost totals, with the cost counters summed under the
+// detector's own declared obs vocabulary rather than the paper
+// pipeline's stage names.
+type DetectorCell struct {
+	Detector string
+	Fixture  string
+	Classification
+	// Messages totals msgs_sent over the detector's declared flood
+	// stages (candidate floods included for flooding detectors).
+	Messages int64
+	// Work totals the detector's declared per-node work counters
+	// (ball tests for the paper pipeline, local tests for competitors).
+	Work int64
+	// Rounds totals flood_rounds over the declared flood stages.
+	Rounds int64
+}
+
+// DetectorComparisonRows renders the cross-detector study as a table,
+// in the given cell order (fixture-major from eval.Engine.DetectorMatrix).
+func DetectorComparisonRows(cells []DetectorCell) (header []string, rows [][]string) {
+	header = []string{"fixture", "detector", "true", "found", "correct", "mistaken", "missing",
+		"precision%", "recall%", "f1%", "messages", "rounds", "work"}
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Fixture, c.Detector,
+			fmt.Sprint(c.TrueBoundary), fmt.Sprint(c.Found), fmt.Sprint(c.Correct),
+			fmt.Sprint(c.Mistaken), fmt.Sprint(c.Missing),
+			fmt.Sprintf("%.1f", 100*c.Precision()),
+			fmt.Sprintf("%.1f", 100*c.Recall()),
+			fmt.Sprintf("%.1f", 100*c.F1()),
+			fmt.Sprint(c.Messages), fmt.Sprint(c.Rounds), fmt.Sprint(c.Work),
+		})
+	}
+	return header, rows
+}

@@ -63,6 +63,11 @@ const (
 	// StageServe spans one boundaryd HTTP request; the label names the
 	// route (e.g. "POST /v1/sessions/{id}/deltas").
 	StageServe
+	// StageCandidates is the competitor detectors' candidate-selection
+	// phase (enclosure tests, contour fields, degree statistics) — the
+	// structural analogue of StageUBF for non-paper core.Detector
+	// implementations.
+	StageCandidates
 
 	stageEnd // sentinel: number of stages + 1
 )
@@ -84,6 +89,7 @@ var stageNames = [...]string{
 	StagePartition:   "partition",
 	StageIncremental: "incremental",
 	StageServe:       "serve",
+	StageCandidates:  "candidates",
 }
 
 // String implements fmt.Stringer; unknown stages print as "stage?".
@@ -231,6 +237,15 @@ const (
 	// CtrDirtyIFF counts the boundary candidates whose IFF flood count
 	// the incremental engine re-evaluated.
 	CtrDirtyIFF
+	// CtrCandidates counts the nodes a competitor detector marked as
+	// boundary candidates before fragment filtering (the
+	// StageCandidates analogue of CtrUBFBoundary).
+	CtrCandidates
+	// CtrLocalTests counts a competitor detector's primary per-node
+	// work — enclosure direction tests, contour-field comparisons, or
+	// degree-statistic scans (the StageCandidates analogue of
+	// CtrBallsTested).
+	CtrLocalTests
 
 	counterEnd // sentinel: number of counters + 1
 )
@@ -265,6 +280,8 @@ var counterNames = [...]string{
 	CtrDeltas:            "deltas_applied",
 	CtrDirtyUBF:          "dirty_ubf_nodes",
 	CtrDirtyIFF:          "dirty_iff_nodes",
+	CtrCandidates:        "candidate_nodes",
+	CtrLocalTests:        "local_tests",
 }
 
 // String implements fmt.Stringer; unknown counters print as "counter?".

@@ -2,10 +2,15 @@
 // where clients POST a network once (the shared cli.Envelope framing or
 // the legacy raw network JSON of internal/export), then stream
 // join/leave/move/crash deltas and read back the updated boundary groups.
-// Each session wraps one core.Incremental engine, so a delta recomputes
-// only the dirty region around the change.
+// A session built on an incremental-capable detector (the paper pipeline)
+// wraps one core.Incremental engine, so a delta recomputes only the dirty
+// region around the change; sessions on other detectors fall back to a
+// full recompute per delta over the mirrored active set.
 //
-// Routes:
+// Routes (current API version is /v1; the unprefixed spellings are
+// deprecated aliases that answer identically with a `Deprecation: true`
+// header and a `Link: ...; rel="successor-version"` pointing at the /v1
+// route):
 //
 //	GET    /healthz                   liveness + session count
 //	POST   /v1/sessions               create a session from a network
@@ -15,9 +20,11 @@
 //	DELETE /v1/sessions/{id}          drop a session
 //
 // Session creation accepts per-session detection parameters as query
-// parameters: workers, shards, theta (IFF threshold; -1 disables IFF) and
-// ttl (IFF flood hop budget). Omitted parameters fall back to the server's
-// defaults, then to the library's paper defaults.
+// parameters: detector (a core registry name), workers, shards, theta
+// (IFF threshold; -1 disables IFF) and ttl (IFF flood hop budget). A
+// "detector" field in the posted envelope selects the detector too; the
+// query parameter wins when both are present. Omitted parameters fall
+// back to the server's defaults, then to the library's paper defaults.
 //
 // Concurrency: the registry is guarded by an RWMutex; each session has its
 // own mutex serializing deltas against reads, so distinct sessions make
@@ -27,6 +34,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/geom"
+	"repro/internal/netgen"
 	"repro/internal/obs"
 )
 
@@ -56,6 +65,9 @@ type Options struct {
 	// request does not override them.
 	Workers int
 	Shards  int
+	// Detector is the default detector registry name for new sessions
+	// ("" = the paper pipeline).
+	Detector string
 	// MaxSessions caps concurrently held sessions; 0 means 64. Creation
 	// beyond the cap fails with 429.
 	MaxSessions int
@@ -70,13 +82,189 @@ type Server struct {
 	nextID   int
 }
 
-// session is one loaded network and its incremental engine. mu serializes
+// session is one loaded network and its detection engine. mu serializes
 // deltas against snapshot reads.
 type session struct {
-	mu     sync.Mutex
-	id     string
-	inc    *core.Incremental
-	deltas int64
+	mu       sync.Mutex
+	id       string
+	detector string
+	eng      engine
+	deltas   int64
+}
+
+// engine is what a session needs from a detection backend: the state
+// queries the wire types render, plus delta application. Boundary and
+// group members are stable IDs — IDs survive departures, and joins extend
+// the ID space — regardless of whether the backend repairs incrementally
+// or recomputes from scratch.
+type engine interface {
+	Len() int
+	ActiveCount() int
+	BoundaryCount() int
+	Groups() [][]int
+	Radius() float64
+	Snapshot() *core.Result
+	Apply(ctx context.Context, o obs.Observer, d core.Delta) (int, error)
+}
+
+// incEngine is the incremental backend: core.Incremental already speaks
+// stable IDs and repairs only the dirty region.
+type incEngine struct{ inc *core.Incremental }
+
+func (e incEngine) Len() int               { return e.inc.Len() }
+func (e incEngine) ActiveCount() int       { return e.inc.ActiveCount() }
+func (e incEngine) BoundaryCount() int     { return e.inc.BoundaryCount() }
+func (e incEngine) Groups() [][]int        { return e.inc.Groups() }
+func (e incEngine) Radius() float64        { return e.inc.Radius() }
+func (e incEngine) Snapshot() *core.Result { return e.inc.Snapshot() }
+func (e incEngine) Apply(ctx context.Context, o obs.Observer, d core.Delta) (int, error) {
+	return e.inc.ApplyContext(ctx, o, d)
+}
+
+// fullEngine is the fallback backend for detectors without
+// CapIncremental: it mirrors the session's stable-ID state (positions and
+// liveness) and re-runs the detector from scratch over the active set
+// after every delta, mapping the compact recompute result back to stable
+// IDs. Correct for any detector; costs a full detection per delta.
+type fullEngine struct {
+	cfg    core.Config
+	radius float64
+
+	pos      []geom.Vec3
+	active   []bool
+	activeN  int
+	boundary []bool  // stable-ID indexed
+	groups   [][]int // stable IDs, ascending within each group
+}
+
+// newFullEngine seeds the mirror from the posted network and runs the
+// initial detection.
+func newFullEngine(ctx context.Context, o obs.Observer, net *netgen.Network, cfg core.Config) (*fullEngine, error) {
+	e := &fullEngine{
+		cfg:    cfg,
+		radius: net.Radius,
+		pos:    net.Positions(),
+	}
+	e.active = make([]bool, len(e.pos))
+	for i := range e.active {
+		e.active[i] = true
+	}
+	e.activeN = len(e.pos)
+	if err := e.recompute(ctx, o); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *fullEngine) Len() int         { return len(e.pos) }
+func (e *fullEngine) ActiveCount() int { return e.activeN }
+func (e *fullEngine) Radius() float64  { return e.radius }
+func (e *fullEngine) Groups() [][]int  { return e.groups }
+func (e *fullEngine) BoundaryCount() int {
+	n := 0
+	for _, b := range e.boundary {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *fullEngine) Snapshot() *core.Result {
+	res := &core.Result{
+		Boundary: append([]bool(nil), e.boundary...),
+		Groups:   make([][]int, len(e.groups)),
+	}
+	for g, members := range e.groups {
+		res.Groups[g] = append([]int(nil), members...)
+	}
+	return res
+}
+
+// recompute assembles the active nodes into a compact network, runs the
+// configured detector, and maps the verdicts back to stable IDs.
+func (e *fullEngine) recompute(ctx context.Context, o obs.Observer) error {
+	var nodes []netgen.Node
+	var stable []int
+	for i, a := range e.active {
+		if a {
+			stable = append(stable, i)
+			nodes = append(nodes, netgen.Node{Pos: e.pos[i]})
+		}
+	}
+	network, err := netgen.Assemble(nodes, e.radius)
+	if err != nil {
+		return err
+	}
+	res, err := core.DetectContext(ctx, o, network, nil, e.cfg)
+	if err != nil {
+		return err
+	}
+	boundary := make([]bool, len(e.pos))
+	for k, b := range res.Boundary {
+		if b {
+			boundary[stable[k]] = true
+		}
+	}
+	groups := make([][]int, len(res.Groups))
+	for g, members := range res.Groups {
+		groups[g] = make([]int, len(members))
+		for k, m := range members {
+			groups[g][k] = stable[m]
+		}
+	}
+	e.boundary, e.groups = boundary, groups
+	return nil
+}
+
+// Apply validates the delta, mutates the mirror, and recomputes. A failed
+// recompute rolls the mutation back, so the session state stays the last
+// successfully detected one.
+func (e *fullEngine) Apply(ctx context.Context, o obs.Observer, d core.Delta) (int, error) {
+	id := d.Node
+	switch d.Op {
+	case core.DeltaJoin:
+		if !d.Pos.IsFinite() {
+			return 0, fmt.Errorf("serve: join position must be finite, got %v", d.Pos)
+		}
+		id = len(e.pos)
+		e.pos = append(e.pos, d.Pos)
+		e.active = append(e.active, true)
+		e.activeN++
+		if err := e.recompute(ctx, o); err != nil {
+			e.pos = e.pos[:id]
+			e.active = e.active[:id]
+			e.activeN--
+			return 0, err
+		}
+	case core.DeltaMove:
+		if id < 0 || id >= len(e.pos) || !e.active[id] {
+			return 0, fmt.Errorf("serve: move: no active node %d", id)
+		}
+		if !d.Pos.IsFinite() {
+			return 0, fmt.Errorf("serve: move position must be finite, got %v", d.Pos)
+		}
+		old := e.pos[id]
+		e.pos[id] = d.Pos
+		if err := e.recompute(ctx, o); err != nil {
+			e.pos[id] = old
+			return 0, err
+		}
+	case core.DeltaLeave, core.DeltaCrash:
+		if id < 0 || id >= len(e.pos) || !e.active[id] {
+			return 0, fmt.Errorf("serve: %s: no active node %d", d.Op, id)
+		}
+		e.active[id] = false
+		e.activeN--
+		if err := e.recompute(ctx, o); err != nil {
+			e.active[id] = true
+			e.activeN++
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("serve: unknown delta op %v", d.Op)
+	}
+	return id, nil
 }
 
 // New builds a Server; call Handler to mount it.
@@ -87,16 +275,39 @@ func New(opts Options) *Server {
 	return &Server{opts: opts, sessions: make(map[string]*session)}
 }
 
-// Handler mounts the API routes.
+// Handler mounts the API routes: the versioned /v1 family plus the
+// pre-versioning unprefixed spellings as deprecated aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.traced("GET /healthz", s.handleHealth))
-	mux.HandleFunc("POST /v1/sessions", s.traced("POST /v1/sessions", s.handleCreate))
-	mux.HandleFunc("GET /v1/sessions", s.traced("GET /v1/sessions", s.handleList))
-	mux.HandleFunc("GET /v1/sessions/{id}", s.traced("GET /v1/sessions/{id}", s.handleGet))
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.traced("DELETE /v1/sessions/{id}", s.handleDelete))
-	mux.HandleFunc("POST /v1/sessions/{id}/deltas", s.traced("POST /v1/sessions/{id}/deltas", s.handleDeltas))
+	routes := []struct {
+		method, path string
+		fn           http.HandlerFunc
+	}{
+		{"POST", "/sessions", s.handleCreate},
+		{"GET", "/sessions", s.handleList},
+		{"GET", "/sessions/{id}", s.handleGet},
+		{"DELETE", "/sessions/{id}", s.handleDelete},
+		{"POST", "/sessions/{id}/deltas", s.handleDeltas},
+	}
+	for _, rt := range routes {
+		v1 := rt.method + " /v1" + rt.path
+		mux.HandleFunc(v1, s.traced(v1, rt.fn))
+		legacy := rt.method + " " + rt.path
+		mux.HandleFunc(legacy, s.traced(legacy, deprecated(rt.fn)))
+	}
 	return mux
+}
+
+// deprecated marks a legacy unprefixed route per the IETF Deprecation
+// header draft, pointing clients at the versioned successor, and then
+// answers identically.
+func deprecated(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		fn(w, r)
+	}
 }
 
 // traced wraps a handler in a StageServe span labeled with the route.
@@ -111,6 +322,8 @@ func (s *Server) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
 // Summary is one session's wire summary.
 type Summary struct {
 	Session string `json:"session"`
+	// Detector is the core registry name of the session's detector.
+	Detector string `json:"detector"`
 	// Nodes is the stable ID space size (departed nodes included);
 	// Active is the currently deployed count.
 	Nodes         int   `json:"nodes"`
@@ -179,10 +392,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": n})
 }
 
-// sessionConfig resolves a create request's detection parameters.
-func (s *Server) sessionConfig(r *http.Request) (core.Config, error) {
-	cfg := core.Config{Workers: s.opts.Workers, Shards: s.opts.Shards}
+// sessionConfig resolves a create request's detection parameters:
+// server defaults, then the envelope's detector field, then the query
+// parameters — validated once through core.Config.Validate, the same
+// choke point the CLIs use.
+func (s *Server) sessionConfig(r *http.Request, envDetector string) (core.Config, error) {
+	cfg := core.Config{Workers: s.opts.Workers, Shards: s.opts.Shards, Detector: s.opts.Detector}
+	if envDetector != "" {
+		cfg.Detector = envDetector
+	}
 	q := r.URL.Query()
+	if v := q.Get("detector"); v != "" {
+		cfg.Detector = v
+	}
 	intParam := func(name string, dst *int) error {
 		v := q.Get(name)
 		if v == "" {
@@ -205,6 +427,9 @@ func (s *Server) sessionConfig(r *http.Request) (core.Config, error) {
 			return core.Config{}, err
 		}
 	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
 	return cfg, nil
 }
 
@@ -215,12 +440,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	payload := body
+	envDetector := ""
 	if env, data, err := cli.ReadEnvelope(body); err == nil {
 		if env.Tool != "netgen" {
 			writeErr(w, http.StatusBadRequest, "envelope from %q, want a netgen network", env.Tool)
 			return
 		}
 		payload = data
+		envDetector = env.Detector
 	} else if !errors.Is(err, cli.ErrNotEnvelope) {
 		// Malformed envelope (trailing data, truncated JSON): refuse
 		// rather than reinterpret as a legacy payload.
@@ -232,15 +459,30 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "network payload: %v", err)
 		return
 	}
-	cfg, err := s.sessionConfig(r)
+	cfg, err := s.sessionConfig(r, envDetector)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	inc, err := core.NewIncrementalContext(r.Context(), s.opts.Obs, net, cfg)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "detection: %v", err)
-		return
+
+	// Incremental-capable detectors get dirty-region repair; the rest run
+	// a full recompute per delta over the mirrored active set.
+	det, _ := core.LookupDetector(cfg.Detector) // sessionConfig validated the name
+	var eng engine
+	if det.Caps().Has(core.CapIncremental) {
+		inc, err := core.NewIncrementalContext(r.Context(), s.opts.Obs, net, cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "detection: %v", err)
+			return
+		}
+		eng = incEngine{inc}
+	} else {
+		full, err := newFullEngine(r.Context(), s.opts.Obs, net, cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "detection: %v", err)
+			return
+		}
+		eng = full
 	}
 
 	s.mu.Lock()
@@ -250,7 +492,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	sess := &session{id: fmt.Sprintf("s%d", s.nextID), inc: inc}
+	sess := &session{id: fmt.Sprintf("s%d", s.nextID), detector: det.Name(), eng: eng}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrSessions, 1)
@@ -271,10 +513,11 @@ func (s *Server) lookup(id string) *session {
 func (sess *session) summaryLocked() Summary {
 	return Summary{
 		Session:       sess.id,
-		Nodes:         sess.inc.Len(),
-		Active:        sess.inc.ActiveCount(),
-		BoundaryCount: sess.inc.BoundaryCount(),
-		GroupCount:    len(sess.inc.Groups()),
+		Detector:      sess.detector,
+		Nodes:         sess.eng.Len(),
+		Active:        sess.eng.ActiveCount(),
+		BoundaryCount: sess.eng.BoundaryCount(),
+		GroupCount:    len(sess.eng.Groups()),
 		DeltasApplied: sess.deltas,
 	}
 }
@@ -314,10 +557,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
-	snap := sess.inc.Snapshot()
+	snap := sess.eng.Snapshot()
 	det := Detail{
 		Summary: sess.summaryLocked(),
-		Radius:  sess.inc.Radius(),
+		Radius:  sess.eng.Radius(),
 		Groups:  snap.Groups,
 	}
 	sess.mu.Unlock()
@@ -389,7 +632,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	resp := deltasResponse{}
 	for i, d := range deltas {
-		id, err := sess.inc.ApplyContext(r.Context(), s.opts.Obs, d)
+		id, err := sess.eng.Apply(r.Context(), s.opts.Obs, d)
 		if err != nil {
 			// Per-delta validation happens before mutation, so the prefix
 			// [0, i) is applied and the session stays consistent.
