@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke detector-matrix bench-diff check ci
+.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke ftdc-smoke detector-matrix bench-diff check ci
 
 build:
 	$(GO) build ./...
@@ -26,12 +26,13 @@ race:
 # Focused race pass over the concurrent surfaces: the sharded detection
 # engine's differential matrix and shard/halo suites (shard-parallel loops
 # at several worker widths), the incremental engine's repair workers,
-# boundaryd's concurrent session registry, and the detector zoo's
+# boundaryd's concurrent session registry, the detector zoo's
 # metamorphic/vocabulary suites (every registered detector's parallel
-# candidate loops). (The blanket `race` target covers these too; this
-# target is the quick iteration loop.)
+# candidate loops), and the always-on metrics/FTDC capture path (atomic
+# sinks racing a sampler goroutine). (The blanket `race` target covers
+# these too; this target is the quick iteration loop.)
 race-shard:
-	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve|Detector' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve
+	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve|Detector|Metrics|FTDC|Ring|Sampler' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve ./internal/obs ./internal/obs/ftdc
 
 # `go test -fuzz` accepts a single package per invocation, so each fuzz
 # target gets its own run.
@@ -42,6 +43,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCircumcenter3 -fuzztime=$(FUZZTIME) ./internal/geom
 	$(GO) test -run=^$$ -fuzz=FuzzLoadDiff -fuzztime=$(FUZZTIME) ./internal/obs/analyze
 	$(GO) test -run=^$$ -fuzz=FuzzShardPartition -fuzztime=$(FUZZTIME) ./internal/partition/shard
+	$(GO) test -run=^$$ -fuzz=FuzzFTDCReader -fuzztime=$(FUZZTIME) ./internal/obs/ftdc
 
 # `make bench` records a machine-readable baseline (schema: internal/bench,
 # documented in EXPERIMENTS.md) named for today's date.
@@ -81,6 +83,16 @@ trace-stat:
 serve-smoke:
 	$(GO) run ./cmd/boundaryd -smoke
 
+# FTDC capture smoke: boundaryd's smoke harness under a fast-sampling
+# binary metrics capture, then tracestat decoding the ring as a gate —
+# at least two samples (start + exact final), a schema record, and a
+# nonzero p99 for the serve and incremental stages.
+ftdc-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/boundaryd -smoke -ftdc $$dir/cap -ftdc-interval 50ms && \
+	$(GO) run ./cmd/tracestat -ftdc $$dir/cap -min-samples 2 -require-p99 serve,incremental && \
+	echo "ftdc-smoke: OK"
+
 # Cross-detector comparison smoke: every registered detector over the
 # reduced standard fixtures, printing the precision/recall/cost table.
 # Proves the -run detectors path and the whole registry stay runnable.
@@ -113,7 +125,7 @@ bench-diff:
 	$(GO) run ./cmd/tracestat -baseline $$2 -against $$1 \
 		-tol-ns $(TOL_NS) -tol-allocs $(TOL_ALLOCS) -tol-work $(TOL_WORK)
 
-check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke detector-matrix bench-diff fuzz
+check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke ftdc-smoke detector-matrix bench-diff fuzz
 
 # The cache-defeating correctness gate for CI and pre-merge runs: static
 # analysis plus the full test suite with result caching off, so every
@@ -123,4 +135,5 @@ ci:
 	$(GO) vet ./...
 	$(GO) test -count=1 ./...
 	$(MAKE) serve-smoke
+	$(MAKE) ftdc-smoke
 	$(MAKE) detector-matrix

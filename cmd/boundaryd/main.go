@@ -8,10 +8,14 @@
 //	boundaryd -smoke                          # self-check and exit
 //
 // The API is documented in internal/serve. The shared flags (-seed,
-// -workers, -shards, -trace, -pprof) follow the repository-wide
+// -workers, -shards, -trace, -pprof, -ftdc) follow the repository-wide
 // convention; -workers and -shards set the per-session defaults, and
 // -trace records every request span, session counter and incremental
 // dirty-region counter as a JSONL trace readable with cmd/tracestat.
+// -ftdc captures the same counter set plus per-stage latency histograms
+// into a delta-encoded binary ring (decode with tracestat -ftdc), and
+// GET /v1/metrics serves a live JSON snapshot — counter totals and
+// latency quantiles, global and per session.
 //
 // -smoke runs the serve smoke harness instead of listening forever: it
 // starts the server on an ephemeral port, POSTs a generated network over
@@ -85,12 +89,24 @@ func run(w io.Writer, opts options) error {
 	if err != nil {
 		return err
 	}
+	// The server hosts sessions on any registered detector, so the trace
+	// may legitimately carry every detector's stage vocabulary.
+	sess.SetVocabStages(cli.AllDetectorVocabStages())
 	closed := false
 	defer func() {
 		if !closed {
 			sess.Close()
 		}
 	}()
+	finish := func() error {
+		closed = true
+		err := sess.Close()
+		if opts.FTDC != "" {
+			fmt.Fprintf(w, "ftdc: %d samples, %d schema writes, %d segments in %s\n",
+				sess.FTDC.Samples, sess.FTDC.SchemaWrites, sess.FTDC.Segments, opts.FTDC)
+		}
+		return err
+	}
 
 	srv := serve.New(serve.Options{
 		Obs:         sess.Obs,
@@ -104,8 +120,7 @@ func run(w io.Writer, opts options) error {
 		if err := smoke(w, srv, opts); err != nil {
 			return err
 		}
-		closed = true
-		return sess.Close()
+		return finish()
 	}
 
 	ln, err := net.Listen("tcp", opts.Addr)
@@ -137,8 +152,7 @@ func run(w io.Writer, opts options) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return err
 	}
-	closed = true
-	return sess.Close()
+	return finish()
 }
 
 // smoke drives the server end to end over real HTTP and diffs every
@@ -275,11 +289,65 @@ func smoke(w io.Writer, srv *serve.Server, opts options) error {
 		}
 	}
 
+	// A batch that fails mid-way must apply its valid prefix and leave
+	// the session fully servable: [valid move, move of a never-allocated
+	// node] answers 400 with applied=1, and a GET afterwards must serve
+	// exactly the prefix-applied state.
+	moveID := pickActive(rng, active)
+	newPos := pos[moveID].Add(geom.V(network.Radius/4, 0, 0))
+	partial, err := json.Marshal(map[string]any{"deltas": []map[string]any{
+		{"op": "move", "node": moveID, "pos": vec(newPos)},
+		{"op": "move", "node": len(pos) + 1000, "pos": vec(newPos)},
+	}})
+	if err != nil {
+		return err
+	}
+	res, err := http.Post(base+"/v1/sessions/"+created.Session+"/deltas", "application/json", bytes.NewReader(partial))
+	if err != nil {
+		return err
+	}
+	var failed struct {
+		Error   string `json:"error"`
+		Applied int    `json:"applied"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&failed)
+	res.Body.Close()
+	if err != nil {
+		return fmt.Errorf("partial batch: decode error body: %w", err)
+	}
+	if res.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("partial batch: status %s, want 400", res.Status)
+	}
+	if failed.Applied != 1 || failed.Error == "" {
+		return fmt.Errorf("partial batch: applied=%d error=%q, want the valid prefix (1) applied", failed.Applied, failed.Error)
+	}
+	pos[moveID] = newPos // mirror the applied prefix
+	if err := diffAgainstFull(base, created.Session, pos, active, network.Radius, cfg); err != nil {
+		return fmt.Errorf("GET after partial batch: %w", err)
+	}
+	fmt.Fprintln(w, "smoke: partial batch applied prefix, session still servable")
+
+	// The metrics endpoint must be live while the session is: the global
+	// view has request spans, the session view has its delta count.
+	var metrics serve.MetricsResponse
+	if err := getJSON(base+"/v1/metrics", &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if metrics.Global.Counters["serve/deltas_applied"] < int64(applied) {
+		return fmt.Errorf("metrics: global deltas %d < %d applied", metrics.Global.Counters["serve/deltas_applied"], applied)
+	}
+	if len(metrics.Global.Latencies) == 0 {
+		return fmt.Errorf("metrics: no global latency summaries")
+	}
+	if _, ok := metrics.Sessions[created.Session]; !ok {
+		return fmt.Errorf("metrics: missing session %s view", created.Session)
+	}
+
 	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+created.Session, nil)
 	if err != nil {
 		return err
 	}
-	res, err := http.DefaultClient.Do(req)
+	res, err = http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -422,6 +490,18 @@ func diffAgainstFull(base, id string, pos []geom.Vec3, active []bool, radius flo
 		}
 	}
 	return nil
+}
+
+func getJSON(url string, out any) error {
+	res, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", res.Status)
+	}
+	return json.NewDecoder(res.Body).Decode(out)
 }
 
 func postJSON(url string, body []byte, wantStatus int, out any) error {

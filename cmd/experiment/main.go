@@ -118,7 +118,9 @@ func run(w io.Writer, opts options) error {
 		tables = append(tables, table{name: name, title: title, header: header, rows: rows})
 	}
 
-	eng := eval.Engine{Workers: opts.Workers, Obs: sess.Obs}
+	// SustainedRuns: the detector matrix reruns each cell's detection so
+	// the table's p50/p99 columns measure sustained cost, not a cold run.
+	eng := eval.Engine{Workers: opts.Workers, Obs: sess.Obs, SustainedRuns: 3}
 	detectCfg := opts.Common.DetectConfig()
 	detectCfg.Async = opts.Async
 	// seed applies the shared -seed override on top of a scenario default.
@@ -392,6 +394,9 @@ func run(w io.Writer, opts options) error {
 	// standard fixtures, classified against ground truth with
 	// vocabulary-derived message/round/work totals.
 	if want("detectors") {
+		// The matrix runs every registered detector under one trace, so
+		// the vocabulary check must admit their union of stages.
+		sess.SetVocabStages(cli.AllDetectorVocabStages())
 		err := timed("detector-matrix", func() error {
 			scenarios := eval.StandardFixtures()
 			for i := range scenarios {

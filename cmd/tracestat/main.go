@@ -8,6 +8,14 @@
 //	tracestat -trace new.jsonl -against old.jsonl  # diff two traces
 //	tracestat -baseline BENCH_A.json -against BENCH_B.json  # diff two baselines
 //	tracestat -baseline BENCH_A.json               # summarize one baseline
+//	tracestat -ftdc capdir                         # decode an FTDC capture ring
+//	tracestat -ftdc new_dir -against old_dir       # diff two captures
+//
+// -ftdc decodes the binary delta-encoded metrics ring that boundaryd and
+// the CLIs write under their -ftdc flag: capture stats, the final
+// sample's counter totals, and per-stage latency quantiles.
+// -min-samples and -require-p99 turn the single-directory mode into a CI
+// gate (`make ftdc-smoke`).
 //
 // Exit status: 0 when clean, 1 when the diff found a regression (or, with
 // -fail-on-anomaly, when the trace shows an anomaly), 2 on usage or I/O
@@ -25,11 +33,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/ftdc"
 )
 
 // options collects one invocation's parameters.
@@ -38,6 +50,10 @@ type options struct {
 	Baseline string
 	Against  string
 	Out      string
+
+	FTDC       string
+	MinSamples int
+	RequireP99 string
 
 	TolCount float64
 	TolRound int
@@ -56,6 +72,9 @@ func registerFlags(fs *flag.FlagSet, opts *options) {
 	fs.StringVar(&opts.Baseline, "baseline", "", "BENCH_*.json baseline to analyze (input)")
 	fs.StringVar(&opts.Against, "against", "", "second trace or baseline to diff against (same kind as the first input)")
 	fs.StringVar(&opts.Out, "out", "", "write the report as a JSON envelope to this path")
+	fs.StringVar(&opts.FTDC, "ftdc", "", "FTDC capture directory to analyze (input; -against diffs a second directory)")
+	fs.IntVar(&opts.MinSamples, "min-samples", 0, "ftdc: fail unless the capture holds at least this many samples")
+	fs.StringVar(&opts.RequireP99, "require-p99", "", "ftdc: comma-separated stages whose final p99 latency must be nonzero")
 	fs.Float64Var(&opts.TolCount, "tol-count", 0, "trace diff: allowed fractional drift per counter total (0 = exact)")
 	fs.IntVar(&opts.TolRound, "tol-rounds", 0, "trace diff: allowed absolute drift per stage round count")
 	fs.Float64Var(&opts.TolWall, "tol-wall", -1, "trace diff: allowed fractional wall-time drift per stage (negative = ignore wall time)")
@@ -94,12 +113,31 @@ type report struct {
 	Anomalies []analyze.Anomaly `json:"anomalies,omitempty"`
 	Findings  []analyze.Finding `json:"findings,omitempty"`
 	Stages    []bench.Stage     `json:"stages,omitempty"`
+	FTDC      *ftdcReport       `json:"ftdc,omitempty"`
+}
+
+// ftdcReport is the -ftdc analysis payload: capture stats plus the final
+// sample's counter totals and latency quantiles.
+type ftdcReport struct {
+	ftdc.DirStats
+	Counters  map[string]int64            `json:"counters,omitempty"`
+	Latencies map[string]obs.LatencyStats `json:"latencies,omitempty"`
 }
 
 func run(w io.Writer, opts options) error {
+	inputs := 0
+	for _, set := range []bool{opts.Trace != "", opts.Baseline != "", opts.FTDC != ""} {
+		if set {
+			inputs++
+		}
+	}
 	switch {
-	case opts.Trace != "" && opts.Baseline != "":
-		return fmt.Errorf("pass -trace or -baseline, not both")
+	case inputs > 1:
+		return fmt.Errorf("pass exactly one of -trace, -baseline, -ftdc")
+	case opts.FTDC != "" && opts.Against == "":
+		return analyzeFTDC(w, opts)
+	case opts.FTDC != "":
+		return diffFTDC(w, opts)
 	case opts.Trace != "" && opts.Against == "":
 		return analyzeTrace(w, opts)
 	case opts.Trace != "":
@@ -109,7 +147,7 @@ func run(w io.Writer, opts options) error {
 	case opts.Baseline != "":
 		return diffBaselines(w, opts)
 	default:
-		return fmt.Errorf("nothing to do: pass -trace or -baseline (see -h)")
+		return fmt.Errorf("nothing to do: pass -trace, -baseline or -ftdc (see -h)")
 	}
 }
 
@@ -181,6 +219,89 @@ func totalTransitions(sum obs.TraceSummary) int {
 		n += c
 	}
 	return n
+}
+
+// analyzeFTDC decodes a capture directory: capture stats, the final
+// sample's counter totals, and per-stage latency quantiles. -min-samples
+// and -require-p99 turn it into a CI gate (exit 1 when unmet).
+func analyzeFTDC(w io.Writer, opts options) error {
+	samples, stats, err := ftdc.ReadDir(opts.FTDC)
+	if err != nil {
+		return err
+	}
+	final := samples[len(samples)-1]
+	counters := ftdc.CounterTotals(final)
+	fmt.Fprintf(w, "%s: %d samples in %d segments, %d schema changes\n",
+		opts.FTDC, stats.Samples, stats.Segments, stats.SchemaChanges)
+
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		fmt.Fprintf(w, "\ncounters (final sample):\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-36s %14d\n", k, counters[k])
+		}
+	}
+	lats := make(map[string]obs.LatencyStats)
+	stages := ftdc.LatencyStages(final)
+	if len(stages) > 0 {
+		fmt.Fprintf(w, "\nlatency (final sample):\n")
+		fmt.Fprintf(w, "  %-14s %8s %12s %12s %12s %12s\n", "stage", "spans", "p50", "p95", "p99", "max")
+		for _, st := range stages {
+			stat := ftdc.Latency(final, st).Stats()
+			lats[st] = stat
+			fmt.Fprintf(w, "  %-14s %8d %12s %12s %12s %12s\n", st, stat.Count,
+				time.Duration(stat.P50NS), time.Duration(stat.P95NS),
+				time.Duration(stat.P99NS), time.Duration(stat.MaxNS))
+		}
+	}
+	if err := writeReport(opts, report{Mode: "ftdc", FTDC: &ftdcReport{DirStats: stats, Counters: counters, Latencies: lats}}); err != nil {
+		return err
+	}
+
+	// Gates for make ftdc-smoke.
+	if opts.MinSamples > 0 && stats.Samples < opts.MinSamples {
+		return fmt.Errorf("%w: %d samples, want >= %d", errFindings, stats.Samples, opts.MinSamples)
+	}
+	if opts.RequireP99 != "" {
+		for _, st := range strings.Split(opts.RequireP99, ",") {
+			st = strings.TrimSpace(st)
+			if st == "" {
+				continue
+			}
+			if stat, ok := lats[st]; !ok || stat.P99NS <= 0 {
+				return fmt.Errorf("%w: stage %q has no p99 latency in the final sample", errFindings, st)
+			}
+		}
+	}
+	return nil
+}
+
+// diffFTDC compares -against (old capture) to -ftdc (new capture) by
+// projecting both final samples onto trace summaries and reusing the
+// trace diff tolerances.
+func diffFTDC(w io.Writer, opts options) error {
+	oldS, _, err := ftdc.ReadDir(opts.Against)
+	if err != nil {
+		return err
+	}
+	newS, _, err := ftdc.ReadDir(opts.FTDC)
+	if err != nil {
+		return err
+	}
+	rep := analyze.DiffTraces(
+		ftdc.Summary(oldS[len(oldS)-1]),
+		ftdc.Summary(newS[len(newS)-1]),
+		analyze.Tolerances{
+			CounterFrac: opts.TolCount,
+			RoundSlack:  opts.TolRound,
+			WallFrac:    opts.TolWall,
+		})
+	return finishDiff(w, opts, "ftdc-diff", rep,
+		fmt.Sprintf("ftdc diff %s -> %s", opts.Against, opts.FTDC))
 }
 
 // diffTraces compares -against (old) to -trace (new).

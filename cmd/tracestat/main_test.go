@@ -8,10 +8,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/obs/ftdc"
 )
 
 // writeBaseline stores a one-stage baseline for the diff modes.
@@ -187,5 +189,84 @@ func TestUsageErrors(t *testing.T) {
 		if err == nil || errors.Is(err, errFindings) {
 			t.Errorf("opts %+v: err = %v, want usage error", opts, err)
 		}
+	}
+}
+
+// writeFTDC records a small capture ring: a Metrics sink fed a known
+// stream, sampled start and stop.
+func writeFTDC(t *testing.T, dir string, msgs int64) string {
+	t.Helper()
+	path := filepath.Join(dir, "cap")
+	ring, err := ftdc.OpenRing(path, ftdc.RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Metrics
+	s := ftdc.StartSampler(&m, ring, time.Hour) // ticks never fire; start+stop samples only
+	m.Count(obs.StageIFF, obs.CtrMsgsSent, msgs)
+	m.StageEnd(obs.StageIFF, "", 1_000_000)
+	m.StageEnd(obs.StageIFF, "", 2_000_000)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFTDCModeAndGates: -ftdc decodes a ring, renders counters and
+// latency quantiles, honors -min-samples / -require-p99 as exit-1
+// gates, and diffs two captures through the trace tolerances.
+func TestFTDCModeAndGates(t *testing.T) {
+	dir := t.TempDir()
+	capA := writeFTDC(t, filepath.Join(dir, "a"), 100)
+
+	var out bytes.Buffer
+	outPath := filepath.Join(dir, "report.json")
+	if err := run(&out, options{FTDC: capA, MinSamples: 2, RequireP99: "iff", Out: outPath}); err != nil {
+		t.Fatalf("ftdc analyze: %v", err)
+	}
+	for _, want := range []string{"iff/msgs_sent", "2 samples", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, data, err := cli.ReadEnvelope(raw)
+	if err != nil || env.Tool != "tracestat" {
+		t.Fatalf("envelope: %v (tool %q)", err, env.Tool)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "ftdc" || rep.FTDC == nil || rep.FTDC.Counters["iff/msgs_sent"] != 100 {
+		t.Fatalf("ftdc report payload wrong: %+v", rep.FTDC)
+	}
+	if rep.FTDC.Latencies["iff"].Count != 2 || rep.FTDC.Latencies["iff"].P99NS <= 0 {
+		t.Fatalf("latency payload wrong: %+v", rep.FTDC.Latencies)
+	}
+
+	// Unmet gates are findings (exit 1), not usage errors.
+	if err := run(reset(&out), options{FTDC: capA, MinSamples: 99}); !errors.Is(err, errFindings) {
+		t.Errorf("min-samples gate: err = %v, want errFindings", err)
+	}
+	if err := run(reset(&out), options{FTDC: capA, RequireP99: "serve"}); !errors.Is(err, errFindings) {
+		t.Errorf("require-p99 gate: err = %v, want errFindings", err)
+	}
+
+	// Diff: identical counters pass, drifted counters regress.
+	capSame := writeFTDC(t, filepath.Join(dir, "same"), 100)
+	if err := run(reset(&out), options{FTDC: capA, Against: capSame, TolWall: -1}); err != nil {
+		t.Fatalf("identical captures diffed dirty: %v", err)
+	}
+	capDrift := writeFTDC(t, filepath.Join(dir, "drift"), 150)
+	if err := run(reset(&out), options{FTDC: capDrift, Against: capA, TolWall: -1}); !errors.Is(err, errFindings) {
+		t.Errorf("drifted capture: err = %v, want errFindings", err)
+	}
+	// -ftdc is exclusive with the other inputs.
+	if err := run(reset(&out), options{FTDC: capA, Trace: "x.jsonl"}); err == nil || errors.Is(err, errFindings) {
+		t.Errorf("ftdc+trace: err = %v, want usage error", err)
 	}
 }

@@ -16,9 +16,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/ftdc"
 )
 
 // Common is the flag block every command shares. Register it on the
@@ -46,6 +48,12 @@ type Common struct {
 	// Pprof is the path prefix for CPU/heap profile capture ("" = none);
 	// the profiles land at <prefix>.cpu.pprof and <prefix>.heap.pprof.
 	Pprof string
+	// FTDC is the directory of the binary delta-encoded metrics capture
+	// ring ("" = none). The session attaches an always-on obs.Metrics
+	// sink and samples it into the ring every FTDCInterval.
+	FTDC string
+	// FTDCInterval is the capture sampling period (0 = 1s; floor 10ms).
+	FTDCInterval time.Duration
 }
 
 // Register installs the shared flags on the flag set.
@@ -57,6 +65,8 @@ func (c *Common) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Out, "out", "", "write the run's results as a JSON envelope to this path")
 	fs.StringVar(&c.Trace, "trace", "", "write an observability trace (JSONL stage events and counters) to this path")
 	fs.StringVar(&c.Pprof, "pprof", "", "capture CPU and heap profiles under this path prefix")
+	fs.StringVar(&c.FTDC, "ftdc", "", "capture delta-encoded binary metrics (FTDC ring) into this directory")
+	fs.DurationVar(&c.FTDCInterval, "ftdc-interval", 0, "FTDC sampling period (0 = 1s, minimum 10ms)")
 }
 
 // Validate rejects option values no command can honor, by delegating to
@@ -90,17 +100,27 @@ func (c Common) DetectConfig() core.Config {
 // Close stops the profiles, flushes the trace, and validates the written
 // JSONL against the schema (the summary lands in Summary).
 type Session struct {
-	// Obs is the observer to thread through the run; nil when -trace is
-	// unset, so unobserved runs keep the zero-cost no-op path.
+	// Obs is the observer to thread through the run; nil when -trace and
+	// -ftdc are both unset, so unobserved runs keep the zero-cost no-op
+	// path.
 	Obs obs.Observer
 	// Summary aggregates the validated trace after Close; zero without
 	// -trace.
 	Summary obs.TraceSummary
+	// Metrics is the always-on aggregation sink behind -ftdc; nil when
+	// -ftdc is unset. Live reads (LatencySummaries, Totals) are safe
+	// while the run is in flight.
+	Metrics *obs.Metrics
+	// FTDC holds the capture ring's activity stats after Close; zero
+	// without -ftdc.
+	FTDC ftdc.RingStats
 
 	tracePath string
 	traceFile *os.File
 	trace     *obs.JSONL
 	prof      *obs.Profiler
+	sampler   *ftdc.Sampler
+	vocab     []obs.Stage
 }
 
 // Start opens the session: creates the trace file and starts profiling,
@@ -110,6 +130,9 @@ func (c Common) Start() (*Session, error) {
 		return nil, err
 	}
 	s := &Session{tracePath: c.Trace}
+	if d, ok := core.LookupDetector(c.Detector); ok {
+		s.vocab = d.Vocab().Stages
+	}
 	if c.Trace != "" {
 		f, err := os.Create(c.Trace)
 		if err != nil {
@@ -118,6 +141,16 @@ func (c Common) Start() (*Session, error) {
 		s.traceFile = f
 		s.trace = obs.NewJSONL(f)
 		s.Obs = s.trace
+	}
+	if c.FTDC != "" {
+		ring, err := ftdc.OpenRing(c.FTDC, ftdc.RingOptions{})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("cli: ftdc: %w", err)
+		}
+		s.Metrics = &obs.Metrics{}
+		s.sampler = ftdc.StartSampler(s.Metrics, ring, c.FTDCInterval)
+		s.Obs = obs.Tee(s.Obs, s.Metrics)
 	}
 	if c.Pprof != "" {
 		p, err := obs.StartProfilePrefix(c.Pprof)
@@ -128,6 +161,38 @@ func (c Common) Start() (*Session, error) {
 		s.prof = p
 	}
 	return s, nil
+}
+
+// SetVocabStages overrides the stage vocabulary the session's trace is
+// validated against at Close. The default is the configured detector's
+// declared Vocab().Stages; runs that host several detectors under one
+// trace (experiment -run detectors, boundaryd) must widen to the union —
+// see AllDetectorVocabStages.
+func (s *Session) SetVocabStages(stages []obs.Stage) {
+	if s != nil {
+		s.vocab = stages
+	}
+}
+
+// AllDetectorVocabStages returns the union of every registered
+// detector's declared stage vocabulary — the widest set a multi-detector
+// run can legitimately emit under.
+func AllDetectorVocabStages() []obs.Stage {
+	seen := map[obs.Stage]bool{}
+	var out []obs.Stage
+	for _, name := range core.DetectorNames() {
+		d, ok := core.LookupDetector(name)
+		if !ok {
+			continue
+		}
+		for _, st := range d.Vocab().Stages {
+			if !seen[st] {
+				seen[st] = true
+				out = append(out, st)
+			}
+		}
+	}
+	return out
 }
 
 // Close stops profiling, flushes and closes the trace, then re-reads the
@@ -142,6 +207,15 @@ func (s *Session) Close() error {
 		firstErr = err
 	}
 	s.prof = nil
+	if s.sampler != nil {
+		// Stop before reading anything: the final ring sample must be
+		// exact, which requires the run's emitters to have quiesced.
+		if err := s.sampler.Stop(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cli: ftdc capture: %w", err)
+		}
+		s.FTDC = s.sampler.Stats()
+		s.sampler = nil
+	}
 	if s.trace != nil {
 		// Flush surfaces the sticky encoding error if one occurred; check
 		// Err separately anyway so a truncated trace can never close
@@ -165,7 +239,7 @@ func (s *Session) Close() error {
 				firstErr = err
 			}
 		} else {
-			sum, verr := obs.ValidateTrace(f)
+			sum, verr := obs.ValidateTraceVocab(f, s.vocab)
 			f.Close()
 			if verr != nil && firstErr == nil {
 				firstErr = fmt.Errorf("cli: trace failed schema validation: %w", verr)

@@ -106,19 +106,43 @@ func (e Engine) DetectorMatrix(scenarios []Scenario, detectors []string, cfg cor
 		c.Detector = name
 		c.Shards = 0
 		c.Coords = core.CoordsTrue
-		mem := &obs.Mem{}
-		cellObs, _, span := e.cellStart(fmt.Sprintf("%s/%s", sc.Name, det.Name()))
-		res, err := core.DetectContext(context.Background(), obs.Tee(cellObs, mem), net, nil, c)
-		span.End()
-		if err != nil {
-			return fmt.Errorf("detector %s on %s: %w", det.Name(), sc.Name, err)
+		runs := e.SustainedRuns
+		if runs < 1 {
+			runs = 1
 		}
+		// Counters come from the first run only (repeats are
+		// bit-identical); every run's wall time lands in lat via a
+		// StageDetect span, so the cell reports sustained-cost quantiles.
+		mem := &obs.Mem{}
+		lat := &obs.Metrics{}
+		cellObs, _, span := e.cellStart(fmt.Sprintf("%s/%s", sc.Name, det.Name()))
+		var res *core.Result
+		for r := 0; r < runs; r++ {
+			var runObs obs.Observer
+			if r == 0 {
+				runObs = obs.Tee(cellObs, mem)
+			}
+			sp := obs.Start(lat, obs.StageDetect)
+			rres, err := core.DetectContext(context.Background(), runObs, net, nil, c)
+			sp.End()
+			if err != nil {
+				span.End()
+				return fmt.Errorf("detector %s on %s: %w", det.Name(), sc.Name, err)
+			}
+			if r == 0 {
+				res = rres
+			}
+		}
+		span.End()
 		class, err := metrics.Classify(truths[si], res.Boundary)
 		if err != nil {
 			return err
 		}
 		cell := metrics.DetectorCell{Detector: det.Name(), Fixture: sc.Name, Classification: class}
 		cell.Messages, cell.Rounds, cell.Work = vocabTotals(det, mem.Totals())
+		cell.Runs = runs
+		snap := lat.Latency(obs.StageDetect)
+		cell.P50NS, cell.P99NS = snap.Quantile(0.50), snap.Quantile(0.99)
 		cells[ci] = cell
 		return nil
 	})

@@ -45,6 +45,43 @@ func TestDetectorMatrixCells(t *testing.T) {
 	if len(rows) != len(cells) || len(h) == 0 {
 		t.Fatalf("comparison table: %d rows from %d cells", len(rows), len(cells))
 	}
+	if h[len(h)-3] != "runs" || h[len(h)-2] != "p50_ms" || h[len(h)-1] != "p99_ms" {
+		t.Fatalf("sustained-cost columns missing from header: %v", h)
+	}
+}
+
+// TestDetectorMatrixSustainedRuns: repeat runs fill the sustained-cost
+// quantiles without multiplying the counter roll-ups — detection is
+// deterministic, so a 3-run cell's message/work totals must equal a
+// 1-run cell's exactly.
+func TestDetectorMatrixSustainedRuns(t *testing.T) {
+	scenarios := StandardFixtures()[:1]
+	scenarios[0] = scenarios[0].Scaled(0.1)
+	names := []string{core.DefaultDetector}
+
+	once, err := Engine{}.DetectorMatrix(scenarios, names, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrice, err := Engine{SustainedRuns: 3}.DetectorMatrix(scenarios, names, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := once[0], thrice[0]
+	if a.Runs != 1 || b.Runs != 3 {
+		t.Fatalf("runs recorded as %d and %d, want 1 and 3", a.Runs, b.Runs)
+	}
+	if a.Messages != b.Messages || a.Rounds != b.Rounds || a.Work != b.Work {
+		t.Fatalf("repeat runs changed counter totals: 1-run %+v vs 3-run %+v", a, b)
+	}
+	if a.Classification != b.Classification {
+		t.Fatalf("repeat runs changed the classification: %+v vs %+v", a.Classification, b.Classification)
+	}
+	for _, c := range []metrics.DetectorCell{a, b} {
+		if c.P50NS <= 0 || c.P99NS < c.P50NS {
+			t.Fatalf("latency quantiles not sane: %+v", c)
+		}
+	}
 }
 
 // TestDetectorAblationVocabulary pins satellite behavior of the

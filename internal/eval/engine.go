@@ -35,6 +35,13 @@ type Engine struct {
 	// friends). A nil Obs leaves results bit-identical to the seed
 	// engine's.
 	Obs obs.Observer
+	// SustainedRuns makes DetectorMatrix run each cell's detection this
+	// many times (0 or 1 = once), recording every run's wall time into a
+	// latency histogram so the comparison table reports sustained-cost
+	// quantiles (p50/p99) instead of a single cold measurement. Counter
+	// roll-ups always come from the first run only — repeat runs are
+	// bit-identical, so folding them in would just multiply the totals.
+	SustainedRuns int
 }
 
 // cellStart opens one evaluation cell: a labeled span on the engine's

@@ -19,13 +19,19 @@ type DetectorCell struct {
 	Work int64
 	// Rounds totals flood_rounds over the declared flood stages.
 	Rounds int64
+	// Runs is how many times the detection ran for the sustained-cost
+	// columns; P50NS/P99NS are the wall-time quantiles over those runs
+	// (log-bucket lower bounds, so quantized to within 12.5%).
+	Runs  int
+	P50NS int64
+	P99NS int64
 }
 
 // DetectorComparisonRows renders the cross-detector study as a table,
 // in the given cell order (fixture-major from eval.Engine.DetectorMatrix).
 func DetectorComparisonRows(cells []DetectorCell) (header []string, rows [][]string) {
 	header = []string{"fixture", "detector", "true", "found", "correct", "mistaken", "missing",
-		"precision%", "recall%", "f1%", "messages", "rounds", "work"}
+		"precision%", "recall%", "f1%", "messages", "rounds", "work", "runs", "p50_ms", "p99_ms"}
 	for _, c := range cells {
 		rows = append(rows, []string{
 			c.Fixture, c.Detector,
@@ -35,6 +41,9 @@ func DetectorComparisonRows(cells []DetectorCell) (header []string, rows [][]str
 			fmt.Sprintf("%.1f", 100*c.Recall()),
 			fmt.Sprintf("%.1f", 100*c.F1()),
 			fmt.Sprint(c.Messages), fmt.Sprint(c.Rounds), fmt.Sprint(c.Work),
+			fmt.Sprint(c.Runs),
+			fmt.Sprintf("%.2f", float64(c.P50NS)/1e6),
+			fmt.Sprintf("%.2f", float64(c.P99NS)/1e6),
 		})
 	}
 	return header, rows

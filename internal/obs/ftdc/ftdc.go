@@ -1,0 +1,396 @@
+// Package ftdc is the always-on telemetry capture: an FTDC-style
+// (MongoDB "full-time diagnostic data capture") binary, schema-stamped,
+// delta-encoded periodic recording of the obs counter and latency-
+// histogram set, written into a size-bounded on-disk ring of segment
+// files cheap enough to leave running under a production boundaryd.
+//
+// The pipeline is: a fixed-interval Sampler snapshots an *obs.Metrics
+// into a key-sorted document ([]obs.Metric); a Writer encodes the
+// document stream — a schema record whenever the key set changes, then
+// varint zig-zag deltas of each sample against the previous one — and a
+// Ring rotates Writers across numbered segment files, evicting the
+// oldest segment once the ring is full. Every segment is self-contained
+// (fresh header, schema, and absolute first sample), so eviction never
+// strands a reader mid-delta-chain.
+//
+// Wire format (all integers are unsigned or zig-zag varints, DESIGN.md
+// §14 has the worked example):
+//
+//	segment  = magic "FTDC3DWB" version(1) record*
+//	record   = kind(1) uvarint(len) payload crc32le(payload)
+//	schema   = 'S' record: uvarint(n) then n × (uvarint(len) key-bytes),
+//	           keys strictly increasing; resets the delta base to zeros
+//	sample   = 'D' record: uvarint(n) — must equal the schema width —
+//	           then n zig-zag varints, each the delta of one metric
+//	           against the previous sample (absolute after a schema)
+//
+// The Reader is strict and total: any truncation, CRC mismatch, varint
+// overflow, schema violation, or width mismatch is a diagnosed error,
+// never a panic (FuzzFTDCReader pins that), and a clean decode
+// reproduces every written sample exactly (TestFTDCRoundTrip pins that).
+package ftdc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// magic opens every segment file.
+var magic = [8]byte{'F', 'T', 'D', 'C', '3', 'D', 'W', 'B'}
+
+// version is the format version stamped after the magic.
+const version = 1
+
+// Record kinds.
+const (
+	recSchema byte = 'S'
+	recSample byte = 'D'
+)
+
+// maxRecordBytes bounds one record's payload; a full obs vocabulary
+// snapshot is a few KB, so this is generous while keeping a corrupt
+// length prefix from provoking a huge allocation.
+const maxRecordBytes = 1 << 24
+
+// maxKeyBytes bounds one schema key.
+const maxKeyBytes = 4096
+
+// Writer encodes a stream of key-sorted sample documents onto one
+// io.Writer. Not safe for concurrent use; the Ring and Sampler serialize
+// access.
+type Writer struct {
+	w       io.Writer
+	schema  []string
+	prev    []int64
+	buf     []byte
+	started bool
+
+	// Samples and SchemaWrites count what this writer emitted.
+	Samples      int
+	SchemaWrites int
+}
+
+// NewWriter wraps w; the segment header is written with the first
+// sample.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// zigzag encodes a signed delta as an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// sameSchema reports whether the document's key set matches the current
+// schema exactly (same keys, same order).
+func (w *Writer) sameSchema(doc []obs.Metric) bool {
+	if len(doc) != len(w.schema) {
+		return false
+	}
+	for i, m := range doc {
+		if m.Key != w.schema[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeRecord frames one payload: kind, length, payload, CRC32.
+func (w *Writer) writeRecord(kind byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = kind
+	n := 1 + binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.w.Write(crc[:])
+	return err
+}
+
+// WriteSample appends one document. Keys must be sorted strictly
+// ascending (obs.Metrics.Snapshot's order); a key-set change emits a
+// schema record first and restarts the delta chain from zero.
+func (w *Writer) WriteSample(doc []obs.Metric) error {
+	for i, m := range doc {
+		if len(m.Key) == 0 || len(m.Key) > maxKeyBytes {
+			return fmt.Errorf("ftdc: sample key length %d out of range", len(m.Key))
+		}
+		if i > 0 && doc[i-1].Key >= m.Key {
+			return fmt.Errorf("ftdc: sample keys not strictly ascending at %q >= %q", doc[i-1].Key, m.Key)
+		}
+	}
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		if _, err := w.w.Write([]byte{version}); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	if w.SchemaWrites == 0 || !w.sameSchema(doc) {
+		w.buf = w.buf[:0]
+		w.buf = binary.AppendUvarint(w.buf, uint64(len(doc)))
+		w.schema = w.schema[:0]
+		for _, m := range doc {
+			w.buf = binary.AppendUvarint(w.buf, uint64(len(m.Key)))
+			w.buf = append(w.buf, m.Key...)
+			w.schema = append(w.schema, m.Key)
+		}
+		if err := w.writeRecord(recSchema, w.buf); err != nil {
+			return err
+		}
+		w.SchemaWrites++
+		w.prev = w.prev[:0]
+		for range doc {
+			w.prev = append(w.prev, 0)
+		}
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(doc)))
+	for i, m := range doc {
+		w.buf = binary.AppendUvarint(w.buf, zigzag(m.Value-w.prev[i]))
+		w.prev[i] = m.Value
+	}
+	if err := w.writeRecord(recSample, w.buf); err != nil {
+		return err
+	}
+	w.Samples++
+	return nil
+}
+
+// Sample is one decoded document: the metrics in schema (key-sorted)
+// order.
+type Sample struct {
+	Metrics []obs.Metric
+}
+
+// Value returns one metric by key; zero and false when absent.
+func (s Sample) Value(key string) (int64, bool) {
+	for _, m := range s.Metrics {
+		if m.Key == key {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Reader decodes one segment stream. Use Next until io.EOF.
+type Reader struct {
+	r      io.Reader
+	schema []string
+	prev   []int64
+	header bool
+
+	// SchemaReads counts schema records seen.
+	SchemaReads int
+}
+
+// NewReader wraps one segment's byte stream.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// readFull reads exactly len(p) bytes, diagnosing truncation.
+func (r *Reader) readFull(p []byte, what string) error {
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("ftdc: truncated %s", what)
+		}
+		return err
+	}
+	return nil
+}
+
+// readByte reads one byte; io.EOF maps to sentinel eof for record
+// boundaries only.
+func (r *Reader) readByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(r.r, b[:])
+	return b[0], err
+}
+
+// uvarint decodes an unsigned varint from a payload slice.
+func uvarint(p []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("ftdc: bad varint in %s", what)
+	}
+	return v, p[n:], nil
+}
+
+// Next decodes the next sample, reading through any schema record in the
+// way. Returns io.EOF exactly at a clean segment end.
+func (r *Reader) Next() (Sample, error) {
+	if !r.header {
+		var hdr [9]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return Sample{}, fmt.Errorf("ftdc: empty segment")
+			}
+			return Sample{}, fmt.Errorf("ftdc: truncated header")
+		}
+		if [8]byte(hdr[:8]) != magic {
+			return Sample{}, fmt.Errorf("ftdc: bad magic %q", hdr[:8])
+		}
+		if hdr[8] != version {
+			return Sample{}, fmt.Errorf("ftdc: unsupported version %d", hdr[8])
+		}
+		r.header = true
+	}
+	for {
+		kind, err := r.readByte()
+		if err == io.EOF {
+			return Sample{}, io.EOF
+		}
+		if err != nil {
+			return Sample{}, fmt.Errorf("ftdc: reading record kind: %w", err)
+		}
+		payload, err := r.readPayload()
+		if err != nil {
+			return Sample{}, err
+		}
+		switch kind {
+		case recSchema:
+			if err := r.decodeSchema(payload); err != nil {
+				return Sample{}, err
+			}
+		case recSample:
+			return r.decodeSample(payload)
+		default:
+			return Sample{}, fmt.Errorf("ftdc: unknown record kind %q", kind)
+		}
+	}
+}
+
+// readPayload reads one record's length-prefixed, CRC-guarded payload.
+func (r *Reader) readPayload() ([]byte, error) {
+	// The length prefix is a varint read byte by byte (it precedes the
+	// payload, so it cannot be sliced out of one).
+	var length uint64
+	for shift := 0; ; shift += 7 {
+		if shift >= 64 {
+			return nil, fmt.Errorf("ftdc: record length varint overflow")
+		}
+		b, err := r.readByte()
+		if err != nil {
+			return nil, fmt.Errorf("ftdc: truncated record length")
+		}
+		length |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			break
+		}
+	}
+	if length > maxRecordBytes {
+		return nil, fmt.Errorf("ftdc: record length %d exceeds limit %d", length, maxRecordBytes)
+	}
+	payload := make([]byte, length)
+	if err := r.readFull(payload, "record payload"); err != nil {
+		return nil, err
+	}
+	var crc [4]byte
+	if err := r.readFull(crc[:], "record checksum"); err != nil {
+		return nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("ftdc: record checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload, nil
+}
+
+func (r *Reader) decodeSchema(payload []byte) error {
+	n, rest, err := uvarint(payload, "schema width")
+	if err != nil {
+		return err
+	}
+	if n > maxRecordBytes {
+		return fmt.Errorf("ftdc: schema width %d out of range", n)
+	}
+	schema := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var klen uint64
+		klen, rest, err = uvarint(rest, "schema key length")
+		if err != nil {
+			return err
+		}
+		if klen == 0 || klen > maxKeyBytes {
+			return fmt.Errorf("ftdc: schema key length %d out of range", klen)
+		}
+		if uint64(len(rest)) < klen {
+			return fmt.Errorf("ftdc: truncated schema key")
+		}
+		key := string(rest[:klen])
+		rest = rest[klen:]
+		if len(schema) > 0 && schema[len(schema)-1] >= key {
+			return fmt.Errorf("ftdc: schema keys not strictly ascending at %q", key)
+		}
+		schema = append(schema, key)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("ftdc: %d trailing bytes after schema", len(rest))
+	}
+	r.schema = schema
+	r.prev = make([]int64, len(schema))
+	r.SchemaReads++
+	return nil
+}
+
+func (r *Reader) decodeSample(payload []byte) (Sample, error) {
+	if r.schema == nil {
+		return Sample{}, fmt.Errorf("ftdc: sample record before any schema")
+	}
+	n, rest, err := uvarint(payload, "sample width")
+	if err != nil {
+		return Sample{}, err
+	}
+	if n != uint64(len(r.schema)) {
+		return Sample{}, fmt.Errorf("ftdc: sample width %d, schema has %d keys", n, len(r.schema))
+	}
+	out := make([]obs.Metric, len(r.schema))
+	for i := range r.schema {
+		var u uint64
+		u, rest, err = uvarint(rest, "sample delta")
+		if err != nil {
+			return Sample{}, err
+		}
+		d := unzigzag(u)
+		// Guard against overflow wrapping the running value; deltas come
+		// from int64 subtraction so any wrap means corruption.
+		v := r.prev[i] + d
+		if (d > 0 && v < r.prev[i]) || (d < 0 && v > r.prev[i]) {
+			return Sample{}, fmt.Errorf("ftdc: sample value overflow at key %q", r.schema[i])
+		}
+		r.prev[i] = v
+		out[i] = obs.Metric{Key: r.schema[i], Value: v}
+	}
+	if len(rest) != 0 {
+		return Sample{}, fmt.Errorf("ftdc: %d trailing bytes after sample", len(rest))
+	}
+	return Sample{Metrics: out}, nil
+}
+
+// ReadAll decodes one whole segment stream.
+func ReadAll(r io.Reader) ([]Sample, error) {
+	rd := NewReader(r)
+	var out []Sample
+	for {
+		s, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if len(out) == math.MaxInt32 {
+			return out, fmt.Errorf("ftdc: too many samples")
+		}
+		out = append(out, s)
+	}
+}

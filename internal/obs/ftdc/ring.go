@@ -1,0 +1,231 @@
+package ftdc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// segPrefix/segSuffix frame segment file names: ftdc.<seq>.seg, with a
+// fixed-width sequence number so lexical order is write order.
+const (
+	segPrefix = "ftdc."
+	segSuffix = ".seg"
+)
+
+func segName(seq int) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+// segSeq parses a segment file name; ok is false for foreign files.
+func segSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(mid) != 8 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(mid)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// RingOptions bounds the on-disk ring.
+type RingOptions struct {
+	// MaxSegmentBytes rotates to a new segment once the current one
+	// grows past this size (checked between samples, so a segment can
+	// exceed it by at most one record). 0 means 1 MiB.
+	MaxSegmentBytes int64
+	// MaxSegments caps the segment count; the oldest segment is evicted
+	// when a rotation would exceed it. 0 means 8.
+	MaxSegments int
+}
+
+func (o RingOptions) withDefaults() RingOptions {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 1 << 20
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 8
+	}
+	return o
+}
+
+// RingStats summarizes a ring's lifetime activity.
+type RingStats struct {
+	// Samples and SchemaWrites total over every segment this ring wrote.
+	Samples      int
+	SchemaWrites int
+	// Segments counts segments created; Evicted counts segments deleted
+	// to honor MaxSegments.
+	Segments int
+	Evicted  int
+}
+
+// Ring writes samples into a directory of rotated, evicted segment
+// files. Safe for concurrent use (one mutex; the sampler and an
+// explicit final flush may race on Close).
+type Ring struct {
+	dir  string
+	opts RingOptions
+
+	mu         sync.Mutex
+	f          *os.File
+	w          *Writer
+	size       int64
+	seq        int
+	stats      RingStats
+	samples    int // samples in the current segment
+	schemaBase int // schema writes in already-closed segments
+	closed     bool
+}
+
+// OpenRing creates (or reuses) dir and starts a fresh segment after any
+// segments already present; existing segments count toward the
+// MaxSegments bound, so reopening a live capture directory keeps its
+// size bounded rather than doubling it.
+func OpenRing(dir string, opts RingOptions) (*Ring, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ftdc: ring dir: %w", err)
+	}
+	r := &Ring{dir: dir, opts: opts.withDefaults()}
+	existing, err := r.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(existing) > 0 {
+		last, _ := segSeq(filepath.Base(existing[len(existing)-1]))
+		r.seq = last + 1
+	}
+	return r, nil
+}
+
+// segments lists the ring's segment paths in sequence order.
+func (r *Ring) segments() ([]string, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ftdc: ring dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := segSeq(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // fixed-width sequence numbers: lexical = numeric
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(r.dir, n)
+	}
+	return paths, nil
+}
+
+// rotateLocked closes the current segment (if any) and evicts the oldest
+// segments beyond the cap before the next one opens.
+func (r *Ring) rotateLocked() error {
+	if r.f != nil {
+		if err := r.f.Close(); err != nil {
+			return err
+		}
+		r.schemaBase += r.w.SchemaWrites
+		r.f, r.w, r.size, r.samples = nil, nil, 0, 0
+	}
+	segs, err := r.segments()
+	if err != nil {
+		return err
+	}
+	// Evict down to MaxSegments-1 so the about-to-open segment fits.
+	for len(segs) > r.opts.MaxSegments-1 {
+		if err := os.Remove(segs[0]); err != nil {
+			return fmt.Errorf("ftdc: evicting %s: %w", segs[0], err)
+		}
+		r.stats.Evicted++
+		segs = segs[1:]
+	}
+	return nil
+}
+
+// openLocked starts the next segment.
+func (r *Ring) openLocked() error {
+	f, err := os.OpenFile(filepath.Join(r.dir, segName(r.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ftdc: new segment: %w", err)
+	}
+	r.seq++
+	r.f = f
+	r.w = NewWriter(&countingWriter{f: f, n: &r.size})
+	r.stats.Segments++
+	return nil
+}
+
+// countingWriter tracks bytes written into the current segment.
+type countingWriter struct {
+	f *os.File
+	n *int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// WriteSample appends one document, rotating and evicting as needed.
+func (r *Ring) WriteSample(doc []obs.Metric) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("ftdc: ring closed")
+	}
+	if r.f != nil && r.size >= r.opts.MaxSegmentBytes {
+		if err := r.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if r.f == nil {
+		if err := r.rotateLocked(); err != nil { // evict before opening
+			return err
+		}
+		if err := r.openLocked(); err != nil {
+			return err
+		}
+	}
+	if err := r.w.WriteSample(doc); err != nil {
+		return err
+	}
+	r.samples++
+	r.stats.Samples++
+	// Schema writes are tracked per segment writer; fold the latest in.
+	r.stats.SchemaWrites = r.schemaBase + r.w.SchemaWrites
+	return nil
+}
+
+// Close finishes the current segment.
+func (r *Ring) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.f != nil {
+		err := r.f.Close()
+		r.f, r.w = nil, nil
+		return err
+	}
+	return nil
+}
+
+// Stats returns the ring's lifetime activity.
+func (r *Ring) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

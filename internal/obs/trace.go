@@ -317,3 +317,72 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 	_, sum, err := ReadTrace(r)
 	return sum, err
 }
+
+// detectorOwnedStages are the stages only boundary detectors emit — the
+// scope of the Detector.Vocab() contract. Events under any other stage
+// (surface steps, eval cells, serving spans, ...) belong to shared
+// infrastructure and are exempt from per-detector vocabulary checks.
+var detectorOwnedStages = [...]Stage{
+	StageFrames, StageUBF, StageIFF, StageGrouping, StageCandidates,
+}
+
+// CheckVocab enforces the detector vocabulary contract on an aggregated
+// trace: every counter, span, round, or wall total recorded under a
+// detector-owned stage must fall inside the declared stage list (a
+// Detector.Vocab().Stages slice). ValidateTrace alone accepts any known
+// stage/counter spelling, so a detector emitting under a stage it never
+// declared — sv-contour counting under "ubf", say — used to pass
+// validation silently; this is the closing check cli.Session runs when
+// the run's detector set is known.
+func (t TraceSummary) CheckVocab(declared []Stage) error {
+	allowed := make(map[Stage]bool, len(declared))
+	for _, s := range declared {
+		allowed[s] = true
+	}
+	owned := make(map[Stage]bool, len(detectorOwnedStages))
+	for _, s := range detectorOwnedStages {
+		owned[s] = true
+	}
+	check := func(s Stage, what string) error {
+		if owned[s] && !allowed[s] {
+			return fmt.Errorf("obs: trace %s under stage %q, outside the declared detector vocabulary", what, s)
+		}
+		return nil
+	}
+	for s, m := range t.Counters {
+		for c, v := range m {
+			if v == 0 {
+				continue
+			}
+			if err := check(s, "counter "+c.String()); err != nil {
+				return err
+			}
+		}
+	}
+	for s, n := range t.Spans {
+		if n > 0 {
+			if err := check(s, "span"); err != nil {
+				return err
+			}
+		}
+	}
+	for s, n := range t.Rounds {
+		if n > 0 {
+			if err := check(s, "round"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateTraceVocab is ValidateTrace plus the detector vocabulary
+// contract: the trace must stay inside the declared stage list wherever
+// it touches a detector-owned stage.
+func ValidateTraceVocab(r io.Reader, declared []Stage) (TraceSummary, error) {
+	sum, err := ValidateTrace(r)
+	if err != nil {
+		return sum, err
+	}
+	return sum, sum.CheckVocab(declared)
+}

@@ -76,20 +76,35 @@ type Options struct {
 // Server is the session registry behind the HTTP API.
 type Server struct {
 	opts Options
+	// metrics is the server's always-on aggregation sink — request
+	// spans, session/delta counters and engine telemetry land here
+	// regardless of Options.Obs, so GET /v1/metrics always has data.
+	metrics *obs.Metrics
+	// obs is the effective observer every handler threads through:
+	// Tee(Options.Obs, metrics).
+	obs obs.Observer
 
 	mu       sync.RWMutex
 	sessions map[string]*session
 	nextID   int
 }
 
+// Metrics exposes the server's always-on aggregation sink — what
+// GET /v1/metrics renders as "global". boundaryd samples it into the
+// FTDC ring.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
 // session is one loaded network and its detection engine. mu serializes
-// deltas against snapshot reads.
+// deltas against snapshot reads. metrics aggregates only this session's
+// engine activity (initial detection, per-delta repair latency, delta
+// counts) for the per-session half of GET /v1/metrics.
 type session struct {
 	mu       sync.Mutex
 	id       string
 	detector string
 	eng      engine
 	deltas   int64
+	metrics  *obs.Metrics
 }
 
 // engine is what a session needs from a detection backend: the state
@@ -272,7 +287,13 @@ func New(opts Options) *Server {
 	if opts.MaxSessions == 0 {
 		opts.MaxSessions = 64
 	}
-	return &Server{opts: opts, sessions: make(map[string]*session)}
+	m := &obs.Metrics{}
+	return &Server{
+		opts:     opts,
+		metrics:  m,
+		obs:      obs.Tee(opts.Obs, m),
+		sessions: make(map[string]*session),
+	}
 }
 
 // Handler mounts the API routes: the versioned /v1 family plus the
@@ -280,6 +301,8 @@ func New(opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.traced("GET /healthz", s.handleHealth))
+	// /v1/metrics is new with the versioned API — no legacy alias.
+	mux.HandleFunc("GET /v1/metrics", s.traced("GET /v1/metrics", s.handleMetrics))
 	routes := []struct {
 		method, path string
 		fn           http.HandlerFunc
@@ -313,7 +336,7 @@ func deprecated(fn http.HandlerFunc) http.HandlerFunc {
 // traced wraps a handler in a StageServe span labeled with the route.
 func (s *Server) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		span := obs.StartLabeled(s.opts.Obs, obs.StageServe, route)
+		span := obs.StartLabeled(s.obs, obs.StageServe, route)
 		defer span.End()
 		fn(w, r)
 	}
@@ -383,6 +406,38 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// MetricsSnapshot is one sink's wire rendering: counter totals in the
+// obs.Mem.Totals "stage/counter" key format plus per-stage latency
+// quantile summaries.
+type MetricsSnapshot struct {
+	Counters  map[string]int64            `json:"counters,omitempty"`
+	Latencies map[string]obs.LatencyStats `json:"latencies,omitempty"`
+}
+
+// MetricsResponse is the GET /v1/metrics body: the server-wide totals
+// plus each live session's private view, keyed by session ID.
+type MetricsResponse struct {
+	Global   MetricsSnapshot            `json:"global"`
+	Sessions map[string]MetricsSnapshot `json:"sessions,omitempty"`
+}
+
+func snapshotOf(m *obs.Metrics) MetricsSnapshot {
+	return MetricsSnapshot{Counters: m.Totals(), Latencies: m.LatencySummaries()}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{Global: snapshotOf(s.metrics)}
+	s.mu.RLock()
+	if len(s.sessions) > 0 {
+		resp.Sessions = make(map[string]MetricsSnapshot, len(s.sessions))
+		for id, sess := range s.sessions {
+			resp.Sessions[id] = snapshotOf(sess.metrics)
+		}
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -466,18 +521,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Incremental-capable detectors get dirty-region repair; the rest run
-	// a full recompute per delta over the mirrored active set.
+	// a full recompute per delta over the mirrored active set. The
+	// session's private metrics sink sees everything its engine emits,
+	// starting with the initial detection.
 	det, _ := core.LookupDetector(cfg.Detector) // sessionConfig validated the name
+	sessMetrics := &obs.Metrics{}
+	engObs := obs.Tee(s.obs, sessMetrics)
 	var eng engine
 	if det.Caps().Has(core.CapIncremental) {
-		inc, err := core.NewIncrementalContext(r.Context(), s.opts.Obs, net, cfg)
+		inc, err := core.NewIncrementalContext(r.Context(), engObs, net, cfg)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "detection: %v", err)
 			return
 		}
 		eng = incEngine{inc}
 	} else {
-		full, err := newFullEngine(r.Context(), s.opts.Obs, net, cfg)
+		full, err := newFullEngine(r.Context(), engObs, net, cfg)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "detection: %v", err)
 			return
@@ -492,10 +551,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	sess := &session{id: fmt.Sprintf("s%d", s.nextID), detector: det.Name(), eng: eng}
+	sess := &session{id: fmt.Sprintf("s%d", s.nextID), detector: det.Name(), eng: eng, metrics: sessMetrics}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
-	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrSessions, 1)
+	obs.Add(s.obs, obs.StageServe, obs.CtrSessions, 1)
 
 	sess.mu.Lock()
 	sum := sess.summaryLocked()
@@ -584,7 +643,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
-	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrSessions, -1)
+	obs.Add(s.obs, obs.StageServe, obs.CtrSessions, -1)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
@@ -629,16 +688,18 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		deltas[i] = d
 	}
 
+	// Per-session metrics see the repair work and the delta counts too.
+	o := obs.Tee(s.obs, sess.metrics)
 	sess.mu.Lock()
 	resp := deltasResponse{}
 	for i, d := range deltas {
-		id, err := sess.eng.Apply(r.Context(), s.opts.Obs, d)
+		id, err := sess.eng.Apply(r.Context(), o, d)
 		if err != nil {
 			// Per-delta validation happens before mutation, so the prefix
 			// [0, i) is applied and the session stays consistent.
 			sess.deltas += int64(i)
 			sess.mu.Unlock()
-			obs.Add(s.opts.Obs, obs.StageServe, obs.CtrDeltas, int64(i))
+			obs.Add(o, obs.StageServe, obs.CtrDeltas, int64(i))
 			writeJSON(w, http.StatusBadRequest, errorResponse{
 				Error:   fmt.Sprintf("delta %d (%s): %v", i, d.Op, err),
 				Applied: i,
@@ -653,6 +714,6 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	resp.Applied = len(deltas)
 	resp.Summary = sess.summaryLocked()
 	sess.mu.Unlock()
-	obs.Add(s.opts.Obs, obs.StageServe, obs.CtrDeltas, int64(len(deltas)))
+	obs.Add(o, obs.StageServe, obs.CtrDeltas, int64(len(deltas)))
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -441,3 +441,76 @@ func TestServeConcurrentSessions(t *testing.T) {
 		t.Errorf("sessions counter = %d, want %d", got, clients)
 	}
 }
+
+// TestServeMetricsEndpoint: GET /v1/metrics serves the always-on global
+// sink (request spans, session counters) plus a private per-session view
+// whose delta counts and repair latencies reflect only that session.
+func TestServeMetricsEndpoint(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var mr MetricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, http.StatusOK, &mr)
+	if len(mr.Sessions) != 0 {
+		t.Fatalf("fresh server reports sessions: %+v", mr.Sessions)
+	}
+
+	var sum Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, testNetwork(t)), http.StatusCreated, &sum)
+	body, _ := json.Marshal(map[string]any{"deltas": []map[string]any{
+		{"op": "move", "node": 0, "pos": map[string]float64{"x": 0.5, "y": 0.5, "z": 0.5}},
+		{"op": "leave", "node": 1},
+	}})
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+sum.Session+"/deltas", body, http.StatusOK, nil)
+
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, http.StatusOK, &mr)
+	if got := mr.Global.Counters["serve/sessions"]; got != 1 {
+		t.Fatalf("global serve/sessions = %d, want 1", got)
+	}
+	if got := mr.Global.Counters["serve/deltas_applied"]; got != 2 {
+		t.Fatalf("global serve/deltas = %d, want 2", got)
+	}
+	if _, ok := mr.Global.Latencies[obs.StageServe.String()]; !ok {
+		t.Fatalf("global latencies missing serve stage: %v", mr.Global.Latencies)
+	}
+	sessView, ok := mr.Sessions[sum.Session]
+	if !ok {
+		t.Fatalf("metrics missing session %s: %+v", sum.Session, mr.Sessions)
+	}
+	if got := sessView.Counters["serve/deltas_applied"]; got != 2 {
+		t.Fatalf("session serve/deltas = %d, want 2", got)
+	}
+	// The incremental engine's repair spans land in the session view.
+	if st, ok := sessView.Latencies[obs.StageIncremental.String()]; !ok || st.Count < 2 || st.P50NS <= 0 || st.P99NS < st.P50NS {
+		t.Fatalf("session incremental latency summary wrong: %+v (ok=%v)", st, ok)
+	}
+	// The session's private view must not include request-routing spans.
+	if got := sessView.Counters["serve/sessions"]; got != 0 {
+		t.Fatalf("session view leaked global sessions counter: %d", got)
+	}
+
+	// Server-side accessor agrees with the wire rendering.
+	if got := srv.Metrics().Total(obs.StageServe, obs.CtrDeltas); got != 2 {
+		t.Fatalf("Metrics() deltas = %d, want 2", got)
+	}
+
+	// Deleting the session removes its per-session view. (Decode into a
+	// fresh value: Unmarshal merges into an existing map.)
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+sum.Session, nil, http.StatusOK, nil)
+	mr = MetricsResponse{}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, http.StatusOK, &mr)
+	if len(mr.Sessions) != 0 {
+		t.Fatalf("deleted session still reported: %+v", mr.Sessions)
+	}
+	// No legacy alias: /metrics is 404, not a deprecated twin.
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics = %d, want 404 (no legacy alias)", res.StatusCode)
+	}
+}
