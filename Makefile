@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 # raise it when recording a baseline worth keeping.
 BENCHTIME ?= 0.3s
 
-.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke ftdc-smoke detector-matrix bench-diff check ci
+.PHONY: build test vet race race-shard fuzz bench benchsmoke trace-smoke trace-stat serve-smoke mesh-smoke ftdc-smoke detector-matrix bench-diff check ci
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,13 @@ race:
 # at several worker widths), the incremental engine's repair workers,
 # boundaryd's concurrent session registry, the detector zoo's
 # metamorphic/vocabulary suites (every registered detector's parallel
-# candidate loops), and the always-on metrics/FTDC capture path (atomic
-# sinks racing a sampler goroutine). (The blanket `race` target covers
-# these too; this target is the quick iteration loop.)
+# candidate loops), the incremental surface engine's differential matrix
+# (cached mesh repair at several worker widths), and the always-on
+# metrics/FTDC capture path (atomic sinks racing a sampler goroutine).
+# (The blanket `race` target covers these too; this target is the quick
+# iteration loop.)
 race-shard:
-	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve|Detector|Metrics|FTDC|Ring|Sampler' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve ./internal/obs ./internal/obs/ftdc
+	$(GO) test -race -count=1 -run 'Shard|Incremental|Serve|Detector|Metrics|FTDC|Ring|Sampler|Mesh' ./internal/core ./internal/partition/shard ./internal/graph ./internal/serve ./internal/obs ./internal/obs/ftdc ./internal/mesh
 
 # `go test -fuzz` accepts a single package per invocation, so each fuzz
 # target gets its own run.
@@ -44,6 +46,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLoadDiff -fuzztime=$(FUZZTIME) ./internal/obs/analyze
 	$(GO) test -run=^$$ -fuzz=FuzzShardPartition -fuzztime=$(FUZZTIME) ./internal/partition/shard
 	$(GO) test -run=^$$ -fuzz=FuzzFTDCReader -fuzztime=$(FUZZTIME) ./internal/obs/ftdc
+	$(GO) test -run=^$$ -fuzz=FuzzMeshStitch -fuzztime=$(FUZZTIME) ./internal/mesh
 
 # `make bench` records a machine-readable baseline (schema: internal/bench,
 # documented in EXPERIMENTS.md) named for today's date.
@@ -82,6 +85,15 @@ trace-stat:
 # trace schema violation.
 serve-smoke:
 	$(GO) run ./cmd/boundaryd -smoke
+
+# Incremental-mesh gate: the engine's differential matrix (cached repair
+# vs from-scratch mesh.BuildAll, bit-identical after every scripted delta
+# at several worker widths, with and without SPT reuse) plus the served
+# mesh endpoint's own diffs, uncached. The boundaryd -smoke run above
+# additionally probes GET /v1/sessions/{id}/mesh mid-delta-stream over
+# real HTTP.
+mesh-smoke:
+	$(GO) test -count=1 -run 'TestMeshIncremental|TestServeMesh' ./internal/mesh ./internal/serve
 
 # FTDC capture smoke: boundaryd's smoke harness under a fast-sampling
 # binary metrics capture, then tracestat decoding the ring as a gate —
@@ -125,7 +137,7 @@ bench-diff:
 	$(GO) run ./cmd/tracestat -baseline $$2 -against $$1 \
 		-tol-ns $(TOL_NS) -tol-allocs $(TOL_ALLOCS) -tol-work $(TOL_WORK)
 
-check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke ftdc-smoke detector-matrix bench-diff fuzz
+check: vet race race-shard benchsmoke trace-smoke trace-stat serve-smoke mesh-smoke ftdc-smoke detector-matrix bench-diff fuzz
 
 # The cache-defeating correctness gate for CI and pre-merge runs: static
 # analysis plus the full test suite with result caching off, so every
@@ -135,5 +147,6 @@ ci:
 	$(GO) vet ./...
 	$(GO) test -count=1 ./...
 	$(MAKE) serve-smoke
+	$(MAKE) mesh-smoke
 	$(MAKE) ftdc-smoke
 	$(MAKE) detector-matrix

@@ -14,6 +14,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -732,4 +733,143 @@ func BenchmarkDetectSharded(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- MeshIncremental: per-session cached mesh repair vs from-scratch ----
+
+// meshIncStep is one frame of the prerecorded 50-delta mesh bench session:
+// the topology and boundary groups after the delta, plus the (node, peers)
+// dirty hint the incremental engine receives. Step 0 is the initial state
+// (node < 0: nothing to invalidate). Adjacency is held twice — int rows for
+// graph.Graph (the from-scratch arm) and int32 rows for mesh.Topology (the
+// engine arm) — so neither arm pays a conversion inside the timed loop.
+type meshIncStep struct {
+	node   int
+	peers  []int32
+	groups [][]int
+	adj    [][]int
+	adj32  [][]int32
+}
+
+// meshBenchTopo adapts a frozen adjacency snapshot to mesh.Topology.
+type meshBenchTopo struct{ adj [][]int32 }
+
+func (t meshBenchTopo) Len() int                { return len(t.adj) }
+func (t meshBenchTopo) Neighbors(u int) []int32 { return t.adj[u] }
+
+var (
+	meshIncOnce  sync.Once
+	meshIncSteps []meshIncStep
+	meshIncErr   error
+)
+
+// meshIncFixture records the canonical 50-delta session shape once: a ball
+// deployment at the shard-bench density, then 50 random node moves applied
+// through core.Incremental with a full state snapshot after each. Movers
+// are drawn uniformly from the active set (interior-heavy, like a real
+// session), so most deltas leave the boundary group's membership intact
+// and the engine serves them from cache.
+func meshIncFixture(b *testing.B) []meshIncStep {
+	b.Helper()
+	meshIncOnce.Do(func() {
+		const n = 3600
+		const bigR = 20.0
+		const degree = 14.0
+		surface := n / 8
+		net, err := netgen.Generate(netgen.Config{
+			Shape:         shapes.NewBall(geom.Zero, bigR),
+			SurfaceNodes:  surface,
+			InteriorNodes: n - surface,
+			Radius:        bigR * math.Cbrt(degree/float64(n)),
+			Seed:          2026,
+		})
+		if err != nil {
+			meshIncErr = err
+			return
+		}
+		inc, err := core.NewIncremental(net, core.Config{})
+		if err != nil {
+			meshIncErr = err
+			return
+		}
+		snap := func(node int, peers []int32) meshIncStep {
+			st := meshIncStep{
+				node:   node,
+				peers:  append([]int32(nil), peers...),
+				groups: inc.Groups(),
+				adj:    make([][]int, inc.Len()),
+				adj32:  make([][]int32, inc.Len()),
+			}
+			for u := 0; u < inc.Len(); u++ {
+				row := inc.Neighbors(u)
+				st.adj32[u] = append([]int32(nil), row...)
+				r := make([]int, len(row))
+				for i, v := range row {
+					r[i] = int(v)
+				}
+				st.adj[u] = r
+			}
+			return st
+		}
+		meshIncSteps = append(meshIncSteps, snap(-1, nil))
+		rng := rand.New(rand.NewSource(7))
+		ids := inc.ActiveIDs()
+		for s := 0; s < 50; s++ {
+			id := ids[rng.Intn(len(ids))]
+			jit := func() float64 { return (rng.Float64() - 0.5) * net.Radius }
+			pos := inc.PositionAt(id).Add(geom.V(jit(), jit(), jit()))
+			if _, err := inc.Apply(core.Delta{Op: core.DeltaMove, Node: id, Pos: pos}); err != nil {
+				meshIncErr = err
+				return
+			}
+			node, peers := inc.LastTopology()
+			meshIncSteps = append(meshIncSteps, snap(node, peers))
+		}
+	})
+	if meshIncErr != nil {
+		b.Fatal(meshIncErr)
+	}
+	return meshIncSteps
+}
+
+// BenchmarkMeshIncremental is the acceptance benchmark for the per-session
+// surface engine: one op replays the prerecorded 50-delta session, either
+// rebuilding every boundary surface from scratch after each delta (the
+// pre-engine server behaviour) or serving it through one warm
+// mesh.Incremental that repairs only invalidated groups. Both arms produce
+// bit-identical surfaces (TestMeshIncrementalDifferential); the ratio of
+// their ns_per_op is the per-delta speedup the engine buys and must stay
+// at or above 5x.
+func BenchmarkMeshIncremental(b *testing.B) {
+	steps := meshIncFixture(b)
+	b.Run("rebuild", func(b *testing.B) {
+		record(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, st := range steps {
+				g := &graph.Graph{Adj: st.adj}
+				if _, err := mesh.BuildAll(g, st.groups, mesh.Config{K: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		record(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := mesh.NewIncremental(mesh.Config{K: 3})
+			var served []*mesh.Surface
+			var err error
+			for _, st := range steps {
+				if st.node >= 0 {
+					eng.Invalidate(nil, st.node, st.peers)
+				}
+				served, err = eng.Surfaces(context.Background(), nil, meshBenchTopo{st.adj32}, st.groups, served[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

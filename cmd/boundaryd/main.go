@@ -20,9 +20,13 @@
 // -smoke runs the serve smoke harness instead of listening forever: it
 // starts the server on an ephemeral port, POSTs a generated network over
 // real HTTP, streams scripted delta batches, and after every batch diffs
-// the served boundary groups against a from-scratch detection of the same
-// active node set. Any divergence, HTTP failure, or (with -trace) trace
-// schema violation exits nonzero — `make serve-smoke` wires this into CI.
+// the served boundary groups — and the reconstructed boundary surfaces
+// from GET /v1/sessions/{id}/mesh — against a from-scratch recompute of
+// the same active node set, landmark positions compared exactly. It also
+// checks that a topology-only detector session answers the mesh route
+// with 501. Any divergence, HTTP failure, or (with -trace) trace schema
+// violation exits nonzero — `make serve-smoke` and `make mesh-smoke` wire
+// this into CI.
 package main
 
 import (
@@ -47,6 +51,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/export"
 	"repro/internal/geom"
+	"repro/internal/mesh"
 	"repro/internal/netgen"
 	"repro/internal/serve"
 )
@@ -287,7 +292,13 @@ func smoke(w io.Writer, srv *serve.Server, opts options) error {
 		if err := diffAgainstFull(base, created.Session, pos, active, network.Radius, cfg); err != nil {
 			return fmt.Errorf("after %d deltas: %w", applied, err)
 		}
+		// The mesh endpoint mid-delta-stream: cached or repaired, every
+		// served surface must equal a from-scratch build.
+		if err := diffMeshAgainstFull(base, created.Session, pos, active, network.Radius, cfg); err != nil {
+			return fmt.Errorf("mesh after %d deltas: %w", applied, err)
+		}
 	}
+	fmt.Fprintf(w, "smoke: mesh served and matched a full rebuild after every batch\n")
 
 	// A batch that fails mid-way must apply its valid prefix and leave
 	// the session fully servable: [valid move, move of a never-allocated
@@ -420,6 +431,21 @@ func smokeCompat(w io.Writer, base string, envBody []byte, network *netgen.Netwo
 		return fmt.Errorf("%s session: %w", detector, err)
 	}
 
+	// sv-contour is topology-only: the mesh route must refuse with 501
+	// and say why, not serve a meaningless surface.
+	meshRes, err := http.Get(base + "/v1/sessions/" + created.Session + "/mesh")
+	if err != nil {
+		return err
+	}
+	meshBody, _ := io.ReadAll(io.LimitReader(meshRes.Body, 512))
+	meshRes.Body.Close()
+	if meshRes.StatusCode != http.StatusNotImplemented {
+		return fmt.Errorf("%s mesh: status %s, want 501", detector, meshRes.Status)
+	}
+	if !strings.Contains(string(meshBody), "topology-only") {
+		return fmt.Errorf("%s mesh: 501 body %q does not explain the capability gap", detector, meshBody)
+	}
+
 	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+created.Session, nil)
 	if err != nil {
 		return err
@@ -432,7 +458,7 @@ func smokeCompat(w io.Writer, base string, envBody []byte, network *netgen.Netwo
 	if del.StatusCode != http.StatusOK {
 		return fmt.Errorf("delete %s session: status %s", detector, del.Status)
 	}
-	fmt.Fprintf(w, "smoke: legacy aliases deprecated, %s session OK\n", detector)
+	fmt.Fprintf(w, "smoke: legacy aliases deprecated, %s session OK (mesh 501)\n", detector)
 	return nil
 }
 
@@ -487,6 +513,96 @@ func diffAgainstFull(base, id string, pos []geom.Vec3, active []bool, radius flo
 		}
 		if !equalInts(det.Groups[g], want) {
 			return fmt.Errorf("group %d diverged", g)
+		}
+	}
+	return nil
+}
+
+// diffMeshAgainstFull fetches the session's reconstructed surfaces and
+// compares them against from-scratch mesh builds over the mirrored active
+// set: landmark IDs and smoothed positions (exact — float64 survives a
+// JSON round-trip), edges, faces, flip counts and quality diagnostics,
+// all under the stable-ID renaming.
+func diffMeshAgainstFull(base, id string, pos []geom.Vec3, active []bool, radius float64, cfg core.Config) error {
+	var mr struct {
+		Surfaces []struct {
+			Group     int `json:"group"`
+			GroupSize int `json:"group_size"`
+			Landmarks []struct {
+				ID int     `json:"id"`
+				X  float64 `json:"x"`
+				Y  float64 `json:"y"`
+				Z  float64 `json:"z"`
+			} `json:"landmarks"`
+			Edges  [][2]int `json:"edges"`
+			Faces  [][3]int `json:"faces"`
+			Flips  int      `json:"flips"`
+			Euler  int      `json:"euler"`
+			Closed bool     `json:"closed_2manifold"`
+		} `json:"surfaces"`
+	}
+	if err := getJSON(base+"/v1/sessions/"+id+"/mesh", &mr); err != nil {
+		return err
+	}
+
+	var nodes []netgen.Node
+	var stable []int
+	for i, a := range active {
+		if a {
+			stable = append(stable, i)
+			nodes = append(nodes, netgen.Node{Pos: pos[i]})
+		}
+	}
+	network, err := netgen.Assemble(nodes, radius)
+	if err != nil {
+		return err
+	}
+	full, err := core.Detect(network, nil, cfg)
+	if err != nil {
+		return err
+	}
+	want, err := mesh.BuildAll(network.G, full.Groups, mesh.Config{})
+	if err != nil {
+		return err
+	}
+	if len(mr.Surfaces) != len(want) {
+		return fmt.Errorf("served %d surfaces, full build %d", len(mr.Surfaces), len(want))
+	}
+	for i, ws := range mr.Surfaces {
+		ref := want[i]
+		if ws.Group != i || ws.GroupSize != len(ref.Group) {
+			return fmt.Errorf("surface %d: group %d size %d, want size %d", i, ws.Group, ws.GroupSize, len(ref.Group))
+		}
+		refined := mesh.RefinedPositions(ref, func(u int) geom.Vec3 { return nodes[u].Pos }, 0.7)
+		if len(ws.Landmarks) != len(ref.Landmarks.IDs) {
+			return fmt.Errorf("surface %d: %d landmarks, want %d", i, len(ws.Landmarks), len(ref.Landmarks.IDs))
+		}
+		for k, lm := range ref.Landmarks.IDs {
+			wl := ws.Landmarks[k]
+			if wl.ID != stable[lm] {
+				return fmt.Errorf("surface %d landmark %d: id %d, want %d", i, k, wl.ID, stable[lm])
+			}
+			if p := refined[lm]; wl.X != p.X || wl.Y != p.Y || wl.Z != p.Z {
+				return fmt.Errorf("surface %d landmark %d: position diverged", i, k)
+			}
+		}
+		if len(ws.Edges) != len(ref.Edges) || len(ws.Faces) != len(ref.Faces) {
+			return fmt.Errorf("surface %d: %d edges %d faces, want %d/%d",
+				i, len(ws.Edges), len(ws.Faces), len(ref.Edges), len(ref.Faces))
+		}
+		for k, e := range ref.Edges {
+			if ws.Edges[k] != [2]int{stable[e[0]], stable[e[1]]} {
+				return fmt.Errorf("surface %d edge %d diverged", i, k)
+			}
+		}
+		for k, f := range ref.Faces {
+			if ws.Faces[k] != [3]int{stable[f[0]], stable[f[1]], stable[f[2]]} {
+				return fmt.Errorf("surface %d face %d diverged", i, k)
+			}
+		}
+		if ws.Flips != ref.Flips || ws.Euler != ref.Quality.Euler || ws.Closed != ref.Quality.Closed2Manifold {
+			return fmt.Errorf("surface %d: flips/euler/closed %d/%d/%v, want %d/%d/%v",
+				i, ws.Flips, ws.Euler, ws.Closed, ref.Flips, ref.Quality.Euler, ref.Quality.Closed2Manifold)
 		}
 	}
 	return nil

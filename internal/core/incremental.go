@@ -168,6 +168,13 @@ type Incremental struct {
 	dirtyB  []int32 // reusable IFF dirty list
 	stamp   []int32 // dirty-collection dedup stamps
 	epoch   int32
+
+	// Last delta's topology change, for downstream incremental consumers
+	// (the mesh engine's cache invalidation): the affected node and every
+	// peer whose edge to it appeared or disappeared. lastPeers is a
+	// reusable buffer.
+	lastNode  int
+	lastPeers []int32
 }
 
 // incScratch is one worker's reusable recomputation state.
@@ -238,6 +245,7 @@ func NewIncrementalContext(ctx context.Context, o obs.Observer, net *netgen.Netw
 	inc.groupLabel = append([]int(nil), res.GroupLabel...)
 	inc.groups = res.Groups
 	inc.scratch = make([]incScratch, inc.workers)
+	inc.lastNode = -1
 	return inc, nil
 }
 
@@ -276,6 +284,8 @@ func (inc *Incremental) ApplyContext(ctx context.Context, o obs.Observer, d Delt
 		for _, nb := range nbrs {
 			inc.adj[nb] = insertSorted(inc.adj[nb], int32(id))
 		}
+		inc.lastNode = id
+		inc.lastPeers = append(inc.lastPeers[:0], nbrs...)
 		changed[0] = d.Pos
 		nch = 1
 	case DeltaLeave, DeltaCrash:
@@ -283,6 +293,8 @@ func (inc *Incremental) ApplyContext(ctx context.Context, o obs.Observer, d Delt
 			return -1, err
 		}
 		old := inc.pos[id]
+		inc.lastNode = id
+		inc.lastPeers = append(inc.lastPeers[:0], inc.adj[id]...)
 		for _, nb := range inc.adj[id] {
 			inc.adj[nb] = removeSorted(inc.adj[nb], int32(id))
 		}
@@ -310,15 +322,19 @@ func (inc *Incremental) ApplyContext(ctx context.Context, o obs.Observer, d Delt
 		oldRow := inc.adj[id]
 		newRow := inc.neighborsOf(d.Pos, int32(id))
 		// Both rows are sorted; walk the symmetric difference to patch the
-		// neighbors' rows.
+		// neighbors' rows, recording the peers whose edge actually changed.
+		inc.lastNode = id
+		inc.lastPeers = inc.lastPeers[:0]
 		i, j := 0, 0
 		for i < len(oldRow) || j < len(newRow) {
 			switch {
 			case j == len(newRow) || (i < len(oldRow) && oldRow[i] < newRow[j]):
 				inc.adj[oldRow[i]] = removeSorted(inc.adj[oldRow[i]], int32(id))
+				inc.lastPeers = append(inc.lastPeers, oldRow[i])
 				i++
 			case i == len(oldRow) || newRow[j] < oldRow[i]:
 				inc.adj[newRow[j]] = insertSorted(inc.adj[newRow[j]], int32(id))
+				inc.lastPeers = append(inc.lastPeers, newRow[j])
 				j++
 			default: // unchanged edge
 				i++
@@ -611,6 +627,32 @@ func (inc *Incremental) BoundaryCount() int {
 	}
 	return n
 }
+
+// LastTopology reports the most recent successful delta's topology
+// change: the affected stable ID and every peer whose edge to it appeared
+// or disappeared (joins: the new node's neighbor row; departures: the old
+// row; moves: the symmetric difference of the old and new rows, merged
+// ascending). The peer slice is a reusable buffer — read-only and valid
+// only until the next Apply. Before any delta it reports (-1, nil).
+func (inc *Incremental) LastTopology() (node int, peers []int32) {
+	return inc.lastNode, inc.lastPeers
+}
+
+// Neighbors returns node u's current adjacency row (stable IDs,
+// ascending; nil for inactive nodes). The row aliases engine state —
+// read-only and valid only until the next Apply. Together with Len it
+// satisfies mesh.Topology, so the mesh engine can rebuild dirty surfaces
+// straight off the live adjacency without a network assembly round-trip.
+func (inc *Incremental) Neighbors(u int) []int32 { return inc.adj[u] }
+
+// PositionAt returns the position of stable ID u (departed nodes keep
+// their last position).
+func (inc *Incremental) PositionAt(u int) geom.Vec3 { return inc.pos[u] }
+
+// GroupsView returns the boundary groups without copying (stable IDs,
+// ascending within each group). The slices alias engine state — read-only
+// and valid only until the next Apply; use Groups for a durable copy.
+func (inc *Incremental) GroupsView() [][]int { return inc.groups }
 
 // Groups returns a deep copy of the boundary groups (stable IDs,
 // ascending within each group).

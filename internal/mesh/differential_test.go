@@ -187,7 +187,7 @@ func TestSurfaceSPTPathsBitIdentical(t *testing.T) {
 		inGroup[v] = true
 	}
 	kn := newSurfKernel(g, inGroup, false)
-	lms, err := electLandmarks(kn, group, 3)
+	lms, err := electLandmarks(kn, group, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

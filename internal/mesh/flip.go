@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Face is a triangle of landmark IDs, stored ascending.
@@ -25,6 +26,16 @@ func mkFace(a, b, c int) Face {
 // enumerateFaces lists the 3-cliques of the virtual-edge graph — the
 // triangular faces of the mesh.
 func enumerateFaces(edges []Edge) []Face {
+	return enumerateFacesPar(edges, 1)
+}
+
+// enumerateFacesPar is enumerateFaces with the per-edge common-neighbor
+// scan fanned out over contiguous edge chunks. Each chunk collects
+// candidate faces privately (reading the shared adjacency map only); the
+// merge dedupes and the final sort fixes the order, so the result is
+// identical at every worker width — the sequential scan dedupes and sorts
+// the same way.
+func enumerateFacesPar(edges []Edge, workers int) []Face {
 	adj := make(map[int]map[int]bool)
 	addDir := func(a, b int) {
 		if adj[a] == nil {
@@ -36,18 +47,42 @@ func enumerateFaces(edges []Edge) []Face {
 		addDir(e[0], e[1])
 		addDir(e[1], e[0])
 	}
-	seen := make(map[Face]bool)
-	var faces []Face
-	for _, e := range edges {
-		for c := range adj[e[0]] {
-			if c == e[1] || !adj[e[1]][c] {
-				continue
+	scan := func(chunk []Edge, out []Face) []Face {
+		for _, e := range chunk {
+			for c := range adj[e[0]] {
+				if c == e[1] || !adj[e[1]][c] {
+					continue
+				}
+				out = append(out, mkFace(e[0], e[1], c))
 			}
-			f := mkFace(e[0], e[1], c)
-			if !seen[f] {
-				seen[f] = true
-				faces = append(faces, f)
-			}
+		}
+		return out
+	}
+	var found []Face
+	if workers > 1 && len(edges) >= 4*workers {
+		chunks := workers
+		parts := make([][]Face, chunks)
+		// Scanning can only misbehave by panicking, which par.For turns
+		// into an error; that cannot happen on an initialized adjacency
+		// map, so the error is ignored like the sequential path's.
+		_ = par.For(chunks, workers, func(_, c int) error {
+			lo := c * len(edges) / chunks
+			hi := (c + 1) * len(edges) / chunks
+			parts[c] = scan(edges[lo:hi], nil)
+			return nil
+		})
+		for _, p := range parts {
+			found = append(found, p...)
+		}
+	} else {
+		found = scan(edges, nil)
+	}
+	seen := make(map[Face]bool, len(found))
+	faces := found[:0]
+	for _, f := range found {
+		if !seen[f] {
+			seen[f] = true
+			faces = append(faces, f)
 		}
 	}
 	sort.Slice(faces, func(i, j int) bool {
@@ -89,7 +124,7 @@ func flipEdges(g *graph.Graph, member func(int) bool, edges []Edge, maxIter int)
 		edgeSet[e] = true
 	}
 	dist := func(a, b int) int { return g.HopDistance(a, b, member) }
-	flips := flipPass(dist, edgeSet, make(map[Edge]bool), maxIter)
+	flips := flipPass(dist, edgeSet, make(map[Edge]bool), maxIter, 1)
 	return edgesFromSet(edgeSet), flips
 }
 
@@ -99,12 +134,14 @@ func flipEdges(g *graph.Graph, member func(int) bool, edges []Edge, maxIter int)
 // oscillation a naive flip loop exhibits. dist measures landmark hop
 // distance through the boundary subgraph (the surface pipeline answers it
 // from the SPT cache in O(1); the exported flipEdges wrapper falls back to
-// a fresh BFS per pair).
-func flipPass(dist func(a, b int) int, edgeSet, removed map[Edge]bool, maxIter int) int {
+// a fresh BFS per pair). workers bounds the face-enumeration parallelism
+// of each iteration; the flip sequence itself is a deterministic serial
+// fixpoint either way.
+func flipPass(dist func(a, b int) int, edgeSet, removed map[Edge]bool, maxIter, workers int) int {
 	flips := 0
 	for iter := 0; iter < maxIter; iter++ {
 		cur := edgesFromSet(edgeSet)
-		corners := faceCorners(enumerateFaces(cur))
+		corners := faceCorners(enumerateFacesPar(cur, workers))
 		// Deterministic pick: the smallest over-shared edge.
 		var bad *Edge
 		for _, e := range cur {

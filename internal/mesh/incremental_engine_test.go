@@ -1,0 +1,141 @@
+package mesh
+
+// Engine-level unit tests: the steady-state zero-allocation guarantee on
+// the serve hot path, the join/new-node invalidation no-op, and the
+// eviction cap.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// allocTopo returns two components: a 12-node double ring (enough for a
+// real surface) and a detached 3-cycle.
+func allocTopo() *fuzzTopo {
+	ft := &fuzzTopo{adj: make([][]int32, 15)}
+	for i := 0; i < 12; i++ {
+		ft.toggle(i, (i+1)%12)
+		ft.toggle(i, (i+2)%12)
+	}
+	ft.toggle(12, 13)
+	ft.toggle(13, 14)
+	ft.toggle(12, 14)
+	return ft
+}
+
+// TestMeshIncrementalSteadyStateZeroAlloc pins the repair hot path's
+// steady state: once the session's groups are cached and deltas stop
+// dirtying them, a full Invalidate+Surfaces round allocates nothing — the
+// serve loop is lookup, stamp, append into the caller-retained slice.
+func TestMeshIncrementalSteadyStateZeroAlloc(t *testing.T) {
+	topo := allocTopo()
+	groups := topo.components(2)
+	if len(groups) != 2 {
+		t.Fatalf("want 2 components, got %d", len(groups))
+	}
+	eng := NewIncremental(Config{})
+	ctx := context.Background()
+	served, err := eng.Surfaces(ctx, nil, topo, groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != 2 {
+		t.Fatalf("served %d surfaces", len(served))
+	}
+	// A delta whose changed edges cross the component boundary dirties
+	// neither cached set (each holds the node or the peer, never both).
+	peers := []int32{12}
+	var serveErr error
+	allocs := testing.AllocsPerRun(200, func() {
+		eng.Invalidate(nil, 0, peers)
+		served, serveErr = eng.Surfaces(ctx, nil, topo, groups, served[:0])
+	})
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state serve allocates %.1f objects/op, want 0", allocs)
+	}
+	st := eng.Stats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (warm-up only)", st.Misses)
+	}
+}
+
+// TestMeshIncrementalJoinNeverInvalidates pins the append-only stable-ID
+// argument: a joining node's ID is beyond every cached member set's
+// universe, so Invalidate must evict nothing.
+func TestMeshIncrementalJoinNeverInvalidates(t *testing.T) {
+	topo := allocTopo()
+	groups := topo.components(2)
+	eng := NewIncremental(Config{})
+	if _, err := eng.Surfaces(context.Background(), nil, topo, groups, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats().Entries
+	eng.Invalidate(nil, topo.Len(), []int32{0, 5, 13})
+	if got := eng.Stats().Entries; got != before {
+		t.Errorf("join evicted %d entries", before-got)
+	}
+	// The join then grows the universe; cached serves must resize their
+	// association tables to match a from-scratch build over it.
+	topo.adj = append(topo.adj, nil)
+	topo.toggle(15, 0)
+	topo.toggle(15, 1)
+	eng.Invalidate(nil, 15, []int32{0, 1})
+	served, err := eng.Surfaces(context.Background(), nil, topo, topo.components(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range served {
+		if len(s.Landmarks.Assoc) != topo.Len() {
+			t.Errorf("surface %d assoc table len %d, want %d", i, len(s.Landmarks.Assoc), topo.Len())
+		}
+	}
+}
+
+// TestMeshIncrementalEvictionCap drives more distinct groups than the
+// cache holds and checks the entry count stays capped while serves remain
+// correct.
+func TestMeshIncrementalEvictionCap(t *testing.T) {
+	n := 3 * (maxCachedSurfaces + 8)
+	ft := &fuzzTopo{adj: make([][]int32, n)}
+	for g := 0; g+2 < n; g += 3 {
+		ft.toggle(g, g+1)
+		ft.toggle(g+1, g+2)
+		ft.toggle(g, g+2)
+	}
+	eng := NewIncremental(Config{})
+	groups := ft.components(2)
+	if len(groups) <= maxCachedSurfaces {
+		t.Fatalf("want > %d groups, got %d", maxCachedSurfaces, len(groups))
+	}
+	served, err := eng.Surfaces(context.Background(), nil, ft, groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != len(groups) {
+		t.Fatalf("served %d surfaces for %d groups", len(served), len(groups))
+	}
+	if got := eng.Stats().Entries; got > maxCachedSurfaces {
+		t.Errorf("cache holds %d entries, cap %d", got, maxCachedSurfaces)
+	}
+	cfg := Config{}.withDefaults()
+	g := &graph.Graph{Adj: make([][]int, n)}
+	for x, row := range ft.adj {
+		r := make([]int, len(row))
+		for k, y := range row {
+			r[k] = int(y)
+		}
+		g.Adj[x] = r
+	}
+	want, err := BuildAll(g, groups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		diffSurfacePair(t, "capped", served[i], want[i])
+	}
+}

@@ -1,0 +1,135 @@
+package mesh
+
+// FuzzMeshStitch hammers the incremental engine with byte-driven edge
+// toggles over a small synthetic universe, serving the connected
+// components as groups after every toggle and diffing each served surface
+// against a from-scratch BuildAll on the same adjacency. It hunts for
+// stitching bugs the seeded differential matrix cannot reach: adversarial
+// toggle orders, components that split and re-merge with identical member
+// lists, repeated invalidation of the same entry, and cache churn past the
+// eviction cap.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzTopo is a mutable stable-ID adjacency implementing Topology.
+type fuzzTopo struct {
+	adj [][]int32
+}
+
+func (ft *fuzzTopo) Len() int                { return len(ft.adj) }
+func (ft *fuzzTopo) Neighbors(u int) []int32 { return ft.adj[u] }
+
+// toggle flips edge (u, v), keeping both rows ascending, and reports
+// whether the edge now exists.
+func (ft *fuzzTopo) toggle(u, v int) bool {
+	added := ft.flipRow(u, v)
+	ft.flipRow(v, u)
+	return added
+}
+
+func (ft *fuzzTopo) flipRow(u, v int) bool {
+	row := ft.adj[u]
+	for i, x := range row {
+		if int(x) == v {
+			ft.adj[u] = append(row[:i], row[i+1:]...)
+			return false
+		}
+		if int(x) > v {
+			row = append(row, 0)
+			copy(row[i+1:], row[i:])
+			row[i] = int32(v)
+			ft.adj[u] = row
+			return true
+		}
+	}
+	ft.adj[u] = append(row, int32(v))
+	return true
+}
+
+// components returns the connected components with >= minSize nodes, each
+// ascending, in ascending order of their minimum member — the group shape
+// core.Incremental serves.
+func (ft *fuzzTopo) components(minSize int) [][]int {
+	n := len(ft.adj)
+	seen := make([]bool, n)
+	var groups [][]int
+	var stack []int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], s)
+		var comp []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range ft.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, int(v))
+				}
+			}
+		}
+		if len(comp) >= minSize {
+			sort.Ints(comp)
+			groups = append(groups, comp)
+		}
+	}
+	return groups
+}
+
+func FuzzMeshStitch(f *testing.F) {
+	f.Add([]byte{12, 0, 1, 1, 2, 2, 3, 3, 0, 4, 5, 5, 6, 6, 4})
+	f.Add([]byte{30, 1, 2, 2, 3, 3, 4, 1, 2, 2, 3, 3, 4, 1, 2, 9, 10, 10, 11, 11, 9})
+	f.Add([]byte{8, 0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3, 0, 1, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		n := 6 + int(data[0])%26
+		topo := &fuzzTopo{adj: make([][]int32, n)}
+		eng := NewIncremental(Config{})
+		cfg := Config{}.withDefaults()
+		var served []*Surface
+		steps := 0
+		for i := 1; i+1 < len(data) && steps < 40; i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			steps++
+			topo.toggle(u, v)
+			eng.Invalidate(nil, u, []int32{int32(v)})
+			groups := topo.components(2)
+			var err error
+			served, err = eng.Surfaces(context.Background(), nil, topo, groups, served[:0])
+			if err != nil {
+				t.Fatalf("step %d: serve: %v", steps, err)
+			}
+			g := &graph.Graph{Adj: make([][]int, n)}
+			for x, row := range topo.adj {
+				r := make([]int, len(row))
+				for k, y := range row {
+					r[k] = int(y)
+				}
+				g.Adj[x] = r
+			}
+			want, err := BuildAll(g, groups, cfg)
+			if err != nil {
+				t.Fatalf("step %d: reference: %v", steps, err)
+			}
+			for gi := range want {
+				diffSurfacePair(t, fmt.Sprintf("step %d group %d", steps, gi), served[gi], want[gi])
+			}
+		}
+	})
+}

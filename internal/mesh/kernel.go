@@ -25,10 +25,10 @@ type surfKernel struct {
 	member  *graph.NodeSet
 	scratch graph.Scratch
 
-	trees   []*graph.SPT // indexed by landmark node ID; nil = not cached
-	sptRuns int64        // traversal work done by BuildSPTs
+	trees      []*graph.SPT // indexed by landmark node ID; nil = not cached
+	sptRuns    int64        // traversal work done by BuildSPTs
 	sptVisited int64
-	hits    int64 // queries answered from a cached tree
+	hits       int64 // queries answered from a cached tree
 
 	pathBuf []int // reusable extraction buffer; accepted paths are copied out
 	noSPT   bool
@@ -40,6 +40,19 @@ func newSurfKernel(g *graph.Graph, inGroup []bool, noSPT bool) *surfKernel {
 		member: graph.NodeSetOf(inGroup),
 		noSPT:  noSPT,
 	}
+}
+
+// newSurfKernelFromCSR wraps an already-compacted member subgraph — every
+// node of csr is a group member, so the membership set is full. This is
+// the kernel the incremental engine rebuilds dirty groups on: the CSR
+// holds only the group's induced subgraph in compact IDs, shrinking every
+// BFS array and SPT from network size to group size.
+func newSurfKernelFromCSR(csr *graph.CSR, noSPT bool) *surfKernel {
+	member := graph.NewNodeSet(csr.Len())
+	for u := 0; u < csr.Len(); u++ {
+		member.Add(u)
+	}
+	return &surfKernel{csr: csr, member: member, noSPT: noSPT}
 }
 
 // cacheSPTs builds one shortest-path tree per landmark, in parallel.

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // ErrBadK is returned when the landmark spacing is not positive.
@@ -60,14 +61,22 @@ func ElectLandmarks(g *graph.Graph, group []int, k int) (*Landmarks, error) {
 	for _, v := range group {
 		inGroup[v] = true
 	}
-	return electLandmarks(newSurfKernel(g, inGroup, true), group, k)
+	return electLandmarks(newSurfKernel(g, inGroup, true), group, k, 1)
 }
 
 // electLandmarks is the CSR-backed election the surface pipeline uses; the
 // kernel's scratch is reused across the per-candidate and per-landmark
 // traversals, and only reached nodes are scanned (the allocating slice
 // path scanned the full distance array after every BFS).
-func electLandmarks(kn *surfKernel, group []int, k int) (*Landmarks, error) {
+//
+// The greedy election itself is inherently sequential (each winner's k-hop
+// ball gates later candidates), but the association sweep — one unlimited
+// BFS per landmark — is not: workers > 1 splits the ascending landmark
+// list into contiguous chunks claimed independently and merges the chunk
+// results in landmark order. The final owner of every node is the
+// lexicographic (distance, landmark-ID) minimum either way, so the result
+// is bit-identical at every width.
+func electLandmarks(kn *surfKernel, group []int, k, workers int) (*Landmarks, error) {
 	if k < 1 {
 		return nil, ErrBadK
 	}
@@ -96,6 +105,12 @@ func electLandmarks(kn *surfKernel, group []int, k int) (*Landmarks, error) {
 		assoc[i] = NoLandmark
 		hops[i] = graph.Unreachable
 	}
+	if workers > 1 && len(ids) >= 2*workers {
+		if err := associateChunked(kn, ids, assoc, hops, workers); err != nil {
+			return nil, err
+		}
+		return &Landmarks{IDs: ids, Assoc: assoc, Hops: hops}, nil
+	}
 	// Closest-landmark association with smallest-ID tiebreak: BFS from
 	// each landmark in ascending ID order, claiming strictly closer
 	// nodes only.
@@ -111,4 +126,66 @@ func electLandmarks(kn *surfKernel, group []int, k int) (*Landmarks, error) {
 		}
 	}
 	return &Landmarks{IDs: ids, Assoc: assoc, Hops: hops}, nil
+}
+
+// associateChunked is the parallel association sweep: contiguous ascending
+// chunks of the landmark list, each claiming into private (assoc, hops)
+// arrays with the sequential rule, merged back in chunk order. Claiming
+// strictly closer nodes within a chunk and preferring the earlier chunk on
+// ties reproduces the global (distance, landmark-ID)-minimum owner exactly.
+// Per-chunk scratches keep the traversals race-free; their work counters
+// fold back into the kernel so the observable BFS totals match the
+// sequential sweep.
+func associateChunked(kn *surfKernel, ids []int, assoc, hops []int, workers int) error {
+	n := kn.csr.Len()
+	chunks := workers
+	if chunks > len(ids) {
+		chunks = len(ids)
+	}
+	type chunkState struct {
+		scratch graph.Scratch
+		assoc   []int
+		hops    []int
+	}
+	states := make([]*chunkState, chunks)
+	err := par.For(chunks, workers, func(_, c int) error {
+		st := &chunkState{assoc: make([]int, n), hops: make([]int, n)}
+		states[c] = st
+		for i := range st.assoc {
+			st.assoc[i] = NoLandmark
+			st.hops[i] = graph.Unreachable
+		}
+		lo := c * len(ids) / chunks
+		hi := (c + 1) * len(ids) / chunks
+		src := make([]int, 1)
+		for _, lm := range ids[lo:hi] {
+			src[0] = lm
+			kn.csr.BFSHops(&st.scratch, src, kn.member, -1)
+			for _, u := range st.scratch.Reached() {
+				d := st.scratch.Dist(int(u))
+				if st.hops[u] == graph.Unreachable || d < st.hops[u] {
+					st.hops[u] = d
+					st.assoc[u] = lm
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, st := range states {
+		for u, d := range st.hops {
+			if d == graph.Unreachable {
+				continue
+			}
+			if hops[u] == graph.Unreachable || d < hops[u] {
+				hops[u] = d
+				assoc[u] = st.assoc[u]
+			}
+		}
+		kn.scratch.Runs += st.scratch.Runs
+		kn.scratch.Visited += st.scratch.Visited
+	}
+	return nil
 }

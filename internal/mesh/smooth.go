@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"repro/internal/geom"
+	"repro/internal/par"
 )
 
 // RefinedPositions returns robustified positions for the surface's
@@ -33,6 +34,45 @@ func RefinedPositions(s *Surface, position func(node int) geom.Vec3, lambda floa
 			p = p.Lerp(geom.Centroid(members), lambda)
 		}
 		pos[lm] = p
+	}
+	return pos
+}
+
+// RefinedPositionsWorkers is RefinedPositions with the per-landmark
+// centroid computation fanned out over the worker pool. Cell gathering
+// stays sequential (it fixes the floating-point summation order), each
+// landmark's refinement is an independent computation over its own cell,
+// and results land in a per-landmark slot before the map is assembled —
+// so the output is bit-identical to the sequential path at every width.
+// position must be safe for concurrent calls (a position-array lookup is).
+func RefinedPositionsWorkers(s *Surface, position func(node int) geom.Vec3, lambda float64, workers int) map[int]geom.Vec3 {
+	if workers <= 1 || len(s.Landmarks.IDs) < 2 {
+		return RefinedPositions(s, position, lambda)
+	}
+	if lambda <= 0 || lambda > 1 {
+		lambda = 0.7
+	}
+	cells := make(map[int][]geom.Vec3, len(s.Landmarks.IDs))
+	for _, v := range s.Group {
+		if lm := s.Landmarks.Assoc[v]; lm != NoLandmark {
+			cells[lm] = append(cells[lm], position(v))
+		}
+	}
+	refined := make([]geom.Vec3, len(s.Landmarks.IDs))
+	// Pure per-landmark arithmetic: no error path exists, matching the
+	// sequential loop.
+	_ = par.For(len(s.Landmarks.IDs), workers, func(_, i int) error {
+		lm := s.Landmarks.IDs[i]
+		p := position(lm)
+		if members := cells[lm]; len(members) > 0 {
+			p = p.Lerp(geom.Centroid(members), lambda)
+		}
+		refined[i] = p
+		return nil
+	})
+	pos := make(map[int]geom.Vec3, len(s.Landmarks.IDs))
+	for i, lm := range s.Landmarks.IDs {
+		pos[lm] = refined[i]
 	}
 	return pos
 }

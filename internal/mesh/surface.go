@@ -22,7 +22,10 @@ type Config struct {
 	// open a polygon hole that another fill pass closes. Zero means 8.
 	MaxRepairRounds int
 	// Workers bounds the parallelism of the per-landmark shortest-path
-	// tree builds. Zero or negative means GOMAXPROCS.
+	// tree builds, the landmark-association BFS sweep, the face
+	// enumeration inside flip passes, and RefinedPositionsWorkers. Zero
+	// or negative means GOMAXPROCS; the constructed mesh is bit-identical
+	// at every width.
 	Workers int
 
 	// noSPT disables the shortest-path-tree cache so every path and
@@ -125,17 +128,25 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	surfaceSpan := obs.Start(o, obs.StageSurface)
-	defer surfaceSpan.End()
-
 	inGroup := make([]bool, g.Len())
 	for _, v := range group {
 		inGroup[v] = true
 	}
 	kn := newSurfKernel(g, inGroup, cfg.noSPT)
+	return buildOnKernel(ctx, o, kn, group, cfg)
+}
+
+// buildOnKernel runs surface steps I–V on an already-constructed traversal
+// kernel. It is the shared tail of BuildContext and the incremental
+// engine's cache-miss rebuild (which supplies a compacted per-group
+// kernel instead of a whole-network one). cfg must already have its
+// defaults applied. The returned Surface's Group is a copy of group.
+func buildOnKernel(ctx context.Context, o obs.Observer, kn *surfKernel, group []int, cfg Config) (*Surface, error) {
+	surfaceSpan := obs.Start(o, obs.StageSurface)
+	defer surfaceSpan.End()
 
 	lmSpan := obs.Start(o, obs.StageLandmarks)
-	lms, err := electLandmarks(kn, group, cfg.K)
+	lms, err := electLandmarks(kn, group, cfg.K, cfg.Workers)
 	lmSpan.End()
 	if err != nil {
 		return nil, err
@@ -190,7 +201,7 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 		added := triangulate(kn, cdg, &cdm, edgeSet, forbidden)
 		triSpan.End()
 		flipSpan := obs.Start(o, obs.StageFlip)
-		f := flipPass(kn.dist, edgeSet, forbidden, cfg.MaxFlipIterations)
+		f := flipPass(kn.dist, edgeSet, forbidden, cfg.MaxFlipIterations, cfg.Workers)
 		flipSpan.End()
 		obs.Add(o, obs.StageFlip, obs.CtrFlips, int64(f))
 		flips += f
@@ -199,7 +210,7 @@ func BuildContext(ctx context.Context, o obs.Observer, g *graph.Graph, group []i
 		}
 	}
 	final := edgesFromSet(edgeSet)
-	faces := enumerateFaces(final)
+	faces := enumerateFacesPar(final, cfg.Workers)
 	obs.Add(o, obs.StageSurface, obs.CtrFaces, int64(len(faces)))
 	obs.Add(o, obs.StageSurface, obs.CtrBFSRuns, kn.runs())
 	obs.Add(o, obs.StageSurface, obs.CtrBFSNodesVisited, kn.visited())

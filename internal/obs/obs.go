@@ -68,6 +68,10 @@ const (
 	// structural analogue of StageUBF for non-paper core.Detector
 	// implementations.
 	StageCandidates
+	// StageMeshInc spans one mesh.Incremental surface serve: cache
+	// invalidation plus the rebuild of whichever group surfaces a delta
+	// stream dirtied since the last serve.
+	StageMeshInc
 
 	stageEnd // sentinel: number of stages + 1
 )
@@ -90,6 +94,7 @@ var stageNames = [...]string{
 	StageIncremental: "incremental",
 	StageServe:       "serve",
 	StageCandidates:  "candidates",
+	StageMeshInc:     "mesh_incremental",
 }
 
 // String implements fmt.Stringer; unknown stages print as "stage?".
@@ -246,6 +251,17 @@ const (
 	// degree-statistic scans (the StageCandidates analogue of
 	// CtrBallsTested).
 	CtrLocalTests
+	// CtrMeshRepairs counts group surfaces the incremental mesh engine
+	// rebuilt (cache misses); served surfaces minus repairs is the number
+	// answered straight from the cache.
+	CtrMeshRepairs
+	// CtrDirtyPatch counts the nodes inside rebuilt groups — the dirty
+	// patch a delta stream actually forced through the surface pipeline.
+	CtrDirtyPatch
+	// CtrSPTInvalidated counts cached shortest-path trees discarded by
+	// mesh cache invalidation (one entry's landmark SPT set per evicted
+	// surface).
+	CtrSPTInvalidated
 
 	counterEnd // sentinel: number of counters + 1
 )
@@ -282,6 +298,9 @@ var counterNames = [...]string{
 	CtrDirtyIFF:          "dirty_iff_nodes",
 	CtrCandidates:        "candidate_nodes",
 	CtrLocalTests:        "local_tests",
+	CtrMeshRepairs:       "mesh_repairs",
+	CtrDirtyPatch:        "dirty_patch_nodes",
+	CtrSPTInvalidated:    "spt_invalidated",
 }
 
 // String implements fmt.Stringer; unknown counters print as "counter?".

@@ -2,6 +2,7 @@ package par
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,33 @@ func TestForWorkerIDsInRange(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: requesting more workers than runtime.GOMAXPROCS(0) used to
+// spawn them all, and the oversubscribed pool was measurably slower than
+// workers=1 on a 1-CPU host (DetectSharded/shards=16/workers=4 in
+// BENCH_2026-08-07b). The dispatcher must cap the pool at the schedulable
+// parallelism: worker IDs stay below GOMAXPROCS no matter how many
+// workers the caller asks for.
+func TestForCapsWorkersAtGOMAXPROCS(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{gmp + 1, 4 * gmp, 100 * gmp} {
+		var maxID int64 = -1
+		err := For(10_000, workers, func(w, i int) error {
+			for {
+				cur := atomic.LoadInt64(&maxID)
+				if int64(w) <= cur || atomic.CompareAndSwapInt64(&maxID, cur, int64(w)) {
+					return nil
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := atomic.LoadInt64(&maxID); got >= int64(gmp) {
+			t.Errorf("workers=%d: saw worker id %d, want all ids < GOMAXPROCS=%d", workers, got, gmp)
+		}
 	}
 }
 

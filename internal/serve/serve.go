@@ -16,8 +16,17 @@
 //	POST   /v1/sessions               create a session from a network
 //	GET    /v1/sessions               list session summaries
 //	GET    /v1/sessions/{id}          session detail (boundary + groups)
+//	GET    /v1/sessions/{id}/mesh     reconstructed boundary surfaces
 //	POST   /v1/sessions/{id}/deltas   apply an ordered batch of deltas
 //	DELETE /v1/sessions/{id}          drop a session
+//
+// The mesh route serves one triangular surface per boundary group
+// (landmarks with smoothed positions, virtual edges, faces, manifold
+// diagnostics). Incremental sessions keep a mesh.Incremental engine warm
+// across deltas, so unchanged groups answer from cache; full-recompute
+// sessions rebuild every surface per request. Topology-only detectors
+// (no measurement capability) answer 501 — their groups carry no
+// geometry a surface could be anchored to.
 //
 // Session creation accepts per-session detection parameters as query
 // parameters: detector (a core registry name), workers, shards, theta
@@ -47,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/geom"
+	"repro/internal/mesh"
 	"repro/internal/netgen"
 	"repro/internal/obs"
 )
@@ -105,6 +115,9 @@ type session struct {
 	eng      engine
 	deltas   int64
 	metrics  *obs.Metrics
+	// workers is the session's configured parallelism, reused by the mesh
+	// handler's smoothing pass (bit-identical at every width).
+	workers int
 }
 
 // engine is what a session needs from a detection backend: the state
@@ -120,11 +133,21 @@ type engine interface {
 	Radius() float64
 	Snapshot() *core.Result
 	Apply(ctx context.Context, o obs.Observer, d core.Delta) (int, error)
+	// Mesh reconstructs one triangular surface per boundary group, in
+	// stable IDs. PositionAt supplies node positions for the smoothing
+	// pass the mesh handler runs per serve.
+	Mesh(ctx context.Context, o obs.Observer) ([]*mesh.Surface, error)
+	PositionAt(u int) geom.Vec3
 }
 
 // incEngine is the incremental backend: core.Incremental already speaks
-// stable IDs and repairs only the dirty region.
-type incEngine struct{ inc *core.Incremental }
+// stable IDs and repairs only the dirty region, and the paired
+// mesh.Incremental keeps surfaces cached across deltas — Apply feeds each
+// delta's changed edges into its invalidation pass.
+type incEngine struct {
+	inc  *core.Incremental
+	mesh *mesh.Incremental
+}
 
 func (e incEngine) Len() int               { return e.inc.Len() }
 func (e incEngine) ActiveCount() int       { return e.inc.ActiveCount() }
@@ -133,8 +156,17 @@ func (e incEngine) Groups() [][]int        { return e.inc.Groups() }
 func (e incEngine) Radius() float64        { return e.inc.Radius() }
 func (e incEngine) Snapshot() *core.Result { return e.inc.Snapshot() }
 func (e incEngine) Apply(ctx context.Context, o obs.Observer, d core.Delta) (int, error) {
-	return e.inc.ApplyContext(ctx, o, d)
+	id, err := e.inc.ApplyContext(ctx, o, d)
+	if err == nil {
+		node, peers := e.inc.LastTopology()
+		e.mesh.Invalidate(o, node, peers)
+	}
+	return id, err
 }
+func (e incEngine) Mesh(ctx context.Context, o obs.Observer) ([]*mesh.Surface, error) {
+	return e.mesh.Surfaces(ctx, o, e.inc, e.inc.GroupsView(), nil)
+}
+func (e incEngine) PositionAt(u int) geom.Vec3 { return e.inc.PositionAt(u) }
 
 // fullEngine is the fallback backend for detectors without
 // CapIncremental: it mirrors the session's stable-ID state (positions and
@@ -232,6 +264,41 @@ func (e *fullEngine) recompute(ctx context.Context, o obs.Observer) error {
 	return nil
 }
 
+func (e *fullEngine) PositionAt(u int) geom.Vec3 { return e.pos[u] }
+
+// stableTopo is a stable-ID adjacency snapshot satisfying mesh.Topology.
+type stableTopo struct{ adj [][]int32 }
+
+func (t stableTopo) Len() int                { return len(t.adj) }
+func (t stableTopo) Neighbors(u int) []int32 { return t.adj[u] }
+
+// Mesh is the full-recompute path: assemble the active set, lift the
+// compact adjacency back to stable IDs (a monotone renaming, so rows stay
+// ascending), and build every group surface from scratch.
+func (e *fullEngine) Mesh(ctx context.Context, o obs.Observer) ([]*mesh.Surface, error) {
+	var nodes []netgen.Node
+	var stable []int
+	for i, a := range e.active {
+		if a {
+			stable = append(stable, i)
+			nodes = append(nodes, netgen.Node{Pos: e.pos[i]})
+		}
+	}
+	network, err := netgen.Assemble(nodes, e.radius)
+	if err != nil {
+		return nil, err
+	}
+	adj := make([][]int32, len(e.pos))
+	for k, row := range network.G.Adj {
+		r := make([]int32, len(row))
+		for i, v := range row {
+			r[i] = int32(stable[v])
+		}
+		adj[stable[k]] = r
+	}
+	return mesh.BuildTopology(ctx, o, stableTopo{adj}, e.groups, mesh.Config{Workers: e.cfg.Workers})
+}
+
 // Apply validates the delta, mutates the mirror, and recomputes. A failed
 // recompute rolls the mutation back, so the session state stays the last
 // successfully detected one.
@@ -303,6 +370,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.traced("GET /healthz", s.handleHealth))
 	// /v1/metrics is new with the versioned API — no legacy alias.
 	mux.HandleFunc("GET /v1/metrics", s.traced("GET /v1/metrics", s.handleMetrics))
+	// The mesh route is likewise /v1-only.
+	mux.HandleFunc("GET /v1/sessions/{id}/mesh", s.traced("GET /v1/sessions/{id}/mesh", s.handleMesh))
 	routes := []struct {
 		method, path string
 		fn           http.HandlerFunc
@@ -534,7 +603,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "detection: %v", err)
 			return
 		}
-		eng = incEngine{inc}
+		eng = incEngine{inc, mesh.NewIncremental(mesh.Config{Workers: cfg.Workers})}
 	} else {
 		full, err := newFullEngine(r.Context(), engObs, net, cfg)
 		if err != nil {
@@ -551,7 +620,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	sess := &session{id: fmt.Sprintf("s%d", s.nextID), detector: det.Name(), eng: eng, metrics: sessMetrics}
+	sess := &session{id: fmt.Sprintf("s%d", s.nextID), detector: det.Name(), eng: eng, metrics: sessMetrics, workers: cfg.Workers}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 	obs.Add(s.obs, obs.StageServe, obs.CtrSessions, 1)
@@ -631,6 +700,78 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	det.GroupCount = len(det.Groups)
 	writeJSON(w, http.StatusOK, det)
+}
+
+// wireLandmark is one mesh vertex on the wire: a landmark node with its
+// smoothed (cell-centroid refined) position.
+type wireLandmark struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	Z  float64 `json:"z"`
+}
+
+// wireSurface is one boundary group's reconstructed surface on the wire.
+// Edges and faces reference landmark IDs; Euler and Closed2Manifold are
+// the step-V quality diagnostics.
+type wireSurface struct {
+	Group           int            `json:"group"`
+	GroupSize       int            `json:"group_size"`
+	Landmarks       []wireLandmark `json:"landmarks"`
+	Edges           []mesh.Edge    `json:"edges"`
+	Faces           []mesh.Face    `json:"faces"`
+	Flips           int            `json:"flips"`
+	Euler           int            `json:"euler"`
+	Closed2Manifold bool           `json:"closed_2manifold"`
+}
+
+// meshResponse is the GET /v1/sessions/{id}/mesh body.
+type meshResponse struct {
+	Session  string        `json:"session"`
+	Surfaces []wireSurface `json:"surfaces"`
+}
+
+func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	det, _ := core.LookupDetector(sess.detector)
+	if !det.Caps().Has(core.CapMeasurement) {
+		writeErr(w, http.StatusNotImplemented,
+			"detector %q is topology-only (no measurement capability): its boundary groups carry no geometry to anchor a surface mesh", sess.detector)
+		return
+	}
+	o := obs.Tee(s.obs, sess.metrics)
+	sess.mu.Lock()
+	surfs, err := sess.eng.Mesh(r.Context(), o)
+	if err != nil {
+		sess.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "mesh: %v", err)
+		return
+	}
+	resp := meshResponse{Session: sess.id, Surfaces: make([]wireSurface, len(surfs))}
+	for i, surf := range surfs {
+		refined := mesh.RefinedPositionsWorkers(surf, sess.eng.PositionAt, 0.7, sess.workers)
+		ws := wireSurface{
+			Group:           i,
+			GroupSize:       len(surf.Group),
+			Landmarks:       make([]wireLandmark, 0, len(surf.Landmarks.IDs)),
+			Edges:           surf.Edges,
+			Faces:           surf.Faces,
+			Flips:           surf.Flips,
+			Euler:           surf.Quality.Euler,
+			Closed2Manifold: surf.Quality.Closed2Manifold,
+		}
+		for _, lm := range surf.Landmarks.IDs {
+			p := refined[lm]
+			ws.Landmarks = append(ws.Landmarks, wireLandmark{ID: lm, X: p.X, Y: p.Y, Z: p.Z})
+		}
+		resp.Surfaces[i] = ws
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/geom"
+	"repro/internal/mesh"
 	"repro/internal/netgen"
 	"repro/internal/obs"
 	"repro/internal/shapes"
@@ -141,6 +142,175 @@ func diffServed(t *testing.T, base, id string, pos []geom.Vec3, active []bool, r
 	}
 	if det.BoundaryCount != len(det.Boundary) || det.GroupCount != len(det.Groups) {
 		t.Fatalf("summary counts inconsistent with detail: %+v", det.Summary)
+	}
+}
+
+// diffMeshServed compares the served mesh against from-scratch surfaces
+// built over the mirrored active set: landmark IDs, smoothed positions
+// (exact — float64 survives a JSON round-trip), edges, faces, flip counts
+// and quality diagnostics, all under the stable-ID renaming.
+func diffMeshServed(t *testing.T, base, id string, pos []geom.Vec3, active []bool, radius float64, cfg core.Config) {
+	t.Helper()
+	var mr meshResponse
+	doJSON(t, http.MethodGet, base+"/v1/sessions/"+id+"/mesh", nil, http.StatusOK, &mr)
+
+	var nodes []netgen.Node
+	var stable []int
+	for i, a := range active {
+		if a {
+			stable = append(stable, i)
+			nodes = append(nodes, netgen.Node{Pos: pos[i]})
+		}
+	}
+	net, err := netgen.Assemble(nodes, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Detect(net, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mesh.BuildAll(net.G, full.Groups, mesh.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Surfaces) != len(want) {
+		t.Fatalf("served %d surfaces, full build %d", len(mr.Surfaces), len(want))
+	}
+	for i, ws := range mr.Surfaces {
+		ref := want[i]
+		if ws.Group != i || ws.GroupSize != len(ref.Group) {
+			t.Fatalf("surface %d: group %d size %d, want %d size %d", i, ws.Group, ws.GroupSize, i, len(ref.Group))
+		}
+		refined := mesh.RefinedPositions(ref, func(u int) geom.Vec3 { return nodes[u].Pos }, 0.7)
+		if len(ws.Landmarks) != len(ref.Landmarks.IDs) {
+			t.Fatalf("surface %d: %d landmarks, want %d", i, len(ws.Landmarks), len(ref.Landmarks.IDs))
+		}
+		for k, lm := range ref.Landmarks.IDs {
+			wl := ws.Landmarks[k]
+			if wl.ID != stable[lm] {
+				t.Fatalf("surface %d landmark %d: id %d, want %d", i, k, wl.ID, stable[lm])
+			}
+			if p := refined[lm]; wl.X != p.X || wl.Y != p.Y || wl.Z != p.Z {
+				t.Fatalf("surface %d landmark %d: pos (%v,%v,%v), want %v", i, k, wl.X, wl.Y, wl.Z, p)
+			}
+		}
+		if len(ws.Edges) != len(ref.Edges) || len(ws.Faces) != len(ref.Faces) {
+			t.Fatalf("surface %d: %d edges %d faces, want %d/%d", i, len(ws.Edges), len(ws.Faces), len(ref.Edges), len(ref.Faces))
+		}
+		for k, e := range ref.Edges {
+			if ws.Edges[k] != (mesh.Edge{stable[e[0]], stable[e[1]]}) {
+				t.Fatalf("surface %d edge %d: %v, want %v", i, k, ws.Edges[k], mesh.Edge{stable[e[0]], stable[e[1]]})
+			}
+		}
+		for k, f := range ref.Faces {
+			if ws.Faces[k] != (mesh.Face{stable[f[0]], stable[f[1]], stable[f[2]]}) {
+				t.Fatalf("surface %d face %d: %v, want mapped %v", i, k, ws.Faces[k], f)
+			}
+		}
+		if ws.Flips != ref.Flips || ws.Euler != ref.Quality.Euler || ws.Closed2Manifold != ref.Quality.Closed2Manifold {
+			t.Fatalf("surface %d: flips/euler/closed %d/%d/%v, want %d/%d/%v",
+				i, ws.Flips, ws.Euler, ws.Closed2Manifold, ref.Flips, ref.Quality.Euler, ref.Quality.Closed2Manifold)
+		}
+	}
+}
+
+// TestServeMeshEndpoint drives the incremental mesh service mid
+// delta-stream: every served mesh must equal a from-scratch surface build
+// over the current active set, whether it came from the cache or a
+// dirty-region repair, and the cache telemetry must reach /v1/metrics.
+func TestServeMeshEndpoint(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	var sum Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", envelopeBody(t, net), http.StatusCreated, &sum)
+	pos := net.Positions()
+	active := make([]bool, len(pos))
+	for i := range active {
+		active[i] = true
+	}
+	cfg := core.Config{}
+	diffMeshServed(t, ts.URL, sum.Session, pos, active, net.Radius, cfg)
+
+	rng := rand.New(rand.NewSource(23))
+	for batch := 0; batch < 3; batch++ {
+		var wire []map[string]any
+		for k := 0; k < 3; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				p := geom.V(rng.Float64()*8-4, rng.Float64()*8-4, rng.Float64()*8-4)
+				pos = append(pos, p)
+				active = append(active, true)
+				wire = append(wire, map[string]any{"op": "join", "pos": map[string]float64{"x": p.X, "y": p.Y, "z": p.Z}})
+			case 1:
+				id := rng.Intn(len(active))
+				for !active[id] {
+					id = rng.Intn(len(active))
+				}
+				p := pos[id].Add(geom.V(rng.Float64()-0.5, rng.Float64()-0.5, rng.Float64()-0.5))
+				pos[id] = p
+				wire = append(wire, map[string]any{"op": "move", "node": id, "pos": map[string]float64{"x": p.X, "y": p.Y, "z": p.Z}})
+			default:
+				id := rng.Intn(len(active))
+				for !active[id] {
+					id = rng.Intn(len(active))
+				}
+				active[id] = false
+				wire = append(wire, map[string]any{"op": "leave", "node": id})
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"deltas": wire})
+		doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+sum.Session+"/deltas", body, http.StatusOK, nil)
+		diffMeshServed(t, ts.URL, sum.Session, pos, active, net.Radius, cfg)
+	}
+
+	// The engine's repair telemetry reached the metrics tiers.
+	var mets MetricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, http.StatusOK, &mets)
+	if got := mets.Global.Counters["mesh_incremental/mesh_repairs"]; got == 0 {
+		t.Errorf("global mesh_repairs counter missing: %v", mets.Global.Counters)
+	}
+	sessView := mets.Sessions[sum.Session]
+	if got := sessView.Counters["mesh_incremental/dirty_patch_nodes"]; got == 0 {
+		t.Errorf("session dirty_patch_nodes counter missing: %v", sessView.Counters)
+	}
+	if _, ok := sessView.Latencies[obs.StageMeshInc.String()]; !ok {
+		t.Errorf("session latencies missing %s: %v", obs.StageMeshInc, sessView.Latencies)
+	}
+
+	// Unknown session: 404.
+	doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/nope/mesh", nil, http.StatusNotFound, nil)
+}
+
+// TestServeMeshFallbackAndCapability: a measurement-capable detector
+// without incremental support serves meshes through the full-recompute
+// path; a topology-only detector answers 501.
+func TestServeMeshFallbackAndCapability(t *testing.T) {
+	net := testNetwork(t)
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	var sv Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions?detector=sv-enclosure", envelopeBody(t, net), http.StatusCreated, &sv)
+	pos := net.Positions()
+	active := make([]bool, len(pos))
+	for i := range active {
+		active[i] = true
+	}
+	cfg := core.Config{Detector: "sv-enclosure"}
+	diffMeshServed(t, ts.URL, sv.Session, pos, active, net.Radius, cfg)
+	body, _ := json.Marshal(map[string]any{"deltas": []map[string]any{{"op": "leave", "node": 7}}})
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+sv.Session+"/deltas", body, http.StatusOK, nil)
+	active[7] = false
+	diffMeshServed(t, ts.URL, sv.Session, pos, active, net.Radius, cfg)
+
+	var contour Summary
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sessions?detector=sv-contour", envelopeBody(t, net), http.StatusCreated, &contour)
+	resp := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+contour.Session+"/mesh", nil, http.StatusNotImplemented, nil)
+	if !strings.Contains(resp, "topology-only") {
+		t.Errorf("501 body %q does not explain the capability gap", resp)
 	}
 }
 
